@@ -1,0 +1,89 @@
+// Asynccopy runs the memif interface protocol in *realtime* mode: real
+// goroutines, real memory, wall-clock time. It is the paper's interface
+// (Section 4) — red-blue staging queue, one kick to wake the worker,
+// lock-free completion delivery — repurposed as a host-side asynchronous
+// copy service, and a live demonstration that the protocol needs no
+// locks under genuine preemption.
+//
+// The program double-buffers a pipeline: while the worker copies the
+// next block, the main goroutine checksums the previous one, and at the
+// end it reports how few kicks ("syscalls") the whole stream needed.
+package main
+
+import (
+	"fmt"
+	"hash/crc32"
+	"log"
+	"time"
+
+	"memif"
+)
+
+const (
+	blockBytes = 4 << 20
+	numBlocks  = 64
+)
+
+func main() {
+	dev := memif.OpenRealtime(memif.DefaultRealtimeOptions())
+	defer dev.Close()
+
+	// The "slow" source: one large buffer the pipeline streams from.
+	src := make([]byte, numBlocks*blockBytes)
+	for i := range src {
+		src[i] = byte(i * 16777619)
+	}
+	want := crc32.ChecksumIEEE(src)
+
+	// Two destination buffers, double buffered.
+	bufs := [2][]byte{make([]byte, blockBytes), make([]byte, blockBytes)}
+
+	submit := func(block int, buf int) *memif.RealtimeRequest {
+		r := dev.AllocRequest()
+		if r == nil {
+			log.Fatal("out of request slots")
+		}
+		r.Src = src[block*blockBytes : (block+1)*blockBytes]
+		r.Dst = bufs[buf]
+		r.Cookie = uint64(block)
+		if err := dev.Submit(r); err != nil {
+			log.Fatalf("submit: %v", err)
+		}
+		return r
+	}
+	waitOne := func() *memif.RealtimeRequest {
+		for {
+			if r := dev.RetrieveCompleted(); r != nil {
+				return r
+			}
+			if !dev.Poll(5 * time.Second) {
+				log.Fatal("poll timed out")
+			}
+		}
+	}
+
+	start := time.Now()
+	crc := crc32.NewIEEE()
+	submit(0, 0)
+	for b := 0; b < numBlocks; b++ {
+		done := waitOne()
+		if int(done.Cookie) != b {
+			log.Fatalf("out of order: got block %d, want %d", done.Cookie, b)
+		}
+		if b+1 < numBlocks {
+			submit(b+1, (b+1)%2) // overlap the next copy with our compute
+		}
+		crc.Write(bufs[b%2]) // "compute": checksum the block
+		dev.FreeRequest(done)
+	}
+	elapsed := time.Since(start)
+
+	if crc.Sum32() != want {
+		log.Fatalf("checksum mismatch: %08x vs %08x", crc.Sum32(), want)
+	}
+	fmt.Printf("streamed %d MB in %v (%.1f MB/s wall)\n",
+		numBlocks*blockBytes>>20, elapsed.Round(time.Millisecond),
+		float64(numBlocks*blockBytes)/elapsed.Seconds()/1e6)
+	fmt.Printf("checksum ok; %d copies completed with %d kick(s) to the worker\n",
+		dev.Completed(), dev.Kicks())
+}

@@ -1,0 +1,68 @@
+// Streaming reproduces the case study of Section 6.6 interactively: it
+// runs the Table 4 workloads (StreamCluster.pgain, STREAM.triad,
+// STREAM.add) over a 32 MB input, first straight out of the slow DDR3
+// node and then through the mini runtime that prefetches into fast-memory
+// buffers with asynchronous memif replication, and prints the
+// throughputs side by side. Checksums prove both paths consumed the same
+// bytes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memif"
+)
+
+const inputBytes = 32 << 20
+
+func main() {
+	fmt.Println("mini streaming runtime on memif (Section 6.6 / Table 4)")
+	fmt.Printf("%-22s %12s %12s %8s %s\n", "workload", "linux MB/s", "memif MB/s", "gain", "prefetch behaviour")
+
+	for _, kernel := range []memif.StreamKernel{memif.KernelPGain, memif.KernelTriad, memif.KernelAdd} {
+		m := memif.NewMachine(memif.KeyStoneII())
+		as := m.NewAddressSpace(memif.Page4K)
+		dev := memif.Open(m, as, memif.DefaultOptions())
+
+		var direct, fast memif.StreamResult
+		m.Eng.Spawn("app", func(p *memif.Proc) {
+			defer dev.Close()
+			cfg := memif.DefaultStreamConfig()
+			base, err := as.Mmap(p, inputBytes, memif.NodeSlow, "input")
+			if err != nil {
+				log.Fatalf("mmap: %v", err)
+			}
+			// Deterministic input so checksums are comparable.
+			buf := make([]byte, 1<<20)
+			for i := range buf {
+				buf[i] = byte(i * 2654435761)
+			}
+			for off := int64(0); off < inputBytes; off += int64(len(buf)) {
+				if err := as.Write(p, base+off, buf); err != nil {
+					log.Fatalf("fill: %v", err)
+				}
+			}
+
+			direct, err = memif.StreamDirect(p, as, kernel, base, inputBytes, cfg)
+			if err != nil {
+				log.Fatalf("direct run: %v", err)
+			}
+			fast, err = memif.Stream(p, dev, kernel, base, inputBytes, cfg)
+			if err != nil {
+				log.Fatalf("memif run: %v", err)
+			}
+		})
+		m.Eng.Run()
+
+		if direct.Checksum != fast.Checksum {
+			log.Fatalf("%s: checksum mismatch: direct %#x, memif %#x",
+				kernel.Name, direct.Checksum, fast.Checksum)
+		}
+		gain := fast.ThroughputMBs/direct.ThroughputMBs - 1
+		fmt.Printf("%-22s %12.1f %12.1f %+7.1f%% %d chunks via fast buffers, %d slow fallbacks\n",
+			kernel.Name, direct.ThroughputMBs, fast.ThroughputMBs, gain*100,
+			fast.FastChunks, fast.SlowChunks)
+	}
+	fmt.Println("\npaper (Table 4): pgain 1440.1 -> 1778.4 (+23.5%), triad 2384.1 -> 3184.4 (+33.6%), add 2390.1 -> 3186.9 (+33.3%)")
+}

@@ -1,0 +1,3 @@
+module memif
+
+go 1.22

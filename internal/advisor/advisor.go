@@ -1,0 +1,198 @@
+// Package advisor implements the *transparent* alternative memif's
+// Section 2.1 argues against: a reactive placement daemon that monitors
+// application memory accesses and migrates hot regions into fast memory
+// on its own, with no application knowledge.
+//
+// Having it in the repository lets the paper's qualitative claims be
+// measured head-to-head (bench.Guidance):
+//
+//   - the monitor reacts to *recent* accesses, so it promotes a hot
+//     region only after the application has already paid slow-memory
+//     prices for a while (the proactive-vs-reactive gap);
+//   - continuous access monitoring itself costs the application
+//     runtime — the paper cites >10% overhead [39] — modelled as a
+//     per-access tax (vm.AddressSpace.MonitorTax) while the advisor is
+//     attached.
+//
+// The advisor moves memory through its own memif device in
+// proceed-and-recover mode, so a mis-predicted promotion can never hurt
+// the application — it only wastes bandwidth.
+package advisor
+
+import (
+	"sort"
+
+	"memif/internal/core"
+	"memif/internal/hw"
+	"memif/internal/sim"
+	"memif/internal/uapi"
+	"memif/internal/vm"
+)
+
+// Options tunes the advisor.
+type Options struct {
+	// SamplePeriodNS is how often access counters are sampled.
+	SamplePeriodNS int64
+	// MonitorTax is the fractional slowdown access instrumentation
+	// imposes on the application (Section 2.1: >10%).
+	MonitorTax float64
+	// FastBudgetBytes bounds how much fast memory the advisor manages.
+	FastBudgetBytes int64
+	// FastNode / SlowNode name the tiers.
+	FastNode, SlowNode hw.NodeID
+}
+
+// DefaultOptions returns a 1 ms sampling reactive policy with the
+// literature's ~12% monitoring overhead.
+func DefaultOptions() Options {
+	return Options{
+		SamplePeriodNS:  1_000_000,
+		MonitorTax:      0.12,
+		FastBudgetBytes: 4 << 20,
+		FastNode:        hw.NodeFast,
+		SlowNode:        hw.NodeSlow,
+	}
+}
+
+// region is one tracked placement unit.
+type region struct {
+	vma      *vm.VMA
+	lastSeen int64   // TouchedBytes at the previous sample
+	hotness  float64 // EWMA of per-sample touched bytes
+}
+
+// Stats counts advisor activity.
+type Stats struct {
+	Samples    int64
+	Promotions int64
+	Demotions  int64
+	Failed     int64
+}
+
+// Advisor is the reactive placement daemon.
+type Advisor struct {
+	dev     *core.Device
+	opts    Options
+	regions []*region
+	stopped bool
+	stats   Stats
+}
+
+// New attaches an advisor to the application behind app: it instruments
+// the address space (MonitorTax takes effect immediately) and starts the
+// sampling daemon.
+func New(app *core.Device, opts Options) *Advisor {
+	devOpts := core.DefaultOptions()
+	devOpts.RaceMode = core.RaceRecover
+	a := &Advisor{
+		dev:  core.Open(app.M, app.AS, devOpts),
+		opts: opts,
+	}
+	app.AS.MonitorTax = opts.MonitorTax
+	app.M.Eng.Spawn("advisor", a.run)
+	return a
+}
+
+// Track registers the VMA at base as a placement unit.
+func (a *Advisor) Track(base int64) {
+	if v := a.dev.AS.FindVMA(base); v != nil {
+		a.regions = append(a.regions, &region{vma: v, lastSeen: v.TouchedBytes})
+	}
+}
+
+// Stop detaches the advisor: monitoring stops (the tax disappears) and
+// the daemon exits.
+func (a *Advisor) Stop() {
+	a.stopped = true
+	a.dev.AS.MonitorTax = 0
+	a.dev.Close()
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Advisor) Stats() Stats { return a.stats }
+
+// resident reports whether a region currently lives on the fast node.
+func (a *Advisor) resident(r *region) bool {
+	f := a.dev.AS.FrameAt(r.vma.Start)
+	return f != nil && f.Node == a.opts.FastNode
+}
+
+// run is the daemon: sample, rank, promote the hottest that fit, demote
+// what they displace.
+func (a *Advisor) run(p *sim.Proc) {
+	for !a.stopped {
+		p.SleepNS(a.opts.SamplePeriodNS)
+		if a.stopped {
+			return
+		}
+		a.stats.Samples++
+		for _, r := range a.regions {
+			delta := r.vma.TouchedBytes - r.lastSeen
+			r.lastSeen = r.vma.TouchedBytes
+			r.hotness = 0.5*r.hotness + 0.5*float64(delta)
+		}
+		ranked := append([]*region(nil), a.regions...)
+		sort.Slice(ranked, func(i, j int) bool { return ranked[i].hotness > ranked[j].hotness })
+
+		// Desired fast set: hottest regions that fit the budget and are
+		// actually warm.
+		want := map[*region]bool{}
+		var used int64
+		for _, r := range ranked {
+			if r.hotness <= 0 {
+				break
+			}
+			if used+r.vma.Length > a.opts.FastBudgetBytes {
+				continue
+			}
+			want[r] = true
+			used += r.vma.Length
+		}
+		// Demote residents that fell out of the set, then promote.
+		for _, r := range a.regions {
+			if a.resident(r) && !want[r] {
+				a.move(p, r, a.opts.SlowNode)
+			}
+		}
+		for _, r := range ranked {
+			if want[r] && !a.resident(r) {
+				a.move(p, r, a.opts.FastNode)
+			}
+		}
+	}
+}
+
+// move migrates one region and waits the completion out (the advisor is
+// in no hurry; correctness of the app never depends on it).
+func (a *Advisor) move(p *sim.Proc, r *region, node hw.NodeID) {
+	req := a.dev.AllocRequest(p)
+	if req == nil {
+		return
+	}
+	req.Op = uapi.OpMigrate
+	req.SrcBase, req.Length, req.DstNode = r.vma.Start, r.vma.Length, node
+	if err := a.dev.Submit(p, req); err != nil {
+		a.dev.FreeRequest(p, req)
+		return
+	}
+	for {
+		got := a.dev.RetrieveCompleted(p)
+		if got == nil {
+			if !a.dev.Poll(p, a.opts.SamplePeriodNS) && a.stopped {
+				return
+			}
+			continue
+		}
+		if got.Status == uapi.StatusDone {
+			if node == a.opts.FastNode {
+				a.stats.Promotions++
+			} else {
+				a.stats.Demotions++
+			}
+		} else {
+			a.stats.Failed++
+		}
+		a.dev.FreeRequest(p, got)
+		return
+	}
+}

@@ -1,0 +1,122 @@
+package advisor
+
+import (
+	"testing"
+
+	"memif/internal/core"
+	"memif/internal/hw"
+	"memif/internal/machine"
+	"memif/internal/sim"
+)
+
+func setup() (*machine.Machine, *core.Device) {
+	m := machine.New(hw.KeyStoneII())
+	m.Mem.DisableData()
+	as := m.NewAddressSpace(hw.Page4K)
+	return m, core.Open(m, as, core.DefaultOptions())
+}
+
+func TestPromotesHotRegion(t *testing.T) {
+	m, d := setup()
+	adv := New(d, DefaultOptions())
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		defer adv.Stop()
+		hot, _ := d.AS.Mmap(p, 512<<10, hw.NodeSlow, "hot")
+		cold, _ := d.AS.Mmap(p, 512<<10, hw.NodeSlow, "cold")
+		adv.Track(hot)
+		adv.Track(cold)
+		scratch := make([]byte, 512<<10)
+		for i := 0; i < 30; i++ {
+			if err := d.AS.Read(p, hot, scratch); err != nil {
+				t.Fatal(err)
+			}
+			p.SleepNS(300_000)
+		}
+		if f := d.AS.FrameAt(hot); f == nil || f.Node != hw.NodeFast {
+			t.Errorf("hot region not promoted (node %v)", f)
+		}
+		if f := d.AS.FrameAt(cold); f == nil || f.Node != hw.NodeSlow {
+			t.Errorf("untouched region promoted (node %v)", f)
+		}
+	})
+	m.Eng.Run()
+	if adv.Stats().Promotions == 0 {
+		t.Error("no promotions recorded")
+	}
+}
+
+func TestDemotesWhenHotnessShifts(t *testing.T) {
+	m, d := setup()
+	opts := DefaultOptions()
+	opts.FastBudgetBytes = 512 << 10 // room for exactly one region
+	adv := New(d, opts)
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		defer adv.Stop()
+		a, _ := d.AS.Mmap(p, 512<<10, hw.NodeSlow, "a")
+		b, _ := d.AS.Mmap(p, 512<<10, hw.NodeSlow, "b")
+		adv.Track(a)
+		adv.Track(b)
+		scratch := make([]byte, 512<<10)
+		hammer := func(base int64, rounds int) {
+			for i := 0; i < rounds; i++ {
+				d.AS.Read(p, base, scratch)
+				p.SleepNS(300_000)
+			}
+		}
+		hammer(a, 25)
+		if f := d.AS.FrameAt(a); f == nil || f.Node != hw.NodeFast {
+			t.Fatalf("phase 1: a not promoted")
+		}
+		hammer(b, 40) // hotness shifts: a cools, b heats
+		p.SleepNS(10_000_000)
+		if f := d.AS.FrameAt(b); f == nil || f.Node != hw.NodeFast {
+			t.Errorf("phase 2: b not promoted")
+		}
+		if f := d.AS.FrameAt(a); f == nil || f.Node != hw.NodeSlow {
+			t.Errorf("phase 2: a not demoted")
+		}
+	})
+	m.Eng.Run()
+	st := adv.Stats()
+	if st.Promotions < 2 || st.Demotions < 1 {
+		t.Errorf("stats = %+v, want >=2 promotions and >=1 demotion", st)
+	}
+}
+
+func TestMonitorTaxAppliedAndRemoved(t *testing.T) {
+	m, d := setup()
+	adv := New(d, DefaultOptions())
+	if d.AS.MonitorTax != DefaultOptions().MonitorTax {
+		t.Errorf("tax = %v after attach", d.AS.MonitorTax)
+	}
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		base, _ := d.AS.Mmap(p, 64<<10, hw.NodeSlow, "b")
+		scratch := make([]byte, 64<<10)
+		t0 := p.Now()
+		d.AS.Read(p, base, scratch)
+		taxed := p.Now() - t0
+		adv.Stop()
+		t0 = p.Now()
+		d.AS.Read(p, base, scratch)
+		untaxed := p.Now() - t0
+		ratio := float64(taxed) / float64(untaxed)
+		if ratio < 1.10 || ratio > 1.14 {
+			t.Errorf("tax ratio = %.3f, want ~1.12", ratio)
+		}
+	})
+	m.Eng.Run()
+}
+
+func TestTrackUnknownBaseIgnored(t *testing.T) {
+	m, d := setup()
+	adv := New(d, DefaultOptions())
+	adv.Track(0xdead0000)
+	if len(adv.regions) != 0 {
+		t.Error("tracked a nonexistent VMA")
+	}
+	m.Eng.Spawn("app", func(p *sim.Proc) { d.Close(); adv.Stop() })
+	m.Eng.Run()
+}

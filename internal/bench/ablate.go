@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"memif/internal/core"
+	"memif/internal/hw"
+	"memif/internal/machine"
+	"memif/internal/sim"
+	"memif/internal/stats"
+	"memif/internal/streamrt"
+	"memif/internal/uapi"
+)
+
+// Thin aliases keep the ablation body readable.
+var (
+	streamrtDefault = streamrt.DefaultConfig
+	streamrtRun     = streamrt.Run
+)
+
+// AblationResult compares one design choice on vs off.
+type AblationResult struct {
+	Name string
+	// On and Off are the metric with the optimization enabled/disabled;
+	// Metric names what is measured.
+	On, Off float64
+	Metric  string
+	// HigherIsBetter: the metric is a throughput (Off/On < 1 means the
+	// optimization helps) rather than a cost.
+	HigherIsBetter bool
+}
+
+// Helps reports whether the optimization improved its metric.
+func (a AblationResult) Helps() bool {
+	if a.HigherIsBetter {
+		return a.On > a.Off
+	}
+	return a.On < a.Off
+}
+
+// Factor returns Off/On — how much worse the system gets without the
+// optimization.
+func (a AblationResult) Factor() float64 {
+	if a.On == 0 {
+		return 0
+	}
+	return a.Off / a.On
+}
+
+// ablationMigrate runs a stream of 16-page 4 KB migrations through a
+// device with the given options and returns the per-request CPU cost in
+// microseconds and the selected breakdown phase in microseconds.
+func ablationMigrate(opts core.Options, reqs int, pagesPerReq int) (cpuPerReqUS float64, bd *stats.Breakdown) {
+	m := newEvalMachine()
+	as := m.NewAddressSpace(hw.Page4K)
+	d := core.Open(m, as, opts)
+	reqBytes := int64(pagesPerReq) * hw.Page4K
+	runApp(m, func(p *sim.Proc) {
+		defer d.Close()
+		base := mmapOrDie(p, as, int64(reqs+1)*reqBytes, hw.NodeSlow, "w")
+		// Warm up one request, then measure the rest.
+		submitMove(p, d, uapi.OpMigrate, base, 0, reqBytes, hw.NodeFast, 0)
+		waitAll(p, d, 1, nil)
+		d.Breakdown.Reset()
+		d.UserMeter.Reset()
+		d.KernMeter.Reset()
+		for i := 1; i <= reqs; i++ {
+			submitMove(p, d, uapi.OpMigrate, base+int64(i)*reqBytes, 0, reqBytes, hw.NodeFast, uint64(i))
+		}
+		waitAll(p, d, reqs, nil)
+	})
+	cpu := sim.MeterGroup{d.UserMeter, d.KernMeter}.Busy()
+	return float64(cpu) / float64(reqs) / 1e3, d.Breakdown
+}
+
+// AblateGangLookup compares gang page lookup against per-page vertical
+// walks (Section 5.1): metric is Prep-phase time per request.
+func AblateGangLookup() AblationResult {
+	const reqs, pages = 32, 64
+	on := core.DefaultOptions()
+	off := on
+	off.GangLookup = false
+	_, bdOn := ablationMigrate(on, reqs, pages)
+	_, bdOff := ablationMigrate(off, reqs, pages)
+	return AblationResult{
+		Name:   "gang-page-lookup",
+		Metric: "prep µs/request",
+		On:     float64(bdOn.Get(stats.PhasePrep)) / reqs / 1e3,
+		Off:    float64(bdOff.Get(stats.PhasePrep)) / reqs / 1e3,
+	}
+}
+
+// AblateDescReuse compares descriptor-chain reuse against full descriptor
+// writes (Section 5.3): metric is DMA-configuration time per request.
+func AblateDescReuse() AblationResult {
+	const reqs, pages = 32, 64
+	on := core.DefaultOptions()
+	off := on
+	off.DescReuse = false
+	_, bdOn := ablationMigrate(on, reqs, pages)
+	_, bdOff := ablationMigrate(off, reqs, pages)
+	return AblationResult{
+		Name:   "descriptor-chain-reuse",
+		Metric: "dmacfg µs/request",
+		On:     float64(bdOn.Get(stats.PhaseDMACfg)) / reqs / 1e3,
+		Off:    float64(bdOff.Get(stats.PhaseDMACfg)) / reqs / 1e3,
+	}
+}
+
+// AblateRaceHandling compares lightweight race detection against
+// baseline-style race prevention (Section 5.2): metric is Release-phase
+// time per request (prevention pays a PTE replace + TLB flush per page
+// where detection pays one CAS).
+func AblateRaceHandling() AblationResult {
+	const reqs, pages = 32, 64
+	on := core.DefaultOptions() // RaceDetect
+	off := on
+	off.RaceMode = core.RacePrevent
+	_, bdOn := ablationMigrate(on, reqs, pages)
+	_, bdOff := ablationMigrate(off, reqs, pages)
+	return AblationResult{
+		Name:   "race-detection-vs-prevention",
+		Metric: "release µs/request",
+		On:     float64(bdOn.Get(stats.PhaseRelease)) / reqs / 1e3,
+		Off:    float64(bdOff.Get(stats.PhaseRelease)) / reqs / 1e3,
+	}
+}
+
+// AblateIrqVsPoll compares the kernel thread's adaptive completion
+// (polling for small transfers) against forcing the interrupt path for
+// everything: metric is total CPU per 16-page request (the IRQ path pays
+// interrupt entry and a kthread wake per request).
+func AblateIrqVsPoll() AblationResult {
+	const reqs, pages = 64, 16
+	on := core.DefaultOptions() // poll below 512 KB
+	off := on
+	off.PollThresholdBytes = 0 // always IRQ
+	cpuOn, _ := ablationMigrate(on, reqs, pages)
+	cpuOff, _ := ablationMigrate(off, reqs, pages)
+	return AblationResult{
+		Name:   "adaptive-polling-vs-irq",
+		Metric: "CPU µs/request",
+		On:     cpuOn,
+		Off:    cpuOff,
+	}
+}
+
+// AblateAdaptiveLinger compares the worker's adaptive idle linger
+// against a fixed grace on a slow, steady request stream (a compute-
+// bound consumer refilling prefetch buffers): without adaptation, every
+// refill that misses the fixed grace pays a kick-start syscall plus the
+// inline serve in the consumer's context.
+func AblateAdaptiveLinger() AblationResult {
+	run := func(adaptive bool) float64 {
+		m := machine.New(hw.KeyStoneII())
+		m.Mem.DisableData()
+		as := m.NewAddressSpace(hw.Page4K)
+		opts := core.DefaultOptions()
+		opts.AdaptiveLinger = adaptive
+		d := core.Open(m, as, opts)
+		var mbs float64
+		runApp(m, func(p *sim.Proc) {
+			defer d.Close()
+			cfg := streamrtDefault()
+			const input = 32 << 20
+			base := mmapOrDie(p, as, input, hw.NodeSlow, "input")
+			res, err := streamrtRun(p, d, WordCount, base, input, cfg)
+			if err != nil {
+				panic(err)
+			}
+			mbs = res.ThroughputMBs
+		})
+		return mbs
+	}
+	return AblationResult{
+		Name:           "adaptive-linger",
+		Metric:         "wordcount MB/s",
+		On:             run(true),
+		Off:            run(false),
+		HigherIsBetter: true,
+	}
+}
+
+// Ablations runs the sim-side ablations (the red-blue queue one is a
+// real-time microbenchmark and lives in bench_test.go).
+func Ablations() []AblationResult {
+	return []AblationResult{
+		AblateGangLookup(),
+		AblateDescReuse(),
+		AblateRaceHandling(),
+		AblateIrqVsPoll(),
+		AblateAdaptiveLinger(),
+	}
+}

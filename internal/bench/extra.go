@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"memif/internal/core"
+	"memif/internal/hw"
+	"memif/internal/machine"
+	"memif/internal/sim"
+	"memif/internal/stats"
+	"memif/internal/streamrt"
+	"memif/internal/uapi"
+	"memif/internal/workloads"
+)
+
+// The experiments in this file go beyond the paper's evaluation, covering
+// the two items Section 6.7 explicitly leaves open: serving multiple
+// concurrent applications ("we have not evaluated the feature") and the
+// workloads that see little gain from memif.
+
+// MultiAppResult reports the concurrent-applications experiment.
+type MultiAppResult struct {
+	Apps int
+	// PerAppGBs is each application's achieved migration throughput;
+	// TotalGBs their sum; SoloGBs a single app on an idle machine.
+	PerAppGBs []float64
+	TotalGBs  float64
+	SoloGBs   float64
+}
+
+// MultiApp runs `apps` applications, each with its own address space and
+// memif device, streaming `pages`-page migrations of `pageBytes` pages
+// concurrently over the one shared DMA engine. The paper's isolation
+// claim (Section 4.2) says the instances must not corrupt each other.
+// With small pages the workload is CPU-bound in each device's worker, so
+// per-app throughput holds as apps are added (they run on separate
+// cores); with 2 MB pages the DMA engine is the bottleneck and the apps
+// share its bandwidth.
+func MultiApp(apps int, pageBytes int64, pages int) MultiAppResult {
+	const (
+		rounds  = 128
+		regionN = 4
+	)
+	reqBytes := int64(pages) * pageBytes
+
+	runApps := func(n int) []float64 {
+		m := newEvalMachine()
+		out := make([]float64, n)
+		for a := 0; a < n; a++ {
+			a := a
+			as := m.NewAddressSpace(pageBytes)
+			d := core.Open(m, as, core.DefaultOptions())
+			m.Eng.Spawn("app", func(p *sim.Proc) {
+				defer d.Close()
+				regions := make([]int64, regionN)
+				loc := make([]hw.NodeID, regionN)
+				for i := range regions {
+					regions[i] = mmapOrDie(p, as, reqBytes, hw.NodeSlow, "r")
+					loc[i] = hw.NodeSlow
+				}
+				submit := func(i int) {
+					dst := hw.NodeFast
+					if loc[i] == hw.NodeFast {
+						dst = hw.NodeSlow
+					}
+					submitMove(p, d, uapi.OpMigrate, regions[i], 0, reqBytes, dst, uint64(i))
+					loc[i] = dst
+				}
+				start := p.Now()
+				issued := 0
+				for i := 0; i < regionN; i++ {
+					submit(i)
+					issued++
+				}
+				for doneReqs := 0; doneReqs < rounds; {
+					d.Poll(p, 0)
+					for {
+						r := d.RetrieveCompleted(p)
+						if r == nil {
+							break
+						}
+						if r.Status != uapi.StatusDone {
+							panic("bench: multiapp move failed")
+						}
+						buf := int(r.Cookie)
+						d.FreeRequest(p, r)
+						doneReqs++
+						if issued < rounds {
+							submit(buf)
+							issued++
+						}
+					}
+				}
+				out[a] = stats.ThroughputGBs(int64(rounds)*reqBytes, p.Now()-start)
+			})
+		}
+		m.Eng.Run()
+		return out
+	}
+
+	res := MultiAppResult{Apps: apps, PerAppGBs: runApps(apps)}
+	for _, g := range res.PerAppGBs {
+		res.TotalGBs += g
+	}
+	res.SoloGBs = runApps(1)[0]
+	return res
+}
+
+// LimitationRow reproduces the Section 6.7 observation: workloads with
+// high compute intensity (wordcount, psearchy) see little gain from
+// memif, because their throughput is not bound by memory bandwidth.
+type LimitationRow struct {
+	Workload string
+	LinuxMBs float64
+	MemifMBs float64
+	GainPct  float64
+}
+
+// Compute-bound stand-ins for the Section 6.7 workloads. Their compute
+// per byte dwarfs the slow node's access cost, so moving data to fast
+// memory barely shifts the bottleneck.
+var (
+	// WordCount models the BigDataBench wordcount kernel.
+	WordCount = workloads.Kernel{Name: "wordcount", ComputePerByteNS: 2.0}
+	// Psearchy models the Mosbench psearchy indexing kernel.
+	Psearchy = workloads.Kernel{Name: "psearchy", ComputePerByteNS: 3.2}
+)
+
+// Limitations measures the two compute-bound workloads through the same
+// runtime as Table 4.
+func Limitations() []LimitationRow {
+	var out []LimitationRow
+	for _, k := range []workloads.Kernel{WordCount, Psearchy} {
+		m := machine.New(hw.KeyStoneII())
+		m.Mem.DisableData()
+		as := m.NewAddressSpace(hw.Page4K)
+		d := core.Open(m, as, core.DefaultOptions())
+		row := LimitationRow{Workload: k.Name}
+		runApp(m, func(p *sim.Proc) {
+			defer d.Close()
+			cfg := streamrt.DefaultConfig()
+			const input = 32 << 20
+			base := mmapOrDie(p, as, input, hw.NodeSlow, "input")
+			direct, err := streamrt.RunDirect(p, as, k, base, input, cfg)
+			if err != nil {
+				panic(err)
+			}
+			fast, err := streamrt.Run(p, d, k, base, input, cfg)
+			if err != nil {
+				panic(err)
+			}
+			row.LinuxMBs = direct.ThroughputMBs
+			row.MemifMBs = fast.ThroughputMBs
+		})
+		row.GainPct = (row.MemifMBs/row.LinuxMBs - 1) * 100
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"memif/internal/advisor"
+	"memif/internal/core"
+	"memif/internal/hw"
+	"memif/internal/machine"
+	"memif/internal/sim"
+	"memif/internal/stats"
+	"memif/internal/uapi"
+	"memif/internal/vm"
+)
+
+// Guidance measures the Section 2.1 argument quantitatively: user-guided
+// memory move versus the transparent (reactive, monitoring-based)
+// alternative, on a skewed-access workload.
+//
+// Sixteen 512 KB regions (8 MB, more than fast memory holds) live on
+// the slow node; six of them are "hot" (each receives 9 reads per pass
+// versus 1 for the others). Three placements compete:
+//
+//   - static: nothing moves; everything is served from slow memory.
+//   - guided: the application *knows* its hot set (Section 2.1: "with a
+//     full understanding of program design") and migrates it into fast
+//     memory proactively, before computing.
+//   - advisor: a reactive daemon watches access counters and promotes
+//     what looks hot — paying the monitoring tax the paper cites (>10%)
+//     and reacting only after slow-memory passes already happened.
+type GuidanceResult struct {
+	StaticMBs  float64
+	GuidedMBs  float64
+	AdvisorMBs float64
+	// Advisor reports the reactive daemon's behaviour.
+	Advisor advisor.Stats
+}
+
+const (
+	guidanceRegions   = 16 // 8 MB working set: exceeds fast memory
+	guidanceHot       = 6  // 3 MB hot set: fits
+	guidanceRegionLen = int64(512 << 10)
+	guidancePasses    = 40
+)
+
+// guidanceWorkload runs the skewed access loop and returns achieved MB/s.
+func guidanceWorkload(p *sim.Proc, as *vm.AddressSpace, bases []int64) float64 {
+	scratch := make([]byte, guidanceRegionLen)
+	var bytes int64
+	start := p.Now()
+	for pass := 0; pass < guidancePasses; pass++ {
+		for i, b := range bases {
+			reads := 1
+			if i < guidanceHot {
+				reads = 9
+			}
+			for r := 0; r < reads; r++ {
+				if err := as.Read(p, b, scratch); err != nil {
+					panic(err)
+				}
+				p.Busy(guidanceRegionLen / 20) // light compute, 0.05 ns/B
+				bytes += guidanceRegionLen
+			}
+		}
+	}
+	return stats.ThroughputMBs(bytes, p.Now()-start)
+}
+
+func guidanceSetup() (*machine.Machine, *core.Device, []int64, func(p *sim.Proc)) {
+	m := machine.New(hw.KeyStoneII())
+	m.Mem.DisableData()
+	as := m.NewAddressSpace(hw.Page4K)
+	d := core.Open(m, as, core.DefaultOptions())
+	bases := make([]int64, guidanceRegions)
+	setup := func(p *sim.Proc) {
+		for i := range bases {
+			bases[i] = mmapOrDie(p, as, guidanceRegionLen, hw.NodeSlow, "r")
+		}
+	}
+	return m, d, bases, setup
+}
+
+// Guidance runs all three placements.
+func Guidance() GuidanceResult {
+	var res GuidanceResult
+
+	{ // static
+		m, d, bases, setup := guidanceSetup()
+		runApp(m, func(p *sim.Proc) {
+			defer d.Close()
+			setup(p)
+			res.StaticMBs = guidanceWorkload(p, d.AS, bases)
+		})
+	}
+	{ // user-guided: proactive migration of the known hot set
+		m, d, bases, setup := guidanceSetup()
+		runApp(m, func(p *sim.Proc) {
+			defer d.Close()
+			setup(p)
+			for i := 0; i < guidanceHot; i++ {
+				submitMove(p, d, uapi.OpMigrate, bases[i], 0, guidanceRegionLen, hw.NodeFast, uint64(i))
+			}
+			waitAll(p, d, guidanceHot, nil)
+			res.GuidedMBs = guidanceWorkload(p, d.AS, bases)
+		})
+	}
+	{ // reactive advisor with monitoring tax
+		m, d, bases, setup := guidanceSetup()
+		advOpts := advisor.DefaultOptions()
+		// Same fast-memory allowance as the guided placement uses.
+		advOpts.FastBudgetBytes = guidanceHot * guidanceRegionLen
+		adv := advisor.New(d, advOpts)
+		runApp(m, func(p *sim.Proc) {
+			defer d.Close()
+			defer adv.Stop()
+			setup(p)
+			for _, b := range bases {
+				adv.Track(b)
+			}
+			res.AdvisorMBs = guidanceWorkload(p, d.AS, bases)
+		})
+		res.Advisor = adv.Stats()
+	}
+	return res
+}

@@ -1,0 +1,27 @@
+package bench
+
+import "testing"
+
+// The Section 2.1 claims, measured: user guidance beats the reactive
+// monitor, which (tax and lag included) should still beat static
+// placement on a strongly skewed workload.
+func TestGuidanceOrdering(t *testing.T) {
+	r := Guidance()
+	t.Logf("static %.0f MB/s, guided %.0f MB/s, advisor %.0f MB/s (advisor: %+v)",
+		r.StaticMBs, r.GuidedMBs, r.AdvisorMBs, r.Advisor)
+	if r.GuidedMBs <= r.StaticMBs*1.2 {
+		t.Errorf("user guidance gained only %.1f%%", (r.GuidedMBs/r.StaticMBs-1)*100)
+	}
+	if r.GuidedMBs <= r.AdvisorMBs {
+		t.Errorf("reactive advisor (%.0f) beat user guidance (%.0f)", r.AdvisorMBs, r.GuidedMBs)
+	}
+	if r.Advisor.Promotions < guidanceHot {
+		t.Errorf("advisor promoted %d regions, want >= %d", r.Advisor.Promotions, guidanceHot)
+	}
+	// The monitoring tax alone costs >10%: the advisor cannot get
+	// within 10% of guided even once placements converge.
+	if r.AdvisorMBs > r.GuidedMBs*0.92 {
+		t.Errorf("advisor %.0f suspiciously close to guided %.0f despite the monitor tax",
+			r.AdvisorMBs, r.GuidedMBs)
+	}
+}

@@ -1,0 +1,20 @@
+package bench
+
+import "testing"
+
+func TestProjectionWidensGains(t *testing.T) {
+	for _, r := range Projection() {
+		t.Logf("%s: today %+.1f%% (%.0f MB/s) -> projected %+.1f%% (%.0f MB/s)",
+			r.Workload, r.TodayGain, r.TodayMBs, r.FutureGain, r.FutureMBs)
+		// 64 KB pages lift the no-memif baseline too, so the relative
+		// gain can dip slightly; the projected platform must deliver a
+		// strictly better absolute memif throughput and a healthy gain.
+		if r.FutureMBs <= r.TodayMBs {
+			t.Errorf("%s: projected memif %.0f MB/s not above today's %.0f",
+				r.Workload, r.FutureMBs, r.TodayMBs)
+		}
+		if r.FutureGain < 15 {
+			t.Errorf("%s: projected gain %.1f%% too small", r.Workload, r.FutureGain)
+		}
+	}
+}

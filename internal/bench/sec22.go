@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"memif/internal/hw"
+	"memif/internal/linuxmig"
+	"memif/internal/machine"
+	"memif/internal/sim"
+	"memif/internal/stats"
+)
+
+// Sec22Row is one measurement of the Section 2.2 motivation study: the
+// throughput of stock Linux page migration on different machines and
+// batch sizes.
+type Sec22Row struct {
+	Platform string
+	Pages    int64
+	GBs      float64
+	// PaperGBs is the value the paper reports for the same setup.
+	PaperGBs float64
+}
+
+// Sec22 reproduces the three data points of Section 2.2: the ARM SoC at
+// 1500 pages (0.30 GB/s in the paper) and the Xeon box at 1500 pages
+// (0.66) and one million pages (1.41).
+func Sec22() []Sec22Row {
+	run := func(plat *hw.Platform, pages int64) float64 {
+		m := machine.New(plat)
+		m.Mem.DisableData()
+		as := m.NewAddressSpace(hw.Page4K)
+		mg := linuxmig.New(m, as)
+		var gbs float64
+		runApp(m, func(p *sim.Proc) {
+			n := pages * hw.Page4K
+			base := mmapOrDie(p, as, n, hw.NodeSlow, "w")
+			start := p.Now()
+			if err := mg.MBind(p, base, n, hw.NodeFast); err != nil {
+				panic(err)
+			}
+			gbs = stats.ThroughputGBs(n, p.Now()-start)
+		})
+		return gbs
+	}
+	return []Sec22Row{
+		{Platform: "KeyStone II (ARM)", Pages: 1500, GBs: run(hw.KeyStoneII(), 1500), PaperGBs: 0.30},
+		{Platform: "Xeon E5-4650", Pages: 1500, GBs: run(hw.XeonE5(), 1500), PaperGBs: 0.66},
+		{Platform: "Xeon E5-4650", Pages: 1 << 20, GBs: run(hw.XeonE5(), 1<<20), PaperGBs: 1.41},
+	}
+}

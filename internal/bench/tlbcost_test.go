@@ -1,0 +1,19 @@
+package bench
+
+import "testing"
+
+func TestTLBIndirectCost(t *testing.T) {
+	r := TLBIndirect()
+	t.Logf("misses/pass: idle %.1f vs migrating %.1f; scan %.0f -> %.0f ns (+%.1f%%)",
+		r.MissesIdle, r.MissesMigrating, r.ScanIdleNS, r.ScanMigratingNS, r.OverheadPct)
+	if r.MissesIdle > 4 {
+		t.Errorf("idle scan misses %.1f/pass, want ~0 (TLB fits the set)", r.MissesIdle)
+	}
+	// Every migrated page must cost a refill on the next scan.
+	if r.MissesMigrating < 250 {
+		t.Errorf("migrating scan misses %.1f/pass, want ~256", r.MissesMigrating)
+	}
+	if r.OverheadPct <= 0 {
+		t.Errorf("no indirect overhead measured")
+	}
+}

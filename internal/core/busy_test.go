@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"memif/internal/hw"
+	"memif/internal/sim"
+	"memif/internal/uapi"
+)
+
+// Overlapping in-flight migrations must bounce with EAGAIN semantics
+// (the migration-claim stand-in for the kernel's page lock), not corrupt
+// each other.
+func TestOverlappingMigrationsGetBusy(t *testing.T) {
+	// Two devices on one address space (the app + swap-daemon shape):
+	// device B tries to move a region while device A's migration of it
+	// is still in flight. B must bounce with EAGAIN, and the region must
+	// come out of the dance intact.
+	m, dA := newRig(t, DefaultOptions())
+	dB := Open(m, dA.AS, DefaultOptions())
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer dA.Close()
+		defer dB.Close()
+		const n = 256 * 4096 // 1 MB: the DMA alone flies for ~190 µs
+		base, _ := dA.AS.Mmap(p, n, hw.NodeSlow, "w")
+		fill(t, dA, p, base, 4096, 5)
+
+		r1 := dA.AllocRequest(p)
+		r1.Op = uapi.OpMigrate
+		r1.SrcBase, r1.Length, r1.DstNode = base, n, hw.NodeFast
+		if err := dA.Submit(p, r1); err != nil {
+			t.Fatal(err)
+		}
+		// Submit returns once r1's DMA is started; its claim is held.
+		r2 := dB.AllocRequest(p)
+		r2.Op = uapi.OpMigrate
+		r2.SrcBase, r2.Length, r2.DstNode = base+n/2, n/2, hw.NodeSlow
+		if err := dB.Submit(p, r2); err != nil {
+			t.Fatal(err)
+		}
+		dB.Poll(p, 0)
+		got2 := dB.RetrieveCompleted(p)
+		if got2 == nil || got2.Err != uapi.ErrBusy {
+			t.Fatalf("overlapping move = %v, want busy", got2)
+		}
+		dA.Poll(p, 0)
+		got1 := dA.RetrieveCompleted(p)
+		if got1 == nil || got1.Status != uapi.StatusDone {
+			t.Fatalf("original move = %v", got1)
+		}
+		// Claim released: the same move now succeeds.
+		r2b := dB.AllocRequest(p)
+		r2b.Op = uapi.OpMigrate
+		r2b.SrcBase, r2b.Length, r2b.DstNode = base+n/2, n/2, hw.NodeSlow
+		got := submitAndWait(t, dB, p, r2b)
+		if got.Status != uapi.StatusDone {
+			t.Fatalf("resubmit after busy: %v", got)
+		}
+		check(t, dA, p, base, 4096, 5)
+	})
+	m.Eng.Run()
+	if dB.Stats().Failed != 1 {
+		t.Errorf("dB failures = %d, want 1", dB.Stats().Failed)
+	}
+}
+
+// Regression: a request that fails validation on the kick-start syscall
+// path starts no DMA, so no interrupt would ever wake the worker — the
+// rest of the burst must not be stranded behind the red staging queue.
+func TestFailedFirstRequestDoesNotStrandBurst(t *testing.T) {
+	m, d := newRig(t, DefaultOptions())
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		base, _ := d.AS.Mmap(p, 8*16*4096, hw.NodeSlow, "w")
+
+		// First request of the burst is invalid: it is the one the
+		// kick-start ioctl serves, and it fails without starting a DMA.
+		bad := d.AllocRequest(p)
+		bad.Op = uapi.OpMigrate
+		bad.SrcBase, bad.Length, bad.DstNode = 0xbad000, 16*4096, hw.NodeFast
+		if err := d.Submit(p, bad); err != nil {
+			t.Fatal(err)
+		}
+		// Seven valid requests follow while staging is red.
+		for i := 0; i < 7; i++ {
+			r := d.AllocRequest(p)
+			r.Op = uapi.OpMigrate
+			r.SrcBase = base + int64(i)*16*4096
+			r.Length, r.DstNode = 16*4096, hw.NodeFast
+			if err := d.Submit(p, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		okN, failN := 0, 0
+		for done := 0; done < 8; {
+			if !d.Poll(p, 50_000_000) {
+				t.Fatalf("stranded: only %d of 8 completed", done)
+			}
+			for {
+				r := d.RetrieveCompleted(p)
+				if r == nil {
+					break
+				}
+				if r.Status == uapi.StatusDone {
+					okN++
+				} else {
+					failN++
+				}
+				done++
+			}
+		}
+		if okN != 7 || failN != 1 {
+			t.Errorf("ok=%d fail=%d, want 7/1", okN, failN)
+		}
+	})
+	m.Eng.Run()
+}
+
+// Same shape via the worker path: failures inside the kernel thread must
+// not stall the stream either.
+func TestBusyBurstInterleavedWithValid(t *testing.T) {
+	m, d := newRig(t, DefaultOptions())
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		const rn = 64 * 4096
+		busyRegion, _ := d.AS.Mmap(p, rn, hw.NodeSlow, "hot")
+		work, _ := d.AS.Mmap(p, 8*rn, hw.NodeSlow, "w")
+
+		// Long-running migration holds the claim on busyRegion.
+		hold := d.AllocRequest(p)
+		hold.Op = uapi.OpMigrate
+		hold.SrcBase, hold.Length, hold.DstNode = busyRegion, rn, hw.NodeFast
+		d.Submit(p, hold)
+
+		// Burst: alternating duplicate (busy) and valid migrations.
+		total := 0
+		for i := 0; i < 4; i++ {
+			dup := d.AllocRequest(p)
+			dup.Op = uapi.OpMigrate
+			dup.SrcBase, dup.Length, dup.DstNode = busyRegion, rn, hw.NodeSlow
+			d.Submit(p, dup)
+			total++
+			ok := d.AllocRequest(p)
+			ok.Op = uapi.OpMigrate
+			ok.SrcBase, ok.Length, ok.DstNode = work+int64(i)*rn, rn, hw.NodeFast
+			d.Submit(p, ok)
+			total++
+		}
+		for done := 0; done < total+1; {
+			if !d.Poll(p, 100_000_000) {
+				t.Fatalf("stalled at %d of %d", done, total+1)
+			}
+			for d.RetrieveCompleted(p) != nil {
+				done++
+			}
+		}
+	})
+	m.Eng.Run()
+	st := d.Stats()
+	if st.Completed < 5 {
+		t.Errorf("completed = %d, want >=5", st.Completed)
+	}
+}
+
+// Closing the device with requests still queued must not strand them:
+// the worker drains everything before exiting, and the application can
+// still retrieve the notifications.
+func TestCloseDrainsOutstanding(t *testing.T) {
+	m, d := newRig(t, DefaultOptions())
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		base, _ := d.AS.Mmap(p, 4*64*4096, hw.NodeSlow, "w")
+		for i := 0; i < 4; i++ {
+			r := d.AllocRequest(p)
+			r.Op = uapi.OpMigrate
+			r.SrcBase = base + int64(i)*64*4096
+			r.Length, r.DstNode = 64*4096, hw.NodeFast
+			if err := d.Submit(p, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Close()
+		// Poll() refuses to sleep on a closed device (like polling a
+		// closed fd), so wait by sleeping: the worker still drains all
+		// queued work before exiting.
+		done, waited := 0, 0
+		for done < 4 {
+			if r := d.RetrieveCompleted(p); r != nil {
+				if r.Status != uapi.StatusDone {
+					t.Errorf("post-close completion: %v", r)
+				}
+				done++
+				continue
+			}
+			if waited++; waited > 1000 {
+				t.Fatalf("stranded after Close: %d of 4", done)
+			}
+			p.SleepNS(1_000_000)
+		}
+	})
+	m.Eng.Run()
+	if m.Eng.Parked() != 0 {
+		t.Errorf("%d processes leaked after close", m.Eng.Parked())
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"memif/internal/machine"
+	"memif/internal/rbq"
+	"memif/internal/sim"
+	"memif/internal/stats"
+	"memif/internal/uapi"
+	"memif/internal/vm"
+)
+
+// Errors returned by the user-library entry points.
+var (
+	ErrClosed    = errors.New("memif: device closed")
+	ErrNoSlots   = errors.New("memif: no free mov_req slots")
+	ErrQueueFull = errors.New("memif: interface queues full")
+	ErrBadState  = errors.New("memif: request not in a submittable state")
+)
+
+// Device is one opened memif instance: the equivalent of the device file
+// plus the mmap'ed shared area plus the in-kernel per-instance state.
+type Device struct {
+	M    *machine.Machine
+	AS   *vm.AddressSpace
+	Area *uapi.Area
+	opts Options
+
+	// UserMeter accumulates CPU time spent in application context on
+	// interface work: library calls and the MOV_ONE syscall path.
+	UserMeter *sim.Meter
+	// KernMeter accumulates CPU time of the kernel contexts: the worker
+	// thread and interrupt handlers.
+	KernMeter *sim.Meter
+	// Breakdown charges every driver operation to its Table 1 phase.
+	Breakdown *stats.Breakdown
+
+	workSignal *sim.Cond // wakes the kernel worker
+	notifySig  *sim.Cond // wakes poll()ers on any completion
+
+	// Arrival tracking for the worker's adaptive linger: an EWMA of the
+	// gap between served requests, so steady-but-slow streams (e.g. a
+	// compute-bound consumer refilling prefetch buffers) keep the
+	// worker alive instead of paying a kick-start syscall per request.
+	lastArrival sim.Time
+	gapEWMA     int64
+
+	// recoverMap resolves a faulting PTE slot back to its in-flight
+	// migration (RaceRecover mode).
+	recoverMap map[*slotKey]*inflight
+
+	closed bool
+	stats  Stats
+}
+
+// slotKey aliases the PTE slot pointer type for map keys without
+// importing pagetable here (kept in driver.go).
+type slotKey = slotKeyImpl
+
+// Open creates a memif instance for the process owning as and starts its
+// kernel worker thread. It is the MemifOpen of the user API.
+func Open(m *machine.Machine, as *vm.AddressSpace, opts Options) *Device {
+	if opts.NumReqs <= 0 {
+		panic("core: Options.NumReqs must be positive (start from DefaultOptions)")
+	}
+	if opts.MaxChainPages <= 0 {
+		opts.MaxChainPages = 256
+	}
+	if opts.MaxChainPages > m.Plat.DMA.ParamSlots {
+		opts.MaxChainPages = m.Plat.DMA.ParamSlots
+	}
+	d := &Device{
+		M:          m,
+		AS:         as,
+		Area:       uapi.NewArea(opts.NumReqs),
+		opts:       opts,
+		UserMeter:  sim.NewMeter("memif-user"),
+		KernMeter:  sim.NewMeter("memif-kernel"),
+		Breakdown:  stats.NewBreakdown(),
+		workSignal: sim.NewCond(m.Eng),
+		notifySig:  sim.NewCond(m.Eng),
+		recoverMap: make(map[*slotKey]*inflight),
+	}
+	if opts.RaceMode == RaceRecover {
+		as.SetFaultHandler(d.handleRecoverFault)
+	}
+	m.Eng.Spawn("memif-worker", d.worker)
+	return d
+}
+
+// Close shuts the device down. Outstanding requests are still completed
+// by the kernel contexts; the worker exits once idle.
+func (d *Device) Close() { d.closed = true; d.workSignal.Broadcast() }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Options returns the device configuration.
+func (d *Device) Options() Options { return d.opts }
+
+// chargeUser spends app-context CPU on interface machinery.
+func (d *Device) chargeUser(p *sim.Proc, ns int64) {
+	d.Breakdown.Add(stats.PhaseInterface, ns)
+	p.Busy(ns, d.UserMeter)
+}
+
+// AllocRequest takes a mov_req slot off the shared free list
+// (AllocRequest of the user API). Returns nil when all slots are in use.
+func (d *Device) AllocRequest(p *sim.Proc) *uapi.MovReq {
+	d.chargeUser(p, d.M.Plat.Cost.QueueOp)
+	return d.Area.AllocReq()
+}
+
+// FreeRequest returns a completed (or never-submitted) slot to the free
+// list.
+func (d *Device) FreeRequest(p *sim.Proc, r *uapi.MovReq) {
+	d.chargeUser(p, d.M.Plat.Cost.QueueOp)
+	d.Area.FreeReq(r)
+}
+
+// Submit implements SubmitRequest (Section 4.4): deposit the request in
+// the staging queue; if the enqueue observed blue, flush the staging
+// queue into the submission queue, recolor it red, and — if this thread
+// won the recoloring — issue the MOV_ONE kick-start syscall. Non-blocking
+// aside from the bounded syscall work.
+func (d *Device) Submit(p *sim.Proc, r *uapi.MovReq) error {
+	if d.closed {
+		return ErrClosed
+	}
+	switch r.Status {
+	case uapi.StatusFree, uapi.StatusDone, uapi.StatusFailed:
+	default:
+		return fmt.Errorf("%w: %v", ErrBadState, r)
+	}
+	r.Status = uapi.StatusStaged
+	r.Err = uapi.ErrNone
+	r.Submitted = p.Now()
+	d.stats.Submitted++
+	d.stats.BytesRequested += r.Length
+
+	d.chargeUser(p, d.M.Plat.Cost.QueueOp)
+	color, ok := d.Area.Staging.Enqueue(r.Index())
+	if !ok {
+		return ErrQueueFull
+	}
+	if color == rbq.Red {
+		// An active kernel worker will pick it up; done.
+		return nil
+	}
+flush:
+	for {
+		idx, _, ok := d.Area.Staging.Dequeue()
+		if !ok {
+			break
+		}
+		d.chargeUser(p, 2*d.M.Plat.Cost.QueueOp)
+		req, valid := d.Area.Req(idx)
+		if !valid {
+			continue // corrupted index: drop, never trust userspace
+		}
+		req.Status = uapi.StatusSubmitted
+		if _, ok := d.Area.Submission.Enqueue(idx); !ok {
+			return ErrQueueFull
+		}
+	}
+	old, ok := d.Area.Staging.SetColor(rbq.Red)
+	if !ok {
+		goto flush // another thread slipped new requests in
+	}
+	if old == rbq.Red {
+		// Someone else already took responsibility for the kick.
+		return nil
+	}
+	d.ioctlMovOne(p)
+	return nil
+}
+
+// ioctlMovOne is the single syscall of the interface: enter the kernel,
+// serve one queued request (operations 1–3 of Table 1), start its DMA,
+// and return to userspace. Normally the transfer's completion interrupt
+// hands control to the kernel worker; if no transfer started (the request
+// failed validation, e.g. EAGAIN on a migration claim), the syscall wakes
+// the worker directly so queued requests are never stranded behind a red
+// staging queue.
+func (d *Device) ioctlMovOne(p *sim.Proc) {
+	cost := &d.M.Plat.Cost
+	d.stats.Syscalls++
+	d.chargeUser(p, cost.SyscallEnter)
+	_, started := d.serveNext(p, d.UserMeter, ctxSyscall)
+	if !started {
+		d.chargeUser(p, cost.KthreadWake)
+		d.workSignal.Signal()
+	}
+	d.chargeUser(p, cost.SyscallExit)
+}
+
+// RetrieveCompleted pops one completion notification, successful moves
+// first, then failures. Returns nil when none is pending (never blocks).
+func (d *Device) RetrieveCompleted(p *sim.Proc) *uapi.MovReq {
+	d.chargeUser(p, d.M.Plat.Cost.QueueOp)
+	idx, _, ok := d.Area.CompOK.Dequeue()
+	if !ok {
+		idx, _, ok = d.Area.CompFail.Dequeue()
+	}
+	if !ok {
+		return nil
+	}
+	r, valid := d.Area.Req(idx)
+	if !valid {
+		return nil
+	}
+	return r
+}
+
+// Poll blocks the calling process until a completion notification is
+// pending, like poll(2) on the memif device file. A non-positive timeout
+// means wait forever. It reports whether a notification is available.
+func (d *Device) Poll(p *sim.Proc, timeoutNS int64) bool {
+	deadline := sim.Infinity
+	if timeoutNS > 0 {
+		deadline = p.Now() + sim.Time(timeoutNS)
+	}
+	for d.Area.CompOK.Empty() && d.Area.CompFail.Empty() {
+		if d.closed {
+			return false
+		}
+		if deadline == sim.Infinity {
+			p.WaitCond(d.notifySig)
+			continue
+		}
+		remain := int64(deadline - p.Now())
+		if remain <= 0 || !p.WaitCondTimeout(d.notifySig, remain) {
+			return !d.Area.CompOK.Empty() || !d.Area.CompFail.Empty()
+		}
+	}
+	return true
+}
+
+// Pending reports requests submitted but not yet retrieved as
+// notifications (approximate, for tests and examples).
+func (d *Device) Pending() int64 {
+	return d.stats.Submitted - d.stats.Completed - d.stats.Failed
+}

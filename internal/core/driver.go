@@ -1,0 +1,566 @@
+package core
+
+import (
+	"fmt"
+	"memif/internal/dma"
+	"memif/internal/hw"
+	"memif/internal/pagetable"
+	"memif/internal/phys"
+	"memif/internal/sim"
+	"memif/internal/stats"
+	"memif/internal/uapi"
+	"memif/internal/vm"
+)
+
+// slotKeyImpl is the PTE slot type used as the recover-map key.
+type slotKeyImpl = pagetable.Slot
+
+// execCtx identifies which of the three execution paths (Section 5.4) is
+// running driver code.
+type execCtx int
+
+const (
+	ctxSyscall execCtx = iota // application process inside ioctl(MOV_ONE)
+	ctxKthread                // the memif kernel worker thread
+	ctxIRQ                    // DMA completion interrupt handler
+)
+
+// mappedPTE is one PTE referencing a migrating page. With the reverse
+// map, a page shared between processes has several; the driver updates
+// them all (the shared-page support Section 6.7 leaves as future work).
+type mappedPTE struct {
+	as        *vm.AddressSpace
+	slot      *pagetable.Slot
+	vpn       uint64        // page number in its own address space
+	old       pagetable.PTE // mapping before the migration began
+	installed pagetable.PTE // what Remap installed (semi-final/special/migration)
+}
+
+// pageMove tracks one page of an in-flight migration.
+type pageMove struct {
+	addr     int64
+	maps     []mappedPTE
+	oldFrame *phys.Frame
+	newFrame *phys.Frame
+}
+
+// inflight is one request being served: its pages, its DMA batches, and
+// completion state.
+type inflight struct {
+	req       *uapi.MovReq
+	pages     []pageMove // migrations only
+	batches   [][]dma.Segment
+	nextBatch int
+	transfer  *dma.Transfer
+	aborted   bool // recover-mode fault handler took over
+	released  bool
+
+	// Migration claim to drop once the move ends (success or abort).
+	claimVPN uint64
+	claimN   int
+}
+
+// dropClaim releases the in-flight migration claim exactly once.
+func (inf *inflight) dropClaim(as *vm.AddressSpace) {
+	if inf.claimN > 0 {
+		as.MigRelease(inf.claimVPN, inf.claimN)
+		inf.claimN = 0
+	}
+}
+
+// busy charges CPU time to a phase, a meter and the clock at once.
+func (d *Device) busy(p *sim.Proc, m *sim.Meter, phase string, ns int64) {
+	if ns <= 0 {
+		return
+	}
+	d.Breakdown.Add(phase, ns)
+	p.Busy(ns, m)
+}
+
+// serveNext dequeues and serves one request from the submission queue.
+// found reports whether a request was dequeued; started whether it
+// resulted in a DMA transfer (and hence a completion that will drive
+// further progress). A found-but-not-started request failed validation
+// and completed straight to the failure queue.
+func (d *Device) serveNext(p *sim.Proc, m *sim.Meter, ctx execCtx) (found, started bool) {
+	d.busy(p, m, stats.PhaseInterface, d.M.Plat.Cost.QueueOp)
+	idx, _, ok := d.Area.Submission.Dequeue()
+	if !ok {
+		return false, false
+	}
+	if d.lastArrival != 0 {
+		gap := int64(p.Now() - d.lastArrival)
+		d.gapEWMA = (3*d.gapEWMA + gap) / 4
+	}
+	d.lastArrival = p.Now()
+	req, valid := d.Area.Req(idx)
+	if !valid {
+		return true, false // hostile index: drop it, stay safe
+	}
+	return true, d.serveReq(p, m, ctx, req)
+}
+
+// serveReq performs operations 1–3 of Table 1 for one request and starts
+// its DMA. Completion (operations 4–5) happens on the interrupt path or,
+// for small requests served by the kernel thread, in polling mode. It
+// reports whether a transfer was started (false: the request failed
+// validation and its failure notification has already been posted).
+func (d *Device) serveReq(p *sim.Proc, m *sim.Meter, ctx execCtx, req *uapi.MovReq) bool {
+	req.Status = uapi.StatusInFlight
+	inf, errc := d.prepare(p, m, req)
+	if errc != uapi.ErrNone {
+		d.complete(p, m, req, errc)
+		return false
+	}
+	if req.Op == uapi.OpMigrate {
+		d.stats.Migrations++
+	} else {
+		d.stats.Replications++
+	}
+
+	// Decide the completion mode (Section 5.4): the kernel thread polls
+	// small transfers with the interrupt off; everything else, and
+	// everything started from the syscall path, completes by interrupt.
+	poll := ctx == ctxKthread && req.Length < d.opts.PollThresholdBytes
+	if !poll {
+		d.startBatch(p, m, inf, true)
+		return true
+	}
+	for {
+		if !d.startBatch(p, m, inf, false) {
+			return true // failed mid-flight; already completed
+		}
+		p.WaitEvent(inf.transfer.Done)
+		d.busy(p, m, stats.PhaseInterface, d.M.Plat.Cost.PollCheck)
+		if inf.aborted {
+			return true // recover handler already completed the request
+		}
+		if inf.nextBatch >= len(inf.batches) {
+			d.finish(p, m, inf)
+			return true
+		}
+	}
+}
+
+// prepare validates the request and performs Prep (gang page lookup) and,
+// for migrations, Remap. It returns the inflight state or a failure code.
+func (d *Device) prepare(p *sim.Proc, m *sim.Meter, req *uapi.MovReq) (*inflight, uapi.ErrCode) {
+	as := d.AS
+	pb := as.PageBytes
+	if req.Length <= 0 || req.Length%pb != 0 {
+		return nil, uapi.ErrBadRequest
+	}
+	if as.CheckRegion(req.SrcBase, req.Length) != nil {
+		return nil, uapi.ErrBadRequest
+	}
+	n := int(req.Length / pb)
+
+	switch req.Op {
+	case uapi.OpReplicate:
+		if as.CheckRegion(req.DstBase, req.Length) != nil {
+			return nil, uapi.ErrBadRequest
+		}
+		src, ok := d.lookupRegion(p, m, req.SrcBase, n)
+		if !ok {
+			return nil, uapi.ErrBadRequest
+		}
+		dst, ok := d.lookupRegion(p, m, req.DstBase, n)
+		if !ok {
+			return nil, uapi.ErrBadRequest
+		}
+		segs := make([]dma.Segment, n)
+		for i := 0; i < n; i++ {
+			sf, okS := as.Mem.Lookup(src[i].Load().Frame())
+			df, okD := as.Mem.Lookup(dst[i].Load().Frame())
+			if !okS || !okD {
+				return nil, uapi.ErrBadRequest
+			}
+			segs[i] = dma.Segment{Src: sf, Dst: df, Bytes: pb}
+		}
+		return &inflight{req: req, batches: d.splitBatches(segs)}, uapi.ErrNone
+
+	case uapi.OpMigrate:
+		if !d.hasNode(req.DstNode) {
+			return nil, uapi.ErrBadRequest
+		}
+		// Take the per-page migration claim (the page-lock role): a
+		// concurrent move of any overlapping page — from this device
+		// or another on the same address space — bounces with EAGAIN.
+		vpn := as.VPN(req.SrcBase)
+		if !as.MigClaim(vpn, n) {
+			return nil, uapi.ErrBusy
+		}
+		slots, ok := d.lookupRegion(p, m, req.SrcBase, n)
+		if !ok {
+			as.MigRelease(vpn, n)
+			return nil, uapi.ErrBadRequest
+		}
+		inf := &inflight{req: req, claimVPN: vpn, claimN: n}
+		if errc := d.remap(p, m, inf, slots, req); errc != uapi.ErrNone {
+			as.MigRelease(vpn, n)
+			return nil, errc
+		}
+		segs := make([]dma.Segment, n)
+		for i, pg := range inf.pages {
+			segs[i] = dma.Segment{Src: pg.oldFrame, Dst: pg.newFrame, Bytes: pb}
+		}
+		inf.batches = d.splitBatches(segs)
+		return inf, uapi.ErrNone
+	default:
+		return nil, uapi.ErrBadRequest
+	}
+}
+
+func (d *Device) hasNode(id hw.NodeID) bool {
+	for _, n := range d.M.Plat.Nodes {
+		if n.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupRegion performs the Prep operation: locate the PTE slots of all
+// pages in the region, with gang lookup (Section 5.1) or, when disabled
+// for ablation, a full vertical walk per page.
+func (d *Device) lookupRegion(p *sim.Proc, m *sim.Meter, base int64, n int) ([]*pagetable.Slot, bool) {
+	as := d.AS
+	cost := &d.M.Plat.Cost
+	vpn := as.VPN(base)
+	var slots []*pagetable.Slot
+	var wst pagetable.WalkStats
+	if d.opts.GangLookup {
+		slots, wst = as.Table.GangLookup(vpn, n)
+	} else {
+		slots = make([]*pagetable.Slot, n)
+		for i := 0; i < n; i++ {
+			s, st := as.Table.Lookup(vpn + uint64(i))
+			slots[i] = s
+			wst.Add(st)
+		}
+	}
+	d.busy(p, m, stats.PhasePrep,
+		int64(wst.Verticals)*cost.PageLookupVertical+int64(wst.Horizontals)*cost.PageLookupHorizontal)
+	for _, s := range slots {
+		if s == nil || !s.Load().Has(pagetable.FlagPresent) {
+			return nil, false
+		}
+	}
+	return slots, true
+}
+
+// mappingsOf collects every PTE referencing the frame through the
+// machine's reverse map; without one, the requester's own slot is the
+// only mapping.
+func (d *Device) mappingsOf(f *phys.Frame, slot *pagetable.Slot, addr int64) []mappedPTE {
+	if d.AS.Rmap != nil {
+		if ms := d.AS.Rmap.Lookup(f.ID); len(ms) > 0 {
+			out := make([]mappedPTE, len(ms))
+			for i, mm := range ms {
+				out[i] = mappedPTE{as: mm.AS, slot: mm.Slot, vpn: mm.AS.VPN(mm.Addr), old: mm.Slot.Load()}
+			}
+			return out
+		}
+	}
+	return []mappedPTE{{as: d.AS, slot: slot, vpn: d.AS.VPN(addr), old: slot.Load()}}
+}
+
+// remap performs operation 2 for a migration: allocate destination pages
+// and install the race-policy PTE in every mapping of every page.
+func (d *Device) remap(p *sim.Proc, m *sim.Meter, inf *inflight, slots []*pagetable.Slot, req *uapi.MovReq) uapi.ErrCode {
+	as := d.AS
+	cost := &d.M.Plat.Cost
+	pb := as.PageBytes
+	perMapping := cost.PTEReplace + cost.TLBFlushPage + cost.RmapBook
+	var remapNS int64
+
+	for i, slot := range slots {
+		old := slot.Load()
+		oldFrame, ok := as.Mem.Lookup(old.Frame())
+		if !ok {
+			d.rollbackRemap(p, m, inf)
+			return uapi.ErrBadRequest
+		}
+		newFrame, err := as.Mem.Alloc(req.DstNode, pb)
+		if err != nil {
+			d.rollbackRemap(p, m, inf)
+			return uapi.ErrNoMemory
+		}
+		addr := req.SrcBase + int64(i)*pb
+		pg := pageMove{
+			addr:     addr,
+			maps:     d.mappingsOf(oldFrame, slot, addr),
+			oldFrame: oldFrame,
+			newFrame: newFrame,
+		}
+		var installed pagetable.PTE
+		switch d.opts.RaceMode {
+		case RaceDetect:
+			// Semi-final PTE: identical to the final one except the
+			// young bit is set. The page is remapped to the new frame
+			// immediately; a reference before Release clears young
+			// and the release CAS reports the race.
+			installed = pagetable.Make(newFrame.ID,
+				pagetable.FlagPresent|pagetable.FlagWrite|pagetable.FlagYoung)
+			oldFrame.RefCount -= len(pg.maps)
+			newFrame.RefCount += len(pg.maps)
+			if as.Rmap != nil {
+				as.Rmap.Move(oldFrame, newFrame)
+			}
+		case RaceRecover:
+			// Keep the old frame mapped read-only; writes trap into
+			// the recovery fault handler.
+			installed = pagetable.Make(oldFrame.ID,
+				pagetable.FlagPresent|pagetable.FlagRecover)
+		case RacePrevent:
+			// Baseline-style migration PTE: accessors block until
+			// Release.
+			installed = pagetable.Make(oldFrame.ID,
+				pagetable.FlagPresent|pagetable.FlagMigration)
+		}
+		for j := range pg.maps {
+			pg.maps[j].installed = installed
+			pg.maps[j].slot.Store(installed)
+			pg.maps[j].as.InvalidatePage(pg.maps[j].vpn)
+			if d.opts.RaceMode == RaceRecover {
+				d.recoverMap[pg.maps[j].slot] = inf
+			}
+		}
+		remapNS += cost.PageAlloc + int64(len(pg.maps))*perMapping
+		inf.pages = append(inf.pages, pg)
+	}
+	d.busy(p, m, stats.PhaseRemap, remapNS)
+	return uapi.ErrNone
+}
+
+// rollbackRemap undoes partially completed remaps after a mid-request
+// allocation failure.
+func (d *Device) rollbackRemap(p *sim.Proc, m *sim.Meter, inf *inflight) {
+	cost := &d.M.Plat.Cost
+	var ns int64
+	for _, pg := range inf.pages {
+		for _, mp := range pg.maps {
+			mp.slot.Store(mp.old)
+			mp.as.InvalidatePage(mp.vpn)
+			ns += cost.PTEReplace + cost.TLBFlushPage
+			switch d.opts.RaceMode {
+			case RaceRecover:
+				delete(d.recoverMap, mp.slot)
+			case RacePrevent:
+				mp.as.ReleaseMigrationGate(mp.slot)
+			}
+		}
+		if d.opts.RaceMode == RaceDetect {
+			pg.oldFrame.RefCount += len(pg.maps)
+			pg.newFrame.RefCount -= len(pg.maps)
+			if d.AS.Rmap != nil {
+				d.AS.Rmap.Move(pg.newFrame, pg.oldFrame)
+			}
+		}
+		ns += cost.PageFree
+		if pg.newFrame.RefCount == 0 {
+			d.AS.Mem.Free(pg.newFrame)
+		}
+	}
+	d.busy(p, m, stats.PhaseRemap, ns)
+	inf.pages = nil
+}
+
+// splitBatches cuts a segment list into DMA transfers of at most
+// MaxChainPages descriptors each.
+func (d *Device) splitBatches(segs []dma.Segment) [][]dma.Segment {
+	var out [][]dma.Segment
+	for len(segs) > 0 {
+		n := d.opts.MaxChainPages
+		if n > len(segs) {
+			n = len(segs)
+		}
+		out = append(out, segs[:n])
+		segs = segs[n:]
+	}
+	return out
+}
+
+// startBatch performs operation 3 (DMA configuration) for the next batch
+// and triggers it. With irq true the completion is delivered to the
+// interrupt path. It reports whether the transfer was started; on false
+// the request has already been completed as failed.
+func (d *Device) startBatch(p *sim.Proc, m *sim.Meter, inf *inflight, irq bool) bool {
+	batch := inf.batches[inf.nextBatch]
+	inf.nextBatch++
+	t0 := p.Now()
+	tr, err := d.M.DMA.Program(p, d.opts.DescReuse, batch, m)
+	d.Breakdown.Add(stats.PhaseDMACfg, int64(p.Now()-t0))
+	if err != nil {
+		// Descriptor exhaustion — should not happen with MaxChainPages
+		// capped at the PaRAM size; fail the request.
+		inf.released = true
+		inf.dropClaim(d.AS)
+		d.complete(p, m, inf.req, uapi.ErrBadRequest)
+		return false
+	}
+	inf.transfer = tr
+	var bytes int64
+	for _, s := range batch {
+		bytes += s.Bytes
+	}
+	d.Breakdown.Add(stats.PhaseCopy,
+		d.M.Plat.DMATransferNS(bytes, batch[0].Src.Node, batch[0].Dst.Node))
+	var onIRQ func()
+	if irq {
+		onIRQ = func() { d.irqComplete(inf) }
+	}
+	d.M.DMA.Start(tr, irq, onIRQ)
+	return true
+}
+
+// finish performs operations 4 (Release) and 5 (Notify) after all of a
+// request's data has been moved.
+func (d *Device) finish(p *sim.Proc, m *sim.Meter, inf *inflight) {
+	if inf.released || inf.aborted {
+		return
+	}
+	inf.released = true
+	req := inf.req
+	cost := &d.M.Plat.Cost
+	as := d.AS
+
+	errc := uapi.ErrNone
+	if req.Op == uapi.OpMigrate {
+		var releaseNS int64
+		for i, pg := range inf.pages {
+			for _, mp := range pg.maps {
+				switch d.opts.RaceMode {
+				case RaceDetect:
+					// One CAS clears the young bit; failure means a
+					// reference (or modification) raced the DMA.
+					final := mp.installed.Without(pagetable.FlagYoung)
+					releaseNS += cost.PTECas
+					if !mp.slot.CompareAndSwap(mp.installed, final) {
+						if errc == uapi.ErrNone {
+							req.FailPage = int64(i)
+						}
+						errc = uapi.ErrRace
+						d.stats.RacesDetected++
+					}
+					// No TLB flush: the semi-final PTE never entered
+					// the TLB unreferenced, and on a race the
+					// application is getting a SEGFAULT anyway.
+				case RaceRecover:
+					final := pagetable.Make(pg.newFrame.ID,
+						pagetable.FlagPresent|pagetable.FlagWrite)
+					mp.slot.Store(final)
+					mp.as.InvalidatePage(mp.vpn) // the read-only special PTE was usable
+					releaseNS += cost.PTEReplace + cost.TLBFlushPage
+					pg.oldFrame.RefCount--
+					pg.newFrame.RefCount++
+					delete(d.recoverMap, mp.slot)
+				case RacePrevent:
+					final := pagetable.Make(pg.newFrame.ID,
+						pagetable.FlagPresent|pagetable.FlagWrite)
+					mp.slot.Store(final)
+					mp.as.InvalidatePage(mp.vpn)
+					releaseNS += cost.PTEReplace + cost.TLBFlushPage
+					pg.oldFrame.RefCount--
+					pg.newFrame.RefCount++
+					mp.as.ReleaseMigrationGate(mp.slot)
+				}
+			}
+			if d.opts.RaceMode != RaceDetect && as.Rmap != nil {
+				// Detect mode rebinds the rmap at Remap time; the
+				// other policies keep the old frame mapped until now.
+				as.Rmap.Move(pg.oldFrame, pg.newFrame)
+			}
+			releaseNS += cost.PageFree
+			if pg.oldFrame.RefCount == 0 && !pg.oldFrame.Pinned && !pg.oldFrame.FileBacked {
+				as.Mem.Free(pg.oldFrame)
+			}
+		}
+		d.busy(p, m, stats.PhaseRelease, releaseNS)
+		inf.dropClaim(as)
+	}
+	d.complete(p, m, req, errc)
+}
+
+// complete posts the notification (operation 5).
+func (d *Device) complete(p *sim.Proc, m *sim.Meter, req *uapi.MovReq, errc uapi.ErrCode) {
+	// A request must complete exactly once; a second completion means
+	// two driver paths raced (the bug class the recover-handler claim
+	// protocol exists to prevent). Fail loudly, like a kernel BUG_ON.
+	switch req.Status {
+	case uapi.StatusDone, uapi.StatusFailed, uapi.StatusFree:
+		panic(fmt.Sprintf("memif: double completion of %v (errc %v)", req, errc))
+	}
+	req.Err = errc
+	req.Completed = p.Now()
+	d.busy(p, m, stats.PhaseNotify, d.M.Plat.Cost.NotifyEnqueue)
+	if errc == uapi.ErrNone {
+		req.Status = uapi.StatusDone
+		d.stats.Completed++
+		d.stats.BytesMoved += req.Length
+		d.Area.CompOK.Enqueue(req.Index())
+	} else {
+		req.Status = uapi.StatusFailed
+		d.stats.Failed++
+		d.Area.CompFail.Enqueue(req.Index())
+	}
+	d.notifySig.Broadcast()
+}
+
+// handleRecoverFault is the custom page fault handler of the
+// proceed-and-recover policy: on a write to a migrating page it aborts
+// the DMA, restores the original mappings of the whole request, and posts
+// an aborted completion. Runs in the faulting application's context.
+func (d *Device) handleRecoverFault(p *sim.Proc, addr int64, slot *pagetable.Slot, write bool) bool {
+	inf, ok := d.recoverMap[slot]
+	if !ok {
+		return false
+	}
+	// Claim the in-flight migration *before* spending any time: the
+	// release path may be racing us off the transfer's completion. If
+	// it already claimed (released), the final PTEs are in place — let
+	// the access retry and proceed normally. Claiming first means the
+	// release path backs off instead.
+	if inf.released || inf.aborted {
+		return false
+	}
+	inf.aborted = true
+	cost := &d.M.Plat.Cost
+	d.busy(p, d.UserMeter, stats.PhaseInterface, cost.IRQEntry) // trap cost
+	if inf.transfer != nil {
+		d.M.DMA.Abort(inf.transfer)
+	}
+	var ns int64
+	for _, pg := range inf.pages {
+		for _, mp := range pg.maps {
+			mp.slot.Store(mp.old)
+			mp.as.InvalidatePage(mp.vpn)
+			ns += cost.PTEReplace + cost.TLBFlushPage
+			delete(d.recoverMap, mp.slot)
+		}
+	}
+	ns += int64(len(inf.pages)) * cost.PageFree
+	d.busy(p, d.UserMeter, stats.PhaseRelease, ns)
+	inf.dropClaim(d.AS)
+	d.stats.Recovered++
+	d.complete(p, d.UserMeter, inf.req, uapi.ErrAborted)
+	// An aborted transfer raises no completion interrupt, so the usual
+	// IRQ -> worker handoff is broken; wake the worker from the trap
+	// before returning to the faulting access.
+	d.busy(p, d.UserMeter, stats.PhaseInterface, cost.KthreadWake)
+	d.workSignal.Signal()
+	// The new frames may still be pinned by the (aborted) transfer;
+	// reclaim them once the engine lets go.
+	tr := inf.transfer
+	d.M.Eng.Spawn("memif-reclaim", func(cp *sim.Proc) {
+		if tr != nil {
+			cp.WaitEvent(tr.Done)
+		}
+		for _, pg := range inf.pages {
+			if pg.newFrame.RefCount == 0 && !pg.newFrame.Pinned {
+				d.AS.Mem.Free(pg.newFrame)
+			}
+		}
+	})
+	return true
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"memif/internal/hw"
+	"memif/internal/linuxmig"
+	"memif/internal/machine"
+	"memif/internal/sim"
+	"memif/internal/uapi"
+)
+
+// Functional equivalence: for any race-free sequence of migrations, memif
+// and the Linux baseline must land in the same final state — same data,
+// same node placement, same residual usage. The paper's claim is that
+// memif changes the cost of migration, never its meaning.
+func TestMemifEquivalentToLinuxBaseline(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99} {
+		rng := rand.New(rand.NewSource(seed))
+		const (
+			numRegions  = 6
+			regionPages = 8
+			regionBytes = regionPages * 4096
+			moves       = 40
+		)
+		// Script a shared random move plan.
+		type mv struct {
+			region int
+			node   hw.NodeID
+		}
+		plan := make([]mv, moves)
+		for i := range plan {
+			plan[i] = mv{rng.Intn(numRegions), hw.NodeID(rng.Intn(2))}
+		}
+		seeds := make([]uint64, numRegions)
+		for i := range seeds {
+			seeds[i] = rng.Uint64()
+		}
+
+		type state struct {
+			data  [][]byte
+			nodes []hw.NodeID
+		}
+		run := func(useMemif bool) state {
+			m := machine.New(hw.KeyStoneII())
+			as := m.NewAddressSpace(4096)
+			var st state
+			m.Eng.Spawn("app", func(p *sim.Proc) {
+				regions := make([]int64, numRegions)
+				for i := range regions {
+					b, _ := as.Mmap(p, regionBytes, hw.NodeSlow, "r")
+					regions[i] = b
+					buf := make([]byte, regionBytes)
+					x := seeds[i]
+					for j := range buf {
+						x = x*6364136223846793005 + 1442695040888963407
+						buf[j] = byte(x >> 56)
+					}
+					as.Write(p, b, buf)
+				}
+				if useMemif {
+					d := Open(m, as, DefaultOptions())
+					defer d.Close()
+					for _, mvp := range plan {
+						f := as.FrameAt(regions[mvp.region])
+						if f.Node == mvp.node {
+							continue // baseline skips too
+						}
+						r := d.AllocRequest(p)
+						r.Op = uapi.OpMigrate
+						r.SrcBase, r.Length, r.DstNode = regions[mvp.region], regionBytes, mvp.node
+						if err := d.Submit(p, r); err != nil {
+							t.Fatal(err)
+						}
+						// Race-free by construction: wait each out.
+						for {
+							if got := d.RetrieveCompleted(p); got != nil {
+								if got.Status != uapi.StatusDone {
+									t.Fatalf("move failed: %v", got)
+								}
+								d.FreeRequest(p, got)
+								break
+							}
+							d.Poll(p, 0)
+						}
+					}
+				} else {
+					mg := linuxmig.New(m, as)
+					for _, mvp := range plan {
+						if err := mg.MBind(p, regions[mvp.region], regionBytes, mvp.node); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				for i, b := range regions {
+					buf := make([]byte, regionBytes)
+					as.Read(p, b, buf)
+					st.data = append(st.data, buf)
+					st.nodes = append(st.nodes, as.FrameAt(b).Node)
+					_ = i
+				}
+			})
+			m.Eng.Run()
+			return st
+		}
+
+		linux, mem := run(false), run(true)
+		for i := range linux.data {
+			if !bytes.Equal(linux.data[i], mem.data[i]) {
+				t.Fatalf("seed %d region %d: data diverged", seed, i)
+			}
+			if linux.nodes[i] != mem.nodes[i] {
+				t.Fatalf("seed %d region %d: placement diverged (%d vs %d)",
+					seed, i, linux.nodes[i], mem.nodes[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"memif/internal/hw"
+	"memif/internal/machine"
+	"memif/internal/sim"
+	"memif/internal/uapi"
+	"memif/internal/vm"
+)
+
+// Migrating file-backed pages (a Section 6.7 limitation of the paper's
+// prototype): the reverse map rebinds the page-cache entry together with
+// every PTE, so the file, the existing mappings, and future mappings all
+// agree on the new frames.
+func TestMigrateFileBackedPages(t *testing.T) {
+	m := machine.New(hw.KeyStoneII())
+	asA := m.NewAddressSpace(4096)
+	asB := m.NewAddressSpace(4096)
+	d := Open(m, asA, DefaultOptions())
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		const n = 8 * 4096
+		f := vm.NewFile(m.Mem, m.Rmap, "dataset.bin", n, 4096)
+		ma, err := asA.MmapFile(p, f, 0, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := asB.MmapFile(p, f, 0, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte{0xD7}, n)
+		asA.Write(p, ma, data)
+
+		r := d.AllocRequest(p)
+		r.Op = uapi.OpMigrate
+		r.SrcBase, r.Length, r.DstNode = ma, n, hw.NodeFast
+		got := submitAndWait(t, d, p, r)
+		if got.Status != uapi.StatusDone {
+			t.Fatalf("migration of file pages failed: %v", got)
+		}
+
+		// The cache, both mappings, and the data all moved together.
+		for i := int64(0); i < 8; i++ {
+			fa, fb := asA.FrameAt(ma+i*4096), asB.FrameAt(mb+i*4096)
+			fc := f.FrameAt(i * 4096)
+			if fa != fb || fa != fc {
+				t.Fatalf("page %d: mappings/cache diverged (%v %v %v)", i, fa, fb, fc)
+			}
+			if fa.Node != hw.NodeFast {
+				t.Fatalf("page %d still on node %d", i, fa.Node)
+			}
+			if !fa.FileBacked {
+				t.Fatalf("page %d lost its page-cache ownership", i)
+			}
+		}
+		buf := make([]byte, n)
+		asB.Read(p, mb, buf)
+		if !bytes.Equal(buf, data) {
+			t.Error("peer mapping lost the file data")
+		}
+		// Old frames freed (they left the cache at rebind time).
+		if used := m.Mem.Used(hw.NodeSlow); used != 0 {
+			t.Errorf("slow node still holds %d bytes", used)
+		}
+		// A mapping created *after* the migration hits the fast frames.
+		asC := m.NewAddressSpace(4096)
+		mc, err := asC.MmapFile(p, f, 0, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc := asC.FrameAt(mc); fc == nil || fc.Node != hw.NodeFast {
+			t.Errorf("fresh mapping got %v, want the migrated fast frame", fc)
+		}
+	})
+	m.Eng.Run()
+}
+
+// Unmapped-but-cached file pages cannot be migrated through memif (there
+// is no virtual region to name them by), but dropping and re-mapping
+// them keeps working after prior migrations.
+func TestFilePagesAfterMunmapStillCoherent(t *testing.T) {
+	m := machine.New(hw.KeyStoneII())
+	as := m.NewAddressSpace(4096)
+	d := Open(m, as, DefaultOptions())
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		const n = 4 * 4096
+		f := vm.NewFile(m.Mem, m.Rmap, "d", n, 4096)
+		ma, _ := as.MmapFile(p, f, 0, n)
+		as.Write(p, ma, []byte{0x31})
+		r := d.AllocRequest(p)
+		r.Op = uapi.OpMigrate
+		r.SrcBase, r.Length, r.DstNode = ma, n, hw.NodeFast
+		if got := submitAndWait(t, d, p, r); got.Status != uapi.StatusDone {
+			t.Fatalf("migrate: %v", got)
+		}
+		as.Munmap(p, ma)
+		if f.CachedPages() != 4 {
+			t.Fatalf("cache lost pages: %d", f.CachedPages())
+		}
+		mb, _ := as.MmapFile(p, f, 0, n)
+		var b [1]byte
+		as.Read(p, mb, b[:])
+		if b[0] != 0x31 {
+			t.Errorf("data lost: %#x", b[0])
+		}
+	})
+	m.Eng.Run()
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"memif/internal/hw"
+	"memif/internal/machine"
+	"memif/internal/sim"
+	"memif/internal/uapi"
+)
+
+// Randomized end-to-end workout: a pseudo-random mix of replications,
+// migrations (valid and invalid), touches, polls, and frees. Afterwards
+// every invariant the driver promises must hold:
+//
+//   - every submitted request eventually completes (done or failed),
+//   - physical memory accounting balances (no leaked frames),
+//   - all mov_req slots return to the free list,
+//   - no page is left with a transient PTE flag (young/migration/recover),
+//   - data regions still read back what was written (modulo raced pages).
+func TestDriverRandomWorkout(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234, 987654} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			runRandomWorkout(t, seed)
+		})
+	}
+}
+
+func runRandomWorkout(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	m := machine.New(hw.KeyStoneII())
+	as := m.NewAddressSpace(4096)
+	opts := DefaultOptions()
+	opts.NumReqs = 64
+	if seed%2 == 0 {
+		opts.RaceMode = RaceRecover
+	}
+	d := Open(m, as, opts)
+
+	const (
+		numRegions  = 12
+		regionPages = 16
+		regionBytes = regionPages * 4096
+		ops         = 300
+	)
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		regions := make([]int64, numRegions)
+		for i := range regions {
+			b, err := as.Mmap(p, regionBytes, hw.NodeSlow, "r")
+			if err != nil {
+				t.Fatal(err)
+			}
+			regions[i] = b
+		}
+		slowBase := as.Mem.Used(hw.NodeSlow)
+
+		outstanding := 0
+		drain := func(block bool) {
+			for {
+				r := d.RetrieveCompleted(p)
+				if r == nil {
+					if !block || outstanding == 0 {
+						return
+					}
+					if !d.Poll(p, 100_000_000) {
+						st := d.Stats()
+						t.Fatalf("poll gave up with %d outstanding; stats=%+v staging[len=%d color=%v] submission[len=%d]",
+							outstanding, st, d.Area.Staging.Len(), d.Area.Staging.Color(), d.Area.Submission.Len())
+					}
+					continue
+				}
+				if r.Status != uapi.StatusDone && r.Status != uapi.StatusFailed {
+					t.Fatalf("retrieved request in state %v", r.Status)
+				}
+				d.FreeRequest(p, r)
+				outstanding--
+			}
+		}
+
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2: // migrate a random region to a random node
+				r := d.AllocRequest(p)
+				if r == nil {
+					drain(true)
+					continue
+				}
+				r.Op = uapi.OpMigrate
+				r.SrcBase = regions[rng.Intn(numRegions)]
+				r.Length = regionBytes
+				r.DstNode = hw.NodeID(rng.Intn(2))
+				if err := d.Submit(p, r); err != nil {
+					t.Fatalf("submit: %v", err)
+				}
+				outstanding++
+			case 3, 4: // replicate between two random regions
+				r := d.AllocRequest(p)
+				if r == nil {
+					drain(true)
+					continue
+				}
+				r.Op = uapi.OpReplicate
+				r.SrcBase = regions[rng.Intn(numRegions)]
+				r.DstBase = regions[rng.Intn(numRegions)]
+				r.Length = regionBytes
+				if err := d.Submit(p, r); err != nil {
+					t.Fatalf("submit: %v", err)
+				}
+				outstanding++
+			case 5: // submit something invalid
+				r := d.AllocRequest(p)
+				if r == nil {
+					drain(true)
+					continue
+				}
+				r.Op = uapi.OpMigrate
+				r.SrcBase = 0x100 // unmapped
+				r.Length = regionBytes
+				r.DstNode = hw.NodeFast
+				if err := d.Submit(p, r); err != nil {
+					t.Fatalf("submit: %v", err)
+				}
+				outstanding++
+			case 6, 7: // touch random pages (provokes races/recovers)
+				base := regions[rng.Intn(numRegions)]
+				addr := base + int64(rng.Intn(regionPages))*4096
+				if err := as.Write(p, addr, []byte{byte(op)}); err != nil {
+					t.Fatalf("write: %v", err)
+				}
+			case 8: // let time pass
+				p.SleepNS(int64(rng.Intn(200_000)))
+			case 9: // drain whatever is ready
+				drain(false)
+			}
+		}
+		drain(true)
+
+		// Invariants.
+		if got := d.Stats().Submitted; got != d.Stats().Completed+d.Stats().Failed {
+			t.Errorf("submitted %d != completed %d + failed %d",
+				got, d.Stats().Completed, d.Stats().Failed)
+		}
+		// All request slots back on the free list.
+		free := 0
+		for d.AllocRequest(p) != nil {
+			free++
+		}
+		if free != opts.NumReqs {
+			t.Errorf("free slots = %d, want %d", free, opts.NumReqs)
+		}
+		// Physical accounting: every region is backed by exactly one
+		// frame per page, wherever it lives now.
+		var backed int64
+		for _, base := range regions {
+			for pg := int64(0); pg < regionPages; pg++ {
+				f := as.FrameAt(base + pg*4096)
+				if f == nil {
+					t.Fatalf("region page %#x lost its mapping", base+pg*4096)
+				}
+				backed += f.Size
+				// No transient PTE state left behind.
+				slot, _ := as.Table.Lookup(as.VPN(base + pg*4096))
+				pte := slot.Load()
+				if pte.Has(1<<4) || pte.Has(1<<5) { // migration/recover flags
+					t.Fatalf("transient PTE flag left on %#x: %v", base+pg*4096, pte)
+				}
+			}
+		}
+		total := as.Mem.Used(hw.NodeSlow) + as.Mem.Used(hw.NodeFast)
+		if total != backed {
+			t.Errorf("physical accounting off: used %d, backed %d (leak of %d)",
+				total, backed, total-backed)
+		}
+		_ = slowBase
+	})
+	end := m.Eng.Run()
+	if end <= 0 {
+		t.Fatal("simulation did not advance")
+	}
+	if m.Eng.Parked() != 0 {
+		t.Errorf("seed %d: %d processes leaked", seed, m.Eng.Parked())
+	}
+}
+
+// Multiple application threads hammering one device concurrently: the
+// paper's claim that the lock-free interface admits any access pattern
+// without data races (Section 3), here exercised with simulated threads
+// in one address space.
+func TestMultiThreadSubmitters(t *testing.T) {
+	m := machine.New(hw.KeyStoneII())
+	as := m.NewAddressSpace(4096)
+	d := Open(m, as, DefaultOptions())
+
+	const (
+		threads   = 6
+		perThread = 30
+		regionB   = 8 * 4096
+	)
+	doneCount := 0
+	retrievers := 0
+	for th := 0; th < threads; th++ {
+		th := th
+		m.Eng.Spawn("thread", func(p *sim.Proc) {
+			base, err := as.Mmap(p, perThread*regionB, hw.NodeSlow, "w")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < perThread; i++ {
+				var r *uapi.MovReq
+				for {
+					if r = d.AllocRequest(p); r != nil {
+						break
+					}
+					p.SleepNS(50_000)
+				}
+				r.Op = uapi.OpMigrate
+				r.SrcBase = base + int64(i)*regionB
+				r.Length = regionB
+				r.DstNode = hw.NodeID(i % 2)
+				r.Cookie = uint64(th)
+				if err := d.Submit(p, r); err != nil {
+					t.Errorf("thread %d: %v", th, err)
+					return
+				}
+				p.SleepNS(int64(th+1) * 10_000)
+			}
+			// Each thread also retrieves (any thread may see any
+			// completion — the queues are shared).
+			for {
+				if got := d.RetrieveCompleted(p); got != nil {
+					if got.Status != uapi.StatusDone {
+						t.Errorf("move failed: %v", got)
+					}
+					d.FreeRequest(p, got)
+					doneCount++
+					continue
+				}
+				if doneCount >= threads*perThread {
+					break
+				}
+				if !d.Poll(p, 500_000_000) {
+					break
+				}
+			}
+			retrievers++
+			if retrievers == threads {
+				d.Close()
+			}
+		})
+	}
+	m.Eng.Run()
+	if doneCount != threads*perThread {
+		t.Errorf("completions = %d, want %d", doneCount, threads*perThread)
+	}
+	st := d.Stats()
+	if st.Syscalls >= st.Submitted/2 {
+		t.Errorf("syscalls = %d for %d submissions: amortization broken", st.Syscalls, st.Submitted)
+	}
+}

@@ -1,0 +1,97 @@
+// Package core implements the memif driver and its user library
+// (Sections 3–5): an asynchronous, DMA-accelerated OS service for
+// replicating and migrating virtual memory regions across heterogeneous
+// memory nodes.
+//
+// One Device corresponds to one opened memif instance: a shared interface
+// area (staging/submission/completion queues and the mov_req array, all
+// lock-free — package uapi), a kernel worker thread, and the three
+// execution paths of Section 5.4 (syscall, interrupt, kernel thread).
+package core
+
+// RaceMode selects how migration handles CPU/DMA races (Section 5.2).
+type RaceMode int
+
+// Race-handling policies.
+const (
+	// RaceDetect is the paper's design: install a semi-final PTE with
+	// the young bit set, release with a single CAS, and report a
+	// cleared bit as a program error (SEGFAULT → failed completion).
+	RaceDetect RaceMode = iota
+	// RaceRecover is the "proceed and recover" alternative: pages stay
+	// mapped read-only to the old frame during migration; a write traps
+	// into a custom fault handler that aborts the DMA, restores the
+	// mapping, and posts an aborted completion.
+	RaceRecover
+	// RacePrevent is the baseline discipline (migration PTEs that block
+	// accessors), kept for the ablation benchmarks.
+	RacePrevent
+)
+
+func (m RaceMode) String() string {
+	return [...]string{"detect", "recover", "prevent"}[m]
+}
+
+// Options configures a memif Device. The zero value is not useful; start
+// from DefaultOptions.
+type Options struct {
+	// NumReqs is the number of mov_req slots in the shared area.
+	NumReqs int
+	// PollThresholdBytes: requests strictly smaller run in the kernel
+	// thread's polling mode (DMA interrupt off, Section 5.4); larger
+	// ones complete through the interrupt path. The prototype uses
+	// 512 KB.
+	PollThresholdBytes int64
+	// RaceMode selects the migration race policy.
+	RaceMode RaceMode
+	// GangLookup enables the Section 5.1 page lookup (ablation knob).
+	GangLookup bool
+	// DescReuse enables descriptor-chain reuse (Section 5.3 knob).
+	DescReuse bool
+	// MaxChainPages caps the pages per DMA transfer; larger requests
+	// are moved in consecutive sub-transfers (the 512-entry PaRAM array
+	// bounds chain length).
+	MaxChainPages int
+	// WorkerIdleGraceNS is how long the kernel worker lingers in
+	// polling mode after draining all queues before recoloring the
+	// staging queue blue and sleeping. Like a NAPI network driver
+	// (which Section 5.4 cites as the inspiration for the worker's
+	// interrupt/polling switching), lingering absorbs steady request
+	// streams without bouncing each one through a kick-start syscall.
+	// Zero disables lingering.
+	WorkerIdleGraceNS int64
+	// AdaptiveLinger stretches the grace toward 4x the observed request
+	// inter-arrival gap (capped at 20x the base grace), so steady but
+	// slow request streams keep the worker alive. Disable for the
+	// fixed-grace behaviour (ablation knob).
+	AdaptiveLinger bool
+}
+
+// DefaultOptions returns the prototype's configuration.
+func DefaultOptions() Options {
+	return Options{
+		NumReqs:            256,
+		PollThresholdBytes: 512 << 10,
+		RaceMode:           RaceDetect,
+		GangLookup:         true,
+		DescReuse:          true,
+		MaxChainPages:      256,
+		WorkerIdleGraceNS:  200_000,
+		AdaptiveLinger:     true,
+	}
+}
+
+// Stats counts device activity.
+type Stats struct {
+	Submitted      int64
+	Completed      int64
+	Failed         int64
+	Syscalls       int64 // MOV_ONE ioctls issued by the library
+	WorkerWakes    int64
+	RacesDetected  int64
+	Recovered      int64
+	BytesRequested int64
+	BytesMoved     int64
+	Replications   int64
+	Migrations     int64
+}

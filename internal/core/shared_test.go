@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"memif/internal/hw"
+	"memif/internal/machine"
+	"memif/internal/sim"
+	"memif/internal/uapi"
+)
+
+// Shared-page migration: the reverse map lets the driver move a page
+// mapped by two processes, updating both PTEs (the future-work item of
+// Section 6.7).
+
+func TestMigrateSharedPagesUpdatesAllMappings(t *testing.T) {
+	m := machine.New(hw.KeyStoneII())
+	asA := m.NewAddressSpace(4096)
+	asB := m.NewAddressSpace(4096)
+	d := Open(m, asA, DefaultOptions())
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		const n = 8 * 4096
+		base, _ := asA.Mmap(p, n, hw.NodeSlow, "w")
+		data := bytes.Repeat([]byte{0x42}, n)
+		asA.Write(p, base, data)
+		shared, err := asB.ShareFrom(p, asA, base, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		r := d.AllocRequest(p)
+		r.Op = uapi.OpMigrate
+		r.SrcBase, r.Length, r.DstNode = base, n, hw.NodeFast
+		got := submitAndWait(t, d, p, r)
+		if got.Status != uapi.StatusDone {
+			t.Fatalf("completion = %v", got)
+		}
+
+		// Both processes now map the fast-node frames.
+		for i := int64(0); i < 8; i++ {
+			fa := asA.FrameAt(base + i*4096)
+			fb := asB.FrameAt(shared + i*4096)
+			if fa != fb {
+				t.Fatalf("page %d: mappings diverged after migration", i)
+			}
+			if fa.Node != hw.NodeFast {
+				t.Fatalf("page %d still on node %d", i, fa.Node)
+			}
+			if fa.RefCount != 2 {
+				t.Fatalf("page %d refcount = %d, want 2", i, fa.RefCount)
+			}
+		}
+		// Data visible through the peer's mapping; old frames freed.
+		buf := make([]byte, n)
+		asB.Read(p, shared, buf)
+		if !bytes.Equal(buf, data) {
+			t.Error("peer mapping lost the data")
+		}
+		if used := m.Mem.Used(hw.NodeSlow); used != 0 {
+			t.Errorf("slow node still holds %d bytes", used)
+		}
+	})
+	m.Eng.Run()
+}
+
+func TestSharedPageRaceFromPeerDetected(t *testing.T) {
+	m := machine.New(hw.KeyStoneII())
+	asA := m.NewAddressSpace(4096)
+	asB := m.NewAddressSpace(4096)
+	d := Open(m, asA, DefaultOptions())
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		const n = 32 * 4096
+		base, _ := asA.Mmap(p, n, hw.NodeSlow, "w")
+		shared, _ := asB.ShareFrom(p, asA, base, n)
+
+		r := d.AllocRequest(p)
+		r.Op = uapi.OpMigrate
+		r.SrcBase, r.Length, r.DstNode = base, n, hw.NodeFast
+		if err := d.Submit(p, r); err != nil {
+			t.Fatal(err)
+		}
+		// The *other* process touches the page mid-migration: its
+		// semi-final PTE loses the young bit and the release CAS
+		// reports the race just the same.
+		if err := asB.Touch(p, shared+3*4096, true); err != nil {
+			t.Fatal(err)
+		}
+		d.Poll(p, 0)
+		got := d.RetrieveCompleted(p)
+		if got == nil || got.Err != uapi.ErrRace {
+			t.Fatalf("completion = %v, want race", got)
+		}
+	})
+	m.Eng.Run()
+	if d.Stats().RacesDetected == 0 {
+		t.Error("race not recorded")
+	}
+}
+
+func TestSharedMigrationChargesPerMapping(t *testing.T) {
+	// Migrating a doubly-mapped region must cost more remap work than a
+	// singly-mapped one (one PTE update + TLB flush per mapping).
+	run := func(share bool) sim.Time {
+		m := machine.New(hw.KeyStoneII())
+		asA := m.NewAddressSpace(4096)
+		d := Open(m, asA, DefaultOptions())
+		var busy sim.Time
+		m.Eng.Spawn("app", func(p *sim.Proc) {
+			defer d.Close()
+			const n = 16 * 4096
+			base, _ := asA.Mmap(p, n, hw.NodeSlow, "w")
+			if share {
+				asB := m.NewAddressSpace(4096)
+				if _, err := asB.ShareFrom(p, asA, base, n); err != nil {
+					t.Fatal(err)
+				}
+			}
+			r := d.AllocRequest(p)
+			r.Op = uapi.OpMigrate
+			r.SrcBase, r.Length, r.DstNode = base, n, hw.NodeFast
+			submitAndWait(t, d, p, r)
+			busy = sim.MeterGroup{d.UserMeter, d.KernMeter}.Busy()
+		})
+		m.Eng.Run()
+		return busy
+	}
+	single, shared := run(false), run(true)
+	if shared <= single {
+		t.Errorf("shared-migration CPU %v <= single %v", shared, single)
+	}
+}

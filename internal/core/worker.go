@@ -1,0 +1,134 @@
+package core
+
+import (
+	"memif/internal/rbq"
+	"memif/internal/sim"
+	"memif/internal/stats"
+	"memif/internal/uapi"
+)
+
+// worker is the memif kernel thread (Section 5.4). Once woken — by the
+// completion interrupt of a kick-started request — it flushes the staging
+// queue, serves every queued request, and only recolors the staging queue
+// blue (handing flush duty back to the application) when everything is
+// drained.
+//
+// As a schedulable kernel context it can sleep, which is what permits the
+// polling completion mode for small transfers; and it runs on a core of
+// its own, shielding the application from the driver's CPU work.
+func (d *Device) worker(p *sim.Proc) {
+	for {
+		d.drainStaging(p)
+		if found, _ := d.serveNext(p, d.KernMeter, ctxKthread); found {
+			continue
+		}
+		// Queues look empty. Linger in polling mode for the idle grace
+		// before going to sleep: a steady request stream (e.g. the
+		// streaming runtime's refills) keeps being served without a
+		// single further syscall.
+		if d.linger(p) {
+			continue
+		}
+		// Still idle. Try to hand flushing back to the application;
+		// failure means the staging queue refilled under us, so keep
+		// draining.
+		if _, ok := d.Area.Staging.SetColor(rbq.Blue); !ok {
+			continue
+		}
+		if d.closed {
+			return
+		}
+		p.WaitCond(d.workSignal)
+		d.stats.WorkerWakes++
+		if d.closed && d.Area.Staging.Empty() && d.Area.Submission.Empty() {
+			return
+		}
+	}
+}
+
+// linger polls the queues for the idle grace, checking every few
+// microseconds, and reports whether work arrived. The grace adapts to
+// the observed request inter-arrival gap (NAPI-style): a steady stream
+// slower than the base grace still keeps the worker alive, up to 20x the
+// configured grace.
+func (d *Device) linger(p *sim.Proc) bool {
+	grace := d.opts.WorkerIdleGraceNS
+	if grace <= 0 || d.closed {
+		return false
+	}
+	if adaptive := 4 * d.gapEWMA; d.opts.AdaptiveLinger && adaptive > grace {
+		if max := 20 * grace; adaptive > max {
+			adaptive = max
+		}
+		grace = adaptive
+	}
+	const pollEvery = 20_000 // 20 µs
+	deadline := p.Now() + sim.Time(grace)
+	for p.Now() < deadline {
+		step := int64(deadline - p.Now())
+		if step > pollEvery {
+			step = pollEvery
+		}
+		p.WaitCondTimeout(d.workSignal, step)
+		d.busy(p, d.KernMeter, stats.PhaseInterface, d.M.Plat.Cost.PollCheck)
+		if !d.Area.Staging.Empty() || !d.Area.Submission.Empty() {
+			return true
+		}
+		if d.closed {
+			return false
+		}
+	}
+	return false
+}
+
+// drainStaging moves everything from the staging queue to the submission
+// queue (the kernel-side flush).
+func (d *Device) drainStaging(p *sim.Proc) {
+	for {
+		idx, _, ok := d.Area.Staging.Dequeue()
+		if !ok {
+			return
+		}
+		d.busy(p, d.KernMeter, stats.PhaseInterface, 2*d.M.Plat.Cost.QueueOp)
+		req, valid := d.Area.Req(idx)
+		if !valid {
+			continue
+		}
+		req.Status = uapi.StatusSubmitted
+		d.Area.Submission.Enqueue(idx)
+	}
+}
+
+// irqComplete is the interrupt path: it runs when a DMA completion
+// interrupt fires for a batch of inf. Multi-batch requests continue with
+// the next batch from interrupt context; on the final batch the handler
+// performs Release and Notify immediately — possible only because
+// lightweight race detection needs no sleeping locks (Section 5.2) — and
+// wakes the kernel thread to serve whatever else queued up meanwhile.
+func (d *Device) irqComplete(inf *inflight) {
+	d.M.Eng.Spawn("memif-irq", func(p *sim.Proc) {
+		cost := &d.M.Plat.Cost
+		d.busy(p, d.KernMeter, stats.PhaseInterface, cost.IRQEntry)
+		if inf.aborted {
+			// The recover handler took the request over mid-flight; no
+			// further interrupt will come, so hand the queue to the
+			// worker before leaving.
+			d.busy(p, d.KernMeter, stats.PhaseInterface, cost.KthreadWake)
+			d.workSignal.Signal()
+			return
+		}
+		if inf.nextBatch < len(inf.batches) {
+			if d.startBatch(p, d.KernMeter, inf, true) {
+				return
+			}
+			// Mid-flight failure: no further interrupt will come, so
+			// fall through and wake the worker for the queued rest.
+		} else {
+			d.finish(p, d.KernMeter, inf)
+		}
+		// Wake the kernel thread: it takes charge of all queued
+		// requests from here with no userspace involvement.
+		d.busy(p, d.KernMeter, stats.PhaseInterface, cost.KthreadWake)
+		d.workSignal.Signal()
+	})
+}

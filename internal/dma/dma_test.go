@@ -1,0 +1,378 @@
+package dma
+
+import (
+	"testing"
+
+	"memif/internal/hw"
+	"memif/internal/phys"
+	"memif/internal/sim"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	plat *hw.Platform
+	mem  *phys.Memory
+	dma  *Engine
+}
+
+func newRig() *rig {
+	eng := sim.NewEngine()
+	plat := hw.KeyStoneII()
+	return &rig{eng: eng, plat: plat, mem: phys.New(plat), dma: New(eng, plat)}
+}
+
+func (r *rig) segs(t *testing.T, n int, bytes int64) []Segment {
+	t.Helper()
+	dstNode := hw.NodeFast
+	if int64(n)*bytes > 2<<20 {
+		dstNode = hw.NodeSlow // keep large test transfers within capacity
+	}
+	out := make([]Segment, n)
+	for i := range out {
+		src, err := r.mem.Alloc(hw.NodeSlow, bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := r.mem.Alloc(r.mem.Node(dstNode).ID, bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range src.Data {
+			src.Data[j] = byte(i + j)
+		}
+		out[i] = Segment{Src: src, Dst: dst, Bytes: bytes}
+	}
+	return out
+}
+
+func TestTransferMovesBytes(t *testing.T) {
+	r := newRig()
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		segs := r.segs(t, 4, 4096)
+		tr, err := r.dma.Program(p, true, segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.dma.Start(tr, false, nil)
+		p.WaitEvent(tr.Done)
+		if tr.State() != StateDone {
+			t.Fatalf("state = %v", tr.State())
+		}
+		for i, s := range segs {
+			for j := range s.Dst.Data {
+				if s.Dst.Data[j] != byte(i+j) {
+					t.Fatalf("segment %d byte %d not copied", i, j)
+				}
+			}
+		}
+	})
+	r.eng.Run()
+	if st := r.dma.Stats(); st.Transfers != 1 || st.BytesMoved != 4*4096 {
+		t.Errorf("stats = %+v", r.dma.Stats())
+	}
+}
+
+func TestTransferTimeMatchesBandwidth(t *testing.T) {
+	r := newRig()
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		segs := r.segs(t, 1, hw.Page2M)
+		tr, _ := r.dma.Program(p, true, segs)
+		cfgDone := p.Now()
+		r.dma.Start(tr, false, nil)
+		p.WaitEvent(tr.Done)
+		got := int64(p.Now() - cfgDone)
+		want := r.plat.DMATransferNS(hw.Page2M, hw.NodeSlow, hw.NodeFast)
+		if got != want {
+			t.Errorf("transfer time = %d ns, want %d ns", got, want)
+		}
+	})
+	r.eng.Run()
+}
+
+func TestChainReuseCutsConfigCost(t *testing.T) {
+	r := newRig()
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		cost := &r.plat.Cost
+		segsA := r.segs(t, 16, 4096)
+		t0 := p.Now()
+		trA, _ := r.dma.Program(p, true, segsA)
+		firstCost := int64(p.Now() - t0)
+		wantFirst := cost.SGListInit + 16*(cost.DescParamCalc+cost.DescWriteFull)
+		if firstCost != wantFirst {
+			t.Errorf("first config cost = %d, want %d", firstCost, wantFirst)
+		}
+		r.dma.Start(trA, false, nil)
+		p.WaitEvent(trA.Done)
+
+		segsB := r.segs(t, 16, 4096)
+		t1 := p.Now()
+		trB, _ := r.dma.Program(p, true, segsB)
+		reuseCost := int64(p.Now() - t1)
+		wantReuse := cost.SGListInit + 16*cost.DescWriteReused
+		if reuseCost != wantReuse {
+			t.Errorf("reuse config cost = %d, want %d", reuseCost, wantReuse)
+		}
+		if trB.FirstSlot() != trA.FirstSlot() {
+			t.Errorf("reuse picked slot %d, want %d", trB.FirstSlot(), trA.FirstSlot())
+		}
+		r.dma.Start(trB, false, nil)
+		p.WaitEvent(trB.Done)
+	})
+	r.eng.Run()
+	st := r.dma.Stats()
+	if st.DescWritesFull != 16 || st.DescWritesReused != 16 {
+		t.Errorf("desc writes = %+v", st)
+	}
+}
+
+func TestPartialChainReuse(t *testing.T) {
+	r := newRig()
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		// Configure a 32-descriptor chain, then a 16-descriptor transfer
+		// of the same page size: it must reuse a prefix of the chain.
+		trA, _ := r.dma.Program(p, true, r.segs(t, 32, 4096))
+		r.dma.Start(trA, false, nil)
+		p.WaitEvent(trA.Done)
+		trB, _ := r.dma.Program(p, true, r.segs(t, 16, 4096))
+		if trB.FirstSlot() != trA.FirstSlot() {
+			t.Errorf("partial reuse start = %d, want %d", trB.FirstSlot(), trA.FirstSlot())
+		}
+		r.dma.Start(trB, false, nil)
+		p.WaitEvent(trB.Done)
+	})
+	r.eng.Run()
+	if got := r.dma.Stats().DescWritesReused; got != 16 {
+		t.Errorf("reused writes = %d, want 16", got)
+	}
+}
+
+func TestNoReuseAcrossPageSizes(t *testing.T) {
+	r := newRig()
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		trA, _ := r.dma.Program(p, true, r.segs(t, 4, 4096))
+		r.dma.Start(trA, false, nil)
+		p.WaitEvent(trA.Done)
+		trB, _ := r.dma.Program(p, true, r.segs(t, 4, 65536))
+		r.dma.Start(trB, false, nil)
+		p.WaitEvent(trB.Done)
+	})
+	r.eng.Run()
+	st := r.dma.Stats()
+	if st.DescWritesReused != 0 || st.DescWritesFull != 8 {
+		t.Errorf("desc writes = %+v, want 8 full / 0 reused", st)
+	}
+}
+
+func TestReuseFalseNeverReuses(t *testing.T) {
+	r := newRig()
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			tr, _ := r.dma.Program(p, false, r.segs(t, 8, 4096))
+			r.dma.Start(tr, false, nil)
+			p.WaitEvent(tr.Done)
+		}
+		if r.dma.Chains() != 0 {
+			t.Errorf("baseline driver remembered %d chains", r.dma.Chains())
+		}
+		if r.dma.FreeSlots() != r.plat.DMA.ParamSlots {
+			t.Errorf("slots leaked: %d free", r.dma.FreeSlots())
+		}
+	})
+	r.eng.Run()
+	if got := r.dma.Stats().DescWritesFull; got != 24 {
+		t.Errorf("full writes = %d, want 24", got)
+	}
+}
+
+func TestChainEvictionWhenSlotsExhausted(t *testing.T) {
+	r := newRig()
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		// Fill the PaRAM array with remembered chains of distinct sizes.
+		sizes := []int64{4096, 8192, 16384, 32768}
+		for _, s := range sizes {
+			tr, err := r.dma.Program(p, true, r.segs(t, 128, s))
+			if err != nil {
+				t.Fatalf("size %d: %v", s, err)
+			}
+			r.dma.Start(tr, false, nil)
+			p.WaitEvent(tr.Done)
+		}
+		if r.dma.FreeSlots() != 0 {
+			t.Fatalf("expected full PaRAM, %d free", r.dma.FreeSlots())
+		}
+		// A new shape must evict the LRU chain (the 4096 one).
+		tr, err := r.dma.Program(p, true, r.segs(t, 64, 2048))
+		if err != nil {
+			t.Fatalf("eviction path: %v", err)
+		}
+		r.dma.Start(tr, false, nil)
+		p.WaitEvent(tr.Done)
+		if r.dma.Chains() != 4 {
+			t.Errorf("chains = %d, want 4", r.dma.Chains())
+		}
+	})
+	r.eng.Run()
+}
+
+func TestOversizedTransferRejected(t *testing.T) {
+	r := newRig()
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		segs := make([]Segment, r.plat.DMA.ParamSlots+1)
+		src, _ := r.mem.Alloc(hw.NodeSlow, 64)
+		dst, _ := r.mem.Alloc(hw.NodeFast, 64)
+		for i := range segs {
+			segs[i] = Segment{Src: src, Dst: dst, Bytes: 64}
+		}
+		if _, err := r.dma.Program(p, true, segs); err == nil {
+			t.Error("oversized transfer accepted")
+		}
+	})
+	r.eng.Run()
+}
+
+func TestChannelSerializesTransfers(t *testing.T) {
+	r := newRig()
+	var doneA, doneB sim.Time
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		trA, _ := r.dma.Program(p, true, r.segs(t, 1, hw.Page2M))
+		trB, _ := r.dma.Program(p, true, r.segs(t, 1, hw.Page2M))
+		r.dma.Start(trA, false, nil)
+		r.dma.Start(trB, false, nil)
+		p.WaitEvent(trA.Done)
+		doneA = p.Now()
+		p.WaitEvent(trB.Done)
+		doneB = p.Now()
+	})
+	r.eng.Run()
+	dur := sim.Time(r.plat.DMATransferNS(hw.Page2M, hw.NodeSlow, hw.NodeFast))
+	if doneB-doneA < dur {
+		t.Errorf("transfers overlapped: A done %v, B done %v, each needs %v", doneA, doneB, dur)
+	}
+}
+
+func TestIRQDelivery(t *testing.T) {
+	r := newRig()
+	var irqAt, doneAt sim.Time
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		tr, _ := r.dma.Program(p, true, r.segs(t, 2, 4096))
+		r.dma.Start(tr, true, func() { irqAt = r.eng.Now() })
+		p.WaitEvent(tr.Done)
+		doneAt = p.Now()
+		p.SleepNS(100000) // let the IRQ land
+	})
+	r.eng.Run()
+	want := doneAt + sim.Time(r.plat.DMA.IRQNS)
+	if irqAt != want {
+		t.Errorf("IRQ at %v, want %v", irqAt, want)
+	}
+	if r.dma.Stats().IRQs != 1 {
+		t.Errorf("IRQs = %d, want 1", r.dma.Stats().IRQs)
+	}
+}
+
+func TestAbortActiveSkipsCopy(t *testing.T) {
+	r := newRig()
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		segs := r.segs(t, 1, hw.Page2M)
+		tr, _ := r.dma.Program(p, true, segs)
+		irqRan := false
+		r.dma.Start(tr, true, func() { irqRan = true })
+		p.SleepNS(1000) // mid-flight
+		r.dma.Abort(tr)
+		p.WaitEvent(tr.Done)
+		if tr.State() != StateAborted {
+			t.Errorf("state = %v, want aborted", tr.State())
+		}
+		for _, b := range segs[0].Dst.Data {
+			if b != 0 {
+				t.Fatal("aborted transfer copied bytes")
+			}
+		}
+		p.SleepNS(100000)
+		if irqRan {
+			t.Error("aborted transfer delivered IRQ")
+		}
+	})
+	r.eng.Run()
+	if r.dma.Stats().Aborts != 1 {
+		t.Errorf("Aborts = %d", r.dma.Stats().Aborts)
+	}
+}
+
+func TestAbortQueuedRemoves(t *testing.T) {
+	r := newRig()
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		trA, _ := r.dma.Program(p, true, r.segs(t, 1, hw.Page2M))
+		segsB := r.segs(t, 1, hw.Page2M)
+		trB, _ := r.dma.Program(p, true, segsB)
+		r.dma.Start(trA, false, nil)
+		r.dma.Start(trB, false, nil)
+		r.dma.Abort(trB)
+		if trB.State() != StateAborted {
+			t.Errorf("queued abort state = %v", trB.State())
+		}
+		p.WaitEvent(trA.Done)
+		p.WaitEvent(trB.Done) // already fired
+		for _, b := range segsB[0].Dst.Data {
+			if b != 0 {
+				t.Fatal("aborted queued transfer copied bytes")
+			}
+		}
+	})
+	r.eng.Run()
+	if r.dma.Stats().Transfers != 1 {
+		t.Errorf("Transfers = %d, want 1", r.dma.Stats().Transfers)
+	}
+}
+
+func TestPinningDuringTransfer(t *testing.T) {
+	r := newRig()
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		segs := r.segs(t, 1, 4096)
+		tr, _ := r.dma.Program(p, true, segs)
+		if !segs[0].Src.Pinned || !segs[0].Dst.Pinned {
+			t.Error("frames not pinned after Program")
+		}
+		r.dma.Start(tr, false, nil)
+		p.WaitEvent(tr.Done)
+		if segs[0].Src.Pinned || segs[0].Dst.Pinned {
+			t.Error("frames still pinned after completion")
+		}
+	})
+	r.eng.Run()
+}
+
+func TestProgramValidation(t *testing.T) {
+	r := newRig()
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		if _, err := r.dma.Program(p, true, nil); err == nil {
+			t.Error("empty transfer accepted")
+		}
+		src, _ := r.mem.Alloc(hw.NodeSlow, 4096)
+		dst, _ := r.mem.Alloc(hw.NodeFast, 4096)
+		mixed := []Segment{{src, dst, 4096}, {src, dst, 2048}}
+		if _, err := r.dma.Program(p, true, mixed); err == nil {
+			t.Error("mixed-size transfer accepted")
+		}
+		over := []Segment{{src, dst, 8192}}
+		if _, err := r.dma.Program(p, true, over); err == nil {
+			t.Error("overrun segment accepted")
+		}
+	})
+	r.eng.Run()
+}
+
+func TestDescriptorChainLinks(t *testing.T) {
+	r := newRig()
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		tr, _ := r.dma.Program(p, true, r.segs(t, 3, 4096))
+		s := tr.FirstSlot()
+		d0, d1, d2 := r.dma.Slot(s), r.dma.Slot(s+1), r.dma.Slot(s+2)
+		if d0.Link != s+1 || d1.Link != s+2 || d2.Link != -1 {
+			t.Errorf("links = %d,%d,%d", d0.Link, d1.Link, d2.Link)
+		}
+		r.dma.Start(tr, false, nil)
+		p.WaitEvent(tr.Done)
+	})
+	r.eng.Run()
+}

@@ -1,0 +1,258 @@
+// Package hw models the hardware platform: heterogeneous memory nodes,
+// CPU cores, the DMA engine's envelope parameters, and the cost model that
+// assigns virtual-time prices to kernel operations.
+//
+// The default platform is the TI KeyStone II system-on-chip the paper
+// prototypes on (Table 2): four Cortex-A15 cores, a 6 MB on-chip MSMC SRAM
+// node measured at 24.0 GB/s, an 8 GB DDR3 node measured at 6.2 GB/s, and
+// the EDMA3 engine with 512 transfer descriptors. A second preset models
+// the 2x8-core Xeon E5-4650 NUMA machine used in Section 2.2.
+//
+// All costs live in one CostModel struct so experiments (and ablations)
+// can perturb a single knob without touching mechanism code.
+package hw
+
+import "fmt"
+
+// NodeID identifies a memory node (pseudo NUMA node). The paper abstracts
+// each heterogeneous memory as one node.
+type NodeID int
+
+const (
+	// NodeSlow is the large, slow node (DDR3 on KeyStone II).
+	NodeSlow NodeID = 0
+	// NodeFast is the small, fast node (on-chip MSMC SRAM).
+	NodeFast NodeID = 1
+)
+
+// MemNode describes one memory node.
+type MemNode struct {
+	ID        NodeID
+	Name      string
+	Capacity  int64   // bytes
+	Bandwidth float64 // sustained bytes/sec for CPU streaming
+	LatencyNS int64   // load-to-use latency, ns
+}
+
+func (n MemNode) String() string {
+	return fmt.Sprintf("node%d(%s, %d MB, %.1f GB/s)", n.ID, n.Name, n.Capacity>>20, n.Bandwidth/1e9)
+}
+
+// DMAParams describes the DMA engine envelope (the mechanism lives in
+// package dma).
+type DMAParams struct {
+	Controllers int     // transfer controllers (EDMA3: 6)
+	ParamSlots  int     // transfer descriptor entries (EDMA3: 512)
+	Bandwidth   float64 // effective memory-to-memory bytes/sec
+	StartupNS   int64   // trigger-to-first-byte latency per transfer
+	IRQNS       int64   // completion-interrupt delivery latency
+}
+
+// CostModel prices kernel operations in nanoseconds of CPU time. The
+// values are calibrated against the measurements reported in the paper:
+// ~15 us to migrate one 4 KB page on the A15 of which ~4 us is byte copy
+// (Section 2.2), 4-5 us to configure one DMA descriptor in uncached I/O
+// memory with a 4x reduction when reusing a chain (Section 5.3), and
+// "up to a couple of us" for a PTE replace + TLB flush (Section 5.2).
+type CostModel struct {
+	SyscallEnter int64 // user->kernel crossing
+	SyscallExit  int64 // kernel->user crossing
+
+	// Page lookup (Section 5.1).
+	PageLookupVertical   int64 // full descent from page-table root to PTE
+	PageLookupHorizontal int64 // step to an adjacent PTE during gang lookup
+
+	// Virtual memory manipulation.
+	PTEReplace   int64 // write a PTE
+	PTECas       int64 // compare-and-swap a PTE (race detection release)
+	TLBFlushPage int64 // flush one page from the TLB (direct cost)
+	PageAlloc    int64 // allocate one physical page on a node
+	PageFree     int64 // free one physical page
+	RmapBook     int64 // reverse-map/bookkeeping per page (isolate LRU etc.)
+
+	// DMA engine configuration (Section 5.3).
+	DescParamCalc   int64 // compute the 12 transfer parameters
+	DescWriteFull   int64 // write a whole descriptor to uncached I/O memory
+	DescWriteReused int64 // rewrite only src+dst of a reused descriptor
+	SGListInit      int64 // per-request scatter-gather list assembly
+
+	// Asynchronous interface machinery (Sections 4, 5.4).
+	QueueOp       int64 // one lock-free queue operation
+	NotifyEnqueue int64 // post one completion notification
+	IRQEntry      int64 // interrupt entry/exit overhead
+	KthreadWake   int64 // wake the kernel worker thread
+	PollCheck     int64 // kernel thread checking DMA status in polling mode
+
+	// TLBMissWalk is the hardware page-walk time on a TLB miss,
+	// charged on access paths when an address space models its TLB
+	// (the *indirect* flush cost of Section 5.2).
+	TLBMissWalk int64
+
+	// Byte copy by CPU (the baseline's "copying bytes" cost).
+	CPUCopyBandwidth float64 // bytes/sec of kernel memcpy
+	CPUCopyPageBase  int64   // fixed per-page startup (cache effects)
+
+	// Baseline-only batching overhead: fixed cost per migration syscall
+	// (VMA walk, policy checks, LRU isolation setup).
+	MigrateSyscallBase int64
+}
+
+// CopyNS returns the CPU time to memcpy n bytes organized as pages of
+// pageBytes each.
+func (c *CostModel) CopyNS(n int64, pageBytes int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	pages := (n + pageBytes - 1) / pageBytes
+	return pages*c.CPUCopyPageBase + int64(float64(n)/c.CPUCopyBandwidth*1e9)
+}
+
+// Platform bundles the machine description.
+type Platform struct {
+	Name  string
+	Cores int
+	Nodes []MemNode
+	DMA   DMAParams
+	Cost  CostModel
+}
+
+// Node returns the description of node id.
+func (pl *Platform) Node(id NodeID) MemNode {
+	for _, n := range pl.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	panic(fmt.Sprintf("hw: unknown node %d", id))
+}
+
+// DMATransferNS returns the virtual time for the DMA engine to move n
+// bytes from src to dst: the engine's effective bandwidth clipped by both
+// endpoints' node bandwidths, plus the per-transfer startup.
+func (pl *Platform) DMATransferNS(n int64, src, dst NodeID) int64 {
+	if n <= 0 {
+		return pl.DMA.StartupNS
+	}
+	bw := pl.DMA.Bandwidth
+	if b := pl.Node(src).Bandwidth; b < bw {
+		bw = b
+	}
+	if b := pl.Node(dst).Bandwidth; b < bw {
+		bw = b
+	}
+	return pl.DMA.StartupNS + int64(float64(n)/bw*1e9)
+}
+
+// KeyStoneII returns the paper's test platform (Table 2), with the cost
+// model calibrated to the per-operation measurements reported in
+// Sections 2.2, 5.2 and 5.3.
+func KeyStoneII() *Platform {
+	return &Platform{
+		Name:  "TI KeyStone II (4x Cortex-A15 @ 1.2 GHz)",
+		Cores: 4,
+		Nodes: []MemNode{
+			{ID: NodeSlow, Name: "DDR3-1600", Capacity: 8 << 30, Bandwidth: 6.2e9, LatencyNS: 110},
+			{ID: NodeFast, Name: "MSMC-SRAM", Capacity: 6 << 20, Bandwidth: 24.0e9, LatencyNS: 25},
+		},
+		DMA: DMAParams{
+			Controllers: 6,
+			ParamSlots:  512,
+			Bandwidth:   5.5e9, // effective m2m, below the DDR3 read limit
+			StartupNS:   900,
+			IRQNS:       600,
+		},
+		Cost: CostModel{
+			SyscallEnter: 350,
+			SyscallExit:  300,
+
+			PageLookupVertical:   1200,
+			PageLookupHorizontal: 150,
+
+			PTEReplace:   900,
+			PTECas:       300,
+			TLBFlushPage: 1500,
+			PageAlloc:    1800,
+			PageFree:     1000,
+			RmapBook:     700,
+
+			DescParamCalc:   700,
+			DescWriteFull:   4400, // 4-5 us measured (Section 5.3)
+			DescWriteReused: 1100, // "reducing the second overhead by 4x"
+			SGListInit:      1000,
+
+			QueueOp:       120,
+			NotifyEnqueue: 250,
+			IRQEntry:      1500,
+			KthreadWake:   2000,
+			PollCheck:     250,
+
+			TLBMissWalk: 300,
+
+			CPUCopyBandwidth: 2.0e9,
+			CPUCopyPageBase:  2000, // 4 KB copy ~ 4 us total (Section 2.2)
+
+			MigrateSyscallBase: 2500,
+		},
+	}
+}
+
+// XeonE5 returns the 2x8-core Xeon E5-4650 NUMA machine of Section 2.2,
+// calibrated so that migrating 1500 4 KB pages in one mbind() runs at
+// ~0.66 GB/s and migrating one million pages at ~1.41 GB/s (the large
+// fixed per-syscall cost amortizes only at extreme batch sizes).
+func XeonE5() *Platform {
+	return &Platform{
+		Name:  "2x Xeon E5-4650 NUMA",
+		Cores: 16,
+		Nodes: []MemNode{
+			{ID: NodeSlow, Name: "DDR3-node0", Capacity: 64 << 30, Bandwidth: 38e9, LatencyNS: 95},
+			{ID: NodeFast, Name: "DDR3-node1", Capacity: 64 << 30, Bandwidth: 38e9, LatencyNS: 95},
+		},
+		DMA: DMAParams{ // no usable m2m DMA engine is exposed on this box
+			Controllers: 0,
+			ParamSlots:  0,
+			Bandwidth:   0,
+			StartupNS:   0,
+			IRQNS:       0,
+		},
+		Cost: CostModel{
+			SyscallEnter: 120,
+			SyscallExit:  100,
+
+			PageLookupVertical:   300,
+			PageLookupHorizontal: 60,
+
+			PTEReplace:   150,
+			PTECas:       80,
+			TLBFlushPage: 400,
+			PageAlloc:    350,
+			PageFree:     250,
+			RmapBook:     150,
+
+			DescParamCalc:   0,
+			DescWriteFull:   0,
+			DescWriteReused: 0,
+			SGListInit:      0,
+
+			QueueOp:       60,
+			NotifyEnqueue: 120,
+			IRQEntry:      700,
+			KthreadWake:   900,
+			PollCheck:     120,
+
+			TLBMissWalk: 110,
+
+			CPUCopyBandwidth: 10e9,
+			CPUCopyPageBase:  150,
+
+			MigrateSyscallBase: 4_900_000, // ~4.9 ms per mbind (policy+VMA work)
+		},
+	}
+}
+
+// PageSize constants used throughout the evaluation.
+const (
+	Page4K  int64 = 4 << 10
+	Page64K int64 = 64 << 10
+	Page2M  int64 = 2 << 20
+)

@@ -1,0 +1,124 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyStoneIIMatchesTable2(t *testing.T) {
+	p := KeyStoneII()
+	if p.Cores != 4 {
+		t.Errorf("cores = %d, want 4", p.Cores)
+	}
+	fast, slow := p.Node(NodeFast), p.Node(NodeSlow)
+	if fast.Capacity != 6<<20 {
+		t.Errorf("fast capacity = %d, want 6 MB", fast.Capacity)
+	}
+	if fast.Bandwidth != 24.0e9 {
+		t.Errorf("fast bandwidth = %g, want 24 GB/s", fast.Bandwidth)
+	}
+	if slow.Capacity != 8<<30 {
+		t.Errorf("slow capacity = %d, want 8 GB", slow.Capacity)
+	}
+	if slow.Bandwidth != 6.2e9 {
+		t.Errorf("slow bandwidth = %g, want 6.2 GB/s", slow.Bandwidth)
+	}
+	if p.DMA.Controllers != 6 || p.DMA.ParamSlots != 512 {
+		t.Errorf("DMA = %+v, want 6 TCs / 512 slots", p.DMA)
+	}
+}
+
+func TestCostModelCalibration(t *testing.T) {
+	c := KeyStoneII().Cost
+	// Section 2.2: ~15 µs per 4 KB page, of which ~4 µs is copy.
+	perPage := c.PageLookupVertical + c.RmapBook + // prep
+		c.PageAlloc + c.PTEReplace + c.TLBFlushPage + // remap
+		c.CopyNS(Page4K, Page4K) + // copy
+		c.PTEReplace + c.TLBFlushPage + c.PageFree + c.RmapBook // release
+	if perPage < 13_000 || perPage > 16_000 {
+		t.Errorf("baseline per-page cost = %d ns, want ~15 µs", perPage)
+	}
+	copyNS := c.CopyNS(Page4K, Page4K)
+	if copyNS < 3_000 || copyNS > 5_000 {
+		t.Errorf("4KB copy = %d ns, want ~4 µs", copyNS)
+	}
+	// Section 5.3: full descriptor config 4-5 µs; reuse cuts the write
+	// cost by ~4x.
+	if c.DescWriteFull < 4_000 || c.DescWriteFull > 5_000 {
+		t.Errorf("DescWriteFull = %d, want 4-5 µs", c.DescWriteFull)
+	}
+	ratio := float64(c.DescWriteFull) / float64(c.DescWriteReused)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("desc write reuse ratio = %.1f, want ~4x", ratio)
+	}
+}
+
+func TestCopyNS(t *testing.T) {
+	c := KeyStoneII().Cost
+	if c.CopyNS(0, Page4K) != 0 {
+		t.Error("zero-byte copy has nonzero cost")
+	}
+	if c.CopyNS(-5, Page4K) != 0 {
+		t.Error("negative copy has nonzero cost")
+	}
+	// Two pages cost two bases plus bandwidth time.
+	one := c.CopyNS(Page4K, Page4K)
+	two := c.CopyNS(2*Page4K, Page4K)
+	if two != 2*one {
+		t.Errorf("2-page copy = %d, want %d", two, 2*one)
+	}
+}
+
+func TestDMATransferClippedByNodes(t *testing.T) {
+	p := KeyStoneII()
+	// slow->fast is bounded by the DMA engine (5.5 < 6.2 < 24).
+	ns := p.DMATransferNS(1<<20, NodeSlow, NodeFast)
+	want := p.DMA.StartupNS + int64(float64(1<<20)/p.DMA.Bandwidth*1e9)
+	if ns != want {
+		t.Errorf("slow->fast transfer = %d, want %d", ns, want)
+	}
+	// A node slower than the engine clips the rate.
+	p.Nodes[0].Bandwidth = 1e9
+	ns = p.DMATransferNS(1<<20, NodeSlow, NodeFast)
+	want = p.DMA.StartupNS + int64(float64(1<<20)/1e9*1e9)
+	if ns != want {
+		t.Errorf("clipped transfer = %d, want %d", ns, want)
+	}
+	if p.DMATransferNS(0, NodeSlow, NodeFast) != p.DMA.StartupNS {
+		t.Error("zero-byte transfer should cost just the startup")
+	}
+}
+
+func TestDMATransferMonotonic(t *testing.T) {
+	p := KeyStoneII()
+	prop := func(a, b uint32) bool {
+		x, y := int64(a%(1<<26)), int64(b%(1<<26))
+		if x > y {
+			x, y = y, x
+		}
+		return p.DMATransferNS(x, NodeSlow, NodeFast) <= p.DMATransferNS(y, NodeSlow, NodeFast)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeLookupPanicsOnUnknown(t *testing.T) {
+	p := KeyStoneII()
+	defer func() {
+		if recover() == nil {
+			t.Error("Node(99) did not panic")
+		}
+	}()
+	p.Node(NodeID(99))
+}
+
+func TestXeonHasNoDMA(t *testing.T) {
+	p := XeonE5()
+	if p.DMA.ParamSlots != 0 {
+		t.Errorf("Xeon exposes %d DMA slots, want 0", p.DMA.ParamSlots)
+	}
+	if p.Cores != 16 {
+		t.Errorf("Xeon cores = %d, want 2x8", p.Cores)
+	}
+}

@@ -1,0 +1,259 @@
+package linuxmig
+
+import (
+	"errors"
+	"testing"
+
+	"memif/internal/hw"
+	"memif/internal/machine"
+	"memif/internal/sim"
+	"memif/internal/stats"
+)
+
+func newRig() (*machine.Machine, *Migrator) {
+	m := machine.New(hw.KeyStoneII())
+	as := m.NewAddressSpace(4096)
+	return m, New(m, as)
+}
+
+func TestMBindMovesDataAndPages(t *testing.T) {
+	m, mg := newRig()
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		const n = 64 * 4096
+		base, _ := mg.AS.Mmap(p, n, hw.NodeSlow, "w")
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(i * 3)
+		}
+		mg.AS.Write(p, base, buf)
+
+		if err := mg.MBind(p, base, n, hw.NodeFast); err != nil {
+			t.Fatalf("MBind: %v", err)
+		}
+		got := make([]byte, n)
+		mg.AS.Read(p, base, got)
+		for i := range got {
+			if got[i] != byte(i*3) {
+				t.Fatalf("byte %d corrupted", i)
+			}
+		}
+		for i := int64(0); i < 64; i++ {
+			if f := mg.AS.FrameAt(base + i*4096); f == nil || f.Node != hw.NodeFast {
+				t.Fatalf("page %d not on fast node: %v", i, f)
+			}
+		}
+		if mg.AS.Mem.Used(hw.NodeSlow) != 0 {
+			t.Error("old pages not freed")
+		}
+	})
+	m.Eng.Run()
+	if mg.Pages != 64 || mg.Bytes != 64*4096 {
+		t.Errorf("pages=%d bytes=%d", mg.Pages, mg.Bytes)
+	}
+}
+
+func TestMBindIsSynchronousAndCPUBound(t *testing.T) {
+	m, mg := newRig()
+	var elapsed sim.Time
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		const n = 128 * 4096
+		base, _ := mg.AS.Mmap(p, n, hw.NodeSlow, "w")
+		mg.Meter.Reset()
+		start := p.Now()
+		mg.MBind(p, base, n, hw.NodeFast)
+		elapsed = p.Now() - start
+	})
+	m.Eng.Run()
+	// Synchronous: CPU busy time equals elapsed time (usage = 100%).
+	if mg.Meter.Busy() != elapsed {
+		t.Errorf("busy %v != elapsed %v; baseline must be 100%% CPU", mg.Meter.Busy(), elapsed)
+	}
+	// ~15 us per 4 KB page on KeyStone II (Section 2.2). Allow 20%.
+	perPage := float64(elapsed) / 128 / 1000
+	if perPage < 12 || perPage > 18 {
+		t.Errorf("per-page cost = %.1f µs, want ~15 µs", perPage)
+	}
+}
+
+func TestThroughputMatchesPaperSec22(t *testing.T) {
+	// Section 2.2: migrating 1500 4KB pages with one mbind on the ARM
+	// SoC shows ~0.30 GB/s.
+	m, mg := newRig()
+	var tput float64
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		const n = 1500 * 4096
+		base, _ := mg.AS.Mmap(p, n, hw.NodeSlow, "w")
+		start := p.Now()
+		if err := mg.MBind(p, base, n, hw.NodeFast); err != nil {
+			t.Fatal(err)
+		}
+		tput = stats.ThroughputGBs(n, p.Now()-start)
+	})
+	m.Eng.Run()
+	if tput < 0.24 || tput > 0.36 {
+		t.Errorf("ARM mbind throughput = %.2f GB/s, want ~0.30", tput)
+	}
+}
+
+func TestXeonThroughputMatchesPaperSec22(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-page migration in long mode only")
+	}
+	// Section 2.2: 1500 pages -> ~0.66 GB/s; 1M pages -> ~1.41 GB/s on
+	// the Xeon E5 box (both NUMA nodes are plain DDR3 there).
+	run := func(pages int64) float64 {
+		m := machine.New(hw.XeonE5())
+		m.Mem.DisableData() // timing-only: skip gigabytes of host memcpy
+		as := m.NewAddressSpace(4096)
+		mg := New(m, as)
+		var tput float64
+		m.Eng.Spawn("app", func(p *sim.Proc) {
+			n := pages * 4096
+			base, err := as.Mmap(p, n, hw.NodeSlow, "w")
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := p.Now()
+			if err := mg.MBind(p, base, n, hw.NodeFast); err != nil {
+				t.Fatal(err)
+			}
+			tput = stats.ThroughputGBs(n, p.Now()-start)
+		})
+		m.Eng.Run()
+		return tput
+	}
+	if got := run(1500); got < 0.55 || got > 0.8 {
+		t.Errorf("Xeon 1500-page throughput = %.2f GB/s, want ~0.66", got)
+	}
+	if got := run(1 << 20); got < 1.2 || got > 1.6 {
+		t.Errorf("Xeon 1M-page throughput = %.2f GB/s, want ~1.41", got)
+	}
+}
+
+func TestMBindValidation(t *testing.T) {
+	m, mg := newRig()
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		base, _ := mg.AS.Mmap(p, 8*4096, hw.NodeSlow, "w")
+		if err := mg.MBind(p, base+5, 4096, hw.NodeFast); !errors.Is(err, ErrBadRegion) {
+			t.Errorf("unaligned: %v", err)
+		}
+		if err := mg.MBind(p, 0xbad000, 4096, hw.NodeFast); !errors.Is(err, ErrBadRegion) {
+			t.Errorf("unmapped: %v", err)
+		}
+	})
+	m.Eng.Run()
+}
+
+func TestMBindOutOfMemory(t *testing.T) {
+	m, mg := newRig()
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		const n = 8 << 20 // > 6 MB fast node
+		base, _ := mg.AS.Mmap(p, n, hw.NodeSlow, "big")
+		if err := mg.MBind(p, base, n, hw.NodeFast); !errors.Is(err, ErrNoMemory) {
+			t.Errorf("err = %v, want ErrNoMemory", err)
+		}
+		// Pages migrated before the failure stay migrated (Linux
+		// semantics: partial success).
+		if f := mg.AS.FrameAt(base); f == nil || f.Node != hw.NodeFast {
+			t.Error("first page should have migrated before ENOMEM")
+		}
+	})
+	m.Eng.Run()
+}
+
+func TestMBindSkipsPagesAlreadyOnNode(t *testing.T) {
+	m, mg := newRig()
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		base, _ := mg.AS.Mmap(p, 4*4096, hw.NodeFast, "w")
+		if err := mg.MBind(p, base, 4*4096, hw.NodeFast); err != nil {
+			t.Fatal(err)
+		}
+		if mg.Pages != 0 {
+			t.Errorf("migrated %d pages already on node", mg.Pages)
+		}
+	})
+	m.Eng.Run()
+}
+
+func TestBatchedNotificationSemantics(t *testing.T) {
+	// Figure 7's baseline: with batch=4, requests 0..3 all complete at
+	// the same instant (the syscall return), likewise 4..7.
+	m, mg := newRig()
+	times := make([]sim.Time, 8)
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		var regions [][2]int64
+		for i := 0; i < 8; i++ {
+			base, _ := mg.AS.Mmap(p, 16*4096, hw.NodeSlow, "w")
+			regions = append(regions, [2]int64{base, 16 * 4096})
+		}
+		err := mg.MigrateBatched(p, regions, hw.NodeFast, 4, func(i int, at sim.Time) {
+			times[i] = at
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	m.Eng.Run()
+	if times[0] != times[3] {
+		t.Errorf("batch 1 not notified together: %v vs %v", times[0], times[3])
+	}
+	if times[4] != times[7] {
+		t.Errorf("batch 2 not notified together: %v vs %v", times[4], times[7])
+	}
+	if times[4] <= times[0] {
+		t.Error("second batch not after first")
+	}
+}
+
+func TestMigrationPTEInstalledDuringCopy(t *testing.T) {
+	// Verify the baseline actually installs blocking PTEs: a concurrent
+	// accessor must stall until the page is released.
+	m, mg := newRig()
+	var base int64
+	var touchDone sim.Time
+	var mbindDone sim.Time
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		base, _ = mg.AS.Mmap(p, 4096, hw.NodeSlow, "w")
+		m.Eng.Spawn("toucher", func(tp *sim.Proc) {
+			// A single-page migration holds its blocking PTE roughly
+			// between 9 µs (after remap) and 18 µs (release). Land in
+			// that window.
+			tp.SleepNS(11_000)
+			if err := mg.AS.Touch(tp, base, false); err != nil {
+				t.Errorf("touch: %v", err)
+			}
+			touchDone = tp.Now()
+		})
+		mg.MBind(p, base, 4096, hw.NodeFast)
+		mbindDone = p.Now()
+	})
+	m.Eng.Run()
+	if touchDone <= sim.Time(11_000) {
+		t.Fatalf("toucher was never blocked (done at %v)", touchDone)
+	}
+	// It unblocks at release, which is within a syscall-exit of the
+	// mbind return.
+	if touchDone+sim.Time(5_000) < mbindDone {
+		t.Errorf("toucher finished at %v, mbind at %v: blocking PTE missing", touchDone, mbindDone)
+	}
+}
+
+func TestBreakdownDominatedByCPUWork(t *testing.T) {
+	m, mg := newRig()
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		base, _ := mg.AS.Mmap(p, 256*4096, hw.NodeSlow, "w")
+		mg.MBind(p, base, 256*4096, hw.NodeFast)
+	})
+	m.Eng.Run()
+	b := mg.Breakdown
+	for _, ph := range []string{stats.PhasePrep, stats.PhaseRemap, stats.PhaseCopy, stats.PhaseRelease, stats.PhaseInterface} {
+		if b.Get(ph) <= 0 {
+			t.Errorf("phase %s empty", ph)
+		}
+	}
+	// Copy is ~4 of ~15 µs per page (Section 2.2): between 15% and 45%.
+	frac := float64(b.Get(stats.PhaseCopy)) / float64(b.Total())
+	if frac < 0.15 || frac > 0.45 {
+		t.Errorf("copy fraction = %.2f, want ~0.27", frac)
+	}
+}

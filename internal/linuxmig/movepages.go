@@ -1,0 +1,67 @@
+package linuxmig
+
+import (
+	"memif/internal/hw"
+	"memif/internal/sim"
+	"memif/internal/stats"
+)
+
+// PageStatus is the per-page result of MovePages, mirroring the status
+// array move_pages(2) fills in.
+type PageStatus int
+
+// Per-page outcomes.
+const (
+	// StatusMoved: the page now resides on the requested node.
+	StatusMoved PageStatus = iota
+	// StatusAlreadyThere: the page was on the node already; skipped.
+	StatusAlreadyThere
+	// StatusBadAddress: the address is not mapped (EFAULT).
+	StatusBadAddress
+	// StatusNoMemory: the destination node could not supply a page
+	// (ENOMEM); the page stays where it was.
+	StatusNoMemory
+)
+
+func (s PageStatus) String() string {
+	return [...]string{"moved", "already-there", "bad-address", "nomem"}[s]
+}
+
+// MovePages migrates an explicit list of pages in one synchronous
+// syscall, the move_pages(2) flavor of the baseline: unlike MBind it
+// takes scattered addresses rather than one region, reports a status per
+// page, and keeps going past per-page failures. Addresses are rounded
+// down to their page.
+func (mg *Migrator) MovePages(p *sim.Proc, addrs []int64, dstNode hw.NodeID) []PageStatus {
+	as := mg.AS
+	cost := &mg.M.Plat.Cost
+	out := make([]PageStatus, len(addrs))
+
+	mg.busy(p, stats.PhaseInterface, cost.SyscallEnter+cost.MigrateSyscallBase)
+	for i, addr := range addrs {
+		addr &^= as.PageBytes - 1
+		if as.FindVMA(addr) == nil {
+			out[i] = StatusBadAddress
+			continue
+		}
+		f := as.FrameAt(addr)
+		if f == nil {
+			out[i] = StatusBadAddress
+			continue
+		}
+		if f.Node == dstNode {
+			out[i] = StatusAlreadyThere
+			continue
+		}
+		switch err := mg.migrateOne(p, addr, dstNode); {
+		case err == nil:
+			out[i] = StatusMoved
+		default:
+			// migrateOne only fails with ENOMEM here (addressability
+			// was pre-checked); the page is untouched.
+			out[i] = StatusNoMemory
+		}
+	}
+	mg.busy(p, stats.PhaseInterface, cost.SyscallExit)
+	return out
+}

@@ -1,0 +1,75 @@
+package linuxmig
+
+import (
+	"testing"
+
+	"memif/internal/hw"
+	"memif/internal/sim"
+)
+
+func TestMovePagesScattered(t *testing.T) {
+	m, mg := newRig()
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		base, _ := mg.AS.Mmap(p, 16*4096, hw.NodeSlow, "w")
+		// Move pages 1, 5, 9 (with an unaligned address for 5).
+		addrs := []int64{base + 1*4096, base + 5*4096 + 123, base + 9*4096}
+		st := mg.MovePages(p, addrs, hw.NodeFast)
+		for i, s := range st {
+			if s != StatusMoved {
+				t.Errorf("page %d: %v", i, s)
+			}
+		}
+		// Moved pages on fast, neighbours untouched.
+		for _, pg := range []int64{1, 5, 9} {
+			if f := mg.AS.FrameAt(base + pg*4096); f.Node != hw.NodeFast {
+				t.Errorf("page %d not moved", pg)
+			}
+		}
+		for _, pg := range []int64{0, 2, 4, 6, 8, 10} {
+			if f := mg.AS.FrameAt(base + pg*4096); f.Node != hw.NodeSlow {
+				t.Errorf("page %d moved unexpectedly", pg)
+			}
+		}
+	})
+	m.Eng.Run()
+}
+
+func TestMovePagesPerPageStatuses(t *testing.T) {
+	m, mg := newRig()
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		onFast, _ := mg.AS.Mmap(p, 4096, hw.NodeFast, "f")
+		onSlow, _ := mg.AS.Mmap(p, 4096, hw.NodeSlow, "s")
+		st := mg.MovePages(p, []int64{onFast, 0xdead0000, onSlow}, hw.NodeFast)
+		want := []PageStatus{StatusAlreadyThere, StatusBadAddress, StatusMoved}
+		for i := range want {
+			if st[i] != want[i] {
+				t.Errorf("page %d: %v, want %v", i, st[i], want[i])
+			}
+		}
+	})
+	m.Eng.Run()
+}
+
+func TestMovePagesContinuesPastENOMEM(t *testing.T) {
+	m, mg := newRig()
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		// Fill the fast node except for one 4 KB page.
+		filler, _ := mg.AS.Mmap(p, 6<<20-4096, hw.NodeFast, "filler")
+		_ = filler
+		base, _ := mg.AS.Mmap(p, 3*4096, hw.NodeSlow, "w")
+		st := mg.MovePages(p, []int64{base, base + 4096, base + 2*4096}, hw.NodeFast)
+		moved, nomem := 0, 0
+		for _, s := range st {
+			switch s {
+			case StatusMoved:
+				moved++
+			case StatusNoMemory:
+				nomem++
+			}
+		}
+		if moved != 1 || nomem != 2 {
+			t.Errorf("moved=%d nomem=%d, want 1/2 (statuses %v)", moved, nomem, st)
+		}
+	})
+	m.Eng.Run()
+}

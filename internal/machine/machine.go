@@ -1,0 +1,44 @@
+// Package machine bundles one simulated computer: the event engine, the
+// platform description, physical memory, and the DMA engine. Every
+// experiment builds a fresh Machine, runs processes on it, and reads the
+// meters afterwards.
+package machine
+
+import (
+	"memif/internal/dma"
+	"memif/internal/hw"
+	"memif/internal/phys"
+	"memif/internal/sim"
+	"memif/internal/vm"
+)
+
+// Machine is one simulated computer.
+type Machine struct {
+	Eng  *sim.Engine
+	Plat *hw.Platform
+	Mem  *phys.Memory
+	DMA  *dma.Engine
+	// Rmap is the machine-wide reverse map shared by all address
+	// spaces, enabling migration of pages mapped by several processes.
+	Rmap *vm.Rmap
+}
+
+// New boots a machine for the given platform.
+func New(plat *hw.Platform) *Machine {
+	eng := sim.NewEngine()
+	return &Machine{
+		Eng:  eng,
+		Plat: plat,
+		Mem:  phys.New(plat),
+		DMA:  dma.New(eng, plat),
+		Rmap: vm.NewRmap(),
+	}
+}
+
+// NewAddressSpace creates a process address space with the given page
+// size on this machine, participating in the machine's reverse map.
+func (m *Machine) NewAddressSpace(pageBytes int64) *vm.AddressSpace {
+	as := vm.New(m.Eng, m.Plat, m.Mem, pageBytes)
+	as.Rmap = m.Rmap
+	return as
+}

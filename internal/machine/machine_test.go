@@ -1,0 +1,26 @@
+package machine
+
+import (
+	"testing"
+
+	"memif/internal/hw"
+)
+
+func TestNewMachineWiring(t *testing.T) {
+	m := New(hw.KeyStoneII())
+	if m.Eng == nil || m.Mem == nil || m.DMA == nil || m.Plat == nil {
+		t.Fatal("machine has nil components")
+	}
+	as := m.NewAddressSpace(hw.Page4K)
+	if as.PageBytes != hw.Page4K {
+		t.Errorf("PageBytes = %d", as.PageBytes)
+	}
+	if as.Mem != m.Mem || as.Eng != m.Eng {
+		t.Error("address space not wired to the machine")
+	}
+	// Two address spaces share physical memory but not page tables.
+	as2 := m.NewAddressSpace(hw.Page4K)
+	if as2.Table == as.Table {
+		t.Error("address spaces share a page table")
+	}
+}

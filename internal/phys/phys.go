@@ -1,0 +1,219 @@
+// Package phys models physical memory: frames with real backing bytes,
+// page descriptors, and a per-node allocator over the platform's
+// heterogeneous memory nodes (the pseudo-NUMA abstraction of Section 1).
+//
+// Frames carry actual data so that replication and migration can be
+// verified byte-for-byte; backing storage is materialized lazily, letting
+// a simulated 8 GB DDR3 node exist without 8 GB of host memory.
+package phys
+
+import (
+	"errors"
+	"fmt"
+
+	"memif/internal/hw"
+)
+
+// ErrNoMemory is returned when a node cannot satisfy an allocation. The
+// fast node on KeyStone II holds only 6 MB, so callers must expect this.
+var ErrNoMemory = errors.New("phys: out of memory on node")
+
+// FrameID identifies a frame within one Memory instance. IDs are dense
+// and never reused, so a stale reference is detectable.
+type FrameID uint32
+
+// NoFrame is the zero FrameID, never assigned to a real frame.
+const NoFrame FrameID = 0
+
+// Frame is a physical page frame plus its page descriptor state.
+type Frame struct {
+	ID   FrameID
+	Node hw.NodeID
+	Addr int64 // physical address, used for DMA descriptors
+	Size int64 // bytes
+	Data []byte
+
+	// Page-descriptor state.
+	RefCount   int  // mappings referencing the frame
+	Pinned     bool // pinned for an in-flight DMA transfer
+	FileBacked bool // owned by a file's page cache (vm.File)
+	freed      bool
+}
+
+func (f *Frame) String() string {
+	return fmt.Sprintf("frame%d@node%d[%#x,+%d]", f.ID, f.Node, f.Addr, f.Size)
+}
+
+// nodeState tracks one memory node's allocation state. Addresses are
+// assigned bump-pointer style and recycled through per-size free lists
+// (frames of one request share a size, so recycling is exact).
+type nodeState struct {
+	desc     hw.MemNode
+	nextAddr int64
+	used     int64
+	free     map[int64][]*Frame
+}
+
+// Stats are allocation counters for one node.
+type Stats struct {
+	Allocs, Frees, Failures int64
+	Used, Capacity          int64
+}
+
+// Memory is the machine's physical memory: all nodes plus the frame
+// registry.
+type Memory struct {
+	nodes    map[hw.NodeID]*nodeState
+	frames   map[FrameID]*Frame
+	nextID   FrameID
+	stats    map[hw.NodeID]*Stats
+	dataless bool
+}
+
+// DisableData switches the memory into dataless mode: frames carry no
+// backing bytes and Copy becomes a no-op. Timing-only experiments over
+// very large regions (e.g. the million-page mbind of Section 2.2) use
+// this to avoid materializing gigabytes on the host. Accessing frame
+// data through vm in this mode is a caller bug.
+func (m *Memory) DisableData() { m.dataless = true }
+
+// New builds the physical memory of a platform. Node physical address
+// bases mimic KeyStone II, where the SRAM sits below the DDR banks (the
+// boot-allocator hazard discussed in Section 6.1).
+func New(plat *hw.Platform) *Memory {
+	m := &Memory{
+		nodes:  make(map[hw.NodeID]*nodeState),
+		frames: make(map[FrameID]*Frame),
+		stats:  make(map[hw.NodeID]*Stats),
+	}
+	base := int64(0x0C00_0000) // SRAM-like low base
+	for _, n := range plat.Nodes {
+		st := &nodeState{desc: n, nextAddr: base, free: make(map[int64][]*Frame)}
+		m.nodes[n.ID] = st
+		m.stats[n.ID] = &Stats{Capacity: n.Capacity}
+		base += n.Capacity
+		if rem := base % (1 << 30); rem != 0 { // align next node's base
+			base += (1 << 30) - rem
+		}
+		base += 1 << 30 // guard gap between nodes
+	}
+	return m
+}
+
+// Node returns the descriptor of node id.
+func (m *Memory) Node(id hw.NodeID) hw.MemNode {
+	st, ok := m.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("phys: unknown node %d", id))
+	}
+	return st.desc
+}
+
+// NodeStats returns a snapshot of node id's allocation counters.
+func (m *Memory) NodeStats(id hw.NodeID) Stats {
+	s := *m.stats[id]
+	s.Used = m.nodes[id].used
+	return s
+}
+
+// Alloc allocates one frame of size bytes on the given node. The frame's
+// data is zeroed (as anonymous pages are).
+func (m *Memory) Alloc(node hw.NodeID, size int64) (*Frame, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("phys: invalid frame size %d", size)
+	}
+	st, ok := m.nodes[node]
+	if !ok {
+		return nil, fmt.Errorf("phys: unknown node %d", node)
+	}
+	stats := m.stats[node]
+	if fl := st.free[size]; len(fl) > 0 {
+		f := fl[len(fl)-1]
+		st.free[size] = fl[:len(fl)-1]
+		f.freed = false
+		f.RefCount = 0
+		f.Pinned = false
+		f.FileBacked = false
+		for i := range f.Data {
+			f.Data[i] = 0
+		}
+		st.used += size
+		stats.Allocs++
+		return f, nil
+	}
+	if st.used+size > st.desc.Capacity {
+		stats.Failures++
+		return nil, fmt.Errorf("%w %d (%s): need %d, used %d of %d",
+			ErrNoMemory, node, st.desc.Name, size, st.used, st.desc.Capacity)
+	}
+	m.nextID++
+	f := &Frame{
+		ID:   m.nextID,
+		Node: node,
+		Addr: st.nextAddr,
+		Size: size,
+	}
+	if !m.dataless {
+		f.Data = make([]byte, size)
+	}
+	st.nextAddr += size
+	st.used += size
+	m.frames[f.ID] = f
+	stats.Allocs++
+	return f, nil
+}
+
+// Free returns a frame to its node. Freeing a mapped, pinned, or already
+// freed frame is a bug in the caller and panics, the way the kernel would
+// BUG_ON it.
+func (m *Memory) Free(f *Frame) {
+	if f.freed {
+		panic(fmt.Sprintf("phys: double free of %v", f))
+	}
+	if f.RefCount != 0 {
+		panic(fmt.Sprintf("phys: freeing mapped %v (refcount %d)", f, f.RefCount))
+	}
+	if f.Pinned {
+		panic(fmt.Sprintf("phys: freeing pinned %v", f))
+	}
+	if f.FileBacked {
+		panic(fmt.Sprintf("phys: freeing page-cache-owned %v", f))
+	}
+	st := m.nodes[f.Node]
+	f.freed = true
+	st.used -= f.Size
+	st.free[f.Size] = append(st.free[f.Size], f)
+	m.stats[f.Node].Frees++
+}
+
+// Lookup resolves a FrameID, validating it the way the memif driver
+// validates request indices before use (Section 4.2).
+func (m *Memory) Lookup(id FrameID) (*Frame, bool) {
+	f, ok := m.frames[id]
+	if !ok || f.freed {
+		return nil, false
+	}
+	return f, true
+}
+
+// Copy moves n bytes of real data between frames (the simulator's stand-in
+// for what the CPU memcpy or the DMA engine does physically). Virtual-time
+// cost is charged by the caller. In dataless mode it is a no-op.
+func Copy(dst, src *Frame, n int64) {
+	if n > src.Size || n > dst.Size {
+		panic(fmt.Sprintf("phys: copy %d bytes exceeds frames %v -> %v", n, src, dst))
+	}
+	if dst.Data == nil || src.Data == nil {
+		return
+	}
+	copy(dst.Data[:n], src.Data[:n])
+}
+
+// Used reports bytes currently allocated on node id.
+func (m *Memory) Used(id hw.NodeID) int64 { return m.nodes[id].used }
+
+// Avail reports bytes currently free on node id.
+func (m *Memory) Avail(id hw.NodeID) int64 {
+	st := m.nodes[id]
+	return st.desc.Capacity - st.used
+}

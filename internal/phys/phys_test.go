@@ -1,0 +1,218 @@
+package phys
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"memif/internal/hw"
+)
+
+func newMem() *Memory { return New(hw.KeyStoneII()) }
+
+func TestAllocBasics(t *testing.T) {
+	m := newMem()
+	f, err := m.Alloc(hw.NodeFast, 4096)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if f.Node != hw.NodeFast || f.Size != 4096 || len(f.Data) != 4096 {
+		t.Errorf("frame = %+v", f)
+	}
+	if m.Used(hw.NodeFast) != 4096 {
+		t.Errorf("Used = %d, want 4096", m.Used(hw.NodeFast))
+	}
+	m.Free(f)
+	if m.Used(hw.NodeFast) != 0 {
+		t.Errorf("Used after free = %d, want 0", m.Used(hw.NodeFast))
+	}
+}
+
+func TestAllocZeroesRecycledFrame(t *testing.T) {
+	m := newMem()
+	f, _ := m.Alloc(hw.NodeFast, 4096)
+	f.Data[100] = 0xAB
+	m.Free(f)
+	g, _ := m.Alloc(hw.NodeFast, 4096)
+	if g != f {
+		t.Fatalf("expected frame recycling, got new frame %v", g)
+	}
+	if g.Data[100] != 0 {
+		t.Error("recycled frame not zeroed")
+	}
+}
+
+func TestAllocExhaustsFastNode(t *testing.T) {
+	m := newMem()
+	// Fast node is 6 MB; 2 MB frames fit 3 times.
+	var frames []*Frame
+	for i := 0; i < 3; i++ {
+		f, err := m.Alloc(hw.NodeFast, hw.Page2M)
+		if err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+		frames = append(frames, f)
+	}
+	if _, err := m.Alloc(hw.NodeFast, hw.Page2M); !errors.Is(err, ErrNoMemory) {
+		t.Errorf("4th 2MB alloc: err = %v, want ErrNoMemory", err)
+	}
+	st := m.NodeStats(hw.NodeFast)
+	if st.Failures != 1 || st.Allocs != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	for _, f := range frames {
+		m.Free(f)
+	}
+	if _, err := m.Alloc(hw.NodeFast, hw.Page2M); err != nil {
+		t.Errorf("alloc after frees: %v", err)
+	}
+}
+
+func TestNodeAddressRangesDisjoint(t *testing.T) {
+	m := newMem()
+	a, _ := m.Alloc(hw.NodeSlow, 4096)
+	b, _ := m.Alloc(hw.NodeFast, 4096)
+	if a.Addr == b.Addr {
+		t.Error("frames on different nodes share a physical address")
+	}
+	// SRAM-style low base: slow node (declared first) gets the low base.
+	if a.Addr >= b.Addr {
+		t.Errorf("expected node0 base (%#x) below node1 base (%#x)", a.Addr, b.Addr)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	m := newMem()
+	f, _ := m.Alloc(hw.NodeFast, 4096)
+	m.Free(f)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	m.Free(f)
+}
+
+func TestFreeMappedPanics(t *testing.T) {
+	m := newMem()
+	f, _ := m.Alloc(hw.NodeFast, 4096)
+	f.RefCount = 1
+	defer func() {
+		if recover() == nil {
+			t.Error("freeing mapped frame did not panic")
+		}
+	}()
+	m.Free(f)
+}
+
+func TestFreePinnedPanics(t *testing.T) {
+	m := newMem()
+	f, _ := m.Alloc(hw.NodeFast, 4096)
+	f.Pinned = true
+	defer func() {
+		if recover() == nil {
+			t.Error("freeing pinned frame did not panic")
+		}
+	}()
+	m.Free(f)
+}
+
+func TestLookupValidation(t *testing.T) {
+	m := newMem()
+	f, _ := m.Alloc(hw.NodeFast, 4096)
+	if got, ok := m.Lookup(f.ID); !ok || got != f {
+		t.Error("Lookup of live frame failed")
+	}
+	m.Free(f)
+	if _, ok := m.Lookup(f.ID); ok {
+		t.Error("Lookup of freed frame succeeded")
+	}
+	if _, ok := m.Lookup(FrameID(9999)); ok {
+		t.Error("Lookup of bogus ID succeeded")
+	}
+	if _, ok := m.Lookup(NoFrame); ok {
+		t.Error("Lookup of NoFrame succeeded")
+	}
+}
+
+func TestCopyMovesBytes(t *testing.T) {
+	m := newMem()
+	src, _ := m.Alloc(hw.NodeSlow, 4096)
+	dst, _ := m.Alloc(hw.NodeFast, 4096)
+	for i := range src.Data {
+		src.Data[i] = byte(i * 7)
+	}
+	Copy(dst, src, 4096)
+	for i := range dst.Data {
+		if dst.Data[i] != byte(i*7) {
+			t.Fatalf("byte %d = %d, want %d", i, dst.Data[i], byte(i*7))
+		}
+	}
+}
+
+func TestCopyOverrunPanics(t *testing.T) {
+	m := newMem()
+	src, _ := m.Alloc(hw.NodeSlow, 4096)
+	dst, _ := m.Alloc(hw.NodeFast, 2048)
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized copy did not panic")
+		}
+	}()
+	Copy(dst, src, 4096)
+}
+
+func TestInvalidAllocs(t *testing.T) {
+	m := newMem()
+	if _, err := m.Alloc(hw.NodeFast, 0); err == nil {
+		t.Error("zero-size alloc succeeded")
+	}
+	if _, err := m.Alloc(hw.NodeFast, -4096); err == nil {
+		t.Error("negative-size alloc succeeded")
+	}
+	if _, err := m.Alloc(hw.NodeID(42), 4096); err == nil {
+		t.Error("alloc on unknown node succeeded")
+	}
+}
+
+// Property: used bytes always equals the sum of live frame sizes, and
+// addresses of live frames never overlap.
+func TestAllocFreeAccounting(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		m := newMem()
+		var live []*Frame
+		var want int64
+		for _, op := range ops {
+			if op%3 != 0 && len(live) > 0 { // free
+				i := int(op) % len(live)
+				f := live[i]
+				live = append(live[:i], live[i+1:]...)
+				want -= f.Size
+				m.Free(f)
+				continue
+			}
+			size := int64(4096) * (1 + int64(op%4))
+			f, err := m.Alloc(hw.NodeFast, size)
+			if err != nil {
+				continue // node full: fine
+			}
+			live = append(live, f)
+			want += size
+		}
+		if m.Used(hw.NodeFast) != want {
+			return false
+		}
+		// Overlap check.
+		for i, a := range live {
+			for _, b := range live[i+1:] {
+				if a.Addr < b.Addr+b.Size && b.Addr < a.Addr+a.Size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

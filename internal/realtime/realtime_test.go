@@ -1,0 +1,253 @@
+package realtime
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBasicCopy(t *testing.T) {
+	d := Open(DefaultOptions())
+	defer d.Close()
+
+	src := bytes.Repeat([]byte{7}, 1<<16)
+	dst := make([]byte, 1<<16)
+	r := d.AllocRequest()
+	if r == nil {
+		t.Fatal("AllocRequest failed")
+	}
+	r.Src, r.Dst = src, dst
+	if err := d.Submit(r); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Poll(time.Second) {
+		t.Fatal("Poll timed out")
+	}
+	got := d.RetrieveCompleted()
+	if got != r {
+		t.Fatalf("retrieved %v, want %v", got, r)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Error("copy corrupted data")
+	}
+	if got.Latency() <= 0 {
+		t.Errorf("latency = %v", got.Latency())
+	}
+	d.FreeRequest(got)
+}
+
+func TestSizeMismatchRejected(t *testing.T) {
+	d := Open(DefaultOptions())
+	defer d.Close()
+	r := d.AllocRequest()
+	r.Src, r.Dst = make([]byte, 10), make([]byte, 20)
+	if err := d.Submit(r); err == nil {
+		t.Error("mismatched sizes accepted")
+	}
+}
+
+func TestBurstSingleKick(t *testing.T) {
+	d := Open(DefaultOptions())
+	defer d.Close()
+	const n = 50
+	src := make([]byte, 4096)
+	for i := 0; i < n; i++ {
+		r := d.AllocRequest()
+		r.Src, r.Dst = src, make([]byte, 4096)
+		r.Cookie = uint64(i)
+		if err := d.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make([]bool, n)
+	for done := 0; done < n; {
+		if r := d.RetrieveCompleted(); r != nil {
+			if seen[r.Cookie] {
+				t.Fatalf("cookie %d completed twice", r.Cookie)
+			}
+			seen[r.Cookie] = true
+			d.FreeRequest(r)
+			done++
+			continue
+		}
+		if !d.Poll(time.Second) {
+			t.Fatal("Poll timed out")
+		}
+	}
+	// A tight burst needs only a few kicks — usually one, the paper's
+	// headline property. Allow scheduler slack but demand amortization.
+	if k := d.Kicks(); k > n/4 {
+		t.Errorf("kicks = %d for a %d-request burst", k, n)
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	d := Open(Options{NumReqs: 512, Controllers: 4})
+	defer d.Close()
+	const (
+		submitters = 8
+		perSub     = 200
+	)
+	var wg sync.WaitGroup
+	var retrieved atomic.Int64
+	var failures atomic.Int64
+
+	// One retriever drains completions concurrently with submissions.
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			if r := d.RetrieveCompleted(); r != nil {
+				if len(r.Dst) > 0 && r.Dst[0] != byte(r.Cookie) {
+					failures.Add(1)
+				}
+				d.FreeRequest(r)
+				retrieved.Add(1)
+				continue
+			}
+			select {
+			case <-stop:
+				for {
+					r := d.RetrieveCompleted()
+					if r == nil {
+						return
+					}
+					d.FreeRequest(r)
+					retrieved.Add(1)
+				}
+			default:
+				d.Poll(10 * time.Millisecond)
+			}
+		}
+	}()
+
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSub; i++ {
+				cookie := uint64(s*perSub+i) % 251
+				var r *Request
+				for {
+					r = d.AllocRequest()
+					if r != nil {
+						break
+					}
+					time.Sleep(time.Microsecond) // retriever frees slots
+				}
+				src := bytes.Repeat([]byte{byte(cookie)}, 512)
+				r.Src, r.Dst = src, make([]byte, 512)
+				r.Cookie = cookie
+				if err := d.Submit(r); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	// Wait for the pipeline to drain.
+	deadline := time.After(5 * time.Second)
+	for d.Completed() < submitters*perSub {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d of %d completed", d.Completed(), submitters*perSub)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+	rwg.Wait()
+	if got := retrieved.Load(); got != submitters*perSub {
+		t.Errorf("retrieved %d, want %d", got, submitters*perSub)
+	}
+	if failures.Load() != 0 {
+		t.Errorf("%d corrupted copies", failures.Load())
+	}
+	if d.BytesMoved() != int64(submitters*perSub*512) {
+		t.Errorf("BytesMoved = %d", d.BytesMoved())
+	}
+}
+
+func TestPollTimeout(t *testing.T) {
+	d := Open(DefaultOptions())
+	defer d.Close()
+	start := time.Now()
+	if d.Poll(20 * time.Millisecond) {
+		t.Error("Poll reported ready on idle device")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("Poll returned early")
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	d := Open(DefaultOptions())
+	r := d.AllocRequest()
+	r.Src, r.Dst = make([]byte, 8), make([]byte, 8)
+	d.Close()
+	if err := d.Submit(r); err != ErrClosed {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	// Poll on a closed idle device returns promptly.
+	done := make(chan bool, 1)
+	go func() { done <- d.Poll(0) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Error("Poll hung on closed device")
+	}
+}
+
+func TestCloseWaitsForOutstanding(t *testing.T) {
+	d := Open(Options{NumReqs: 64, Controllers: 1})
+	const n = 32
+	dsts := make([][]byte, n)
+	src := bytes.Repeat([]byte{0xCC}, 1<<20)
+	for i := 0; i < n; i++ {
+		dsts[i] = make([]byte, 1<<20)
+		r := d.AllocRequest()
+		r.Src, r.Dst = src, dsts[i]
+		if err := d.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+	if got := d.Completed(); got != n {
+		t.Fatalf("Close returned with %d of %d complete", got, n)
+	}
+	for i, dst := range dsts {
+		if dst[0] != 0xCC || dst[len(dst)-1] != 0xCC {
+			t.Fatalf("dst %d incomplete", i)
+		}
+	}
+}
+
+func TestDoubleCloseSafe(t *testing.T) {
+	d := Open(DefaultOptions())
+	d.Close()
+	d.Close()
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	d := Open(Options{NumReqs: 4, Controllers: 1})
+	defer d.Close()
+	var rs []*Request
+	for i := 0; i < 4; i++ {
+		r := d.AllocRequest()
+		if r == nil {
+			t.Fatalf("alloc %d failed", i)
+		}
+		rs = append(rs, r)
+	}
+	if d.AllocRequest() != nil {
+		t.Error("alloc beyond capacity succeeded")
+	}
+	d.FreeRequest(rs[0])
+	if d.AllocRequest() == nil {
+		t.Error("alloc after free failed")
+	}
+}

@@ -1,0 +1,217 @@
+// Package sim implements a discrete-event simulation engine whose
+// processes are ordinary goroutines.
+//
+// The engine maintains a virtual clock and an event calendar. Exactly one
+// process runs at any instant; a process gives up control by sleeping,
+// waiting on an Event or Cond, or exiting. Because control is handed over
+// through channels, all data shared between processes is synchronized by
+// happens-before edges and the package is safe under the race detector.
+//
+// The engine is the substrate for the simulated KeyStone II machine: CPUs,
+// the DMA engine, interrupt handlers and kernel threads are all processes,
+// and their interleaving in virtual time reproduces the latency and CPU
+// usage interactions measured in the memif paper.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Infinity is a Time later than any event the engine will ever schedule.
+const Infinity = Time(1<<63 - 1)
+
+// Seconds converts t to seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros converts t to microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Duration converts t to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a calendar entry: at time `at`, run `fn` in engine context.
+// Events with equal timestamps fire in insertion order (seq).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now      Time
+	seq      uint64
+	calendar eventHeap
+	live     map[*Proc]bool // spawned and not yet exited
+	stopped  bool
+	shutdown chan struct{} // closed when the engine tears down
+	running  bool          // inside Run
+	ranOnce  bool
+	trace    func(string)
+}
+
+// NewEngine returns an engine with the clock at zero and an empty calendar.
+func NewEngine() *Engine {
+	return &Engine{
+		live:     make(map[*Proc]bool),
+		shutdown: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time. It may be called from engine
+// callbacks and processes; calling it from foreign goroutines while Run is
+// in progress is a data race.
+func (e *Engine) Now() Time { return e.now }
+
+// SetTrace installs a debug trace sink. Pass nil to disable.
+func (e *Engine) SetTrace(fn func(string)) { e.trace = fn }
+
+func (e *Engine) tracef(format string, args ...interface{}) {
+	if e.trace != nil {
+		e.trace(fmt.Sprintf("[%12d ns] ", int64(e.now)) + fmt.Sprintf(format, args...))
+	}
+}
+
+// schedule registers fn to run at absolute virtual time at. The returned
+// event can be cancelled by clearing its fn (see cancel).
+func (e *Engine) schedule(at Time, fn func()) *event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.calendar, ev)
+	return ev
+}
+
+func cancel(ev *event) { ev.fn = nil }
+
+// After registers fn to run in engine context after d of virtual time.
+// fn runs with the clock advanced; it must not block.
+func (e *Engine) After(d time.Duration, fn func()) {
+	e.schedule(e.now+Time(d), fn)
+}
+
+// AfterNS is After with a nanosecond count.
+func (e *Engine) AfterNS(ns int64, fn func()) {
+	e.schedule(e.now+Time(ns), fn)
+}
+
+// Spawn creates a process running fn and schedules it to start at the
+// current virtual time. It may be called before Run or from inside a
+// running process or engine callback.
+func (e *Engine) Spawn(name string, fn ProcFunc) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.live[p] = true
+	go p.top(fn)
+	e.schedule(e.now, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch hands control to p and waits until p parks again (sleeps,
+// waits, or exits).
+func (e *Engine) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	e.tracef("run %s", p.name)
+	p.resume <- struct{}{}
+	<-p.parked
+	if p.done {
+		delete(e.live, p)
+	}
+}
+
+// wake claims p's current wait (identified by seq) and schedules p to
+// resume at the present virtual time. It reports whether the claim
+// succeeded; a false return means p is running, done, or was already
+// claimed by a competing waker (e.g. a timeout racing an event).
+func (e *Engine) wake(p *Proc, seq uint64) bool {
+	if p.done || !p.waiting || p.waitSeq != seq {
+		return false
+	}
+	p.waiting = false
+	e.schedule(e.now, func() { e.dispatch(p) })
+	return true
+}
+
+// Run executes events until the calendar is empty or Stop is called, and
+// returns the final virtual time. Processes still blocked on events when
+// the calendar drains are parked daemons or deadlocks; Run tears them down
+// (their stacks unwind via a sentinel panic) so that no goroutine outlives
+// it. An Engine can Run only once.
+func (e *Engine) Run() Time {
+	if e.running {
+		panic("sim: Engine.Run reentered")
+	}
+	if e.ranOnce {
+		panic("sim: Engine.Run called twice; create a new Engine")
+	}
+	e.running, e.ranOnce = true, true
+	for !e.stopped && len(e.calendar) > 0 {
+		ev := heap.Pop(&e.calendar).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	e.teardown()
+	e.running = false
+	return e.now
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// are discarded.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Parked reports how many processes were still blocked when Run returned:
+// idle daemons (such as a kernel worker waiting for requests) or genuine
+// deadlocks.
+func (e *Engine) Parked() int { return len(e.live) }
+
+// teardown unwinds all processes that are still parked.
+func (e *Engine) teardown() {
+	close(e.shutdown)
+	for p := range e.live {
+		// Each live process is parked in a resume/shutdown select; the
+		// closed channel unwinds it and it sends one final parked
+		// notification from its top-level defer.
+		<-p.parked
+		delete(e.live, p)
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+// Mailbox is an unbounded FIFO between processes: sends never block,
+// receives block until an item is available. It models in-kernel work
+// queues (e.g. the list of memif devices with pending requests handed to
+// the kernel worker thread).
+type Mailbox[T any] struct {
+	cond  *Cond
+	items []T
+}
+
+// NewMailbox returns an empty mailbox on e.
+func NewMailbox[T any](e *Engine) *Mailbox[T] {
+	return &Mailbox[T]{cond: NewCond(e)}
+}
+
+// Send appends v and wakes one receiver. It never blocks and may be called
+// from engine callbacks as well as processes.
+func (mb *Mailbox[T]) Send(v T) {
+	mb.items = append(mb.items, v)
+	mb.cond.Signal()
+}
+
+// Recv blocks the calling process until an item is available, then
+// removes and returns it.
+func (mb *Mailbox[T]) Recv(p *Proc) T {
+	for len(mb.items) == 0 {
+		p.WaitCond(mb.cond)
+	}
+	v := mb.items[0]
+	var zero T
+	mb.items[0] = zero
+	mb.items = mb.items[1:]
+	return v
+}
+
+// RecvTimeout is Recv bounded by ns nanoseconds; ok is false on timeout.
+func (mb *Mailbox[T]) RecvTimeout(p *Proc, ns int64) (v T, ok bool) {
+	deadline := p.Now() + Time(ns)
+	for len(mb.items) == 0 {
+		remain := int64(deadline - p.Now())
+		if remain <= 0 || !p.WaitCondTimeout(mb.cond, remain) {
+			return v, false
+		}
+	}
+	return mb.Recv(p), true
+}
+
+// TryRecv removes and returns an item without blocking.
+func (mb *Mailbox[T]) TryRecv() (v T, ok bool) {
+	if len(mb.items) == 0 {
+		return v, false
+	}
+	v = mb.items[0]
+	var zero T
+	mb.items[0] = zero
+	mb.items = mb.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (mb *Mailbox[T]) Len() int { return len(mb.items) }

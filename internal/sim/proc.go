@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"errors"
+	"time"
+)
+
+// errShutdown is panicked through a parked process when the engine tears
+// down, unwinding its stack so its goroutine exits. It never escapes the
+// package.
+var errShutdown = errors.New("sim: engine shutdown")
+
+// ProcFunc is the body of a simulated process. It runs in virtual time:
+// calls like Sleep and WaitEvent advance the clock without consuming wall
+// time.
+type ProcFunc func(p *Proc)
+
+// Proc is a simulated process. All its methods must be called from the
+// process's own goroutine (inside its ProcFunc).
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	parked chan struct{}
+
+	done    bool
+	waiting bool
+	waitSeq uint64
+}
+
+// top is the goroutine entry point: it waits for the first dispatch, runs
+// fn, and reports exit.
+func (p *Proc) top(fn ProcFunc) {
+	defer func() {
+		if r := recover(); r != nil && r != errShutdown { //nolint:errorlint // sentinel identity
+			panic(r)
+		}
+		p.done = true
+		p.parked <- struct{}{}
+	}()
+	select {
+	case <-p.resume:
+	case <-p.eng.shutdown:
+		panic(errShutdown)
+	}
+	fn(p)
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// newWait arms a fresh wait token. Wakers holding an older token can no
+// longer resume the process.
+func (p *Proc) newWait() uint64 {
+	p.waitSeq++
+	p.waiting = true
+	return p.waitSeq
+}
+
+// park yields control to the engine and blocks until a waker resumes the
+// process (or the engine shuts down).
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	select {
+	case <-p.resume:
+	case <-p.eng.shutdown:
+		panic(errShutdown)
+	}
+}
+
+// Yield gives other processes scheduled at the same instant a chance to
+// run, then resumes.
+func (p *Proc) Yield() { p.SleepNS(0) }
+
+// SleepNS advances virtual time by ns nanoseconds.
+func (p *Proc) SleepNS(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	seq := p.newWait()
+	p.eng.AfterNS(ns, func() { p.eng.wake(p, seq) })
+	p.park()
+}
+
+// Sleep advances virtual time by d.
+func (p *Proc) Sleep(d time.Duration) { p.SleepNS(int64(d)) }
+
+// SleepUntil advances virtual time to t (no-op if t is in the past).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.eng.now {
+		return
+	}
+	p.SleepNS(int64(t - p.eng.now))
+}
+
+// Busy advances virtual time by ns nanoseconds and charges the interval to
+// the given meters. It models a CPU context actively executing (as opposed
+// to Sleep, which models blocking).
+func (p *Proc) Busy(ns int64, meters ...*Meter) {
+	if ns < 0 {
+		ns = 0
+	}
+	for _, m := range meters {
+		if m != nil {
+			m.Add(ns)
+		}
+	}
+	p.SleepNS(ns)
+}
+
+// WaitEvent blocks until ev fires. Returns immediately if it already has.
+func (p *Proc) WaitEvent(ev *Event) {
+	if ev.fired {
+		return
+	}
+	seq := p.newWait()
+	ev.waiters = append(ev.waiters, waiter{p, seq})
+	p.park()
+}
+
+// WaitEventTimeout blocks until ev fires or ns nanoseconds pass. It
+// reports whether the event fired (true) or the wait timed out (false).
+func (p *Proc) WaitEventTimeout(ev *Event, ns int64) bool {
+	if ev.fired {
+		return true
+	}
+	seq := p.newWait()
+	ev.waiters = append(ev.waiters, waiter{p, seq})
+	timedOut := false
+	p.eng.AfterNS(ns, func() {
+		if p.eng.wake(p, seq) {
+			timedOut = true
+		}
+	})
+	p.park()
+	return !timedOut
+}
+
+// WaitCond blocks until the condition is signalled or broadcast.
+func (p *Proc) WaitCond(c *Cond) {
+	seq := p.newWait()
+	c.waiters = append(c.waiters, waiter{p, seq})
+	p.park()
+}
+
+// WaitCondTimeout blocks until the condition is signalled or ns
+// nanoseconds pass; it reports whether the condition fired.
+func (p *Proc) WaitCondTimeout(c *Cond, ns int64) bool {
+	seq := p.newWait()
+	c.waiters = append(c.waiters, waiter{p, seq})
+	timedOut := false
+	p.eng.AfterNS(ns, func() {
+		if p.eng.wake(p, seq) {
+			timedOut = true
+		}
+	})
+	p.park()
+	return !timedOut
+}

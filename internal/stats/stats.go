@@ -1,0 +1,158 @@
+// Package stats provides the measurement plumbing for the evaluation:
+// per-phase time breakdowns (Figure 6), latency series (Figure 7), and
+// throughput computations (Figure 8, Table 4).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memif/internal/sim"
+)
+
+// Phase names matching the driver operations of Table 1. "Copy" is the
+// data movement itself (CPU memcpy in the baseline, DMA transfer in
+// memif); "Interface" covers syscall crossings and queue operations.
+const (
+	PhasePrep      = "prep"      // 1: page lookup
+	PhaseRemap     = "remap"     // 2: page alloc + PTE replace + TLB flush
+	PhaseDMACfg    = "dmacfg"    // 3: scatter-gather assembly + descriptor writes
+	PhaseCopy      = "copy"      // byte movement
+	PhaseRelease   = "release"   // 4: final PTE / CAS + page free
+	PhaseNotify    = "notify"    // 5: completion delivery
+	PhaseInterface = "interface" // syscall + queue machinery
+)
+
+// AllPhases lists the phases in breakdown display order.
+var AllPhases = []string{
+	PhaseInterface, PhasePrep, PhaseRemap, PhaseDMACfg, PhaseCopy, PhaseRelease, PhaseNotify,
+}
+
+// Breakdown accumulates time per phase.
+type Breakdown struct {
+	buckets map[string]int64
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{buckets: make(map[string]int64)}
+}
+
+// Add charges ns to the named phase.
+func (b *Breakdown) Add(phase string, ns int64) {
+	b.buckets[phase] += ns
+}
+
+// Get returns the accumulated time of a phase.
+func (b *Breakdown) Get(phase string) sim.Time { return sim.Time(b.buckets[phase]) }
+
+// Total sums all phases.
+func (b *Breakdown) Total() sim.Time {
+	var t int64
+	for _, v := range b.buckets {
+		t += v
+	}
+	return sim.Time(t)
+}
+
+// Reset clears the breakdown.
+func (b *Breakdown) Reset() {
+	for k := range b.buckets {
+		delete(b.buckets, k)
+	}
+}
+
+// Scale divides every bucket by n (e.g. to report per-request averages).
+func (b *Breakdown) Scale(n int64) {
+	if n <= 0 {
+		return
+	}
+	for k := range b.buckets {
+		b.buckets[k] /= n
+	}
+}
+
+// Clone returns a copy.
+func (b *Breakdown) Clone() *Breakdown {
+	c := NewBreakdown()
+	for k, v := range b.buckets {
+		c.buckets[k] = v
+	}
+	return c
+}
+
+func (b *Breakdown) String() string {
+	var parts []string
+	for _, p := range AllPhases {
+		if v, ok := b.buckets[p]; ok && v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%.1fµs", p, float64(v)/1e3))
+		}
+	}
+	var extra []string
+	for k := range b.buckets {
+		known := false
+		for _, p := range AllPhases {
+			if k == p {
+				known = true
+				break
+			}
+		}
+		if !known {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	for _, k := range extra {
+		parts = append(parts, fmt.Sprintf("%s=%.1fµs", k, float64(b.buckets[k])/1e3))
+	}
+	return strings.Join(parts, " ")
+}
+
+// LatencySeries records per-request completion latencies (Figure 7).
+type LatencySeries struct {
+	Name    string
+	Samples []sim.Time
+}
+
+// Add appends a sample.
+func (l *LatencySeries) Add(t sim.Time) { l.Samples = append(l.Samples, t) }
+
+// Max returns the largest sample (0 when empty).
+func (l *LatencySeries) Max() sim.Time {
+	var m sim.Time
+	for _, s := range l.Samples {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Mean returns the average sample.
+func (l *LatencySeries) Mean() sim.Time {
+	if len(l.Samples) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, s := range l.Samples {
+		sum += s
+	}
+	return sum / sim.Time(len(l.Samples))
+}
+
+// ThroughputGBs converts bytes moved over a virtual interval into GB/s.
+func ThroughputGBs(bytes int64, elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / elapsed.Seconds() / 1e9
+}
+
+// ThroughputMBs converts bytes moved over a virtual interval into MB/s.
+func ThroughputMBs(bytes int64, elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / elapsed.Seconds() / 1e6
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"memif/internal/sim"
+)
+
+func TestBreakdownAccumulates(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhasePrep, 100)
+	b.Add(PhasePrep, 50)
+	b.Add(PhaseCopy, 1000)
+	if b.Get(PhasePrep) != 150 {
+		t.Errorf("prep = %v", b.Get(PhasePrep))
+	}
+	if b.Total() != 1150 {
+		t.Errorf("total = %v", b.Total())
+	}
+	b.Reset()
+	if b.Total() != 0 {
+		t.Errorf("total after reset = %v", b.Total())
+	}
+}
+
+func TestBreakdownScaleAndClone(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhaseRemap, 1000)
+	c := b.Clone()
+	b.Scale(10)
+	if b.Get(PhaseRemap) != 100 {
+		t.Errorf("scaled = %v", b.Get(PhaseRemap))
+	}
+	if c.Get(PhaseRemap) != 1000 {
+		t.Errorf("clone mutated: %v", c.Get(PhaseRemap))
+	}
+	b.Scale(0) // no-op, no panic
+	if b.Get(PhaseRemap) != 100 {
+		t.Error("Scale(0) changed values")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhaseCopy, 4000)
+	b.Add("custom-phase", 1500)
+	s := b.String()
+	if !strings.Contains(s, "copy=4.0µs") || !strings.Contains(s, "custom-phase=1.5µs") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestLatencySeries(t *testing.T) {
+	var l LatencySeries
+	for _, v := range []sim.Time{300, 100, 200} {
+		l.Add(v)
+	}
+	if l.Max() != 300 {
+		t.Errorf("Max = %v", l.Max())
+	}
+	if l.Mean() != 200 {
+		t.Errorf("Mean = %v", l.Mean())
+	}
+	var empty LatencySeries
+	if empty.Max() != 0 || empty.Mean() != 0 {
+		t.Error("empty series should report zeros")
+	}
+}
+
+func TestThroughputConversions(t *testing.T) {
+	// 1 GB in 1 second.
+	if got := ThroughputGBs(1e9, sim.Time(1e9)); got < 0.999 || got > 1.001 {
+		t.Errorf("GBs = %v", got)
+	}
+	if got := ThroughputMBs(1e6, sim.Time(1e9)); got < 0.999 || got > 1.001 {
+		t.Errorf("MBs = %v", got)
+	}
+	if ThroughputGBs(100, 0) != 0 {
+		t.Error("zero elapsed should yield 0")
+	}
+	if ThroughputMBs(100, -5) != 0 {
+		t.Error("negative elapsed should yield 0")
+	}
+}

@@ -1,0 +1,210 @@
+package streamrt
+
+import (
+	"testing"
+
+	"memif/internal/core"
+	"memif/internal/hw"
+	"memif/internal/machine"
+	"memif/internal/sim"
+	"memif/internal/workloads"
+)
+
+func setup() (*machine.Machine, *core.Device) {
+	m := machine.New(hw.KeyStoneII())
+	as := m.NewAddressSpace(4096)
+	d := core.Open(m, as, core.DefaultOptions())
+	return m, d
+}
+
+func TestDirectRunChecksumAndThroughput(t *testing.T) {
+	m, d := setup()
+	var res Result
+	var want uint64
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		cfg := DefaultConfig()
+		length := int64(16) * cfg.BufBytes // 8 MB
+		base, err := d.AS.Mmap(p, length, hw.NodeSlow, "input")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ = workloads.FillInput(p, d.AS, base, length, 42)
+		res, err = RunDirect(p, d.AS, workloads.Triad, base, length, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	m.Eng.Run()
+	if res.Checksum != want {
+		t.Errorf("checksum = %#x, want %#x", res.Checksum, want)
+	}
+	// Triad out of slow memory: ~2384 MB/s (Table 4 Linux row), ±10%.
+	if res.ThroughputMBs < 2100 || res.ThroughputMBs > 2650 {
+		t.Errorf("direct triad throughput = %.0f MB/s, want ~2384", res.ThroughputMBs)
+	}
+	if res.FastChunks != 0 {
+		t.Errorf("direct run used %d fast chunks", res.FastChunks)
+	}
+}
+
+func TestMemifRunBeatsDirect(t *testing.T) {
+	for _, k := range workloads.All {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			m, d := setup()
+			var direct, fast Result
+			var want uint64
+			m.Eng.Spawn("app", func(p *sim.Proc) {
+				defer d.Close()
+				cfg := DefaultConfig()
+				length := int64(64) * cfg.BufBytes // 32 MB >> 6 MB fast node
+				base, err := d.AS.Mmap(p, length, hw.NodeSlow, "input")
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _ = workloads.FillInput(p, d.AS, base, length, 7)
+				direct, err = RunDirect(p, d.AS, k, base, length, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast, err = Run(p, d, k, base, length, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			m.Eng.Run()
+			if fast.Checksum != want || direct.Checksum != want {
+				t.Errorf("checksums: direct=%#x memif=%#x want %#x", direct.Checksum, fast.Checksum, want)
+			}
+			gain := fast.ThroughputMBs/direct.ThroughputMBs - 1
+			t.Logf("%s: direct %.0f MB/s, memif %.0f MB/s (%+.1f%%), fast=%d slow=%d",
+				k.Name, direct.ThroughputMBs, fast.ThroughputMBs, gain*100, fast.FastChunks, fast.SlowChunks)
+			// Table 4 reports +23.5% to +33.6%; demand a clear win.
+			if gain < 0.10 {
+				t.Errorf("memif gain = %+.1f%%, want a clear speedup", gain*100)
+			}
+			if fast.FastChunks == 0 {
+				t.Error("memif run never consumed a prefetch buffer")
+			}
+		})
+	}
+}
+
+func TestRunFreesBuffersAndSlots(t *testing.T) {
+	m, d := setup()
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		cfg := DefaultConfig()
+		length := int64(8) * cfg.BufBytes
+		base, _ := d.AS.Mmap(p, length, hw.NodeSlow, "input")
+		workloads.FillInput(p, d.AS, base, length, 1)
+		if _, err := Run(p, d, workloads.Add, base, length, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if used := d.AS.Mem.Used(hw.NodeFast); used != 0 {
+			t.Errorf("fast node still holds %d bytes after run", used)
+		}
+		// All request slots returned.
+		n := 0
+		for d.AllocRequest(p) != nil {
+			n++
+		}
+		if n != d.Options().NumReqs {
+			t.Errorf("free slots = %d, want %d", n, d.Options().NumReqs)
+		}
+	})
+	m.Eng.Run()
+}
+
+func TestRunInputValidation(t *testing.T) {
+	m, d := setup()
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		cfg := DefaultConfig()
+		base, _ := d.AS.Mmap(p, cfg.BufBytes, hw.NodeSlow, "input")
+		if _, err := Run(p, d, workloads.Add, base, cfg.BufBytes+5, cfg); err == nil {
+			t.Error("unaligned length accepted")
+		}
+		if _, err := RunDirect(p, d.AS, workloads.Add, base, -1, cfg); err == nil {
+			t.Error("negative length accepted")
+		}
+		bad := cfg
+		bad.NumBufs = 0
+		if _, err := Run(p, d, workloads.Add, base, cfg.BufBytes, bad); err == nil {
+			t.Error("zero buffers accepted")
+		}
+	})
+	m.Eng.Run()
+}
+
+func TestSmallInputFewerChunksThanBuffers(t *testing.T) {
+	m, d := setup()
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		cfg := DefaultConfig()
+		length := int64(2) * cfg.BufBytes // 2 chunks, 8 buffers
+		base, _ := d.AS.Mmap(p, length, hw.NodeSlow, "input")
+		want, _ := workloads.FillInput(p, d.AS, base, length, 3)
+		res, err := Run(p, d, workloads.Triad, base, length, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Checksum != want {
+			t.Errorf("checksum mismatch")
+		}
+		if res.FastChunks+res.SlowChunks != 2 {
+			t.Errorf("chunks = %d+%d, want 2", res.FastChunks, res.SlowChunks)
+		}
+	})
+	m.Eng.Run()
+}
+
+// Force the fallback path: a compute kernel so fast that the DMA fill
+// pipeline cannot keep up, making the runtime consume most chunks
+// straight from slow memory instead of stalling.
+func TestFallbackUnderFillPressure(t *testing.T) {
+	m, d := setup()
+	m.Mem.DisableData()
+	var res Result
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		cfg := DefaultConfig()
+		length := int64(32) * cfg.BufBytes
+		base, _ := d.AS.Mmap(p, length, hw.NodeSlow, "input")
+		sprinter := workloads.Kernel{Name: "sprinter", ComputePerByteNS: 0.01}
+		var err error
+		res, err = Run(p, d, sprinter, base, length, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	m.Eng.Run()
+	if res.SlowChunks == 0 {
+		t.Error("fill pipeline magically kept up with a 100 GB/s consumer")
+	}
+	if res.FastChunks+res.SlowChunks != 32 {
+		t.Errorf("chunks = %d+%d, want 32", res.FastChunks, res.SlowChunks)
+	}
+	t.Logf("sprinter: %d fast, %d fallback chunks at %.0f MB/s", res.FastChunks, res.SlowChunks, res.ThroughputMBs)
+}
+
+// A fill failure (the prefetch buffer region was unmapped behind the
+// runtime's back) surfaces as an error, not a hang.
+func TestFillFailureSurfaces(t *testing.T) {
+	m, d := setup()
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		cfg := DefaultConfig()
+		length := int64(4) * cfg.BufBytes
+		base, _ := d.AS.Mmap(p, length, hw.NodeSlow, "input")
+		// Unmap the input mid-flight is hard to time; instead hand Run
+		// an input range that extends past the mapping — the first fill
+		// of the out-of-range chunk fails.
+		_, err := Run(p, d, workloads.Add, base+cfg.BufBytes, length, cfg)
+		if err == nil {
+			t.Fatal("fill of an unmapped chunk reported success")
+		}
+	})
+	m.Eng.Run()
+}

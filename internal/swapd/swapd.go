@@ -1,0 +1,213 @@
+// Package swapd implements the automatic fast-memory swap-out the
+// paper's prototype lacks (Section 6.7: "the current memif cannot
+// automatically swap out fast memory").
+//
+// A kswapd-style daemon watches the fast node's usage. When it rises
+// above a high watermark the daemon picks the least recently used of the
+// registered regions that are resident in fast memory and migrates them
+// back to the slow node — through a memif device of its own, so the
+// evictions are asynchronous, DMA-accelerated, and race-detected like any
+// other move. Applications (or a runtime) register candidate regions and
+// report use with Touch, the same contract madvise-style hints give a
+// kernel.
+//
+// The daemon's device runs in proceed-and-recover mode (Section 5.2,
+// "Alternative"): if the application writes to a region mid-eviction the
+// trap aborts the DMA, restores the fast-memory mapping, and preserves
+// the write — an eviction can never corrupt or fault the application.
+// The daemon just notes the region is hot and retries later.
+package swapd
+
+import (
+	"fmt"
+
+	"memif/internal/core"
+	"memif/internal/hw"
+	"memif/internal/sim"
+	"memif/internal/uapi"
+)
+
+// Options tunes the daemon.
+type Options struct {
+	// HighWatermark is the fast-node usage fraction that wakes the
+	// evictor; LowWatermark is the target to evict down to.
+	HighWatermark, LowWatermark float64
+	// PeriodNS is the poll interval of the daemon.
+	PeriodNS int64
+	// FastNode is watched; evictions move regions to SlowNode.
+	FastNode, SlowNode hw.NodeID
+}
+
+// DefaultOptions returns watermarks suited to the 6 MB MSMC node.
+func DefaultOptions() Options {
+	return Options{
+		HighWatermark: 0.90,
+		LowWatermark:  0.70,
+		PeriodNS:      1_000_000, // 1 ms
+		FastNode:      hw.NodeFast,
+		SlowNode:      hw.NodeSlow,
+	}
+}
+
+// region is one registered eviction candidate.
+type region struct {
+	base, length int64
+	lastTouch    sim.Time
+	evicting     bool
+}
+
+// Stats counts daemon activity.
+type Stats struct {
+	Evictions      int64 // completed evictions
+	FailedEvictons int64 // evictions aborted by racing accesses
+	BytesEvicted   int64
+}
+
+// Daemon is the fast-memory evictor.
+type Daemon struct {
+	dev     *core.Device // the daemon's own memif device
+	opts    Options
+	regions map[int64]*region
+	stopped bool
+	stats   Stats
+}
+
+// New starts a daemon for the address space behind dev's machine. It
+// opens its own memif device on the same address space so its moves do
+// not interleave with the application's completion queue.
+func New(app *core.Device, opts Options) *Daemon {
+	if opts.HighWatermark <= 0 || opts.HighWatermark > 1 ||
+		opts.LowWatermark <= 0 || opts.LowWatermark >= opts.HighWatermark {
+		panic(fmt.Sprintf("swapd: bad watermarks %+v", opts))
+	}
+	devOpts := core.DefaultOptions()
+	devOpts.RaceMode = core.RaceRecover
+	d := &Daemon{
+		dev:     core.Open(app.M, app.AS, devOpts),
+		opts:    opts,
+		regions: make(map[int64]*region),
+	}
+	app.M.Eng.Spawn("kswapd-fast", d.run)
+	return d
+}
+
+// Register adds an eviction candidate (typically right after migrating
+// it into fast memory).
+func (d *Daemon) Register(base, length int64) {
+	d.regions[base] = &region{base: base, length: length}
+}
+
+// Unregister removes a candidate (e.g. before unmapping it).
+func (d *Daemon) Unregister(base int64) { delete(d.regions, base) }
+
+// Touch records a use of the region at base, at time now. More recently
+// touched regions are evicted later.
+func (d *Daemon) Touch(base int64, now sim.Time) {
+	if r, ok := d.regions[base]; ok {
+		r.lastTouch = now
+	}
+}
+
+// Stop shuts the daemon (and its device) down.
+func (d *Daemon) Stop() { d.stopped = true; d.dev.Close() }
+
+// Stats returns a snapshot of the daemon counters.
+func (d *Daemon) Stats() Stats { return d.stats }
+
+// usage returns the fast node's used fraction.
+func (d *Daemon) usage() float64 {
+	node := d.dev.M.Mem.Node(d.opts.FastNode)
+	return float64(d.dev.M.Mem.Used(d.opts.FastNode)) / float64(node.Capacity)
+}
+
+// resident reports whether the region currently lives on the fast node.
+func (d *Daemon) resident(r *region) bool {
+	f := d.dev.AS.FrameAt(r.base)
+	return f != nil && f.Node == d.opts.FastNode
+}
+
+// victim picks the least recently touched resident region not already
+// being evicted.
+func (d *Daemon) victim() *region {
+	var best *region
+	for _, r := range d.regions {
+		if r.evicting || !d.resident(r) {
+			continue
+		}
+		if best == nil || r.lastTouch < best.lastTouch {
+			best = r
+		}
+	}
+	return best
+}
+
+// handleCompletion books one finished eviction attempt.
+func (d *Daemon) handleCompletion(p *sim.Proc, got *uapi.MovReq) {
+	if v, ok := d.regions[int64(got.Cookie)]; ok {
+		v.evicting = false
+		if got.Status != uapi.StatusDone {
+			// A racing access aborted the eviction: the region is
+			// hot; bump its recency so it is retried last.
+			v.lastTouch = p.Now()
+		}
+	}
+	if got.Status == uapi.StatusDone {
+		d.stats.Evictions++
+		d.stats.BytesEvicted += got.Length
+	} else {
+		d.stats.FailedEvictons++
+	}
+	d.dev.FreeRequest(p, got)
+}
+
+// run is the daemon process: poll usage, evict past the high watermark
+// down to the low one. Eviction submissions are asynchronous; the loop
+// projects the usage drop of in-flight evictions so it neither
+// over-evicts nor stops early.
+func (d *Daemon) run(p *sim.Proc) {
+	capacity := float64(d.dev.M.Mem.Node(d.opts.FastNode).Capacity)
+	for !d.stopped {
+		p.SleepNS(d.opts.PeriodNS)
+		if d.usage() < d.opts.HighWatermark {
+			continue
+		}
+		outstanding := 0
+		var pendingBytes int64
+		projected := func() float64 {
+			return d.usage() - float64(pendingBytes)/capacity
+		}
+		for projected() > d.opts.LowWatermark && !d.stopped {
+			v := d.victim()
+			if v == nil {
+				break // nothing evictable right now
+			}
+			r := d.dev.AllocRequest(p)
+			if r == nil {
+				break
+			}
+			r.Op = uapi.OpMigrate
+			r.SrcBase, r.Length, r.DstNode = v.base, v.length, d.opts.SlowNode
+			r.Cookie = uint64(v.base)
+			v.evicting = true
+			if err := d.dev.Submit(p, r); err != nil {
+				d.dev.FreeRequest(p, r)
+				v.evicting = false
+				break
+			}
+			outstanding++
+			pendingBytes += v.length
+		}
+		// Drain every in-flight eviction before the next period. A
+		// failed (raced) eviction reduces the projection, which the
+		// next period will notice and retry.
+		for outstanding > 0 && !d.stopped {
+			got := d.dev.RetrieveCompleted(p)
+			if got == nil {
+				d.dev.Poll(p, d.opts.PeriodNS)
+				continue
+			}
+			d.handleCompletion(p, got)
+			outstanding--
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package swapd
+
+import (
+	"bytes"
+	"testing"
+
+	"memif/internal/core"
+	"memif/internal/hw"
+	"memif/internal/machine"
+	"memif/internal/sim"
+	"memif/internal/uapi"
+)
+
+func setup() (*machine.Machine, *core.Device) {
+	m := machine.New(hw.KeyStoneII())
+	as := m.NewAddressSpace(4096)
+	return m, core.Open(m, as, core.DefaultOptions())
+}
+
+// migrateIn moves a region into fast memory through the app device.
+func migrateIn(t *testing.T, d *core.Device, p *sim.Proc, base, length int64) {
+	t.Helper()
+	r := d.AllocRequest(p)
+	r.Op = uapi.OpMigrate
+	r.SrcBase, r.Length, r.DstNode = base, length, hw.NodeFast
+	if err := d.Submit(p, r); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if got := d.RetrieveCompleted(p); got != nil {
+			if got.Status != uapi.StatusDone {
+				t.Fatalf("migrate in failed: %v", got)
+			}
+			d.FreeRequest(p, got)
+			return
+		}
+		d.Poll(p, 0)
+	}
+}
+
+func TestEvictsColdestWhenOverWatermark(t *testing.T) {
+	m, d := setup()
+	sd := New(d, DefaultOptions())
+	const regionBytes = 2 << 20 // 2 MB each; three fill the 6 MB node
+	var bases [3]int64
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		defer sd.Stop()
+		for i := range bases {
+			b, _ := d.AS.Mmap(p, regionBytes, hw.NodeSlow, "r")
+			bases[i] = b
+			d.AS.Write(p, b, bytes.Repeat([]byte{byte(i + 1)}, 4096))
+			migrateIn(t, d, p, b, regionBytes)
+			sd.Register(b, regionBytes)
+			sd.Touch(b, p.Now())
+		}
+		// Fast node now 100% full (> high watermark). Region 0 is the
+		// coldest (touched first). Let the daemon run.
+		sd.Touch(bases[1], p.Now())
+		sd.Touch(bases[2], p.Now())
+		p.SleepNS(20_000_000) // 20 ms: several daemon periods
+
+		if f := d.AS.FrameAt(bases[0]); f == nil || f.Node != hw.NodeSlow {
+			t.Errorf("coldest region not evicted (node %v)", f)
+		}
+		if f := d.AS.FrameAt(bases[2]); f == nil || f.Node != hw.NodeFast {
+			t.Errorf("hottest region evicted (node %v)", f)
+		}
+		usage := float64(m.Mem.Used(hw.NodeFast)) / float64(m.Mem.Node(hw.NodeFast).Capacity)
+		if usage > DefaultOptions().HighWatermark {
+			t.Errorf("usage still %.2f after daemon ran", usage)
+		}
+		// Evicted data survives intact.
+		var b [1]byte
+		d.AS.Read(p, bases[0], b[:])
+		if b[0] != 1 {
+			t.Errorf("evicted region corrupted: %d", b[0])
+		}
+	})
+	m.Eng.Run()
+	if sd.Stats().Evictions == 0 {
+		t.Error("daemon recorded no evictions")
+	}
+}
+
+func TestIdleBelowWatermark(t *testing.T) {
+	m, d := setup()
+	sd := New(d, DefaultOptions())
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		defer sd.Stop()
+		// 2 MB of 6 MB used: well under the watermark.
+		b, _ := d.AS.Mmap(p, 2<<20, hw.NodeSlow, "r")
+		migrateIn(t, d, p, b, 2<<20)
+		sd.Register(b, 2<<20)
+		p.SleepNS(10_000_000)
+		if f := d.AS.FrameAt(b); f == nil || f.Node != hw.NodeFast {
+			t.Error("region evicted below watermark")
+		}
+	})
+	m.Eng.Run()
+	if sd.Stats().Evictions != 0 {
+		t.Errorf("evictions = %d below watermark", sd.Stats().Evictions)
+	}
+}
+
+func TestRacingWriteAbortsEvictionAndIsPreserved(t *testing.T) {
+	m, d := setup()
+	opts := DefaultOptions()
+	sd := New(d, opts)
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		defer sd.Stop()
+		const regionBytes = 3 << 20
+		var bases [2]int64
+		for i := range bases {
+			b, _ := d.AS.Mmap(p, regionBytes, hw.NodeSlow, "r")
+			bases[i] = b
+			migrateIn(t, d, p, b, regionBytes)
+			sd.Register(b, regionBytes)
+		}
+		// Node is full; the daemon will start evicting region 0 at its
+		// next period (1 ms). Keep writing to it so every eviction
+		// attempt aborts.
+		for i := 0; i < 40; i++ {
+			p.SleepNS(500_000)
+			if err := d.AS.Write(p, bases[0], []byte{0xEE}); err != nil {
+				t.Fatalf("write during eviction: %v", err)
+			}
+			sd.Touch(bases[0], p.Now())
+		}
+		var b [1]byte
+		d.AS.Read(p, bases[0], b[:])
+		if b[0] != 0xEE {
+			t.Errorf("racing write lost: %d", b[0])
+		}
+	})
+	m.Eng.Run()
+	st := sd.Stats()
+	t.Logf("evictions=%d failed=%d", st.Evictions, st.FailedEvictons)
+	if st.FailedEvictons == 0 && st.Evictions == 0 {
+		t.Error("daemon never attempted an eviction")
+	}
+}
+
+func TestBadWatermarksPanic(t *testing.T) {
+	m, d := setup()
+	defer func() {
+		_ = m
+		if recover() == nil {
+			t.Error("bad watermarks did not panic")
+		}
+	}()
+	New(d, Options{HighWatermark: 0.5, LowWatermark: 0.9, PeriodNS: 1000})
+}

@@ -1,0 +1,156 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"memif/internal/hw"
+	"memif/internal/pagetable"
+	"memif/internal/phys"
+	"memif/internal/sim"
+)
+
+func setupShared() (*sim.Engine, *AddressSpace, *AddressSpace) {
+	eng := sim.NewEngine()
+	plat := hw.KeyStoneII()
+	mem := phys.New(plat)
+	rmap := NewRmap()
+	a := New(eng, plat, mem, 4096)
+	b := New(eng, plat, mem, 4096)
+	a.Rmap, b.Rmap = rmap, rmap
+	return eng, a, b
+}
+
+func TestRmapTracksMmap(t *testing.T) {
+	eng, a, _ := setupShared()
+	eng.Spawn("p", func(p *sim.Proc) {
+		base, _ := a.Mmap(p, 2*4096, hw.NodeSlow, "w")
+		f := a.FrameAt(base)
+		ms := a.Rmap.Lookup(f.ID)
+		if len(ms) != 1 || ms[0].AS != a || ms[0].Addr != base {
+			t.Errorf("rmap = %+v", ms)
+		}
+		a.Munmap(p, base)
+		if len(a.Rmap.Lookup(f.ID)) != 0 {
+			t.Error("rmap entry survived munmap")
+		}
+	})
+	eng.Run()
+}
+
+func TestShareFromMapsSameFrames(t *testing.T) {
+	eng, a, b := setupShared()
+	eng.Spawn("p", func(p *sim.Proc) {
+		const n = 4 * 4096
+		base, _ := a.Mmap(p, n, hw.NodeSlow, "w")
+		data := bytes.Repeat([]byte{0xAB}, n)
+		a.Write(p, base, data)
+
+		shared, err := b.ShareFrom(p, a, base, n)
+		if err != nil {
+			t.Fatalf("ShareFrom: %v", err)
+		}
+		// Same frames, visible data, refcount 2.
+		for i := int64(0); i < 4; i++ {
+			fa, fb := a.FrameAt(base+i*4096), b.FrameAt(shared+i*4096)
+			if fa != fb {
+				t.Fatalf("page %d maps different frames", i)
+			}
+			if fa.RefCount != 2 {
+				t.Fatalf("page %d refcount = %d", i, fa.RefCount)
+			}
+			if len(a.Rmap.Lookup(fa.ID)) != 2 {
+				t.Fatalf("page %d rmap entries = %d", i, len(a.Rmap.Lookup(fa.ID)))
+			}
+		}
+		got := make([]byte, n)
+		b.Read(p, shared, got)
+		if !bytes.Equal(got, data) {
+			t.Error("shared mapping reads different data")
+		}
+		// A write through b is visible through a.
+		b.Write(p, shared, []byte{0x11})
+		var one [1]byte
+		a.Read(p, base, one[:])
+		if one[0] != 0x11 {
+			t.Error("write through shared mapping not visible")
+		}
+	})
+	eng.Run()
+}
+
+func TestShareFromValidation(t *testing.T) {
+	eng, a, b := setupShared()
+	eng.Spawn("p", func(p *sim.Proc) {
+		base, _ := a.Mmap(p, 4096, hw.NodeSlow, "w")
+		if _, err := b.ShareFrom(p, a, 0xbad000, 4096); err == nil {
+			t.Error("sharing unmapped region succeeded")
+		}
+		// Page size mismatch.
+		c := New(eng, a.Plat, a.Mem, 65536)
+		c.Rmap = a.Rmap
+		if _, err := c.ShareFrom(p, a, base, 4096); err == nil {
+			t.Error("page-size mismatch accepted")
+		}
+		// Missing common rmap.
+		d := New(eng, a.Plat, a.Mem, 4096)
+		if _, err := d.ShareFrom(p, a, base, 4096); err == nil {
+			t.Error("sharing without a common rmap accepted")
+		}
+	})
+	eng.Run()
+}
+
+func TestMunmapSharedKeepsFrameAlive(t *testing.T) {
+	eng, a, b := setupShared()
+	eng.Spawn("p", func(p *sim.Proc) {
+		base, _ := a.Mmap(p, 4096, hw.NodeSlow, "w")
+		a.Write(p, base, []byte{9})
+		shared, _ := b.ShareFrom(p, a, base, 4096)
+		f := a.FrameAt(base)
+
+		if err := a.Munmap(p, base); err != nil {
+			t.Fatal(err)
+		}
+		if f.RefCount != 1 {
+			t.Errorf("refcount after first munmap = %d", f.RefCount)
+		}
+		var buf [1]byte
+		if err := b.Read(p, shared, buf[:]); err != nil || buf[0] != 9 {
+			t.Errorf("survivor mapping broken: %v %d", err, buf[0])
+		}
+		if err := b.Munmap(p, shared); err != nil {
+			t.Fatal(err)
+		}
+		if a.Mem.Used(hw.NodeSlow) != 0 {
+			t.Error("frame leaked after last munmap")
+		}
+	})
+	eng.Run()
+}
+
+func TestRmapMove(t *testing.T) {
+	r := NewRmap()
+	var s1, s2 pagetable.Slot
+	fa := &phys.Frame{ID: 1}
+	fb := &phys.Frame{ID: 7}
+	r.Add(1, Mapping{Slot: &s1})
+	r.Add(1, Mapping{Slot: &s2})
+	r.Move(fa, fb)
+	if len(r.Lookup(1)) != 0 {
+		t.Error("old frame still has mappings")
+	}
+	if len(r.Lookup(7)) != 2 {
+		t.Errorf("new frame has %d mappings, want 2", len(r.Lookup(7)))
+	}
+	r.Remove(7, &s1)
+	if len(r.Lookup(7)) != 1 {
+		t.Error("remove failed")
+	}
+	r.Remove(7, &s2)
+	if len(r.Lookup(7)) != 0 {
+		t.Error("final remove failed")
+	}
+	// Removing from an unknown frame is a no-op.
+	r.Remove(42, &s1)
+}

@@ -1,0 +1,66 @@
+package vm
+
+import (
+	"testing"
+
+	"memif/internal/hw"
+	"memif/internal/phys"
+	"memif/internal/sim"
+	"memif/internal/tlb"
+)
+
+// With a modelled TLB attached, access paths charge the refill walk on
+// misses and nothing extra on hits; PTE replacement invalidates the
+// cached translation (the indirect flush cost of Section 5.2).
+func TestTLBChargesWalkOnMiss(t *testing.T) {
+	eng := sim.NewEngine()
+	plat := hw.KeyStoneII()
+	as := New(eng, plat, phys.New(plat), 4096)
+	as.TLB = tlb.NewCortexA15()
+	walk := sim.Time(plat.Cost.TLBMissWalk)
+	lat := sim.Time(plat.Node(hw.NodeSlow).LatencyNS)
+
+	eng.Spawn("p", func(p *sim.Proc) {
+		base, _ := as.Mmap(p, 4096, hw.NodeSlow, "b")
+		t0 := p.Now()
+		as.Touch(p, base, false) // cold: miss
+		cold := p.Now() - t0
+		t0 = p.Now()
+		as.Touch(p, base, false) // warm: hit
+		warm := p.Now() - t0
+		if cold != lat+walk {
+			t.Errorf("cold touch = %v, want %v", cold, lat+walk)
+		}
+		if warm != lat {
+			t.Errorf("warm touch = %v, want %v", warm, lat)
+		}
+		// Replacing the PTE invalidates the translation.
+		as.InvalidatePage(as.VPN(base))
+		t0 = p.Now()
+		as.Touch(p, base, false)
+		if got := p.Now() - t0; got != lat+walk {
+			t.Errorf("post-flush touch = %v, want %v", got, lat+walk)
+		}
+	})
+	eng.Run()
+	st := as.TLB.Stats()
+	if st.Misses != 2 || st.Hits != 1 || st.Invalidations != 1 {
+		t.Errorf("TLB stats = %+v", st)
+	}
+}
+
+func TestNoTLBNoExtraCost(t *testing.T) {
+	eng := sim.NewEngine()
+	plat := hw.KeyStoneII()
+	as := New(eng, plat, phys.New(plat), 4096) // TLB nil
+	lat := sim.Time(plat.Node(hw.NodeSlow).LatencyNS)
+	eng.Spawn("p", func(p *sim.Proc) {
+		base, _ := as.Mmap(p, 4096, hw.NodeSlow, "b")
+		t0 := p.Now()
+		as.Touch(p, base, false)
+		if got := p.Now() - t0; got != lat {
+			t.Errorf("touch = %v, want bare latency %v", got, lat)
+		}
+	})
+	eng.Run()
+}

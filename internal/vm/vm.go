@@ -1,0 +1,446 @@
+// Package vm models per-process virtual memory: VMAs, anonymous mmap,
+// and the access paths whose interaction with migration defines the
+// paper's race semantics.
+//
+// Accesses honor three PTE disciplines:
+//
+//   - Baseline race *prevention*: touching a page whose PTE carries
+//     FlagMigration blocks the accessor until the migration completes,
+//     exactly like Linux's migration PTEs (Section 5.2, Figure 4a).
+//   - memif race *detection*: touching a page clears the young bit; the
+//     driver's later release CAS observes the clear and reports the race
+//     (Figure 4b). The clearing happens here, on the access path.
+//   - Proceed-and-recover: a write to a page whose PTE carries
+//     FlagRecover traps into a registered fault handler, which aborts the
+//     in-flight migration and restores the old mapping (Section 5.2,
+//     "Alternative").
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"memif/internal/hw"
+	"memif/internal/pagetable"
+	"memif/internal/phys"
+	"memif/internal/sim"
+	"memif/internal/tlb"
+)
+
+// Errors reported by the access and mapping paths.
+var (
+	ErrBadAddress = errors.New("vm: access to unmapped address")
+	ErrNoVMA      = errors.New("vm: address not covered by a VMA")
+)
+
+// VMA is one contiguous virtual memory area.
+type VMA struct {
+	Start  int64
+	Length int64
+	Node   hw.NodeID // node backing pages were allocated on at mmap time
+	Name   string
+
+	// TouchedBytes accumulates how much of the VMA has been read or
+	// written (access-pattern accounting for reactive placement, the
+	// transparent approach of Section 2.1).
+	TouchedBytes int64
+}
+
+// End returns the first address past the VMA.
+func (v *VMA) End() int64 { return v.Start + v.Length }
+
+func (v *VMA) String() string {
+	return fmt.Sprintf("vma[%#x-%#x %s @node%d]", v.Start, v.End(), v.Name, v.Node)
+}
+
+// FaultHandler handles a trap taken on an access. It returns true if the
+// fault was resolved and the access should be retried. The memif driver
+// registers one to implement proceed-and-recover.
+type FaultHandler func(p *sim.Proc, addr int64, slot *pagetable.Slot, write bool) bool
+
+// AddressSpace is one process's virtual memory. PageBytes is fixed per
+// address space; the 64 KB and 2 MB page experiments build separate
+// spaces (the paper emulates large pages the same way, Section 6.2).
+type AddressSpace struct {
+	Eng       *sim.Engine
+	Plat      *hw.Platform
+	Mem       *phys.Memory
+	PageBytes int64
+	Table     *pagetable.Table
+
+	// Rmap, when non-nil, is the machine-wide reverse map this space
+	// participates in; required for shared mappings (see ShareFrom).
+	Rmap *Rmap
+
+	// TLB, when non-nil, models this context's translation cache:
+	// access paths charge a hardware walk on each miss, and PTE
+	// replacements invalidate the cached translation — the indirect
+	// flush cost of Section 5.2. Nil (the default) keeps the direct
+	// flush-cost-only model the calibration uses.
+	TLB *tlb.TLB
+
+	vmas     []*VMA
+	nextAddr int64
+
+	// TLBFlushes counts explicit per-page TLB flushes charged against
+	// this address space (indirect refill cost is part of the flush
+	// price in the cost model).
+	TLBFlushes int64
+
+	migWaiters map[*pagetable.Slot]*sim.Event
+	migClaims  map[uint64]bool
+	fault      FaultHandler
+
+	// MonitorTax models the runtime overhead of transparent access
+	// monitoring (Section 2.1 cites >10%): every access is slowed by
+	// this fraction while a reactive advisor instruments the process.
+	MonitorTax float64
+
+	// RaceTouches counts accesses that cleared a young bit (useful for
+	// asserting race-detection behaviour in tests).
+	RaceTouches int64
+}
+
+// New returns an empty address space with the given page size.
+func New(eng *sim.Engine, plat *hw.Platform, mem *phys.Memory, pageBytes int64) *AddressSpace {
+	if pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic(fmt.Sprintf("vm: page size %d not a positive power of two", pageBytes))
+	}
+	return &AddressSpace{
+		Eng:        eng,
+		Plat:       plat,
+		Mem:        mem,
+		PageBytes:  pageBytes,
+		Table:      pagetable.New(),
+		nextAddr:   1 << 32,
+		migWaiters: make(map[*pagetable.Slot]*sim.Event),
+		migClaims:  make(map[uint64]bool),
+	}
+}
+
+// SetFaultHandler installs the trap handler used by FlagRecover PTEs.
+func (as *AddressSpace) SetFaultHandler(h FaultHandler) { as.fault = h }
+
+// VPN converts a virtual address to this space's page number.
+func (as *AddressSpace) VPN(addr int64) uint64 { return uint64(addr) / uint64(as.PageBytes) }
+
+// charge spends CPU time if running inside a simulated process.
+func charge(p *sim.Proc, ns int64, meters ...*sim.Meter) {
+	if p != nil && ns > 0 {
+		p.Busy(ns, meters...)
+	}
+}
+
+// Mmap maps length bytes of anonymous memory backed by node, eagerly
+// populated (the paper's workloads pre-fault their buffers). If p is
+// non-nil the population cost (page alloc + PTE install per page) is
+// charged to it. Returns the base address.
+func (as *AddressSpace) Mmap(p *sim.Proc, length int64, node hw.NodeID, name string) (int64, error) {
+	if length <= 0 {
+		return 0, fmt.Errorf("vm: mmap length %d", length)
+	}
+	length = (length + as.PageBytes - 1) &^ (as.PageBytes - 1)
+	base := as.nextAddr
+	pages := length / as.PageBytes
+	cost := &as.Plat.Cost
+
+	var frames []*phys.Frame
+	for i := int64(0); i < pages; i++ {
+		f, err := as.Mem.Alloc(node, as.PageBytes)
+		if err != nil {
+			for _, g := range frames {
+				g.RefCount = 0
+				as.Mem.Free(g)
+			}
+			return 0, err
+		}
+		f.RefCount = 1
+		frames = append(frames, f)
+	}
+	for i, f := range frames {
+		addr := base + int64(i)*as.PageBytes
+		slot, _ := as.Table.Ensure(as.VPN(addr))
+		slot.Store(pagetable.Make(f.ID, pagetable.FlagPresent|pagetable.FlagWrite))
+		as.rmapAdd(f.ID, slot, addr)
+	}
+	charge(p, pages*(cost.PageAlloc+cost.PTEReplace))
+	vma := &VMA{Start: base, Length: length, Node: node, Name: name}
+	as.vmas = append(as.vmas, vma)
+	as.nextAddr = base + length + as.PageBytes // guard page
+	return base, nil
+}
+
+// Munmap unmaps the VMA starting at base, freeing its backing frames.
+func (as *AddressSpace) Munmap(p *sim.Proc, base int64) error {
+	idx := -1
+	for i, v := range as.vmas {
+		if v.Start == base {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: munmap(%#x)", ErrNoVMA, base)
+	}
+	v := as.vmas[idx]
+	cost := &as.Plat.Cost
+	pages := v.Length / as.PageBytes
+	for i := int64(0); i < pages; i++ {
+		vpn := as.VPN(v.Start + i*as.PageBytes)
+		slot, _ := as.Table.Lookup(vpn)
+		if slot == nil {
+			continue
+		}
+		pte := slot.Load()
+		if !pte.Has(pagetable.FlagPresent) {
+			continue
+		}
+		slot.Store(0)
+		if f, ok := as.Mem.Lookup(pte.Frame()); ok {
+			as.rmapRemove(f.ID, slot)
+			f.RefCount--
+			// File-backed frames stay in the page cache even with no
+			// mappings left (drop the cache to reclaim them).
+			if f.RefCount == 0 && !f.Pinned && !f.FileBacked {
+				as.Mem.Free(f)
+			}
+		}
+	}
+	charge(p, pages*(cost.PageFree+cost.PTEReplace))
+	as.vmas = append(as.vmas[:idx], as.vmas[idx+1:]...)
+	return nil
+}
+
+// FindVMA returns the VMA covering addr, if any.
+func (as *AddressSpace) FindVMA(addr int64) *VMA {
+	for _, v := range as.vmas {
+		if addr >= v.Start && addr < v.End() {
+			return v
+		}
+	}
+	return nil
+}
+
+// CheckRegion validates that [addr, addr+length) is page-aligned and
+// fully covered by one VMA — the validation the memif driver performs on
+// user-supplied request fields before trusting them (Section 4.2).
+func (as *AddressSpace) CheckRegion(addr, length int64) error {
+	if addr%as.PageBytes != 0 || length <= 0 || length%as.PageBytes != 0 {
+		return fmt.Errorf("vm: region %#x+%d not page aligned", addr, length)
+	}
+	v := as.FindVMA(addr)
+	if v == nil || addr+length > v.End() {
+		return fmt.Errorf("%w: region %#x+%d", ErrNoVMA, addr, length)
+	}
+	return nil
+}
+
+// FrameAt resolves the frame currently backing addr (nil if unmapped).
+func (as *AddressSpace) FrameAt(addr int64) *phys.Frame {
+	slot, _ := as.Table.Lookup(as.VPN(addr))
+	if slot == nil {
+		return nil
+	}
+	pte := slot.Load()
+	if !pte.Has(pagetable.FlagPresent) {
+		return nil
+	}
+	f, _ := as.Mem.Lookup(pte.Frame())
+	return f
+}
+
+// MigrationGate returns (creating if needed) the completion event that
+// accessors blocked on slot's migration PTE wait for. Used by the
+// baseline's race prevention.
+func (as *AddressSpace) MigrationGate(slot *pagetable.Slot) *sim.Event {
+	ev, ok := as.migWaiters[slot]
+	if !ok {
+		ev = sim.NewEvent(as.Eng)
+		as.migWaiters[slot] = ev
+	}
+	return ev
+}
+
+// ReleaseMigrationGate fires the gate for slot, unblocking accessors.
+func (as *AddressSpace) ReleaseMigrationGate(slot *pagetable.Slot) {
+	if ev, ok := as.migWaiters[slot]; ok {
+		delete(as.migWaiters, slot)
+		ev.Fire()
+	}
+}
+
+// touchSlot applies reference semantics to one resolved slot and returns
+// the frame to access. It blocks on migration PTEs, traps to the fault
+// handler on recover PTEs, and clears the young bit (the reference that
+// memif's release CAS detects).
+func (as *AddressSpace) touchSlot(p *sim.Proc, addr int64, write bool) (*phys.Frame, error) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 64 {
+			return nil, fmt.Errorf("vm: livelock touching %#x", addr)
+		}
+		slot, _ := as.Table.Lookup(as.VPN(addr))
+		if slot == nil {
+			return nil, fmt.Errorf("%w: %#x", ErrBadAddress, addr)
+		}
+		pte := slot.Load()
+		if !pte.Has(pagetable.FlagPresent) {
+			return nil, fmt.Errorf("%w: %#x", ErrBadAddress, addr)
+		}
+		if pte.Has(pagetable.FlagMigration) {
+			// Race prevention: block until the migration releases us.
+			if p == nil {
+				return nil, fmt.Errorf("vm: blocking access to migrating page %#x outside a process", addr)
+			}
+			gate := as.MigrationGate(slot)
+			p.WaitEvent(gate)
+			continue
+		}
+		if pte.Has(pagetable.FlagRecover) && write {
+			if as.fault == nil {
+				return nil, fmt.Errorf("vm: write fault on %#x with no handler", addr)
+			}
+			if !as.fault(p, addr, slot, write) {
+				return nil, fmt.Errorf("vm: fault handler refused %#x", addr)
+			}
+			continue
+		}
+		// Reference: clear young, set dirty on write. CAS so a racing
+		// driver release observes exactly one of the orders.
+		newPTE := pte.Without(pagetable.FlagYoung)
+		if write {
+			newPTE = newPTE.With(pagetable.FlagDirty)
+		}
+		if newPTE != pte {
+			if !slot.CompareAndSwap(pte, newPTE) {
+				continue
+			}
+			if pte.Has(pagetable.FlagYoung) {
+				as.RaceTouches++
+			}
+		}
+		f, ok := as.Mem.Lookup(pte.Frame())
+		if !ok {
+			return nil, fmt.Errorf("vm: PTE at %#x references dead frame %d", addr, pte.Frame())
+		}
+		return f, nil
+	}
+}
+
+// Touch references one page (a load if write is false, a store
+// otherwise) without transferring data. Charges the node's access latency.
+func (as *AddressSpace) Touch(p *sim.Proc, addr int64, write bool) error {
+	f, err := as.touchSlot(p, addr, write)
+	if err != nil {
+		return err
+	}
+	charge(p, as.tlbTouch(addr)+as.Mem.Node(f.Node).LatencyNS)
+	return nil
+}
+
+// accessTime prices moving n bytes to/from node at streaming bandwidth.
+func (as *AddressSpace) accessTime(node hw.NodeID, n int64) int64 {
+	bw := as.Mem.Node(node).Bandwidth
+	return as.Mem.Node(node).LatencyNS + int64(float64(n)/bw*1e9)
+}
+
+// Read copies len(buf) bytes from virtual memory into buf, charging
+// virtual time at the backing node's bandwidth. Meters receive the busy
+// time.
+func (as *AddressSpace) Read(p *sim.Proc, addr int64, buf []byte, meters ...*sim.Meter) error {
+	return as.access(p, addr, buf, false, meters...)
+}
+
+// Write copies data into virtual memory.
+func (as *AddressSpace) Write(p *sim.Proc, addr int64, data []byte, meters ...*sim.Meter) error {
+	return as.access(p, addr, data, true, meters...)
+}
+
+func (as *AddressSpace) access(p *sim.Proc, addr int64, buf []byte, write bool, meters ...*sim.Meter) error {
+	if v := as.FindVMA(addr); v != nil {
+		v.TouchedBytes += int64(len(buf))
+	}
+	off := int64(0)
+	for off < int64(len(buf)) {
+		pageOff := (addr + off) % as.PageBytes
+		n := as.PageBytes - pageOff
+		if rem := int64(len(buf)) - off; n > rem {
+			n = rem
+		}
+		f, err := as.touchSlot(p, addr+off, write)
+		if err != nil {
+			return err
+		}
+		if walk := as.tlbTouch(addr + off); walk > 0 && p != nil {
+			p.Busy(walk, meters...)
+		}
+		if f.Data != nil { // dataless mode carries timing only
+			if write {
+				copy(f.Data[pageOff:pageOff+n], buf[off:off+n])
+			} else {
+				copy(buf[off:off+n], f.Data[pageOff:pageOff+n])
+			}
+		}
+		if p != nil {
+			t := as.accessTime(f.Node, n)
+			if as.MonitorTax > 0 {
+				t += int64(float64(t) * as.MonitorTax)
+			}
+			p.Busy(t, meters...)
+		}
+		off += n
+	}
+	return nil
+}
+
+// InvalidatePage accounts one per-page TLB shootdown: the direct flush
+// cost is charged by the caller's cost table; here the cached
+// translation is dropped so the owner pays the refill walk on its next
+// access (the indirect cost).
+func (as *AddressSpace) InvalidatePage(vpn uint64) {
+	as.TLBFlushes++
+	if as.TLB != nil {
+		as.TLB.Invalidate(vpn)
+	}
+}
+
+// tlbTouch consults the modelled TLB (if any) for the page containing
+// addr and returns the extra walk time to charge.
+func (as *AddressSpace) tlbTouch(addr int64) int64 {
+	if as.TLB == nil {
+		return 0
+	}
+	if as.TLB.Lookup(as.VPN(addr)) {
+		return 0
+	}
+	return as.Plat.Cost.TLBMissWalk
+}
+
+// MigClaim marks n pages starting at vpn as having an in-flight
+// migration, the role the page lock plays for migrate_pages in Linux. It
+// fails (claiming nothing) if any page is already claimed, so two movers
+// — say, an application promotion and a swap daemon eviction — can never
+// migrate the same page concurrently.
+func (as *AddressSpace) MigClaim(vpn uint64, n int) bool {
+	for i := 0; i < n; i++ {
+		if as.migClaims[vpn+uint64(i)] {
+			return false
+		}
+	}
+	for i := 0; i < n; i++ {
+		as.migClaims[vpn+uint64(i)] = true
+	}
+	return true
+}
+
+// MigRelease drops the claim on n pages starting at vpn.
+func (as *AddressSpace) MigRelease(vpn uint64, n int) {
+	for i := 0; i < n; i++ {
+		delete(as.migClaims, vpn+uint64(i))
+	}
+}
+
+// FlushTLBPage accounts one per-page TLB flush and charges its cost.
+func (as *AddressSpace) FlushTLBPage(p *sim.Proc, meters ...*sim.Meter) {
+	as.TLBFlushes++
+	charge(p, as.Plat.Cost.TLBFlushPage, meters...)
+}

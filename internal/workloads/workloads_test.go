@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"testing"
+
+	"memif/internal/hw"
+	"memif/internal/phys"
+	"memif/internal/sim"
+	"memif/internal/vm"
+)
+
+func setup() (*sim.Engine, *vm.AddressSpace) {
+	eng := sim.NewEngine()
+	plat := hw.KeyStoneII()
+	return eng, vm.New(eng, plat, phys.New(plat), 4096)
+}
+
+func TestKernelCalibrationMatchesTable4(t *testing.T) {
+	// Consuming from the slow node must land near the Linux column of
+	// Table 4: pgain 1440, triad 2384, add 2390 MB/s. Our access model
+	// adds per-page latency, so allow a 10% band below the paper.
+	slowNS := func(k Kernel) float64 { // ns per byte from slow node
+		perPage := 110.0 + 4096.0/6.2e9*1e9
+		return k.ComputePerByteNS + perPage/4096.0
+	}
+	cases := []struct {
+		k     Kernel
+		paper float64
+	}{{PGain, 1440.1}, {Triad, 2384.1}, {Add, 2390.1}}
+	for _, c := range cases {
+		mbs := 1e3 / slowNS(c.k)
+		if mbs < c.paper*0.90 || mbs > c.paper*1.05 {
+			t.Errorf("%s: modelled slow-node throughput %.0f MB/s vs paper %.0f", c.k.Name, mbs, c.paper)
+		}
+	}
+}
+
+func TestConsumeChargesComputeAndMemory(t *testing.T) {
+	eng, as := setup()
+	eng.Spawn("p", func(p *sim.Proc) {
+		base, _ := as.Mmap(p, 64<<10, hw.NodeSlow, "in")
+		scratch := make([]byte, 64<<10)
+		start := p.Now()
+		if _, err := Triad.Consume(p, as, base, 64<<10, scratch, 0); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := float64(p.Now() - start)
+		// compute + memory for 64 KB from the slow node.
+		compute := 0.2581 * 65536
+		memory := 16 * (110 + 4096/6.2e9*1e9)
+		want := compute + memory
+		if elapsed < want*0.95 || elapsed > want*1.05 {
+			t.Errorf("consume took %.0f ns, want ~%.0f", elapsed, want)
+		}
+	})
+	eng.Run()
+}
+
+func TestConsumeChecksumMatchesFill(t *testing.T) {
+	eng, as := setup()
+	eng.Spawn("p", func(p *sim.Proc) {
+		const n = 128 << 10
+		base, _ := as.Mmap(p, n, hw.NodeSlow, "in")
+		want, err := FillInput(p, as, base, n, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch := make([]byte, n)
+		got, err := Add.Consume(p, as, base, n, scratch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("checksum = %#x, want %#x", got, want)
+		}
+	})
+	eng.Run()
+}
+
+func TestConsumeUnmappedFails(t *testing.T) {
+	eng, as := setup()
+	eng.Spawn("p", func(p *sim.Proc) {
+		scratch := make([]byte, 4096)
+		if _, err := Triad.Consume(p, as, 0xdead000, 4096, scratch, 0); err == nil {
+			t.Error("consume of unmapped region succeeded")
+		}
+	})
+	eng.Run()
+}
+
+func TestSum64TailBytes(t *testing.T) {
+	// 9 bytes: one 8-byte word plus a tail byte.
+	chunk := []byte{1, 0, 0, 0, 0, 0, 0, 0, 5}
+	if got := sum64(10, chunk); got != 10+1+5 {
+		t.Errorf("sum64 = %d, want 16", got)
+	}
+}
+
+func TestFillInputDeterministic(t *testing.T) {
+	eng, as := setup()
+	eng.Spawn("p", func(p *sim.Proc) {
+		a, _ := as.Mmap(p, 32<<10, hw.NodeSlow, "a")
+		b, _ := as.Mmap(p, 32<<10, hw.NodeSlow, "b")
+		ca, _ := FillInput(p, as, a, 32<<10, 7)
+		cb, _ := FillInput(p, as, b, 32<<10, 7)
+		if ca != cb {
+			t.Error("same seed produced different checksums")
+		}
+		cc, _ := FillInput(p, as, b, 32<<10, 8)
+		if cc == ca {
+			t.Error("different seeds produced identical checksums")
+		}
+	})
+	eng.Run()
+}

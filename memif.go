@@ -1,0 +1,255 @@
+// Package memif is a Go reproduction of "memif: Towards Programming
+// Heterogeneous Memory Asynchronously" (Lin & Liu, ASPLOS 2016): a
+// protected OS service for asynchronous, DMA-accelerated replication and
+// migration of virtual memory regions across heterogeneous memory nodes.
+//
+// The kernel prototype in the paper runs on a TI KeyStone II SoC. Since a
+// Go library can be neither a kernel module nor an EDMA3 driver, this
+// package runs the complete system — heterogeneous memory nodes, page
+// tables, the DMA engine, the lock-free user/kernel interface, the memif
+// driver, and the Linux page-migration baseline — on a deterministic
+// discrete-event machine with a cost model calibrated to the paper's
+// measurements (see DESIGN.md). The red-blue lock-free queue at the heart
+// of the interface is real CAS-based code, exercised by real goroutines.
+//
+// # Quick start
+//
+// Boot a machine, open a device, and move memory the way Figure 2 of the
+// paper does:
+//
+//	m := memif.NewMachine(memif.KeyStoneII())
+//	m.Eng.Spawn("app", func(p *memif.Proc) {
+//		as := m.NewAddressSpace(memif.Page4K)
+//		dev := memif.Open(m, as, memif.DefaultOptions())
+//		defer dev.Close()
+//
+//		src, _ := as.Mmap(p, 1<<20, memif.NodeSlow, "src")
+//		dst, _ := as.Mmap(p, 1<<20, memif.NodeFast, "dst")
+//
+//		req := dev.AllocRequest(p)
+//		req.Op = memif.OpReplicate
+//		req.SrcBase, req.DstBase, req.Length = src, dst, 1<<20
+//		dev.Submit(p, req) // non-blocking
+//
+//		// ... compute ...
+//
+//		dev.Poll(p, 0) // sleep until any move completes
+//		done := dev.RetrieveCompleted(p)
+//		dev.FreeRequest(p, done)
+//	})
+//	m.Eng.Run()
+//
+// All names below are aliases into the implementation packages, so the
+// whole system is reachable from this single import.
+package memif
+
+import (
+	"memif/internal/core"
+	"memif/internal/hw"
+	"memif/internal/linuxmig"
+	"memif/internal/machine"
+	"memif/internal/rbq"
+	"memif/internal/realtime"
+	"memif/internal/sim"
+	"memif/internal/streamrt"
+	"memif/internal/swapd"
+	"memif/internal/uapi"
+	"memif/internal/vm"
+	"memif/internal/workloads"
+)
+
+// Machine is one simulated computer: event engine, platform, physical
+// memory and DMA engine.
+type Machine = machine.Machine
+
+// NewMachine boots a machine for a platform.
+func NewMachine(plat *Platform) *Machine { return machine.New(plat) }
+
+// Platform describes the hardware (nodes, DMA engine, cost model).
+type Platform = hw.Platform
+
+// KeyStoneII returns the paper's test platform (Table 2).
+func KeyStoneII() *Platform { return hw.KeyStoneII() }
+
+// XeonE5 returns the Section 2.2 comparison NUMA machine.
+func XeonE5() *Platform { return hw.XeonE5() }
+
+// NodeID names a memory node.
+type NodeID = hw.NodeID
+
+// The two pseudo-NUMA nodes of the heterogeneous hierarchy.
+const (
+	NodeSlow = hw.NodeSlow
+	NodeFast = hw.NodeFast
+)
+
+// Page size presets used throughout the evaluation.
+const (
+	Page4K  = hw.Page4K
+	Page64K = hw.Page64K
+	Page2M  = hw.Page2M
+)
+
+// Proc is a simulated process (an application thread, in user code).
+type Proc = sim.Proc
+
+// Time is a virtual-time instant in nanoseconds.
+type Time = sim.Time
+
+// AddressSpace is one process's virtual memory.
+type AddressSpace = vm.AddressSpace
+
+// Device is an opened memif instance (device file + shared area + kernel
+// worker). Its methods are the user API of Section 4.1: AllocRequest,
+// FreeRequest, Submit, RetrieveCompleted, Poll, Close.
+type Device = core.Device
+
+// Options configures a Device; start from DefaultOptions.
+type Options = core.Options
+
+// DefaultOptions returns the prototype's configuration (256 request
+// slots, 512 KB polling threshold, race detection, gang lookup and
+// descriptor reuse enabled).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Race-handling policies (Section 5.2).
+const (
+	RaceDetect  = core.RaceDetect
+	RaceRecover = core.RaceRecover
+	RacePrevent = core.RacePrevent
+)
+
+// Open creates a memif instance for the process owning as and starts its
+// kernel worker (MemifOpen of the user API).
+func Open(m *Machine, as *AddressSpace, opts Options) *Device {
+	return core.Open(m, as, opts)
+}
+
+// MovReq is one move request (Figure 3b).
+type MovReq = uapi.MovReq
+
+// Move operations.
+const (
+	OpReplicate = uapi.OpReplicate
+	OpMigrate   = uapi.OpMigrate
+)
+
+// Request completion states and failure codes.
+const (
+	StatusDone   = uapi.StatusDone
+	StatusFailed = uapi.StatusFailed
+
+	ErrNone       = uapi.ErrNone
+	ErrRace       = uapi.ErrRace
+	ErrAborted    = uapi.ErrAborted
+	ErrNoMemory   = uapi.ErrNoMemory
+	ErrBadRequest = uapi.ErrBadRequest
+	ErrBusy       = uapi.ErrBusy
+)
+
+// Queue is the red-blue lock-free queue (Section 4.3), usable on its own:
+// a Michael–Scott-style lock-free FIFO that maintains a queue-wide color
+// atomically with every operation.
+type Queue = rbq.Queue
+
+// QueueSlab is the node pool shared by a set of Queues.
+type QueueSlab = rbq.Slab
+
+// NewQueueSlab allocates a node pool for red-blue queues.
+func NewQueueSlab(capacity int) *QueueSlab { return rbq.NewSlab(capacity) }
+
+// Queue colors.
+const (
+	Blue = rbq.Blue
+	Red  = rbq.Red
+)
+
+// LinuxMigrator is the baseline: synchronous, CPU-copy Linux page
+// migration driven by mbind-style batch syscalls (Section 2.2).
+type LinuxMigrator = linuxmig.Migrator
+
+// NewLinuxMigrator returns the baseline migration service for as.
+func NewLinuxMigrator(m *Machine, as *AddressSpace) *LinuxMigrator {
+	return linuxmig.New(m, as)
+}
+
+// StreamConfig sizes the mini streaming runtime's prefetch buffers
+// (Section 6.6).
+type StreamConfig = streamrt.Config
+
+// StreamResult reports one streaming run.
+type StreamResult = streamrt.Result
+
+// DefaultStreamConfig returns the Table 4 configuration (eight 512 KB
+// buffers on the fast node).
+func DefaultStreamConfig() StreamConfig { return streamrt.DefaultConfig() }
+
+// StreamKernel is a streaming compute kernel.
+type StreamKernel = workloads.Kernel
+
+// The Table 4 workloads.
+var (
+	KernelTriad = workloads.Triad
+	KernelAdd   = workloads.Add
+	KernelPGain = workloads.PGain
+)
+
+// Stream runs kernel k over [base, base+length) through memif prefetch
+// buffers.
+func Stream(p *Proc, d *Device, k StreamKernel, base, length int64, cfg StreamConfig) (StreamResult, error) {
+	return streamrt.Run(p, d, k, base, length, cfg)
+}
+
+// StreamDirect runs the kernel in place (no memif) for comparison.
+func StreamDirect(p *Proc, as *AddressSpace, k StreamKernel, base, length int64, cfg StreamConfig) (StreamResult, error) {
+	return streamrt.RunDirect(p, as, k, base, length, cfg)
+}
+
+// File is an in-memory file whose pages live in a machine-wide page
+// cache; mappings of it are shared between processes, and migration
+// rebinds the cache alongside every PTE (the file-backed-pages
+// limitation of Section 6.7, implemented).
+type File = vm.File
+
+// NewFile creates a file of the given size on m's page cache. pageBytes
+// must match the page size of the address spaces that will map it.
+func NewFile(m *Machine, name string, size, pageBytes int64) *File {
+	return vm.NewFile(m.Mem, m.Rmap, name, size, pageBytes)
+}
+
+// SwapDaemon is the kswapd-style automatic fast-memory evictor (the
+// future-work item of Section 6.7): it watches the fast node's usage and
+// migrates the coldest registered regions back to slow memory through
+// memif, in proceed-and-recover mode so evictions can never hurt the
+// application.
+type SwapDaemon = swapd.Daemon
+
+// SwapOptions tunes the daemon's watermarks and period.
+type SwapOptions = swapd.Options
+
+// DefaultSwapOptions suits the 6 MB MSMC node.
+func DefaultSwapOptions() SwapOptions { return swapd.DefaultOptions() }
+
+// NewSwapDaemon starts an evictor for the address space behind app.
+func NewSwapDaemon(app *Device, opts SwapOptions) *SwapDaemon {
+	return swapd.New(app, opts)
+}
+
+// RealtimeDevice runs the memif interface protocol — the same red-blue
+// queues, submit/flush/kick discipline, worker and completion paths —
+// under real goroutine concurrency as a host-side asynchronous copy
+// service. See package memif/internal/realtime for the full story.
+type RealtimeDevice = realtime.Device
+
+// RealtimeRequest is a realtime mov_req: an async copy between two
+// caller-owned byte slices.
+type RealtimeRequest = realtime.Request
+
+// RealtimeOptions sizes a realtime device.
+type RealtimeOptions = realtime.Options
+
+// OpenRealtime starts a realtime device.
+func OpenRealtime(opts RealtimeOptions) *RealtimeDevice { return realtime.Open(opts) }
+
+// DefaultRealtimeOptions mirrors the EDMA3-ish defaults.
+func DefaultRealtimeOptions() RealtimeOptions { return realtime.DefaultOptions() }
