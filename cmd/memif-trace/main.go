@@ -8,19 +8,29 @@
 // Usage:
 //
 //	memif-trace [-reqs N] [-pages N] [-op migrate|replicate] [-race detect|recover|prevent] [-v]
+//	memif-trace -rt [-reqs N] [-rt-bytes N] [-rt-controllers N] [-rt-chunk N] [-rt-trace N]
 //
 // With -v the engine's process-dispatch trace is streamed too, showing
 // every app/worker/interrupt context switch in virtual time.
+//
+// With -rt the scenario runs on the realtime device instead — real
+// goroutines, real copies, wall-clock time — and prints its obs layer:
+// outcome counters, latency/size histograms, queue watermarks, and (with
+// -rt-trace) the ring-buffer event trace of the submit / kick / dispatch
+// / chunk / complete edges.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"memif/internal/core"
 	"memif/internal/hw"
 	"memif/internal/machine"
+	"memif/internal/obs"
+	"memif/internal/realtime"
 	"memif/internal/sim"
 	"memif/internal/uapi"
 )
@@ -31,7 +41,17 @@ func main() {
 	op := flag.String("op", "migrate", "operation: migrate or replicate")
 	race := flag.String("race", "detect", "race policy: detect, recover or prevent")
 	verbose := flag.Bool("v", false, "stream the engine's context-switch trace")
+	rt := flag.Bool("rt", false, "run on the realtime device (real goroutines and copies)")
+	rtBytes := flag.Int("rt-bytes", 4<<20, "realtime: bytes per request")
+	rtControllers := flag.Int("rt-controllers", 0, "realtime: transfer controllers (0 = default)")
+	rtChunk := flag.Int("rt-chunk", 0, "realtime: chunk bytes (0 = default, <0 disables chunking)")
+	rtTrace := flag.Int("rt-trace", 32, "realtime: event-trace ring depth (0 disables)")
 	flag.Parse()
+
+	if *rt {
+		runRealtime(*reqs, *rtBytes, *rtControllers, *rtChunk, *rtTrace)
+		return
+	}
 
 	opts := core.DefaultOptions()
 	switch *race {
@@ -139,4 +159,76 @@ func main() {
 		d.UserMeter.Busy(), d.KernMeter.Busy(), end,
 		sim.MeterGroup{d.UserMeter, d.KernMeter}.Usage(end)*100)
 	fmt.Printf("driver time by phase: %v\n", d.Breakdown)
+}
+
+// runRealtime drives the realtime device through a burst of copies and
+// renders its observability layer.
+func runRealtime(reqs, bytesPer, controllers, chunkBytes, traceDepth int) {
+	opts := realtime.DefaultOptions()
+	if controllers > 0 {
+		opts.Controllers = controllers
+	}
+	if chunkBytes != 0 {
+		opts.ChunkBytes = chunkBytes
+	}
+	opts.TraceDepth = traceDepth
+	d := realtime.Open(opts)
+
+	src := make([]byte, bytesPer)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dsts := make([][]byte, reqs)
+	start := time.Now()
+	for i := 0; i < reqs; i++ {
+		dsts[i] = make([]byte, bytesPer)
+		r := d.AllocRequest()
+		if r == nil {
+			fmt.Fprintln(os.Stderr, "memif-trace: out of request slots")
+			os.Exit(1)
+		}
+		r.Src, r.Dst = src, dsts[i]
+		r.Cookie = uint64(i)
+		if err := d.Submit(r); err != nil {
+			fmt.Fprintf(os.Stderr, "memif-trace: submit %d: %v\n", i, err)
+			os.Exit(1)
+		}
+	}
+	for done := 0; done < reqs; {
+		r := d.RetrieveCompleted()
+		if r == nil {
+			d.Poll(time.Second)
+			continue
+		}
+		lat, _ := r.Latency()
+		fmt.Printf("req %3d  %8d KB  latency %10v  err=%v\n",
+			r.Cookie, len(r.Src)>>10, lat, r.Err)
+		d.FreeRequest(r)
+		done++
+	}
+	elapsed := time.Since(start)
+	if !d.CloseDrain(5 * time.Second) {
+		fmt.Fprintln(os.Stderr, "memif-trace: drain timed out")
+	}
+
+	st := d.Stats()
+	chunkDesc := fmt.Sprintf("%d KB", opts.ChunkBytes>>10)
+	if opts.ChunkBytes < 0 {
+		chunkDesc = "off"
+	}
+	fmt.Printf("\nscenario: %d x %d KB copies, %d controllers, chunk %s, %v elapsed (%.0f MB/s)\n",
+		reqs, bytesPer>>10, opts.Controllers, chunkDesc, elapsed,
+		float64(st.BytesMoved)/elapsed.Seconds()/1e6)
+	fmt.Printf("submitted %d  completed %d  canceled %d  expired %d  failed %d\n",
+		st.Submitted, st.Completed, st.Canceled, st.Expired, st.Failed)
+	fmt.Printf("kicks %d  worker wakes %d  chunks %d  bytes %d MB  flush retries %d\n",
+		st.Kicks, st.WorkerWakes, st.Chunks, st.BytesMoved>>20, st.EnqueueRetries)
+	fmt.Printf("queue high watermarks: submission %d, completion %d\n",
+		st.SubmissionHighWater, st.CompletionHighWater)
+	fmt.Printf("latency (ns): %v\n", st.Latency)
+	fmt.Printf("sizes (bytes): %v\n", st.Sizes)
+	if len(st.Trace) > 0 {
+		fmt.Printf("\nlast %d trace events:\n%s", len(st.Trace),
+			obs.FormatEvents(st.Trace, realtime.EventName))
+	}
 }

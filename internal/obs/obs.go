@@ -1,0 +1,253 @@
+// Package obs is the device-side observability layer: lock-free
+// counters, high-watermark gauges, power-of-two latency/size histograms,
+// and an optional fixed-depth ring-buffer event trace.
+//
+// Everything here is safe to update from any goroutine — including the
+// realtime device's controller goroutines, which play the role of
+// interrupt handlers and therefore must never block or take a lock — and
+// cheap enough to leave enabled in production. Reads produce snapshots:
+// plain structs with no atomics that can be compared, printed, and
+// shipped off-box.
+//
+// The package deliberately knows nothing about what it measures. The
+// realtime device, the swap daemon and the streaming runtime each define
+// their own metric sets on these primitives and expose typed snapshot
+// accessors (e.g. realtime.Device.Stats).
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing lock-free counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a lock-free high-watermark gauge: Observe records a sample
+// and Load returns the largest sample ever observed. Used for queue
+// depth watermarks.
+type Gauge struct{ v atomic.Int64 }
+
+// Observe records v, keeping the maximum.
+func (g *Gauge) Observe(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the high watermark.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// NumBuckets is the number of histogram buckets: bucket i holds samples
+// v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i (bucket 0 holds
+// v <= 0). 48 buckets cover every latency in ns up to ~3 days and every
+// transfer size up to 128 TB.
+const NumBuckets = 48
+
+// Histogram is a lock-free power-of-two histogram. The zero value is
+// ready to use.
+type Histogram struct {
+	buckets    [NumBuckets]atomic.Int64
+	count, sum atomic.Int64
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot captures the histogram state. The capture is per-field atomic
+// but not globally consistent under concurrent writes — counts may be
+// off by the handful of samples in flight, which is fine for the
+// diagnostic uses this package serves.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count, Sum int64
+	Buckets    [NumBuckets]int64
+}
+
+// Mean returns the average sample (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1): the
+// inclusive upper edge of the bucket the quantile falls in.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for i, b := range s.Buckets {
+		seen += b
+		if seen > rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1)
+}
+
+// Max returns the upper bound of the highest occupied bucket.
+func (s HistogramSnapshot) Max() int64 {
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			return BucketUpper(i)
+		}
+	}
+	return 0
+}
+
+// String renders count, mean and the canonical quantiles.
+func (s HistogramSnapshot) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.0f p50≤%d p90≤%d p99≤%d max≤%d",
+		s.Count, s.Mean(), s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99), s.Max())
+}
+
+// Event is one trace entry: a kind code defined by the instrumented
+// subsystem, a wall-clock (or virtual) timestamp, and two payload words
+// whose meaning the kind defines (typically a request index and a size).
+type Event struct {
+	Seq  uint64
+	Nano int64
+	Kind uint32
+	A, B uint64
+}
+
+// eventSlot is the lock-free storage for one ring slot. seq is stored
+// last, so a slot whose seq matches the cursor-derived value has fully
+// published fields (for same-slot rewrites the read is best-effort; see
+// Snapshot).
+type eventSlot struct {
+	seq  atomic.Uint64
+	nano atomic.Int64
+	kind atomic.Uint32
+	a, b atomic.Uint64
+}
+
+// Trace is a fixed-depth lock-free ring buffer of Events. A nil *Trace
+// is valid and records nothing, so instrumentation sites need no
+// enabled-checks.
+type Trace struct {
+	slots  []eventSlot
+	cursor atomic.Uint64
+}
+
+// NewTrace returns a trace keeping the last depth events, or nil when
+// depth <= 0 (tracing disabled).
+func NewTrace(depth int) *Trace {
+	if depth <= 0 {
+		return nil
+	}
+	return &Trace{slots: make([]eventSlot, depth)}
+}
+
+// Record appends an event. Safe from any goroutine; wait-free except for
+// the single atomic add. No-op on a nil trace.
+func (t *Trace) Record(nano int64, kind uint32, a, b uint64) {
+	if t == nil {
+		return
+	}
+	seq := t.cursor.Add(1)
+	s := &t.slots[(seq-1)%uint64(len(t.slots))]
+	s.nano.Store(nano)
+	s.kind.Store(kind)
+	s.a.Store(a)
+	s.b.Store(b)
+	s.seq.Store(seq)
+}
+
+// Snapshot returns the retained events in recording order. Under
+// concurrent Record calls the snapshot is best-effort: a slot being
+// rewritten at capture time may be dropped or carry mixed fields — an
+// accepted property of a diagnostic ring, never a data race.
+func (t *Trace) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	evs := make([]Event, 0, len(t.slots))
+	for i := range t.slots {
+		s := &t.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 {
+			continue
+		}
+		evs = append(evs, Event{
+			Seq:  seq,
+			Nano: s.nano.Load(),
+			Kind: s.kind.Load(),
+			A:    s.a.Load(),
+			B:    s.b.Load(),
+		})
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	return evs
+}
+
+// FormatEvents renders events one per line through the caller's
+// kind-name function.
+func FormatEvents(evs []Event, kindName func(uint32) string) string {
+	var b strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&b, "%6d %14dns %-10s a=%-6d b=%d\n",
+			e.Seq, e.Nano, kindName(e.Kind), e.A, e.B)
+	}
+	return b.String()
+}

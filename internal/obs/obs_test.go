@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Observe(int64(i*1000 + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Load())
+	}
+	if g.Load() != 7999 {
+		t.Errorf("gauge high watermark = %d, want 7999", g.Load())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000, 1 << 40} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Buckets[0] != 1 { // v=0
+		t.Errorf("bucket 0 = %d", s.Buckets[0])
+	}
+	if s.Buckets[1] != 1 { // v=1
+		t.Errorf("bucket 1 = %d", s.Buckets[1])
+	}
+	if s.Buckets[2] != 2 { // v=2,3
+		t.Errorf("bucket 2 = %d", s.Buckets[2])
+	}
+	if s.Buckets[3] != 1 { // v=4
+		t.Errorf("bucket 3 = %d", s.Buckets[3])
+	}
+	if s.Buckets[10] != 1 { // v=1000: 2^9 <= 1000 < 2^10
+		t.Errorf("bucket 10 = %d", s.Buckets[10])
+	}
+	if s.Buckets[41] != 1 { // v=2^40
+		t.Errorf("bucket 41 = %d", s.Buckets[41])
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got < 500 || got > 1023 {
+		t.Errorf("p50 bound = %d, want within [500, 1023]", got)
+	}
+	if got := s.Max(); got < 1000 {
+		t.Errorf("max bound = %d, want >= 1000", got)
+	}
+	if m := s.Mean(); m < 500 || m > 501 {
+		t.Errorf("mean = %v, want 500.5", m)
+	}
+	if s.String() == "n=0" {
+		t.Error("String() reported empty")
+	}
+}
+
+func TestQuantileEmptyAndEdges(t *testing.T) {
+	var h Histogram
+	if h.Snapshot().Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Observe(5)
+	s := h.Snapshot()
+	if s.Quantile(0) != s.Quantile(1) {
+		t.Error("single-sample quantiles disagree")
+	}
+}
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	tr.Record(1, 2, 3, 4) // must not panic
+	if got := tr.Snapshot(); got != nil {
+		t.Errorf("nil trace snapshot = %v", got)
+	}
+	if NewTrace(0) != nil {
+		t.Error("NewTrace(0) should be nil")
+	}
+}
+
+func TestTraceOrderAndWrap(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(int64(i), uint32(i), uint64(i), 0)
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		want := uint64(7 + i) // seqs 7..10 survive the wrap
+		if e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+		if e.Nano != int64(e.Seq-1) || uint64(e.Kind) != e.Seq-1 {
+			t.Errorf("event %d fields inconsistent: %+v", i, e)
+		}
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(int64(i), uint32(g), uint64(i), uint64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := tr.Snapshot()
+	if len(evs) != 64 {
+		t.Fatalf("snapshot len = %d, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot not seq-ordered at %d", i)
+		}
+	}
+}
+
+func TestFormatEvents(t *testing.T) {
+	tr := NewTrace(2)
+	tr.Record(10, 1, 42, 4096)
+	out := FormatEvents(tr.Snapshot(), func(k uint32) string { return "submit" })
+	if out == "" {
+		t.Error("empty render")
+	}
+}

@@ -166,6 +166,7 @@ type Queue struct {
 	slab *Slab
 	head atomic.Uint64 // packed {idx, _, tag}: the dummy node
 	tail atomic.Uint64
+	size atomic.Int64 // maintained by Enqueue/Dequeue; see Size
 }
 
 // NewQueue creates an empty queue with the given initial color,
@@ -212,6 +213,7 @@ func (q *Queue) Enqueue(v uint32) (Color, bool) {
 		s.nodes[n].next.Store(pack(0, c, bump(old)))
 		if tn.next.CompareAndSwap(next, pack(n, c, bump(next))) {
 			q.tail.CompareAndSwap(tail, pack(n, 0, bump(tail)))
+			q.size.Add(1)
 			return c, true
 		}
 	}
@@ -242,6 +244,7 @@ func (q *Queue) Dequeue() (v uint32, c Color, ok bool) {
 		val := nn.value.Load()
 		col := unpackColor(nn.next.Load())
 		if q.head.CompareAndSwap(head, pack(unpackIdx(next), 0, bump(head))) {
+			q.size.Add(-1)
 			s.freeNode(unpackIdx(head))
 			return val, col, true
 		}
@@ -296,6 +299,20 @@ func (q *Queue) Color() Color {
 func (q *Queue) Empty() bool {
 	head := q.head.Load()
 	return unpackIdx(q.slab.nodes[unpackIdx(head)].next.Load()) == 0
+}
+
+// Size returns the element count from an atomically maintained counter,
+// safe to read from any goroutine with no data race (unlike Len's
+// pointer walk). The counter is updated after the queue CAS publishes,
+// so a reader can transiently observe a count off by the operations in
+// flight (including a small negative value, clamped to 0 here) — exactly
+// the fidelity queue-depth watermarks need, at zero per-op cost.
+func (q *Queue) Size() int {
+	n := q.size.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
 }
 
 // Len walks the queue and counts elements. Quiescent use only — under

@@ -475,3 +475,66 @@ func TestQuickSequentialModel(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSizeTracksElements(t *testing.T) {
+	s := NewSlab(32)
+	q := s.NewQueue(Blue)
+	if q.Size() != 0 {
+		t.Fatalf("empty Size = %d", q.Size())
+	}
+	for i := uint32(0); i < 10; i++ {
+		q.Enqueue(i)
+	}
+	if q.Size() != 10 {
+		t.Errorf("Size after 10 enqueues = %d", q.Size())
+	}
+	for i := 0; i < 4; i++ {
+		q.Dequeue()
+	}
+	if q.Size() != 6 {
+		t.Errorf("Size after 4 dequeues = %d", q.Size())
+	}
+	if q.Size() != q.Len() {
+		t.Errorf("Size = %d, Len = %d", q.Size(), q.Len())
+	}
+}
+
+func TestSizeConcurrentNoRace(t *testing.T) {
+	s := NewSlab(1024)
+	q := s.NewQueue(Blue)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// A watermark reader races producers/consumers; run under -race.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if q.Size() < 0 {
+					t.Error("Size went negative past the clamp")
+					return
+				}
+			}
+		}
+	}()
+	var pwg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for i := uint32(0); i < 500; i++ {
+				q.Enqueue(i)
+				q.Dequeue()
+			}
+		}()
+	}
+	pwg.Wait()
+	close(stop)
+	wg.Wait()
+	if q.Size() != q.Len() {
+		t.Errorf("quiescent Size = %d, Len = %d", q.Size(), q.Len())
+	}
+}

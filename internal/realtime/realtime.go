@@ -12,12 +12,38 @@
 //   - the SubmitRequest flush protocol (Section 4.4) decides with one
 //     atomically-observed color whether the caller must kick the worker;
 //   - a worker goroutine plays the kernel thread: woken by the "syscall"
-//     (a channel send), it drains the queues, dispatches copies to a pool
-//     of transfer goroutines (the DMA engine's transfer controllers), and
-//     recolors the staging queue blue before sleeping;
+//     (a channel send), it drains the queues, splits large requests into
+//     chunks, and dispatches them to a pool of transfer goroutines (the
+//     DMA engine's transfer controllers), recoloring the staging queue
+//     blue before sleeping;
 //   - completion notifications are posted from the transfer goroutines —
 //     the interrupt path — without the application holding any lock, and
 //     Poll blocks exactly like poll(2) on the device file.
+//
+// # Chunked parallel transfers
+//
+// A request larger than Options.ChunkBytes is split into per-controller
+// chunks, mirroring how the EDMA3 engine spreads one scatter-gather
+// program across its transfer controllers. Each chunk is an independent
+// unit on the dispatch channel; a per-request atomic remaining-chunk
+// counter makes the completion path (Release + Notify) fire exactly
+// once, from whichever controller finishes last.
+//
+// # Cancellation, deadlines, shutdown
+//
+// Cancel flips a pending request to canceled with one CAS; controllers
+// observe the state before touching bytes, so a canceled or
+// deadline-expired request completes with ErrCanceled / ErrDeadline
+// instead of copying (its Dst contents are undefined if some chunks had
+// already moved). CloseDrain bounds shutdown: it rejects new
+// submissions, waits for the pipeline to drain, then closes.
+//
+// # Observability
+//
+// Every edge (submit, kick, wake, dispatch, chunk, complete, cancel) is
+// counted — and optionally traced into a ring buffer — through the
+// lock-free primitives of package obs; Stats returns a consistent-enough
+// snapshot at any time, including under full load.
 //
 // Running this under `go test -race` validates the protocol's lock
 // freedom claims with real preemption, which the deterministic simulator
@@ -27,10 +53,12 @@ package realtime
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"memif/internal/obs"
 	"memif/internal/rbq"
 )
 
@@ -39,65 +67,196 @@ var (
 	ErrClosed   = errors.New("realtime: device closed")
 	ErrNoSlots  = errors.New("realtime: no free request slots")
 	ErrBadSizes = errors.New("realtime: src and dst lengths differ")
+	ErrCanceled = errors.New("realtime: request canceled")
+	ErrDeadline = errors.New("realtime: request deadline exceeded")
 )
+
+// DefaultChunkBytes is the default split threshold and chunk size for
+// large requests: big enough that per-chunk dispatch overhead is noise,
+// small enough that a 1 MB request spreads across four controllers.
+const DefaultChunkBytes = 256 << 10
 
 // Options configures a Device.
 type Options struct {
 	// NumReqs is the number of request slots (default 256).
 	NumReqs int
 	// Controllers is the number of concurrent copy goroutines — the
-	// transfer controllers of the DMA engine (default 2).
+	// transfer controllers of the DMA engine. Default
+	// min(4, GOMAXPROCS), mirroring the EDMA3's four TCs.
 	Controllers int
+	// ChunkBytes splits requests larger than this into that many-byte
+	// chunks dispatched to the controllers independently. 0 means
+	// DefaultChunkBytes; negative disables chunking (one chunk per
+	// request, the pre-chunking behavior).
+	ChunkBytes int
+	// TraceDepth enables the ring-buffer event trace with that many
+	// slots; 0 disables tracing (the default — counters and histograms
+	// are always on).
+	TraceDepth int
 }
 
 // DefaultOptions mirrors the EDMA3-ish defaults.
-func DefaultOptions() Options { return Options{NumReqs: 256, Controllers: 2} }
+func DefaultOptions() Options {
+	return Options{NumReqs: 256, Controllers: defaultControllers(), ChunkBytes: DefaultChunkBytes}
+}
+
+func defaultControllers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Request lifecycle states, held in Request.state.
+const (
+	stIdle     uint32 = iota // allocated, not submitted
+	stPending                // submitted, not yet terminal
+	stCanceled               // Cancel won the race against completion
+	stExpired                // deadline observed before dispatch
+	stDone                   // completion posted
+)
 
 // Request is the realtime mov_req: a copy between two caller-owned byte
-// slices. Populate Src, Dst and (optionally) Cookie before Submit; after
-// the completion is retrieved, Err reports the outcome and Latency the
-// submission-to-completion wall time.
+// slices. Populate Src, Dst and (optionally) Cookie and Deadline before
+// Submit; after the completion is retrieved, Err reports the outcome and
+// Latency the submission-to-completion wall time.
 type Request struct {
 	idx uint32
 
 	Src, Dst []byte
 	Cookie   uint64
+	// Deadline, when nonzero, expires the request: if the worker
+	// reaches it after the deadline it completes with ErrDeadline
+	// without copying.
+	Deadline time.Time
 
-	Err       error
-	submitted int64 // UnixNano
-	completed int64
+	// Err is the request outcome, valid once the completion has been
+	// retrieved: nil, ErrCanceled, ErrDeadline or ErrNoSlots.
+	Err error
+
+	state      atomic.Uint32
+	chunksLeft atomic.Int32
+	submitted  atomic.Int64 // UnixNano
+	completed  atomic.Int64
 }
 
-// Latency returns the wall-clock submission-to-completion time.
-func (r *Request) Latency() time.Duration {
-	return time.Duration(r.completed - r.submitted)
+// Latency returns the wall-clock submission-to-completion time. ok is
+// false — and the duration 0 — until the request has actually
+// completed, so a racing reader can never observe a garbage negative
+// duration.
+func (r *Request) Latency() (time.Duration, bool) {
+	c := r.completed.Load()
+	s := r.submitted.Load()
+	if s == 0 || c == 0 {
+		return 0, false
+	}
+	return time.Duration(c - s), true
+}
+
+// chunk is one unit of controller work: a byte range of one request.
+type chunk struct {
+	idx      uint32
+	off, end int
+}
+
+// Trace event kinds recorded when Options.TraceDepth > 0. Payload words
+// A/B per kind: request index and size/chunk-count/error code.
+const (
+	EvSubmit uint32 = iota
+	EvKick
+	EvWake
+	EvDispatch
+	EvChunk
+	EvComplete
+	EvCancel
+)
+
+// EventName renders a trace kind for display.
+func EventName(k uint32) string {
+	switch k {
+	case EvSubmit:
+		return "submit"
+	case EvKick:
+		return "kick"
+	case EvWake:
+		return "wake"
+	case EvDispatch:
+		return "dispatch"
+	case EvChunk:
+		return "chunk"
+	case EvComplete:
+		return "complete"
+	case EvCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("ev(%d)", k)
+	}
+}
+
+// metrics is the device's obs instrument set.
+type metrics struct {
+	submitted, completed       obs.Counter
+	canceled, expired, failed  obs.Counter
+	kicks, wakes               obs.Counter
+	chunks, bytesMoved         obs.Counter
+	enqueueRetries             obs.Counter
+	submissionHW, completionHW obs.Gauge
+	latency, sizes             obs.Histogram
+	trace                      *obs.Trace
+}
+
+// StatsSnapshot is a point-in-time view of the device counters,
+// histograms, queue watermarks and (when enabled) the event trace.
+// Safe to take from any goroutine at any time.
+type StatsSnapshot struct {
+	// Request outcomes. Completed counts every terminal request,
+	// including the Canceled / Expired / Failed subsets.
+	Submitted, Completed      int64
+	Canceled, Expired, Failed int64
+	// Kicks counts the kick-start syscall-equivalents; WorkerWakes the
+	// times the worker actually slept and was woken (amortization means
+	// Kicks can stay near 1 for a burst).
+	Kicks, WorkerWakes int64
+	// Chunks counts controller work units; BytesMoved the payload
+	// actually copied (canceled chunks don't count).
+	Chunks, BytesMoved int64
+	// EnqueueRetries counts transient slab-exhaustion retries in the
+	// flush path.
+	EnqueueRetries int64
+	// Queue-depth high watermarks, from rbq's atomic Size.
+	SubmissionHighWater, CompletionHighWater int64
+	// Latency is the submission-to-completion histogram (ns); Sizes the
+	// request payload histogram (bytes).
+	Latency, Sizes obs.HistogramSnapshot
+	// Trace holds the retained ring-buffer events (nil unless
+	// Options.TraceDepth > 0). Render with obs.FormatEvents(…, EventName).
+	Trace []obs.Event
 }
 
 // Device is one realtime memif instance.
 type Device struct {
-	opts Options
-	reqs []*Request
+	opts       Options
+	chunkBytes int // resolved: 0 disables chunking
+	reqs       []*Request
+	slab       *rbq.Slab
 
 	freeList   *rbq.Queue
 	staging    *rbq.Queue // red-blue
 	submission *rbq.Queue
 	completion *rbq.Queue
 
-	kick   chan struct{} // the MOV_ONE "syscall": wake the worker
-	notify chan struct{} // completion edge for Poll
-	copyQ  chan uint32   // worker -> transfer controllers
-	closed atomic.Bool
-	wg     sync.WaitGroup
-	stats  Stats
-}
-
-// Stats counts device activity (fields read with Stats() after Close or
-// via atomics internally).
-type Stats struct {
-	Submitted  atomic.Int64
-	Completed  atomic.Int64
-	Kicks      atomic.Int64 // syscall-equivalents issued
-	BytesMoved atomic.Int64
+	kick    chan struct{} // the MOV_ONE "syscall": wake the worker
+	notify  chan struct{} // completion edge for Poll
+	done    chan struct{} // closed at Close: unblocks sleeping Polls
+	copyQ   chan chunk    // worker -> transfer controllers
+	closing atomic.Bool   // CloseDrain: reject new submissions
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	m       metrics
 }
 
 // Open creates a device and starts its worker and transfer controllers.
@@ -106,20 +265,30 @@ func Open(opts Options) *Device {
 		opts.NumReqs = 256
 	}
 	if opts.Controllers <= 0 {
-		opts.Controllers = 2
+		opts.Controllers = defaultControllers()
+	}
+	chunkBytes := opts.ChunkBytes
+	if chunkBytes == 0 {
+		chunkBytes = DefaultChunkBytes
+	} else if chunkBytes < 0 {
+		chunkBytes = 0 // disabled
 	}
 	slab := rbq.NewSlab(opts.NumReqs + 4 + 8)
 	d := &Device{
 		opts:       opts,
+		chunkBytes: chunkBytes,
 		reqs:       make([]*Request, opts.NumReqs),
+		slab:       slab,
 		freeList:   slab.NewQueue(rbq.Blue),
 		staging:    slab.NewQueue(rbq.Blue),
 		submission: slab.NewQueue(rbq.Blue),
 		completion: slab.NewQueue(rbq.Blue),
 		kick:       make(chan struct{}, 1),
 		notify:     make(chan struct{}, 1),
-		copyQ:      make(chan uint32),
+		done:       make(chan struct{}),
+		copyQ:      make(chan chunk),
 	}
+	d.m.trace = obs.NewTrace(opts.TraceDepth)
 	for i := range d.reqs {
 		d.reqs[i] = &Request{idx: uint32(i)}
 		if _, ok := d.freeList.Enqueue(uint32(i)); !ok {
@@ -135,9 +304,12 @@ func Open(opts Options) *Device {
 }
 
 // Close shuts the device down and waits for the kernel-side goroutines.
-// Outstanding requests are completed first; a Submit racing Close may be
-// dropped without completion (the device-file-release semantics).
+// Requests already accepted are completed first (the worker drains the
+// queues before exiting); a Submit racing Close may still be rejected
+// with ErrClosed. Use CloseDrain for a bounded-wait shutdown that
+// closes the submission window first.
 func (d *Device) Close() {
+	d.closing.Store(true)
 	if d.closed.Swap(true) {
 		return
 	}
@@ -146,7 +318,29 @@ func (d *Device) Close() {
 	default:
 	}
 	d.wg.Wait()
-	close(d.notify) // unblock any sleeping Poll
+	close(d.done) // unblock any sleeping Poll
+}
+
+// CloseDrain rejects new submissions, waits up to timeout for every
+// outstanding request to reach its completion queue, then closes the
+// device. It reports whether the pipeline drained fully within the
+// timeout; on false the close still proceeds (with Close's semantics).
+func (d *Device) CloseDrain(timeout time.Duration) bool {
+	d.closing.Store(true)
+	deadline := time.Now().Add(timeout)
+	drained := true
+	for d.m.completed.Load() < d.m.submitted.Load() {
+		if d.closed.Load() {
+			break
+		}
+		if time.Now().After(deadline) {
+			drained = false
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	d.Close()
+	return drained
 }
 
 // req validates an index off a queue.
@@ -166,29 +360,132 @@ func (d *Device) AllocRequest() *Request {
 	}
 	r := d.reqs[idx]
 	r.Src, r.Dst, r.Cookie, r.Err = nil, nil, 0, nil
+	r.Deadline = time.Time{}
+	r.state.Store(stIdle)
+	r.submitted.Store(0)
+	r.completed.Store(0)
 	return r
 }
 
 // FreeRequest returns a slot to the free list.
 func (d *Device) FreeRequest(r *Request) {
-	d.freeList.Enqueue(r.idx)
+	d.mustEnqueue(d.freeList, r.idx)
+}
+
+// trace records an event when tracing is enabled.
+func (d *Device) trace(kind uint32, a, b uint64) {
+	if d.m.trace != nil {
+		d.m.trace.Record(time.Now().UnixNano(), kind, a, b)
+	}
+}
+
+// wake posts the (single-token) completion edge for Poll.
+func (d *Device) wake() {
+	select {
+	case d.notify <- struct{}{}:
+	default:
+	}
+}
+
+// flushRetries bounds the transient-slab-exhaustion retry loop in the
+// staging→submission flush. Exhaustion there is always transient — every
+// request index occupies at most one queue node, and the slab carries
+// slack beyond NumReqs — so a handful of yields is enough unless the
+// slab is being starved externally.
+const flushRetries = 64
+
+// enqueueSubmission moves one request index onto the submission queue,
+// retrying briefly across transient slab exhaustion. false means the
+// retry budget ran out and the caller must fail the request rather than
+// drop it.
+func (d *Device) enqueueSubmission(idx uint32) bool {
+	for attempt := 0; ; attempt++ {
+		if _, ok := d.submission.Enqueue(idx); ok {
+			d.m.submissionHW.Observe(int64(d.submission.Size()))
+			return true
+		}
+		if attempt >= flushRetries {
+			return false
+		}
+		d.m.enqueueRetries.Inc()
+		runtime.Gosched()
+	}
+}
+
+// mustEnqueue retries until the enqueue succeeds. Used on the
+// completion and free paths, where losing the index would leak the slot
+// forever; progress is guaranteed because the consumer of those queues
+// frees a node per dequeue.
+func (d *Device) mustEnqueue(q *rbq.Queue, idx uint32) {
+	for attempt := 0; ; attempt++ {
+		if _, ok := q.Enqueue(idx); ok {
+			return
+		}
+		d.m.enqueueRetries.Inc()
+		if attempt%256 == 255 {
+			time.Sleep(10 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// finish completes r exactly once: it resolves the terminal state,
+// stamps the completion time, posts the completion (Release) and wakes
+// a poller (Notify). forced overrides the state-derived outcome (the
+// slab-exhaustion failure path).
+func (d *Device) finish(r *Request, forced error) {
+	old := r.state.Swap(stDone)
+	err := forced
+	if err == nil {
+		switch old {
+		case stCanceled:
+			err = ErrCanceled
+		case stExpired:
+			err = ErrDeadline
+		}
+	}
+	r.Err = err
+	now := time.Now().UnixNano()
+	r.completed.Store(now)
+	if s := r.submitted.Load(); s > 0 {
+		d.m.latency.Observe(now - s)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrCanceled):
+		d.m.canceled.Inc()
+	case errors.Is(err, ErrDeadline):
+		d.m.expired.Inc()
+	default:
+		d.m.failed.Inc()
+	}
+	d.m.completed.Inc()
+	d.trace(EvComplete, uint64(r.idx), uint64(len(r.Src)))
+	d.mustEnqueue(d.completion, r.idx)
+	d.m.completionHW.Observe(int64(d.completion.Size()))
+	d.wake()
 }
 
 // Submit queues an asynchronous copy of r.Src into r.Dst, implementing
 // the Section 4.4 protocol. It never blocks beyond the bounded flush.
 func (d *Device) Submit(r *Request) error {
-	if d.closed.Load() {
+	if d.closing.Load() || d.closed.Load() {
 		return ErrClosed
 	}
 	if len(r.Src) != len(r.Dst) {
 		return fmt.Errorf("%w: %d vs %d", ErrBadSizes, len(r.Src), len(r.Dst))
 	}
-	atomic.StoreInt64(&r.submitted, time.Now().UnixNano())
-	d.stats.Submitted.Add(1)
+	r.submitted.Store(time.Now().UnixNano())
+	r.state.Store(stPending)
 	color, ok := d.staging.Enqueue(r.idx)
 	if !ok {
+		r.state.Store(stIdle)
 		return ErrNoSlots
 	}
+	d.m.submitted.Inc()
+	d.m.sizes.Observe(int64(len(r.Src)))
+	d.trace(EvSubmit, uint64(r.idx), uint64(len(r.Src)))
 	if color == rbq.Red {
 		return nil // active worker will pick it up
 	}
@@ -198,7 +495,13 @@ flush:
 		if !ok {
 			break
 		}
-		d.submission.Enqueue(idx)
+		if !d.enqueueSubmission(idx) {
+			// The slot must not vanish: complete it with an error so
+			// the owner gets it back through the normal path.
+			if fr, valid := d.req(idx); valid {
+				d.finish(fr, ErrNoSlots)
+			}
+		}
 	}
 	old, ok := d.staging.SetColor(rbq.Red)
 	if !ok {
@@ -208,7 +511,8 @@ flush:
 		return nil
 	}
 	// The kick-start "syscall".
-	d.stats.Kicks.Add(1)
+	d.m.kicks.Inc()
+	d.trace(EvKick, uint64(r.idx), 0)
 	select {
 	case d.kick <- struct{}{}:
 	default: // worker already has a pending kick
@@ -216,8 +520,21 @@ flush:
 	return nil
 }
 
-// worker is the kernel thread: drain staging, dispatch submissions to
-// the controllers, recolor blue and sleep when idle.
+// Cancel attempts to cancel a submitted request. It reports whether the
+// cancel won: true means the request will complete with ErrCanceled and
+// no further bytes will be copied (chunks already moved leave Dst
+// partially written). false means the request had already completed —
+// or was never pending — and its result stands.
+func (d *Device) Cancel(r *Request) bool {
+	if r.state.CompareAndSwap(stPending, stCanceled) {
+		d.trace(EvCancel, uint64(r.idx), 0)
+		return true
+	}
+	return false
+}
+
+// worker is the kernel thread: drain staging, chunk and dispatch
+// submissions to the controllers, recolor blue and sleep when idle.
 func (d *Device) worker() {
 	defer func() {
 		close(d.copyQ)
@@ -229,10 +546,14 @@ func (d *Device) worker() {
 			if !ok {
 				break
 			}
-			d.submission.Enqueue(idx)
+			if !d.enqueueSubmission(idx) {
+				if r, valid := d.req(idx); valid {
+					d.finish(r, ErrNoSlots)
+				}
+			}
 		}
 		if idx, _, ok := d.submission.Dequeue(); ok {
-			d.copyQ <- idx // may block: natural backpressure
+			d.dispatch(idx)
 			continue
 		}
 		if _, ok := d.staging.SetColor(rbq.Blue); !ok {
@@ -247,26 +568,68 @@ func (d *Device) worker() {
 			return
 		}
 		<-d.kick
+		d.m.wakes.Inc()
+		d.trace(EvWake, 0, 0)
 	}
 }
 
-// controller is one transfer controller: it performs the copy and the
-// completion path (the interrupt handler's Release+Notify).
+// dispatch splits one request into chunks and feeds the controllers.
+// Sending on copyQ blocks when every controller is busy — the natural
+// backpressure that keeps the worker from outrunning the copy engine.
+func (d *Device) dispatch(idx uint32) {
+	r, ok := d.req(idx)
+	if !ok {
+		return
+	}
+	// Observe cancellation and deadline before any byte moves.
+	if !r.Deadline.IsZero() && time.Now().After(r.Deadline) {
+		r.state.CompareAndSwap(stPending, stExpired)
+	}
+	if st := r.state.Load(); st == stCanceled || st == stExpired {
+		d.finish(r, nil)
+		return
+	}
+	n := len(r.Src)
+	nChunks := 1
+	if d.chunkBytes > 0 && n > d.chunkBytes {
+		nChunks = (n + d.chunkBytes - 1) / d.chunkBytes
+	}
+	r.chunksLeft.Store(int32(nChunks))
+	d.trace(EvDispatch, uint64(idx), uint64(nChunks))
+	for i := 0; i < nChunks; i++ {
+		c := chunk{idx: idx, off: 0, end: n}
+		if nChunks > 1 {
+			c.off = i * d.chunkBytes
+			c.end = c.off + d.chunkBytes
+			if c.end > n {
+				c.end = n
+			}
+		}
+		d.copyQ <- c
+	}
+}
+
+// controller is one transfer controller: it copies chunks, and whichever
+// controller retires a request's last chunk runs the completion path
+// (the interrupt handler's Release+Notify).
 func (d *Device) controller() {
 	defer d.wg.Done()
-	for idx := range d.copyQ {
-		r, ok := d.req(idx)
+	for c := range d.copyQ {
+		r, ok := d.req(c.idx)
 		if !ok {
 			continue
 		}
-		copy(r.Dst, r.Src)
-		atomic.StoreInt64(&r.completed, time.Now().UnixNano())
-		d.stats.BytesMoved.Add(int64(len(r.Src)))
-		d.stats.Completed.Add(1)
-		d.completion.Enqueue(idx)
-		select {
-		case d.notify <- struct{}{}:
-		default:
+		// A cancel or deadline that won after dispatch stops the
+		// copying; the chunk countdown still runs so the completion
+		// fires exactly once.
+		if r.state.Load() == stPending {
+			copy(r.Dst[c.off:c.end], r.Src[c.off:c.end])
+			d.m.bytesMoved.Add(int64(c.end - c.off))
+		}
+		d.m.chunks.Inc()
+		d.trace(EvChunk, uint64(c.idx), uint64(c.end-c.off))
+		if r.chunksLeft.Add(-1) == 0 {
+			d.finish(r, nil)
 		}
 	}
 }
@@ -282,12 +645,28 @@ func (d *Device) RetrieveCompleted() *Request {
 	if !valid {
 		return nil
 	}
+	if !d.completion.Empty() {
+		d.wake() // keep concurrent pollers from sleeping past pending completions
+	}
 	return r
+}
+
+// ready reports whether a completion is pending, re-arming the notify
+// token when it is so concurrent pollers can't be starved by the single
+// buffered edge.
+func (d *Device) ready() bool {
+	if d.completion.Empty() {
+		return false
+	}
+	d.wake()
+	return true
 }
 
 // Poll blocks until a completion notification is pending or the timeout
 // expires (timeout <= 0 waits forever). It reports whether a
-// notification is available.
+// notification is available. Any number of goroutines may Poll the same
+// device: a retired wakeup is re-armed whenever completions remain, so
+// no poller sleeps past a retrievable completion.
 func (d *Device) Poll(timeout time.Duration) bool {
 	var deadline time.Time
 	if timeout > 0 {
@@ -295,30 +674,62 @@ func (d *Device) Poll(timeout time.Duration) bool {
 	}
 	for d.completion.Empty() {
 		if d.closed.Load() {
-			return !d.completion.Empty()
+			return d.ready()
 		}
 		if timeout <= 0 {
-			<-d.notify
+			select {
+			case <-d.notify:
+			case <-d.done:
+				return d.ready()
+			}
 			continue
 		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
-			return !d.completion.Empty()
+			return d.ready()
 		}
+		timer := time.NewTimer(remain)
 		select {
 		case <-d.notify:
-		case <-time.After(remain):
-			return !d.completion.Empty()
+			timer.Stop()
+		case <-d.done:
+			timer.Stop()
+			return d.ready()
+		case <-timer.C:
+			return d.ready()
 		}
 	}
+	d.wake()
 	return true
 }
 
+// Stats returns a snapshot of the device's counters, histograms, queue
+// watermarks and trace. Safe from any goroutine at any time.
+func (d *Device) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Submitted:           d.m.submitted.Load(),
+		Completed:           d.m.completed.Load(),
+		Canceled:            d.m.canceled.Load(),
+		Expired:             d.m.expired.Load(),
+		Failed:              d.m.failed.Load(),
+		Kicks:               d.m.kicks.Load(),
+		WorkerWakes:         d.m.wakes.Load(),
+		Chunks:              d.m.chunks.Load(),
+		BytesMoved:          d.m.bytesMoved.Load(),
+		EnqueueRetries:      d.m.enqueueRetries.Load(),
+		SubmissionHighWater: d.m.submissionHW.Load(),
+		CompletionHighWater: d.m.completionHW.Load(),
+		Latency:             d.m.latency.Snapshot(),
+		Sizes:               d.m.sizes.Snapshot(),
+		Trace:               d.m.trace.Snapshot(),
+	}
+}
+
 // Kicks reports how many kick-start syscall-equivalents were issued.
-func (d *Device) Kicks() int64 { return d.stats.Kicks.Load() }
+func (d *Device) Kicks() int64 { return d.m.kicks.Load() }
 
 // Completed reports how many requests have completed.
-func (d *Device) Completed() int64 { return d.stats.Completed.Load() }
+func (d *Device) Completed() int64 { return d.m.completed.Load() }
 
 // BytesMoved reports the total payload moved.
-func (d *Device) BytesMoved() int64 { return d.stats.BytesMoved.Load() }
+func (d *Device) BytesMoved() int64 { return d.m.bytesMoved.Load() }

@@ -2,10 +2,14 @@ package realtime
 
 import (
 	"bytes"
+	"errors"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"memif/internal/rbq"
 )
 
 func TestBasicCopy(t *testing.T) {
@@ -19,6 +23,9 @@ func TestBasicCopy(t *testing.T) {
 		t.Fatal("AllocRequest failed")
 	}
 	r.Src, r.Dst = src, dst
+	if _, ok := r.Latency(); ok {
+		t.Error("Latency reported valid before submission")
+	}
 	if err := d.Submit(r); err != nil {
 		t.Fatal(err)
 	}
@@ -29,11 +36,14 @@ func TestBasicCopy(t *testing.T) {
 	if got != r {
 		t.Fatalf("retrieved %v, want %v", got, r)
 	}
+	if got.Err != nil {
+		t.Errorf("Err = %v", got.Err)
+	}
 	if !bytes.Equal(dst, src) {
 		t.Error("copy corrupted data")
 	}
-	if got.Latency() <= 0 {
-		t.Errorf("latency = %v", got.Latency())
+	if lat, ok := got.Latency(); !ok || lat <= 0 {
+		t.Errorf("latency = %v, %v", lat, ok)
 	}
 	d.FreeRequest(got)
 }
@@ -250,4 +260,366 @@ func TestAllocExhaustion(t *testing.T) {
 	if d.AllocRequest() == nil {
 		t.Error("alloc after free failed")
 	}
+}
+
+// drainOne blocks until one completion is retrieved.
+func drainOne(t *testing.T, d *Device) *Request {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if r := d.RetrieveCompleted(); r != nil {
+			return r
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no completion within 5s")
+		}
+		d.Poll(100 * time.Millisecond)
+	}
+}
+
+func TestChunkedCopyCorrectness(t *testing.T) {
+	d := Open(Options{NumReqs: 16, Controllers: 4, ChunkBytes: 4096})
+	defer d.Close()
+	// An odd size forces a short tail chunk.
+	size := 1<<20 + 12345
+	src := make([]byte, size)
+	rand.New(rand.NewSource(42)).Read(src)
+	dst := make([]byte, size)
+	r := d.AllocRequest()
+	r.Src, r.Dst = src, dst
+	if err := d.Submit(r); err != nil {
+		t.Fatal(err)
+	}
+	got := drainOne(t, d)
+	if got.Err != nil {
+		t.Fatalf("Err = %v", got.Err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("chunked copy corrupted data")
+	}
+	st := d.Stats()
+	wantChunks := int64((size + 4095) / 4096)
+	if st.Chunks != wantChunks {
+		t.Errorf("Chunks = %d, want %d", st.Chunks, wantChunks)
+	}
+	if st.BytesMoved != int64(size) {
+		t.Errorf("BytesMoved = %d, want %d", st.BytesMoved, size)
+	}
+	d.FreeRequest(got)
+}
+
+func TestChunkingDisabled(t *testing.T) {
+	d := Open(Options{NumReqs: 8, Controllers: 2, ChunkBytes: -1})
+	defer d.Close()
+	r := d.AllocRequest()
+	r.Src, r.Dst = make([]byte, 4<<20), make([]byte, 4<<20)
+	if err := d.Submit(r); err != nil {
+		t.Fatal(err)
+	}
+	d.FreeRequest(drainOne(t, d))
+	if st := d.Stats(); st.Chunks != 1 {
+		t.Errorf("Chunks = %d with chunking disabled, want 1", st.Chunks)
+	}
+}
+
+func TestCancelBeforeDispatch(t *testing.T) {
+	// One controller, pinned down by a large copy, so the canceled
+	// request is still queued when the cancel lands.
+	d := Open(Options{NumReqs: 8, Controllers: 1, ChunkBytes: -1})
+	defer d.Close()
+
+	big := d.AllocRequest()
+	big.Src, big.Dst = make([]byte, 32<<20), make([]byte, 32<<20)
+	if err := d.Submit(big); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := d.AllocRequest()
+	victim.Src = bytes.Repeat([]byte{0xAB}, 1<<16)
+	victim.Dst = make([]byte, 1<<16)
+	if err := d.Submit(victim); err != nil {
+		t.Fatal(err)
+	}
+	canceled := d.Cancel(victim)
+
+	var sawVictim bool
+	for i := 0; i < 2; i++ {
+		r := drainOne(t, d)
+		if r == victim {
+			sawVictim = true
+			if canceled {
+				if !errors.Is(r.Err, ErrCanceled) {
+					t.Errorf("canceled request Err = %v, want ErrCanceled", r.Err)
+				}
+				if r.Dst[0] != 0 {
+					t.Error("canceled-before-dispatch request copied bytes")
+				}
+			} else if r.Err != nil {
+				t.Errorf("uncanceled request Err = %v", r.Err)
+			}
+		}
+		d.FreeRequest(r)
+	}
+	if !sawVictim {
+		t.Fatal("victim never completed")
+	}
+	if canceled {
+		if st := d.Stats(); st.Canceled != 1 {
+			t.Errorf("Stats.Canceled = %d, want 1", st.Canceled)
+		}
+	}
+	// Cancel after completion must lose.
+	if d.Cancel(victim) {
+		t.Error("Cancel succeeded on a completed request")
+	}
+}
+
+func TestDeadlineExpired(t *testing.T) {
+	d := Open(Options{NumReqs: 8, Controllers: 2})
+	defer d.Close()
+	r := d.AllocRequest()
+	r.Src = bytes.Repeat([]byte{1}, 4096)
+	r.Dst = make([]byte, 4096)
+	r.Deadline = time.Now().Add(-time.Millisecond) // already past
+	if err := d.Submit(r); err != nil {
+		t.Fatal(err)
+	}
+	got := drainOne(t, d)
+	if !errors.Is(got.Err, ErrDeadline) {
+		t.Fatalf("Err = %v, want ErrDeadline", got.Err)
+	}
+	if got.Dst[0] != 0 {
+		t.Error("expired request copied bytes")
+	}
+	if st := d.Stats(); st.Expired != 1 {
+		t.Errorf("Stats.Expired = %d, want 1", st.Expired)
+	}
+	d.FreeRequest(got)
+}
+
+func TestCloseDrain(t *testing.T) {
+	d := Open(Options{NumReqs: 32, Controllers: 2})
+	const n = 16
+	src := bytes.Repeat([]byte{0xEE}, 1<<20)
+	for i := 0; i < n; i++ {
+		r := d.AllocRequest()
+		r.Src, r.Dst = src, make([]byte, 1<<20)
+		if err := d.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.CloseDrain(5 * time.Second) {
+		t.Error("CloseDrain did not drain in time")
+	}
+	if got := d.Completed(); got != n {
+		t.Errorf("Completed = %d, want %d", got, n)
+	}
+	r := &Request{Src: make([]byte, 8), Dst: make([]byte, 8)}
+	if err := d.Submit(r); err != ErrClosed {
+		t.Errorf("Submit after CloseDrain = %v, want ErrClosed", err)
+	}
+}
+
+// TestMultiPollerNoLostWakeup pins the intended Poll semantics: with N
+// completions pending, N pollers must all return promptly — the single
+// buffered notify token must be re-armed, not swallowed.
+func TestMultiPollerNoLostWakeup(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		d := Open(Options{NumReqs: 8, Controllers: 2})
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if r := d.RetrieveCompleted(); r != nil {
+						d.FreeRequest(r)
+						return
+					}
+					if !d.Poll(10 * time.Second) {
+						t.Error("Poll timed out with completions pending")
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Millisecond) // let both pollers go to sleep
+		src := make([]byte, 64)
+		for i := 0; i < 2; i++ {
+			r := d.AllocRequest()
+			r.Src, r.Dst = src, make([]byte, 64)
+			if err := d.Submit(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		donec := make(chan struct{})
+		go func() { wg.Wait(); close(donec) }()
+		select {
+		case <-donec:
+		case <-time.After(3 * time.Second):
+			t.Fatal("a poller hung past a retrievable completion")
+		}
+		d.Close()
+	}
+}
+
+// TestSlabExhaustionNoLeak is the regression test for the silent
+// request drop: under artificial slab starvation (a parasite queue
+// holding most of the slack nodes), every accepted submission must
+// still complete — possibly with ErrNoSlots — and every slot must
+// remain allocatable afterwards. The pre-fix device lost indices when
+// submission.Enqueue failed, leaking slots forever.
+func TestSlabExhaustionNoLeak(t *testing.T) {
+	d := Open(Options{NumReqs: 8, Controllers: 2})
+	defer d.Close()
+
+	// The slab holds NumReqs+12 nodes; 4 device dummies + 1 parasite
+	// dummy + 8 live indices leave 7 spare. Pin 5, leaving 2 — enough
+	// that the device works, tight enough that transient exhaustion is
+	// constant under concurrency.
+	parasite := d.slab.NewQueue(rbq.Blue)
+	for i := 0; i < 5; i++ {
+		if _, ok := parasite.Enqueue(0); !ok {
+			t.Fatalf("parasite enqueue %d failed at setup", i)
+		}
+	}
+
+	const (
+		submitters = 4
+		perSub     = 200
+	)
+	var accepted, completed atomic.Int64
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			if r := d.RetrieveCompleted(); r != nil {
+				completed.Add(1)
+				d.FreeRequest(r)
+				continue
+			}
+			select {
+			case <-stop:
+				for {
+					r := d.RetrieveCompleted()
+					if r == nil {
+						return
+					}
+					completed.Add(1)
+					d.FreeRequest(r)
+				}
+			default:
+				d.Poll(time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	src := make([]byte, 64)
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSub; i++ {
+				var r *Request
+				for r == nil {
+					r = d.AllocRequest()
+					if r == nil {
+						time.Sleep(time.Microsecond)
+					}
+				}
+				r.Src, r.Dst = src, make([]byte, 64)
+				for {
+					err := d.Submit(r)
+					if err == nil {
+						accepted.Add(1)
+						break
+					}
+					if !errors.Is(err, ErrNoSlots) {
+						t.Errorf("submit: %v", err)
+						return
+					}
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for d.Completed() < accepted.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("completed %d of %d accepted submissions — indices were dropped",
+				d.Completed(), accepted.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	rwg.Wait()
+	if completed.Load() != accepted.Load() {
+		t.Errorf("retrieved %d completions for %d accepted submissions",
+			completed.Load(), accepted.Load())
+	}
+
+	// No slot may have leaked: all NumReqs must be allocatable.
+	var rs []*Request
+	for i := 0; i < 8; i++ {
+		r := d.AllocRequest()
+		if r == nil {
+			t.Fatalf("slot leak: only %d of 8 slots allocatable after drain", i)
+		}
+		rs = append(rs, r)
+	}
+	for _, r := range rs {
+		d.FreeRequest(r)
+	}
+}
+
+func TestStatsSnapshotAndTrace(t *testing.T) {
+	d := Open(Options{NumReqs: 16, Controllers: 2, ChunkBytes: 4096, TraceDepth: 64})
+	const n = 10
+	src := bytes.Repeat([]byte{3}, 16384)
+	for i := 0; i < n; i++ {
+		r := d.AllocRequest()
+		r.Src, r.Dst = src, make([]byte, 16384)
+		if err := d.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		d.FreeRequest(drainOne(t, d))
+	}
+	st := d.Stats()
+	if st.Submitted != n || st.Completed != n {
+		t.Errorf("Submitted/Completed = %d/%d, want %d/%d", st.Submitted, st.Completed, n, n)
+	}
+	if st.BytesMoved != n*16384 {
+		t.Errorf("BytesMoved = %d", st.BytesMoved)
+	}
+	if st.Chunks != n*4 {
+		t.Errorf("Chunks = %d, want %d", st.Chunks, n*4)
+	}
+	if st.Latency.Count != n {
+		t.Errorf("Latency.Count = %d, want %d", st.Latency.Count, n)
+	}
+	if st.Sizes.Count != n || st.Sizes.Sum != n*16384 {
+		t.Errorf("Sizes = n%d sum%d", st.Sizes.Count, st.Sizes.Sum)
+	}
+	if len(st.Trace) == 0 {
+		t.Error("TraceDepth set but no events captured")
+	}
+	var kinds [8]bool
+	for _, e := range st.Trace {
+		if e.Kind < 8 {
+			kinds[e.Kind] = true
+		}
+	}
+	for _, k := range []uint32{EvDispatch, EvChunk, EvComplete} {
+		if !kinds[k] {
+			t.Errorf("no %s events in trace", EventName(k))
+		}
+	}
+	d.Close()
 }

@@ -20,6 +20,7 @@ import (
 
 	"memif/internal/core"
 	"memif/internal/hw"
+	"memif/internal/obs"
 	"memif/internal/sim"
 	"memif/internal/stats"
 	"memif/internal/uapi"
@@ -37,6 +38,42 @@ type Config struct {
 	// FastNode is where buffers live; SlowNode is where input streams
 	// from.
 	FastNode, SlowNode hw.NodeID
+	// Metrics, when non-nil, accumulates runtime observability across
+	// runs: fill latencies, prefetch bytes, fast/slow chunk counts.
+	Metrics *Metrics
+}
+
+// Metrics is the runtime's obs instrument set. One Metrics may be
+// shared by any number of runs (its primitives are lock-free).
+type Metrics struct {
+	// FillLatency is the submit-to-completion histogram of prefetch
+	// fills (virtual ns).
+	FillLatency obs.Histogram
+	// FastChunks / SlowChunks count chunks consumed from prefetch
+	// buffers vs. straight from the slow node.
+	FastChunks, SlowChunks obs.Counter
+	// BytesPrefetched totals the payload replicated into buffers.
+	BytesPrefetched obs.Counter
+}
+
+// MetricsSnapshot is a point-in-time copy of Metrics.
+type MetricsSnapshot struct {
+	FillLatency            obs.HistogramSnapshot
+	FastChunks, SlowChunks int64
+	BytesPrefetched        int64
+}
+
+// Snapshot captures the metrics. Nil-safe (zero snapshot).
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	return MetricsSnapshot{
+		FillLatency:     m.FillLatency.Snapshot(),
+		FastChunks:      m.FastChunks.Load(),
+		SlowChunks:      m.SlowChunks.Load(),
+		BytesPrefetched: m.BytesPrefetched.Load(),
+	}
 }
 
 // DefaultConfig returns the configuration used for Table 4: eight 512 KB
@@ -158,6 +195,10 @@ func Run(p *sim.Proc, d *core.Device, k workloads.Kernel, base, length int64, cf
 		if r := d.RetrieveCompleted(p); r != nil {
 			buf := int(r.Cookie)
 			failed := r.Status != uapi.StatusDone
+			if cfg.Metrics != nil && !failed {
+				cfg.Metrics.FillLatency.Observe(int64(r.Completed - r.Submitted))
+				cfg.Metrics.BytesPrefetched.Add(r.Length)
+			}
 			d.FreeRequest(p, r)
 			outstanding--
 			if failed {
@@ -170,6 +211,9 @@ func Run(p *sim.Proc, d *core.Device, k workloads.Kernel, base, length int64, cf
 			}
 			consumed++
 			res.FastChunks++
+			if cfg.Metrics != nil {
+				cfg.Metrics.FastChunks.Inc()
+			}
 			// More input remains unassigned: refill this buffer.
 			if nextFill < chunks {
 				if err := fill(buf); err != nil {
@@ -191,6 +235,9 @@ func Run(p *sim.Proc, d *core.Device, k workloads.Kernel, base, length int64, cf
 			}
 			consumed++
 			res.SlowChunks++
+			if cfg.Metrics != nil {
+				cfg.Metrics.SlowChunks.Inc()
+			}
 			continue
 		}
 		// Everything is assigned; block for the in-flight fills.

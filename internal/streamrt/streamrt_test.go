@@ -208,3 +208,41 @@ func TestFillFailureSurfaces(t *testing.T) {
 	})
 	m.Eng.Run()
 }
+
+func TestMetricsAccumulate(t *testing.T) {
+	m, d := setup()
+	met := &Metrics{}
+	var res Result
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		cfg := DefaultConfig()
+		cfg.Metrics = met
+		length := int64(16) * cfg.BufBytes
+		base, err := d.AS.Mmap(p, length, hw.NodeSlow, "input")
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads.FillInput(p, d.AS, base, length, 3)
+		res, err = Run(p, d, workloads.Add, base, length, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	m.Eng.Run()
+	s := met.Snapshot()
+	if s.FastChunks != res.FastChunks || s.SlowChunks != res.SlowChunks {
+		t.Errorf("metrics chunks %d/%d, result %d/%d",
+			s.FastChunks, s.SlowChunks, res.FastChunks, res.SlowChunks)
+	}
+	if s.FillLatency.Count == 0 || s.FillLatency.Mean() <= 0 {
+		t.Errorf("fill latency histogram empty or degenerate: %v", s.FillLatency)
+	}
+	if s.BytesPrefetched == 0 {
+		t.Error("no prefetched bytes recorded")
+	}
+	// Nil metrics must be a safe no-op.
+	var nilm *Metrics
+	if got := nilm.Snapshot(); got.FastChunks != 0 {
+		t.Error("nil Metrics snapshot non-zero")
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"memif/internal/core"
 	"memif/internal/hw"
+	"memif/internal/obs"
 	"memif/internal/sim"
 	"memif/internal/uapi"
 )
@@ -63,13 +64,30 @@ type Stats struct {
 	BytesEvicted   int64
 }
 
+// metrics is the daemon's obs instrument set: the Stats counters plus
+// an eviction latency histogram (virtual ns, submission to completion)
+// and an evicted-bytes histogram.
+type metrics struct {
+	evictions, failed, bytes obs.Counter
+	latency, sizes           obs.Histogram
+}
+
+// MetricsSnapshot is the daemon's observability view: counters plus the
+// eviction latency and size distributions.
+type MetricsSnapshot struct {
+	Evictions, FailedEvictions, BytesEvicted int64
+	// Latency is the submission-to-completion histogram of successful
+	// evictions (virtual ns); Sizes the per-eviction byte histogram.
+	Latency, Sizes obs.HistogramSnapshot
+}
+
 // Daemon is the fast-memory evictor.
 type Daemon struct {
 	dev     *core.Device // the daemon's own memif device
 	opts    Options
 	regions map[int64]*region
 	stopped bool
-	stats   Stats
+	m       metrics
 }
 
 // New starts a daemon for the address space behind dev's machine. It
@@ -112,7 +130,25 @@ func (d *Daemon) Touch(base int64, now sim.Time) {
 func (d *Daemon) Stop() { d.stopped = true; d.dev.Close() }
 
 // Stats returns a snapshot of the daemon counters.
-func (d *Daemon) Stats() Stats { return d.stats }
+func (d *Daemon) Stats() Stats {
+	return Stats{
+		Evictions:      d.m.evictions.Load(),
+		FailedEvictons: d.m.failed.Load(),
+		BytesEvicted:   d.m.bytes.Load(),
+	}
+}
+
+// Metrics returns the full observability snapshot, including the
+// eviction latency and size histograms.
+func (d *Daemon) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		Evictions:       d.m.evictions.Load(),
+		FailedEvictions: d.m.failed.Load(),
+		BytesEvicted:    d.m.bytes.Load(),
+		Latency:         d.m.latency.Snapshot(),
+		Sizes:           d.m.sizes.Snapshot(),
+	}
+}
 
 // usage returns the fast node's used fraction.
 func (d *Daemon) usage() float64 {
@@ -152,10 +188,12 @@ func (d *Daemon) handleCompletion(p *sim.Proc, got *uapi.MovReq) {
 		}
 	}
 	if got.Status == uapi.StatusDone {
-		d.stats.Evictions++
-		d.stats.BytesEvicted += got.Length
+		d.m.evictions.Inc()
+		d.m.bytes.Add(got.Length)
+		d.m.latency.Observe(int64(got.Completed - got.Submitted))
+		d.m.sizes.Observe(got.Length)
 	} else {
-		d.stats.FailedEvictons++
+		d.m.failed.Inc()
 	}
 	d.dev.FreeRequest(p, got)
 }

@@ -81,6 +81,19 @@ func TestEvictsColdestWhenOverWatermark(t *testing.T) {
 	if sd.Stats().Evictions == 0 {
 		t.Error("daemon recorded no evictions")
 	}
+	ms := sd.Metrics()
+	if ms.Evictions != sd.Stats().Evictions {
+		t.Errorf("Metrics.Evictions = %d, Stats.Evictions = %d", ms.Evictions, sd.Stats().Evictions)
+	}
+	if ms.Latency.Count != ms.Evictions {
+		t.Errorf("latency histogram has %d samples for %d evictions", ms.Latency.Count, ms.Evictions)
+	}
+	if ms.Latency.Count > 0 && ms.Latency.Mean() <= 0 {
+		t.Errorf("eviction latency mean = %v", ms.Latency.Mean())
+	}
+	if ms.Sizes.Sum != ms.BytesEvicted {
+		t.Errorf("size histogram sum = %d, BytesEvicted = %d", ms.Sizes.Sum, ms.BytesEvicted)
+	}
 }
 
 func TestIdleBelowWatermark(t *testing.T) {

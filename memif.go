@@ -238,18 +238,33 @@ func NewSwapDaemon(app *Device, opts SwapOptions) *SwapDaemon {
 // RealtimeDevice runs the memif interface protocol — the same red-blue
 // queues, submit/flush/kick discipline, worker and completion paths —
 // under real goroutine concurrency as a host-side asynchronous copy
-// service. See package memif/internal/realtime for the full story.
+// service, with chunked multi-controller transfers, cancellation and
+// deadlines, and a built-in metrics layer (Device.Stats). See package
+// memif/internal/realtime for the full story.
 type RealtimeDevice = realtime.Device
 
 // RealtimeRequest is a realtime mov_req: an async copy between two
-// caller-owned byte slices.
+// caller-owned byte slices, optionally carrying a Deadline.
 type RealtimeRequest = realtime.Request
 
-// RealtimeOptions sizes a realtime device.
+// RealtimeOptions sizes a realtime device: request slots, transfer
+// controllers, the chunking threshold, and the event-trace depth.
 type RealtimeOptions = realtime.Options
+
+// RealtimeStats is the snapshot RealtimeDevice.Stats returns: outcome
+// counters, latency/size histograms, queue watermarks, and the optional
+// ring-buffer event trace.
+type RealtimeStats = realtime.StatsSnapshot
+
+// Realtime request outcomes beyond success.
+var (
+	ErrRealtimeCanceled = realtime.ErrCanceled
+	ErrRealtimeDeadline = realtime.ErrDeadline
+)
 
 // OpenRealtime starts a realtime device.
 func OpenRealtime(opts RealtimeOptions) *RealtimeDevice { return realtime.Open(opts) }
 
-// DefaultRealtimeOptions mirrors the EDMA3-ish defaults.
+// DefaultRealtimeOptions mirrors the EDMA3-ish defaults, including
+// min(4, GOMAXPROCS) transfer controllers and 256 KB chunking.
 func DefaultRealtimeOptions() RealtimeOptions { return realtime.DefaultOptions() }
