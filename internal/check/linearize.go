@@ -1,0 +1,267 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Model is a sequential specification. States may be any value; if Equal
+// is nil, states must be comparable with == (the built-in models use
+// canonical string encodings, which also makes failure output readable).
+type Model struct {
+	// Name labels the model in diagnostics.
+	Name string
+	// Init returns the initial state.
+	Init func() any
+	// Step applies one operation: given the state before the operation,
+	// its input and its observed output, it reports whether the output
+	// is legal and, if so, the state after. State values must be treated
+	// as immutable (return a fresh value, never mutate the argument):
+	// the checker backtracks.
+	Step func(state, input, output any) (ok bool, next any)
+	// Equal compares states; nil means ==.
+	Equal func(a, b any) bool
+	// Describe renders one operation for diagnostics; nil falls back to
+	// fmt formatting.
+	Describe func(input, output any) string
+}
+
+func (m *Model) equal(a, b any) bool {
+	if m.Equal != nil {
+		return m.Equal(a, b)
+	}
+	return a == b
+}
+
+func (m *Model) describe(input, output any) string {
+	if m.Describe != nil {
+		return m.Describe(input, output)
+	}
+	return fmt.Sprintf("%v -> %v", input, output)
+}
+
+// Result is the outcome of a linearizability check.
+type Result struct {
+	// Ok reports whether the history is linearizable.
+	Ok bool
+	// Exhausted is true when the search hit its step budget before
+	// deciding; Ok is then false but the history was not proven wrong.
+	Exhausted bool
+	// Linearization is a witness order (the Ops in a legal sequential
+	// order) when Ok.
+	Linearization []Op
+	// Info describes the failure: the deepest linearized prefix reached
+	// and the operations that could not be linearized past it.
+	Info string
+}
+
+// checkBudget bounds the Wing–Gong search; histories produced by the
+// deterministic scheduler are far smaller than this.
+const checkBudget = 1 << 24
+
+// entry is one node of the doubly linked invocation/response list the
+// Wing & Gong search walks. A call entry carries its matching return in
+// match; return entries have match == nil.
+type entry struct {
+	id         int
+	op         *Op
+	match      *entry // call -> its return
+	next, prev *entry
+}
+
+func makeEntries(ops []Op) *entry {
+	type stamped struct {
+		time   int64
+		isCall bool
+		id     int
+		op     *Op
+	}
+	var ev []stamped
+	for i := range ops {
+		op := &ops[i]
+		ev = append(ev, stamped{op.Call, true, i, op}, stamped{op.Return, false, i, op})
+	}
+	sort.Slice(ev, func(i, j int) bool { return ev[i].time < ev[j].time })
+	head := &entry{id: -1} // sentinel
+	cur := head
+	returns := make(map[int]*entry)
+	calls := make(map[int]*entry)
+	for _, e := range ev {
+		n := &entry{id: e.id, op: e.op}
+		if e.isCall {
+			calls[e.id] = n
+		} else {
+			returns[e.id] = n
+		}
+		n.prev = cur
+		cur.next = n
+		cur = n
+	}
+	for id, c := range calls {
+		c.match = returns[id]
+	}
+	return head
+}
+
+// lift removes a call entry and its return from the list; unlift undoes
+// it. Standard Wing–Gong list surgery: pointers in the removed nodes are
+// preserved, so reinsertion is O(1).
+func lift(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	r := e.match
+	r.prev.next = r.next
+	if r.next != nil {
+		r.next.prev = r.prev
+	}
+}
+
+func unlift(e *entry) {
+	r := e.match
+	r.prev.next = r
+	if r.next != nil {
+		r.next.prev = r
+	}
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// bitset tracks which operations have been linearized.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) with(i int) bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	c[i/64] |= 1 << (i % 64)
+	return c
+}
+
+func (b bitset) without(i int) bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	c[i/64] &^= 1 << (i % 64)
+	return c
+}
+
+func (b bitset) hash() uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range b {
+		h = (h ^ w) * 1099511628211
+	}
+	return h
+}
+
+func (b bitset) equals(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type cacheEntry struct {
+	bits  bitset
+	state any
+}
+
+// Check decides whether the history of completed operations is
+// linearizable with respect to the model. It implements the Wing & Gong
+// backtracking search over the invocation/response list, with the
+// (linearized-set, state) memoization that makes repeated configurations
+// prune instead of re-explore.
+func Check(m Model, ops []Op) Result {
+	if len(ops) == 0 {
+		return Result{Ok: true}
+	}
+	head := makeEntries(ops)
+	state := m.Init()
+	linearized := newBitset(len(ops))
+	cache := map[uint64][]cacheEntry{}
+	cachePut := func(bits bitset, st any) bool {
+		h := bits.hash()
+		for _, ce := range cache[h] {
+			if ce.bits.equals(bits) && m.equal(ce.state, st) {
+				return false
+			}
+		}
+		cache[h] = append(cache[h], cacheEntry{bits, st})
+		return true
+	}
+
+	type frame struct {
+		e     *entry
+		state any
+	}
+	var stack []frame
+	var maxDepth int
+	var stuck *entry // frontier at the deepest failure
+
+	e := head.next
+	for steps := 0; head.next != nil; steps++ {
+		if steps > checkBudget {
+			return Result{Exhausted: true, Info: fmt.Sprintf("%s: search budget exhausted after %d steps", m.Name, steps)}
+		}
+		if e.match != nil { // call entry: try to linearize it here
+			ok, next := m.Step(state, e.op.Input, e.op.Output)
+			if ok {
+				bits := linearized.with(e.id)
+				if cachePut(bits, next) {
+					stack = append(stack, frame{e, state})
+					state = next
+					linearized = bits
+					lift(e)
+					if len(stack) > maxDepth {
+						maxDepth = len(stack)
+						stuck = nil
+					}
+					e = head.next
+					continue
+				}
+			}
+			e = e.next
+		} else {
+			// Return entry reached: no minimal operation linearizes.
+			if stuck == nil && len(stack) == maxDepth {
+				stuck = head.next
+			}
+			if len(stack) == 0 {
+				return Result{Ok: false, Info: failureInfo(m, ops, maxDepth, stuck)}
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			state = f.state
+			linearized = linearized.without(f.e.id)
+			unlift(f.e)
+			e = f.e.next
+		}
+	}
+	lin := make([]Op, len(stack))
+	for i, f := range stack {
+		lin[i] = *f.e.op
+	}
+	return Result{Ok: true, Linearization: lin}
+}
+
+// failureInfo renders the deepest frontier the search reached: how many
+// operations linearized, and the concurrent candidates that all failed.
+func failureInfo(m Model, ops []Op, depth int, stuck *entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: history of %d ops not linearizable; %d linearized before the search was stuck",
+		m.Name, len(ops), depth)
+	n := 0
+	for e := stuck; e != nil && n < 8; e = e.next {
+		if e.match == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  candidate: %s (client %d)", m.describe(e.op.Input, e.op.Output), e.op.Client)
+		n++
+	}
+	return b.String()
+}
+
+// CheckHistory is Check over a recorder's flattened operations.
+func CheckHistory(m Model, h *History) Result { return Check(m, h.Ops()) }

@@ -1,0 +1,347 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memif/internal/rbq"
+)
+
+// ---------------------------------------------------------------------
+// Red-blue queue: sequential spec of rbq.Queue.
+//
+// State: a FIFO of values plus the queue color. The protocol invariant
+// (Section 4.3) that makes the spec this simple is that SetColor only
+// succeeds on an empty queue — so every element in a non-empty queue
+// was enqueued under the current color, and Dequeue's atomically
+// observed color is always the current color.
+// ---------------------------------------------------------------------
+
+// QOpKind selects the queue operation of a QOp.
+type QOpKind uint8
+
+// Queue operations.
+const (
+	QEnqueue QOpKind = iota
+	QDequeue
+	QSetColor
+)
+
+// QOp is the input of one rbq.Queue operation.
+type QOp struct {
+	Kind QOpKind
+	V    uint32    // QEnqueue: value
+	C    rbq.Color // QSetColor: new color
+}
+
+// QRes is the output of one rbq.Queue operation.
+type QRes struct {
+	V  uint32    // QDequeue: value
+	C  rbq.Color // observed / previous color
+	Ok bool
+}
+
+func (o QOp) String() string {
+	switch o.Kind {
+	case QEnqueue:
+		return fmt.Sprintf("enqueue(%d)", o.V)
+	case QDequeue:
+		return "dequeue()"
+	default:
+		return fmt.Sprintf("setcolor(%v)", o.C)
+	}
+}
+
+func (r QRes) String() string { return fmt.Sprintf("(v=%d c=%v ok=%v)", r.V, r.C, r.Ok) }
+
+type queueState struct {
+	items string // comma-joined values, FIFO order
+	color rbq.Color
+}
+
+func (s queueState) push(v uint32) queueState {
+	if s.items == "" {
+		return queueState{fmt.Sprintf("%d", v), s.color}
+	}
+	return queueState{fmt.Sprintf("%s,%d", s.items, v), s.color}
+}
+
+func (s queueState) front() (uint32, queueState, bool) {
+	if s.items == "" {
+		return 0, s, false
+	}
+	head := s.items
+	rest := ""
+	if i := strings.IndexByte(s.items, ','); i >= 0 {
+		head, rest = s.items[:i], s.items[i+1:]
+	}
+	var v uint32
+	fmt.Sscanf(head, "%d", &v)
+	return v, queueState{rest, s.color}, true
+}
+
+// QueueModel returns the sequential specification of a red-blue queue
+// with the given initial color. A failed Enqueue (slab exhaustion) is
+// accepted as a no-op; every other output is checked exactly.
+func QueueModel(initial rbq.Color) Model {
+	return Model{
+		Name: "red-blue queue",
+		Init: func() any { return queueState{color: initial} },
+		Step: func(state, input, output any) (bool, any) {
+			st := state.(queueState)
+			op := input.(QOp)
+			out := output.(QRes)
+			switch op.Kind {
+			case QEnqueue:
+				if !out.Ok {
+					return true, st // slab exhausted: legal no-op at any point
+				}
+				if out.C != st.color {
+					return false, nil
+				}
+				return true, st.push(op.V)
+			case QDequeue:
+				v, rest, nonEmpty := st.front()
+				if !out.Ok {
+					// Empty dequeue reports the current color.
+					return !nonEmpty && out.C == st.color, st
+				}
+				if !nonEmpty || v != out.V || out.C != st.color {
+					return false, nil
+				}
+				return true, rest
+			case QSetColor:
+				_, _, nonEmpty := st.front()
+				if !out.Ok {
+					return nonEmpty, st // fails exactly when non-empty
+				}
+				if nonEmpty || out.C != st.color {
+					return false, nil
+				}
+				return true, queueState{st.items, op.C}
+			}
+			return false, nil
+		},
+		Describe: func(input, output any) string {
+			return fmt.Sprintf("%v -> %v", input, output)
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// Treiber free stack: sequential spec of the slab's internal free list
+// (rbq.Slab.AllocNode / ReleaseNode). A linearizable Treiber stack is a
+// sequential LIFO; the spec additionally rejects double-free.
+// ---------------------------------------------------------------------
+
+// SOp is the input of one free-stack operation.
+type SOp struct {
+	Push bool
+	Idx  uint32 // Push: the released node
+}
+
+// SRes is the output of one free-stack operation.
+type SRes struct {
+	Idx uint32 // pop: the allocated node
+	Ok  bool
+}
+
+func (o SOp) String() string {
+	if o.Push {
+		return fmt.Sprintf("release(%d)", o.Idx)
+	}
+	return "alloc()"
+}
+
+// StackModel returns the sequential LIFO specification of the slab free
+// stack, initialized with the given nodes (bottom to top).
+func StackModel(initial []uint32) Model {
+	enc := func(items []uint32) string {
+		var b strings.Builder
+		for i, v := range items {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		return b.String()
+	}
+	return Model{
+		Name: "treiber free stack",
+		Init: func() any { return enc(initial) },
+		Step: func(state, input, output any) (bool, any) {
+			st := state.(string)
+			op := input.(SOp)
+			if op.Push {
+				// Double-free: the node must not already be on the stack.
+				needle := fmt.Sprintf("%d", op.Idx)
+				for _, part := range strings.Split(st, ",") {
+					if part == needle {
+						return false, nil
+					}
+				}
+				if st == "" {
+					return true, needle
+				}
+				return true, st + "," + needle
+			}
+			out := output.(SRes)
+			if st == "" {
+				return !out.Ok, st
+			}
+			top := st
+			rest := ""
+			if i := strings.LastIndexByte(st, ','); i >= 0 {
+				rest, top = st[:i], st[i+1:]
+			}
+			if !out.Ok || top != fmt.Sprintf("%d", out.Idx) {
+				return false, nil
+			}
+			return true, rest
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// uapi.Area ownership protocol: the five queues of an interface area
+// plus the "user-held" state. Every request index is in exactly one
+// place at every linearization point; queue contents are FIFO; an index
+// can only be enqueued by its current holder and only leaves a queue
+// through a dequeue that hands it to the dequeuer.
+// ---------------------------------------------------------------------
+
+// AreaQueue names one of the five queues of a uapi.Area.
+type AreaQueue uint8
+
+// The queues of an interface area.
+const (
+	AQFree AreaQueue = iota
+	AQStaging
+	AQSubmission
+	AQCompOK
+	AQCompFail
+	aqCount
+)
+
+func (q AreaQueue) String() string {
+	return [...]string{"free", "staging", "submission", "comp-ok", "comp-fail"}[q]
+}
+
+// AOp is the input of one Area-level queue operation.
+type AOp struct {
+	Queue AreaQueue
+	Enq   bool
+	Idx   uint32 // Enq: the index being enqueued
+}
+
+// ARes is the output of one Area-level queue operation.
+type ARes struct {
+	Idx uint32 // Deq: the index dequeued
+	Ok  bool
+}
+
+func (o AOp) String() string {
+	if o.Enq {
+		return fmt.Sprintf("%v.enqueue(%d)", o.Queue, o.Idx)
+	}
+	return fmt.Sprintf("%v.dequeue()", o.Queue)
+}
+
+type areaState struct {
+	queues [aqCount]string // FIFO per queue, comma-joined
+	held   string          // sorted comma-joined user-held indices
+}
+
+func (s areaState) key() string {
+	return strings.Join(s.queues[:], "|") + "#" + s.held
+}
+
+func splitIdx(s string) []uint32 {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]uint32, len(parts))
+	for i, p := range parts {
+		fmt.Sscanf(p, "%d", &out[i])
+	}
+	return out
+}
+
+func joinIdx(v []uint32) string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}
+
+// AreaModel returns the ownership specification of a uapi.Area whose
+// free list initially holds indices 0..nReqs-1 (the NewArea state). The
+// other queues start empty and nothing is user-held.
+func AreaModel(nReqs int) Model {
+	return Model{
+		Name: "uapi area ownership",
+		Init: func() any {
+			init := make([]uint32, nReqs)
+			for i := range init {
+				init[i] = uint32(i)
+			}
+			var s areaState
+			s.queues[AQFree] = joinIdx(init)
+			return s.key()
+		},
+		Step: func(state, input, output any) (bool, any) {
+			st := decodeArea(state.(string))
+			op := input.(AOp)
+			out := output.(ARes)
+			if op.Enq {
+				if !out.Ok {
+					return true, state // slab exhausted: no-op
+				}
+				// Only the holder may enqueue, and into exactly one queue.
+				held := splitIdx(st.held)
+				pos := -1
+				for i, h := range held {
+					if h == op.Idx {
+						pos = i
+					}
+				}
+				if pos < 0 {
+					return false, nil
+				}
+				held = append(held[:pos], held[pos+1:]...)
+				st.held = joinIdx(held)
+				q := splitIdx(st.queues[op.Queue])
+				st.queues[op.Queue] = joinIdx(append(q, op.Idx))
+				return true, st.key()
+			}
+			q := splitIdx(st.queues[op.Queue])
+			if !out.Ok {
+				return len(q) == 0, state
+			}
+			if len(q) == 0 || q[0] != out.Idx {
+				return false, nil
+			}
+			st.queues[op.Queue] = joinIdx(q[1:])
+			held := append(splitIdx(st.held), out.Idx)
+			sort.Slice(held, func(i, j int) bool { return held[i] < held[j] })
+			st.held = joinIdx(held)
+			return true, st.key()
+		},
+	}
+}
+
+func decodeArea(key string) areaState {
+	var s areaState
+	hash := strings.LastIndexByte(key, '#')
+	qpart := key[:hash]
+	s.held = key[hash+1:]
+	parts := strings.SplitN(qpart, "|", int(aqCount))
+	copy(s.queues[:], parts)
+	return s
+}

@@ -1,0 +1,258 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// Sched is a seeded deterministic scheduler: it runs virtual threads
+// (real goroutines, but gated so exactly one executes at a time) and
+// decides, at every yield point, which thread runs next. With the rbq
+// scheduling hook routed into it (see YieldHook), every
+// linearization-relevant step of the lock-free structures becomes a
+// preemption point, so interleavings like "SetColor's CAS between an
+// enqueuer's color read and its link CAS" are searched systematically
+// rather than sampled from whatever the Go runtime happens to do.
+//
+// The only source of nondeterminism is the seed: the scheduler is a
+// single goroutine making all decisions from one rand.Rand, and threads
+// advance strictly one at a time through channel handshakes. The same
+// seed therefore replays the same schedule, which is what makes a
+// failure report actionable.
+type Sched struct {
+	seed    int64
+	rng     *rand.Rand
+	cfg     SchedConfig
+	threads []*Thread
+	events  chan schedEvent
+	cur     atomic.Pointer[Thread]
+	active  atomic.Bool
+	stop    chan struct{}
+	steps   int
+	trace   []int
+}
+
+// SchedConfig tunes the exploration policy.
+type SchedConfig struct {
+	// MaxPreemptions < 0 (the default from NewSched) picks a uniformly
+	// random runnable thread at every yield point — maximal context
+	// switching, best for small operation scripts. MaxPreemptions >= 0
+	// enables bounded-preemption (PCT-style) exploration instead:
+	// threads get random priorities, the highest-priority runnable
+	// thread runs, and at most MaxPreemptions random priority demotions
+	// occur during the run.
+	MaxPreemptions int
+	// MaxSteps bounds the total yields before the run is declared a
+	// livelock (0 means a generous default). Lock-free code cannot
+	// deadlock under this scheduler — a spinning thread's failed CAS
+	// implies another thread progressed — so hitting the budget is a
+	// real finding.
+	MaxSteps int
+}
+
+const defaultMaxSteps = 1 << 20
+
+// Thread is the handle a virtual thread's body receives.
+type Thread struct {
+	id     int
+	s      *Sched
+	resume chan struct{}
+	done   bool
+	prio   int
+}
+
+// ID returns the thread's index in spawn order.
+func (t *Thread) ID() int { return t.id }
+
+// Yield hands control back to the scheduler; the thread resumes when it
+// is next picked.
+func (t *Thread) Yield() {
+	t.s.events <- schedEvent{id: t.id, kind: evYield}
+	select {
+	case <-t.resume:
+	case <-t.s.stop:
+		// The run was abandoned (another thread failed or the budget
+		// ran out); unwind this thread without running more of its body.
+		panic(schedAbort{})
+	}
+}
+
+// schedAbort unwinds abandoned threads; the recover in the spawn wrapper
+// swallows it.
+type schedAbort struct{}
+
+const (
+	evYield = iota
+	evDone
+	evPanic
+)
+
+type schedEvent struct {
+	id    int
+	kind  int
+	pan   any
+	stack []byte
+}
+
+// NewSched returns a scheduler with the uniform-random policy. The seed
+// fully determines the schedule.
+func NewSched(seed int64) *Sched {
+	return NewSchedConfig(seed, SchedConfig{MaxPreemptions: -1})
+}
+
+// NewSchedConfig returns a scheduler with an explicit policy config.
+func NewSchedConfig(seed int64, cfg SchedConfig) *Sched {
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = defaultMaxSteps
+	}
+	return &Sched{
+		seed:   seed,
+		rng:    rand.New(rand.NewSource(seed)),
+		cfg:    cfg,
+		events: make(chan schedEvent),
+		stop:   make(chan struct{}),
+	}
+}
+
+// Seed returns the scheduler's seed, for failure reports.
+func (s *Sched) Seed() int64 { return s.seed }
+
+// Go spawns a virtual thread. All threads must be spawned before Run.
+func (s *Sched) Go(fn func(t *Thread)) {
+	t := &Thread{id: len(s.threads), s: s, resume: make(chan struct{})}
+	s.threads = append(s.threads, t)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, abort := r.(schedAbort); abort {
+					return // run abandoned; exit quietly
+				}
+				s.events <- schedEvent{id: t.id, kind: evPanic, pan: r, stack: debug.Stack()}
+				return
+			}
+			s.events <- schedEvent{id: t.id, kind: evDone}
+		}()
+		select {
+		case <-t.resume:
+		case <-s.stop:
+			panic(schedAbort{})
+		}
+		fn(t)
+	}()
+}
+
+// YieldHook returns a function suitable for rbq.SetSchedHook: called
+// from inside a managed thread it yields that thread; called outside a
+// run (setup or teardown code on the test goroutine) it is a no-op.
+func (s *Sched) YieldHook() func() {
+	return func() {
+		if !s.active.Load() {
+			return
+		}
+		if t := s.cur.Load(); t != nil {
+			t.Yield()
+		}
+	}
+}
+
+// Run executes the spawned threads to completion under the seeded
+// policy. It returns nil when every thread finished, or an error — which
+// always embeds the seed — when a thread panicked (assertion failure in
+// the body) or the step budget ran out (livelock).
+func (s *Sched) Run() error {
+	if len(s.threads) == 0 {
+		return nil
+	}
+	for _, t := range s.threads {
+		t.prio = s.rng.Int()
+	}
+	preempts := 0
+	runnable := func() []*Thread {
+		var r []*Thread
+		for _, t := range s.threads {
+			if !t.done {
+				r = append(r, t)
+			}
+		}
+		return r
+	}
+	pick := func(r []*Thread) *Thread {
+		if s.cfg.MaxPreemptions < 0 {
+			return r[s.rng.Intn(len(r))]
+		}
+		best := r[0]
+		for _, t := range r[1:] {
+			if t.prio > best.prio {
+				best = t
+			}
+		}
+		return best
+	}
+	s.active.Store(true)
+	defer s.active.Store(false)
+	fail := func(format string, args ...any) error {
+		close(s.stop) // abandon parked threads
+		return fmt.Errorf("sched(seed=%d, step=%d): %s", s.seed, s.steps, fmt.Sprintf(format, args...))
+	}
+
+	live := len(s.threads)
+	cur := pick(runnable())
+	for {
+		s.cur.Store(cur)
+		s.trace = append(s.trace, cur.id)
+		cur.resume <- struct{}{}
+		ev := <-s.events
+		switch ev.kind {
+		case evPanic:
+			return fail("thread %d panicked: %v\n%s", ev.id, ev.pan, ev.stack)
+		case evDone:
+			s.threads[ev.id].done = true
+			live--
+			if live == 0 {
+				return nil
+			}
+			cur = pick(runnable())
+		case evYield:
+			s.steps++
+			if s.steps > s.cfg.MaxSteps {
+				return fail("step budget %d exhausted: possible livelock", s.cfg.MaxSteps)
+			}
+			r := runnable()
+			if s.cfg.MaxPreemptions >= 0 && preempts < s.cfg.MaxPreemptions && s.rng.Intn(4) == 0 {
+				// PCT-style priority change point: demote the running
+				// thread below everyone.
+				lowest := cur.prio
+				for _, t := range s.threads {
+					if t.prio < lowest {
+						lowest = t.prio
+					}
+				}
+				cur.prio = lowest - 1
+				preempts++
+			}
+			cur = pick(r)
+		}
+	}
+}
+
+// Steps returns the number of yields the last Run consumed.
+func (s *Sched) Steps() int { return s.steps }
+
+// Trace returns the schedule: the thread id chosen at each resume.
+// Useful for asserting determinism and for debugging a failing seed.
+func (s *Sched) Trace() []int { return s.trace }
+
+// Explore runs body once per seed in [base, base+n) and returns the
+// first failure, wrapped with the seed that reproduces it. Test helpers
+// should t.Fatal the returned error so the seed lands in the log.
+func Explore(n int, base int64, body func(seed int64) error) error {
+	for i := 0; i < n; i++ {
+		seed := base + int64(i)
+		if err := body(seed); err != nil {
+			return fmt.Errorf("failing schedule at seed %d (replay by running body with exactly this seed): %w", seed, err)
+		}
+	}
+	return nil
+}

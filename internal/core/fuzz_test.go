@@ -143,6 +143,12 @@ func runRandomWorkout(t *testing.T, seed int64) {
 			t.Errorf("submitted %d != completed %d + failed %d",
 				got, d.Stats().Completed, d.Stats().Failed)
 		}
+		// Conservation ("no index may ever vanish"): after the full
+		// drain every mov_req index must be in exactly one place — the
+		// free list. Shared with the uapi invariant tests.
+		if err := d.Area.Audit(nil); err != nil {
+			t.Error(err)
+		}
 		// All request slots back on the free list.
 		free := 0
 		for d.AllocRequest(p) != nil {

@@ -1,0 +1,28 @@
+package rbq
+
+// Test-only access to the packed words, so the linearizability tests can
+// drive the 32-bit ABA tags through wraparound (a state a natural run
+// would need 2^32 writes per word to reach). Quiescent use only.
+
+// ForceTagsForTest rewrites the tag of every node link and of the
+// free-stack head to tag, preserving indices and colors.
+func (s *Slab) ForceTagsForTest(tag uint32) {
+	for i := range s.nodes {
+		w := s.nodes[i].next.Load()
+		s.nodes[i].next.Store(pack(unpackIdx(w), unpackColor(w), tag))
+	}
+	h := s.freeHead.Load()
+	s.freeHead.Store(pack(unpackIdx(h), 0, tag))
+}
+
+// ForceTagsForTest rewrites the queue's head and tail word tags.
+func (q *Queue) ForceTagsForTest(tag uint32) {
+	h := q.head.Load()
+	q.head.Store(pack(unpackIdx(h), 0, tag))
+	t := q.tail.Load()
+	q.tail.Store(pack(unpackIdx(t), 0, tag))
+}
+
+// TagOfFreeHeadForTest returns the free-stack head's current tag, so the
+// wraparound test can assert the tags actually crossed zero.
+func (s *Slab) TagOfFreeHeadForTest() uint32 { return unpackTag(s.freeHead.Load()) }

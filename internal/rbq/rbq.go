@@ -33,6 +33,34 @@ import (
 	"sync/atomic"
 )
 
+// schedHook, when installed, is invoked at every linearization-relevant
+// step of the lock-free algorithms (loop heads, immediately before each
+// CAS, and in the windows between a publishing CAS and its follow-up
+// writes). The verification harness (internal/check) routes it into a
+// seeded deterministic scheduler so interleavings are explored
+// systematically; in production it is nil and each call site costs one
+// atomic load and an untaken branch.
+var schedHook atomic.Pointer[func()]
+
+// SetSchedHook installs (or, with nil, clears) the scheduling hook.
+// Install before starting the threads under test and clear after they
+// join; the hook must be safe to call from any goroutine the harness
+// manages.
+func SetSchedHook(h func()) {
+	if h == nil {
+		schedHook.Store(nil)
+		return
+	}
+	schedHook.Store(&h)
+}
+
+// schedPoint is a potential preemption point for the harness.
+func schedPoint() {
+	if p := schedHook.Load(); p != nil {
+		(*p)()
+	}
+}
+
 // Color is the queue-wide property carried by the links. memif uses two
 // values, but any 8-bit property works (Section 4.3: "not limited to a
 // binary color value").
@@ -124,25 +152,39 @@ func (s *Slab) Capacity() int { return len(s.nodes) - 1 }
 // exhausted.
 func (s *Slab) allocNode() (uint32, bool) {
 	for {
+		schedPoint()
 		head := s.freeHead.Load()
 		idx := unpackIdx(head)
 		if idx == 0 {
 			return 0, false
 		}
 		next := s.nodes[idx].next.Load()
+		schedPoint()
 		if s.freeHead.CompareAndSwap(head, pack(unpackIdx(next), 0, bump(head))) {
 			return idx, true
 		}
 	}
 }
 
+// AllocNode exposes the slab's internal Treiber free stack to the
+// verification harness (internal/check records alloc/release histories
+// and checks them against a sequential LIFO spec). Production callers
+// go through Queue, which allocates internally.
+func (s *Slab) AllocNode() (uint32, bool) { return s.allocNode() }
+
+// ReleaseNode is AllocNode's inverse, for the verification harness.
+// Releasing a node that is linked into a queue corrupts the slab.
+func (s *Slab) ReleaseNode(idx uint32) { s.freeNode(idx) }
+
 // freeNode pushes a node back on the free stack.
 func (s *Slab) freeNode(idx uint32) {
 	n := &s.nodes[idx]
 	for {
+		schedPoint()
 		head := s.freeHead.Load()
 		old := n.next.Load()
 		n.next.Store(pack(unpackIdx(head), 0, bump(old)))
+		schedPoint()
 		if s.freeHead.CompareAndSwap(head, pack(idx, 0, bump(head))) {
 			return
 		}
@@ -195,6 +237,7 @@ func (q *Queue) Enqueue(v uint32) (Color, bool) {
 	}
 	s.nodes[n].value.Store(v)
 	for {
+		schedPoint()
 		tail := q.tail.Load()
 		tn := &s.nodes[unpackIdx(tail)]
 		next := tn.next.Load()
@@ -211,8 +254,11 @@ func (q *Queue) Enqueue(v uint32) (Color, bool) {
 		// publication (the node is still private).
 		old := s.nodes[n].next.Load()
 		s.nodes[n].next.Store(pack(0, c, bump(old)))
+		schedPoint()
 		if tn.next.CompareAndSwap(next, pack(n, c, bump(next))) {
+			schedPoint()
 			q.tail.CompareAndSwap(tail, pack(n, 0, bump(tail)))
+			schedPoint()
 			q.size.Add(1)
 			return c, true
 		}
@@ -225,6 +271,7 @@ func (q *Queue) Enqueue(v uint32) (Color, bool) {
 func (q *Queue) Dequeue() (v uint32, c Color, ok bool) {
 	s := q.slab
 	for {
+		schedPoint()
 		head := q.head.Load()
 		tail := q.tail.Load()
 		hn := &s.nodes[unpackIdx(head)]
@@ -243,7 +290,9 @@ func (q *Queue) Dequeue() (v uint32, c Color, ok bool) {
 		nn := &s.nodes[unpackIdx(next)]
 		val := nn.value.Load()
 		col := unpackColor(nn.next.Load())
+		schedPoint()
 		if q.head.CompareAndSwap(head, pack(unpackIdx(next), 0, bump(head))) {
+			schedPoint()
 			q.size.Add(-1)
 			s.freeNode(unpackIdx(head))
 			return val, col, true
@@ -258,6 +307,7 @@ func (q *Queue) Dequeue() (v uint32, c Color, ok bool) {
 func (q *Queue) SetColor(newColor Color) (old Color, ok bool) {
 	s := q.slab
 	for {
+		schedPoint()
 		head := q.head.Load()
 		hn := &s.nodes[unpackIdx(head)]
 		next := hn.next.Load()
@@ -271,6 +321,7 @@ func (q *Queue) SetColor(newColor Color) (old Color, ok bool) {
 		if c == newColor {
 			return c, true
 		}
+		schedPoint()
 		if hn.next.CompareAndSwap(next, pack(0, newColor, bump(next))) {
 			return c, true
 		}
@@ -326,6 +377,20 @@ func (q *Queue) Len() int {
 		idx = unpackIdx(s.nodes[idx].next.Load())
 	}
 	return n
+}
+
+// Snapshot walks the queue and returns its values in FIFO order.
+// Quiescent use only (tests, audits) — under concurrent mutation the
+// walk may duplicate or miss elements.
+func (q *Queue) Snapshot() []uint32 {
+	s := q.slab
+	var out []uint32
+	idx := unpackIdx(s.nodes[unpackIdx(q.head.Load())].next.Load())
+	for idx != 0 && len(out) <= s.Capacity() {
+		out = append(out, s.nodes[idx].value.Load())
+		idx = unpackIdx(s.nodes[idx].next.Load())
+	}
+	return out
 }
 
 // Drain repeatedly dequeues into fn until the queue is empty. Returns the

@@ -1,0 +1,394 @@
+package realtime
+
+// Chaos-driven coverage: fault injection through Options.Chaos forces
+// the failure windows real load only samples — stalled controllers
+// under a cancel storm, persistent slab exhaustion at the flush,
+// shutdown with chunked requests in flight, and close/cancel races
+// inside the submission protocol. After every storm the suite asserts
+// the two invariants the device promises: no index ever vanishes
+// (AuditSlots) and completion fires exactly once (DoubleCompletes == 0).
+//
+// These tests are the CI smoke corpus (`go test -run Chaos -count=20`):
+// each run takes milliseconds and every scheduling decision the test
+// itself makes is forced through hooks, so repeated runs explore fresh
+// runtime interleavings cheaply.
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// drainAll retrieves every pending completion, polling until count
+// completions arrived or the deadline passes.
+func drainAll(t *testing.T, d *Device, count int) []*Request {
+	t.Helper()
+	var got []*Request
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < count {
+		if r := d.RetrieveCompleted(); r != nil {
+			got = append(got, r)
+			continue
+		}
+		if time.Now().After(deadline) {
+			st := d.Stats()
+			t.Fatalf("drained %d/%d completions before timeout; stats=%+v", len(got), count, st)
+		}
+		d.Poll(10 * time.Millisecond)
+	}
+	return got
+}
+
+// TestChaosCancelVsCompleteStalledControllers stalls every transfer
+// controller on its first chunk, lands a cancel storm while the copies
+// are frozen, then releases the stall: every request must complete
+// exactly once, with either a clean result or ErrCanceled, and every
+// slot must return to the free list.
+func TestChaosCancelVsCompleteStalledControllers(t *testing.T) {
+	stall := make(chan struct{})
+	var once sync.Once
+	opts := Options{
+		NumReqs:     32,
+		Controllers: 2,
+		ChunkBytes:  1 << 10,
+		Chaos: &ChaosHooks{
+			BeforeChunkCopy: func(idx uint32, off, end int) { <-stall },
+		},
+	}
+	d := Open(opts)
+	defer d.Close()
+	defer once.Do(func() { close(stall) })
+
+	const n = 8
+	reqs := make([]*Request, 0, n)
+	for i := 0; i < n; i++ {
+		r := d.AllocRequest()
+		if r == nil {
+			t.Fatal("alloc failed")
+		}
+		src := bytes.Repeat([]byte{byte(i + 1)}, 4<<10) // 4 chunks each
+		r.Src, r.Dst = src, make([]byte, len(src))
+		if err := d.Submit(r); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		reqs = append(reqs, r)
+	}
+	// Cancel storm while the controllers are frozen mid-pipeline: some
+	// requests are stalled in chunks, some still queued.
+	canceled := map[*Request]bool{}
+	for i, r := range reqs {
+		if i%2 == 0 {
+			canceled[r] = d.Cancel(r)
+		}
+	}
+	once.Do(func() { close(stall) })
+
+	got := drainAll(t, d, n)
+	seen := map[*Request]int{}
+	for _, r := range got {
+		seen[r]++
+	}
+	for i, r := range reqs {
+		if seen[r] != 1 {
+			t.Errorf("request %d completed %d times, want exactly once", i, seen[r])
+		}
+		switch {
+		case r.Err == nil:
+			if canceled[r] {
+				t.Errorf("request %d: cancel won but completed clean", i)
+			}
+			if !bytes.Equal(r.Src, r.Dst) {
+				t.Errorf("request %d: clean completion with corrupt payload", i)
+			}
+		case errors.Is(r.Err, ErrCanceled):
+			if !canceled[r] {
+				t.Errorf("request %d: ErrCanceled without a winning cancel", i)
+			}
+		default:
+			t.Errorf("request %d: unexpected error %v", i, r.Err)
+		}
+	}
+	var held []uint32
+	for _, r := range got {
+		held = append(held, r.idx)
+	}
+	if err := d.AuditSlots(held); err != nil {
+		t.Error(err)
+	}
+	for _, r := range got {
+		d.FreeRequest(r)
+	}
+	if err := d.AuditSlots(nil); err != nil {
+		t.Error(err)
+	}
+	if st := d.Stats(); st.DoubleCompletes != 0 {
+		t.Errorf("DoubleCompletes = %d, want 0", st.DoubleCompletes)
+	}
+}
+
+// TestChaosForcedExhaustionErrNoSlots makes every staging→submission
+// flush attempt fail, driving requests down the ErrNoSlots completion
+// path; the slots must come back through the completion queue, and the
+// device must recover fully once the fault clears.
+func TestChaosForcedExhaustionErrNoSlots(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	opts := Options{
+		NumReqs: 16,
+		Chaos: &ChaosHooks{
+			FlushEnqueue: func(idx uint32) bool { return failing.Load() },
+		},
+	}
+	d := Open(opts)
+	defer d.Close()
+
+	const n = 4
+	for i := 0; i < n; i++ {
+		r := d.AllocRequest()
+		r.Src, r.Dst = []byte{1, 2, 3}, make([]byte, 3)
+		if err := d.Submit(r); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	got := drainAll(t, d, n)
+	for i, r := range got {
+		if !errors.Is(r.Err, ErrNoSlots) {
+			t.Errorf("request %d: err = %v, want ErrNoSlots", i, r.Err)
+		}
+		d.FreeRequest(r)
+	}
+	if err := d.AuditSlots(nil); err != nil {
+		t.Error(err)
+	}
+
+	// Fault cleared: the same slots must serve clean copies again.
+	failing.Store(false)
+	r := d.AllocRequest()
+	r.Src, r.Dst = []byte{9, 8, 7}, make([]byte, 3)
+	if err := d.Submit(r); err != nil {
+		t.Fatalf("post-recovery submit: %v", err)
+	}
+	rr := drainAll(t, d, 1)[0]
+	if rr.Err != nil || !bytes.Equal(rr.Src, rr.Dst) {
+		t.Fatalf("post-recovery completion: err=%v dst=%v", rr.Err, rr.Dst)
+	}
+	d.FreeRequest(rr)
+	if st := d.Stats(); st.DoubleCompletes != 0 {
+		t.Errorf("DoubleCompletes = %d, want 0", st.DoubleCompletes)
+	}
+}
+
+// TestChaosCloseDrainInFlightChunked slows every chunk copy and then
+// CloseDrains with chunked requests mid-pipeline: the drain must wait
+// for all of them, and nothing may vanish across the shutdown.
+func TestChaosCloseDrainInFlightChunked(t *testing.T) {
+	opts := Options{
+		NumReqs:     16,
+		Controllers: 2,
+		ChunkBytes:  1 << 10,
+		Chaos: &ChaosHooks{
+			BeforeChunkCopy: func(idx uint32, off, end int) { time.Sleep(100 * time.Microsecond) },
+		},
+	}
+	d := Open(opts)
+
+	const n = 6
+	var reqs []*Request
+	for i := 0; i < n; i++ {
+		r := d.AllocRequest()
+		src := bytes.Repeat([]byte{byte(i + 1)}, 8<<10) // 8 chunks each
+		r.Src, r.Dst = src, make([]byte, len(src))
+		if err := d.Submit(r); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		reqs = append(reqs, r)
+	}
+	if !d.CloseDrain(5 * time.Second) {
+		t.Fatal("CloseDrain timed out with in-flight chunked requests")
+	}
+	got := drainAll(t, d, n)
+	var held []uint32
+	for _, r := range got {
+		if r.Err != nil {
+			t.Errorf("request %d failed across drain: %v", r.idx, r.Err)
+		} else if !bytes.Equal(r.Src, r.Dst) {
+			t.Errorf("request %d: payload corrupt across drain", r.idx)
+		}
+		held = append(held, r.idx)
+	}
+	if err := d.AuditSlots(held); err != nil {
+		t.Error(err)
+	}
+	if err := d.Submit(reqs[0]); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after CloseDrain: err = %v, want ErrClosed", err)
+	}
+	if st := d.Stats(); st.DoubleCompletes != 0 {
+		t.Errorf("DoubleCompletes = %d, want 0", st.DoubleCompletes)
+	}
+}
+
+// TestChaosSubmitCloseRaceNoLostRequests is the regression test for the
+// submitter-gate fix: a Submit that has passed the closing check while
+// Close runs must either be rejected or produce a completion — before
+// the gate, its staging enqueue could land after the worker's final
+// drain and strand the request (and its slot) forever.
+func TestChaosSubmitCloseRaceNoLostRequests(t *testing.T) {
+	for iter := 0; iter < 30; iter++ {
+		d := Open(Options{NumReqs: 8, Controllers: 1})
+		var accepted, recycled atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := []byte{1, 2, 3, 4}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Recycle finished slots so submissions keep flowing
+				// while Close runs.
+				for c := d.RetrieveCompleted(); c != nil; c = d.RetrieveCompleted() {
+					d.FreeRequest(c)
+					recycled.Add(1)
+				}
+				r := d.AllocRequest()
+				if r == nil {
+					continue
+				}
+				r.Src, r.Dst = src, make([]byte, 4)
+				if err := d.Submit(r); err != nil {
+					return // ErrClosed: the slot stays user-held, fine
+				}
+				accepted.Add(1)
+			}
+		}()
+		// Let a few submissions through, then slam the door.
+		for d.Completed() == 0 {
+			time.Sleep(10 * time.Microsecond)
+		}
+		d.Close()
+		close(stop)
+		wg.Wait()
+		// Close waited out the worker, so every accepted request's
+		// completion is already posted — unless one was stranded in
+		// staging, the lost-index bug this test pins.
+		var got int64
+		for d.RetrieveCompleted() != nil {
+			got++
+		}
+		if total := recycled.Load() + got; total != accepted.Load() {
+			t.Fatalf("iter %d: accepted %d submissions but saw %d completions — request lost across Close",
+				iter, accepted.Load(), total)
+		}
+	}
+}
+
+// TestChaosCancelVsFailedSubmitHonored is the regression test for the
+// cancel-vs-failed-submit fix: when Cancel wins its CAS inside Submit's
+// enqueue-failure window, the old code stored the request back to idle
+// and returned ErrNoSlots — the cancel's promised ErrCanceled
+// completion never fired. Now Submit detects the lost CAS and completes
+// the request through the normal path.
+func TestChaosCancelVsFailedSubmitHonored(t *testing.T) {
+	inWindow := make(chan *Request, 1)
+	proceed := make(chan struct{})
+	var arm atomic.Bool
+	var dev *Device
+	opts := Options{
+		NumReqs: 8,
+		Chaos: &ChaosHooks{
+			StagingEnqueue: func(idx uint32) bool {
+				if !arm.Load() {
+					return false
+				}
+				r, _ := dev.req(idx)
+				inWindow <- r // request is stPending, not yet enqueued
+				<-proceed     // hold Submit here until Cancel has won
+				return true   // then force the enqueue failure
+			},
+		},
+	}
+	d := Open(opts)
+	dev = d
+	defer d.Close()
+
+	r := d.AllocRequest()
+	r.Src, r.Dst = []byte{1}, make([]byte, 1)
+	arm.Store(true)
+	errc := make(chan error, 1)
+	go func() { errc <- d.Submit(r) }()
+
+	target := <-inWindow
+	arm.Store(false)
+	won := d.Cancel(target)
+	close(proceed)
+	err := <-errc
+
+	if !won {
+		t.Fatal("cancel lost a race it was engineered to win")
+	}
+	if err != nil {
+		t.Fatalf("Submit returned %v; a canceled-in-window submit must be accepted", err)
+	}
+	rr := drainAll(t, d, 1)[0]
+	if rr != r || !errors.Is(rr.Err, ErrCanceled) {
+		t.Fatalf("completion = %v err=%v, want the canceled request with ErrCanceled", rr, rr.Err)
+	}
+	d.FreeRequest(rr)
+	if err := d.AuditSlots(nil); err != nil {
+		t.Error(err)
+	}
+	if st := d.Stats(); st.DoubleCompletes != 0 {
+		t.Errorf("DoubleCompletes = %d, want 0", st.DoubleCompletes)
+	}
+}
+
+// TestChaosDispatchStallCancelStorm parks the worker inside dispatch
+// (after the request left the submission queue, before chunking) while
+// cancels land: the cancel must be observed before any byte moves, and
+// the completion must still fire exactly once.
+func TestChaosDispatchStallCancelStorm(t *testing.T) {
+	entered := make(chan uint32, 16)
+	release := make(chan struct{})
+	opts := Options{
+		NumReqs: 8,
+		Chaos: &ChaosHooks{
+			BeforeDispatch: func(idx uint32) {
+				entered <- idx
+				<-release
+			},
+		},
+	}
+	d := Open(opts)
+	defer d.Close()
+
+	r := d.AllocRequest()
+	r.Src, r.Dst = bytes.Repeat([]byte{7}, 1<<10), make([]byte, 1<<10)
+	if err := d.Submit(r); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // worker is parked inside dispatch
+	if !d.Cancel(r) {
+		t.Fatal("cancel of a parked pending request failed")
+	}
+	close(release)
+	rr := drainAll(t, d, 1)[0]
+	if !errors.Is(rr.Err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", rr.Err)
+	}
+	for _, b := range rr.Dst {
+		if b != 0 {
+			t.Fatal("bytes moved after a pre-dispatch cancel")
+		}
+	}
+	d.FreeRequest(rr)
+	if err := d.AuditSlots(nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -48,6 +48,18 @@
 // Running this under `go test -race` validates the protocol's lock
 // freedom claims with real preemption, which the deterministic simulator
 // cannot.
+//
+// # Verification
+//
+// Beyond stress, the device carries a fault-injection layer
+// (Options.Chaos, test-only hooks on the staging enqueue, the flush,
+// dispatch, the chunk copy, and the completion path) that the chaos
+// suite uses to force slab exhaustion, stalled controllers, and
+// cancel/close storms deterministically; AuditSlots asserts the "no
+// index may ever vanish" invariant after each storm, and the
+// DoubleCompletes counter proves completion fired exactly once. The
+// underlying queues are separately checked for linearizability by
+// internal/check.
 package realtime
 
 import (
@@ -76,6 +88,34 @@ var (
 // small enough that a 1 MB request spreads across four controllers.
 const DefaultChunkBytes = 256 << 10
 
+// ChaosHooks are test-only fault-injection points threaded through the
+// device's paths (installed via Options.Chaos; nil in production, where
+// each site costs one pointer check). They let the verification suite
+// force the failure windows that real load only samples: slab
+// exhaustion at the flush, stalled transfer controllers, and
+// cancel/close storms landing inside the submission protocol. Hooks run
+// on the device's own goroutines — a hook that blocks stalls exactly
+// the path it is installed on.
+type ChaosHooks struct {
+	// StagingEnqueue, when it returns true, forces this request's
+	// staging enqueue in Submit to report slab exhaustion.
+	StagingEnqueue func(idx uint32) bool
+	// FlushEnqueue, when it returns true, forces one staging→submission
+	// enqueue attempt to fail as if the slab were exhausted; returning
+	// true persistently exhausts the flush retry budget and drives the
+	// request down the ErrNoSlots completion path.
+	FlushEnqueue func(idx uint32) bool
+	// BeforeDispatch runs in the worker just before a submission is
+	// chunked; blocking here holds an accepted request undispatched.
+	BeforeDispatch func(idx uint32)
+	// BeforeChunkCopy runs in a transfer controller before a chunk's
+	// bytes move; blocking here models a stalled controller.
+	BeforeChunkCopy func(idx uint32, off, end int)
+	// OnFinish runs after a request's terminal outcome is resolved,
+	// just before its completion is posted.
+	OnFinish func(idx uint32, err error)
+}
+
 // Options configures a Device.
 type Options struct {
 	// NumReqs is the number of request slots (default 256).
@@ -93,6 +133,9 @@ type Options struct {
 	// slots; 0 disables tracing (the default — counters and histograms
 	// are always on).
 	TraceDepth int
+	// Chaos installs test-only fault-injection hooks. Leave nil outside
+	// the verification suite.
+	Chaos *ChaosHooks
 }
 
 // DefaultOptions mirrors the EDMA3-ish defaults.
@@ -204,6 +247,7 @@ type metrics struct {
 	kicks, wakes               obs.Counter
 	chunks, bytesMoved         obs.Counter
 	enqueueRetries             obs.Counter
+	doubleCompletes            obs.Counter
 	submissionHW, completionHW obs.Gauge
 	latency, sizes             obs.Histogram
 	trace                      *obs.Trace
@@ -227,6 +271,11 @@ type StatsSnapshot struct {
 	// EnqueueRetries counts transient slab-exhaustion retries in the
 	// flush path.
 	EnqueueRetries int64
+	// DoubleCompletes counts completion paths that found the request
+	// already terminal. The protocol guarantees completion fires exactly
+	// once, so any nonzero value is a bug; the chaos suite asserts it
+	// stays zero.
+	DoubleCompletes int64
 	// Queue-depth high watermarks, from rbq's atomic Size.
 	SubmissionHighWater, CompletionHighWater int64
 	// Latency is the submission-to-completion histogram (ns); Sizes the
@@ -255,8 +304,10 @@ type Device struct {
 	copyQ   chan chunk    // worker -> transfer controllers
 	closing atomic.Bool   // CloseDrain: reject new submissions
 	closed  atomic.Bool
+	active  atomic.Int64 // Submit calls in flight; Close waits them out
 	wg      sync.WaitGroup
 	m       metrics
+	chaos   *ChaosHooks
 }
 
 // Open creates a device and starts its worker and transfer controllers.
@@ -287,6 +338,7 @@ func Open(opts Options) *Device {
 		notify:     make(chan struct{}, 1),
 		done:       make(chan struct{}),
 		copyQ:      make(chan chunk),
+		chaos:      opts.Chaos,
 	}
 	d.m.trace = obs.NewTrace(opts.TraceDepth)
 	for i := range d.reqs {
@@ -310,6 +362,15 @@ func Open(opts Options) *Device {
 // closes the submission window first.
 func (d *Device) Close() {
 	d.closing.Store(true)
+	// Wait out Submit calls already past the closing check (the
+	// submitter gate incremented active before that check, so with
+	// sequentially consistent atomics no Submit can slip in unseen).
+	// Without this, a staging enqueue could land after the worker's
+	// final drain and strand the request forever — the lost-index bug
+	// the chaos close-race test pins.
+	for d.active.Load() != 0 {
+		runtime.Gosched()
+	}
 	if d.closed.Swap(true) {
 		return
 	}
@@ -400,9 +461,12 @@ const flushRetries = 64
 // drop it.
 func (d *Device) enqueueSubmission(idx uint32) bool {
 	for attempt := 0; ; attempt++ {
-		if _, ok := d.submission.Enqueue(idx); ok {
-			d.m.submissionHW.Observe(int64(d.submission.Size()))
-			return true
+		forced := d.chaos != nil && d.chaos.FlushEnqueue != nil && d.chaos.FlushEnqueue(idx)
+		if !forced {
+			if _, ok := d.submission.Enqueue(idx); ok {
+				d.m.submissionHW.Observe(int64(d.submission.Size()))
+				return true
+			}
 		}
 		if attempt >= flushRetries {
 			return false
@@ -436,6 +500,13 @@ func (d *Device) mustEnqueue(q *rbq.Queue, idx uint32) {
 // slab-exhaustion failure path).
 func (d *Device) finish(r *Request, forced error) {
 	old := r.state.Swap(stDone)
+	if old == stDone {
+		// Completion already fired. This must never happen; count it
+		// (the chaos suite asserts zero) and bail out rather than
+		// posting the index to the completion queue twice.
+		d.m.doubleCompletes.Inc()
+		return
+	}
 	err := forced
 	if err == nil {
 		switch old {
@@ -461,6 +532,9 @@ func (d *Device) finish(r *Request, forced error) {
 		d.m.failed.Inc()
 	}
 	d.m.completed.Inc()
+	if d.chaos != nil && d.chaos.OnFinish != nil {
+		d.chaos.OnFinish(r.idx, err)
+	}
 	d.trace(EvComplete, uint64(r.idx), uint64(len(r.Src)))
 	d.mustEnqueue(d.completion, r.idx)
 	d.m.completionHW.Observe(int64(d.completion.Size()))
@@ -470,6 +544,11 @@ func (d *Device) finish(r *Request, forced error) {
 // Submit queues an asynchronous copy of r.Src into r.Dst, implementing
 // the Section 4.4 protocol. It never blocks beyond the bounded flush.
 func (d *Device) Submit(r *Request) error {
+	// Submitter gate: the increment precedes the closing check, so
+	// Close's active-wait cannot complete while this call is between
+	// the check and its staging enqueue.
+	d.active.Add(1)
+	defer d.active.Add(-1)
 	if d.closing.Load() || d.closed.Load() {
 		return ErrClosed
 	}
@@ -478,9 +557,23 @@ func (d *Device) Submit(r *Request) error {
 	}
 	r.submitted.Store(time.Now().UnixNano())
 	r.state.Store(stPending)
-	color, ok := d.staging.Enqueue(r.idx)
+	var color rbq.Color
+	ok := true
+	if d.chaos != nil && d.chaos.StagingEnqueue != nil && d.chaos.StagingEnqueue(r.idx) {
+		ok = false // forced slab exhaustion
+	} else {
+		color, ok = d.staging.Enqueue(r.idx)
+	}
 	if !ok {
-		r.state.Store(stIdle)
+		if !r.state.CompareAndSwap(stPending, stIdle) {
+			// A concurrent Cancel claimed the request inside the
+			// submission window and promised the caller an ErrCanceled
+			// completion; honor it rather than silently un-submitting
+			// (the cancel-vs-failed-submit race the chaos suite pins).
+			d.m.submitted.Inc()
+			d.finish(r, nil)
+			return nil
+		}
 		return ErrNoSlots
 	}
 	d.m.submitted.Inc()
@@ -581,6 +674,9 @@ func (d *Device) dispatch(idx uint32) {
 	if !ok {
 		return
 	}
+	if d.chaos != nil && d.chaos.BeforeDispatch != nil {
+		d.chaos.BeforeDispatch(idx)
+	}
 	// Observe cancellation and deadline before any byte moves.
 	if !r.Deadline.IsZero() && time.Now().After(r.Deadline) {
 		r.state.CompareAndSwap(stPending, stExpired)
@@ -618,6 +714,9 @@ func (d *Device) controller() {
 		r, ok := d.req(c.idx)
 		if !ok {
 			continue
+		}
+		if d.chaos != nil && d.chaos.BeforeChunkCopy != nil {
+			d.chaos.BeforeChunkCopy(c.idx, c.off, c.end)
 		}
 		// A cancel or deadline that won after dispatch stops the
 		// copying; the chunk countdown still runs so the completion
@@ -717,12 +816,59 @@ func (d *Device) Stats() StatsSnapshot {
 		Chunks:              d.m.chunks.Load(),
 		BytesMoved:          d.m.bytesMoved.Load(),
 		EnqueueRetries:      d.m.enqueueRetries.Load(),
+		DoubleCompletes:     d.m.doubleCompletes.Load(),
 		SubmissionHighWater: d.m.submissionHW.Load(),
 		CompletionHighWater: d.m.completionHW.Load(),
 		Latency:             d.m.latency.Snapshot(),
 		Sizes:               d.m.sizes.Snapshot(),
 		Trace:               d.m.trace.Snapshot(),
 	}
+}
+
+// AuditSlots verifies, on a quiescent device (no Submit/Retrieve in
+// flight, pipeline drained), that every request slot is in exactly one
+// of {free list, staging, submission, completion, caller-held}. held
+// lists slot indices of requests the caller has allocated or retrieved
+// and not yet freed. This is the realtime side of the "no index may
+// ever vanish" invariant; the chaos suite runs it after every storm.
+func (d *Device) AuditSlots(held []uint32) error {
+	owner := make([]string, len(d.reqs))
+	claim := func(idx uint32, who string) error {
+		if int(idx) >= len(d.reqs) {
+			return fmt.Errorf("realtime: audit: index %d out of range (seen in %s)", idx, who)
+		}
+		if owner[idx] != "" {
+			return fmt.Errorf("realtime: audit: index %d in two places: %s and %s", idx, owner[idx], who)
+		}
+		owner[idx] = who
+		return nil
+	}
+	for _, qi := range []struct {
+		name string
+		q    *rbq.Queue
+	}{
+		{"free", d.freeList},
+		{"staging", d.staging},
+		{"submission", d.submission},
+		{"completion", d.completion},
+	} {
+		for _, idx := range qi.q.Snapshot() {
+			if err := claim(idx, qi.name); err != nil {
+				return err
+			}
+		}
+	}
+	for _, idx := range held {
+		if err := claim(idx, "user-held"); err != nil {
+			return err
+		}
+	}
+	for i, who := range owner {
+		if who == "" {
+			return fmt.Errorf("realtime: audit: index %d vanished: in no queue and not user-held", i)
+		}
+	}
+	return nil
 }
 
 // Kicks reports how many kick-start syscall-equivalents were issued.

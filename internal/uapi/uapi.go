@@ -174,6 +174,55 @@ func (a *Area) Req(idx uint32) (*MovReq, bool) {
 	return &a.reqs[idx], true
 }
 
+// Audit verifies the area's conservation invariant on a quiescent
+// snapshot: every request index is in exactly one of {free list,
+// staging, submission, comp-ok, comp-fail, caller-held}. held lists the
+// indices the caller believes the application currently owns (allocated
+// or retrieved but not yet freed or re-enqueued). Call only while no
+// queue operation is in flight — the walk is not atomic. This is the
+// "no index may ever vanish" assertion shared by the uapi invariant
+// tests and core's randomized workout.
+func (a *Area) Audit(held []uint32) error {
+	owner := make([]string, len(a.reqs))
+	claim := func(idx uint32, who string) error {
+		if int(idx) >= len(a.reqs) {
+			return fmt.Errorf("uapi: audit: index %d out of range (seen in %s)", idx, who)
+		}
+		if owner[idx] != "" {
+			return fmt.Errorf("uapi: audit: index %d in two places: %s and %s", idx, owner[idx], who)
+		}
+		owner[idx] = who
+		return nil
+	}
+	for _, qi := range []struct {
+		name string
+		q    *rbq.Queue
+	}{
+		{"free", a.FreeList},
+		{"staging", a.Staging},
+		{"submission", a.Submission},
+		{"comp-ok", a.CompOK},
+		{"comp-fail", a.CompFail},
+	} {
+		for _, idx := range qi.q.Snapshot() {
+			if err := claim(idx, qi.name); err != nil {
+				return err
+			}
+		}
+	}
+	for _, idx := range held {
+		if err := claim(idx, "user-held"); err != nil {
+			return err
+		}
+	}
+	for i, who := range owner {
+		if who == "" {
+			return fmt.Errorf("uapi: audit: index %d vanished: in no queue and not user-held", i)
+		}
+	}
+	return nil
+}
+
 // AllocReq takes a request slot off the free list. Returns nil when all
 // slots are in use.
 func (a *Area) AllocReq() *MovReq {
