@@ -1,0 +1,360 @@
+// membench is the steady-state benchmark harness for the realtime
+// device: it drives the sharded submission pipeline with configurable
+// submitter/poller fleets, measures only the steady-state window
+// (warmup excluded via histogram deltas), and emits a machine-readable
+// JSON report for CI archival.
+//
+// Usage:
+//
+//	membench [-quick] [-o BENCH_realtime.json]
+//	membench -validate BENCH_realtime.json
+//
+// Workloads:
+//
+//	small_iops  8 submitters × 2 pollers, 4 KB requests batched ×16 —
+//	            the IOPS / kick-amortization story
+//	large_bw    2 submitters × 1 poller, 4 MB chunked transfers —
+//	            bandwidth through the ring + work-stealing dispatch
+//	mixed       6 small-request submitters alongside 2 large-request
+//	            submitters on one device
+//	open_loop   paced arrivals at a fixed target rate, so the latency
+//	            histogram reflects queueing rather than saturation
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memif/internal/realtime"
+)
+
+// Report is the schema of BENCH_realtime.json. Version bumps whenever a
+// field changes meaning; CI validates the invariants in validate().
+type Report struct {
+	Benchmark  string           `json:"benchmark"` // always "membench"
+	Version    int              `json:"version"`
+	UnixTime   int64            `json:"unix_time"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Quick      bool             `json:"quick"`
+	Workloads  []WorkloadResult `json:"workloads"`
+}
+
+type WorkloadResult struct {
+	Name       string  `json:"name"`
+	Mode       string  `json:"mode"` // closed_loop | open_loop
+	Submitters int     `json:"submitters"`
+	Pollers    int     `json:"pollers"`
+	SizeBytes  int     `json:"size_bytes"`
+	Batch      int     `json:"batch"`
+	WindowSec  float64 `json:"window_sec"`
+	Ops        int64   `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	GBPerSec   float64 `json:"gb_per_sec"`
+	P50Ns      int64   `json:"p50_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+	MeanNs     float64 `json:"mean_ns"`
+	Kicks      int64   `json:"kicks"`
+	KicksPerOp float64 `json:"kicks_per_op"`
+	Steals     int64   `json:"steals"`
+	Batches    int64   `json:"batches"`
+}
+
+// workload describes one steady-state scenario. Large is an optional
+// second submitter class for the mixed workload.
+type workload struct {
+	name       string
+	mode       string // closed_loop | open_loop
+	submitters int
+	pollers    int
+	size       int
+	batch      int
+	largeSubs  int // extra submitters issuing largeSize requests
+	largeSize  int
+	targetRate int // open_loop only: requests/second
+	opts       realtime.Options
+}
+
+func workloads(quick bool) []workload {
+	rate := 50000
+	if quick {
+		rate = 20000
+	}
+	return []workload{
+		{
+			name: "small_iops", mode: "closed_loop",
+			submitters: 8, pollers: 2, size: 4 << 10, batch: 16,
+			opts: realtime.Options{NumReqs: 512, Controllers: 4, StagingShards: 4},
+		},
+		{
+			name: "large_bw", mode: "closed_loop",
+			submitters: 2, pollers: 1, size: 4 << 20, batch: 1,
+			opts: realtime.Options{NumReqs: 16, Controllers: 4, StagingShards: 2, ChunkBytes: 256 << 10},
+		},
+		{
+			name: "mixed", mode: "closed_loop",
+			submitters: 6, pollers: 2, size: 4 << 10, batch: 8,
+			largeSubs: 2, largeSize: 1 << 20,
+			opts: realtime.Options{NumReqs: 64, Controllers: 4, StagingShards: 4, ChunkBytes: 256 << 10},
+		},
+		{
+			name: "open_loop", mode: "open_loop",
+			submitters: 2, pollers: 1, size: 4 << 10, batch: 8,
+			targetRate: rate,
+			opts:       realtime.Options{NumReqs: 256, Controllers: 2, StagingShards: 2},
+		},
+	}
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "short warmup/measure windows (CI smoke)")
+	out := flag.String("o", "BENCH_realtime.json", "output path for the JSON report (\"-\" for stdout only)")
+	validatePath := flag.String("validate", "", "validate an existing report file and exit")
+	flag.Parse()
+
+	if *validatePath != "" {
+		if err := validateFile(*validatePath); err != nil {
+			fmt.Fprintf(os.Stderr, "membench: validate %s: %v\n", *validatePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("membench: %s is a valid report\n", *validatePath)
+		return
+	}
+
+	warmup, window := time.Second, 3*time.Second
+	if *quick {
+		warmup, window = 150*time.Millisecond, 400*time.Millisecond
+	}
+
+	rep := Report{
+		Benchmark:  "membench",
+		Version:    1,
+		UnixTime:   time.Now().Unix(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
+	for _, wl := range workloads(*quick) {
+		fmt.Fprintf(os.Stderr, "membench: running %-10s (warmup %v, window %v)\n", wl.name, warmup, window)
+		res := runWorkload(wl, warmup, window)
+		fmt.Fprintf(os.Stderr, "membench: %-10s %12.0f ops/s %8.2f GB/s  p50 %s  p99 %s  kicks/op %.4f\n",
+			wl.name, res.OpsPerSec, res.GBPerSec, time.Duration(res.P50Ns), time.Duration(res.P99Ns), res.KicksPerOp)
+		rep.Workloads = append(rep.Workloads, res)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "membench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "membench: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "membench: wrote %s\n", *out)
+	}
+	if err := validate(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "membench: self-check failed: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runWorkload opens a device, spins up the submitter and poller fleets,
+// waits out the warmup, measures one steady-state window via stats
+// deltas, then tears everything down.
+func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
+	d := realtime.Open(wl.opts)
+	maxSize := wl.size
+	if wl.largeSize > maxSize {
+		maxSize = wl.largeSize
+	}
+	// Destinations are owned per slot: a slot is exclusive from Alloc to
+	// Free, so slot-indexed buffers can never be written concurrently.
+	dsts := make([][]byte, wl.opts.NumReqs)
+	for i := range dsts {
+		dsts[i] = make([]byte, maxSize)
+	}
+	src := make([]byte, maxSize)
+
+	var stop atomic.Bool
+	var wg, pwg sync.WaitGroup
+
+	submitter := func(size, batch int) {
+		defer wg.Done()
+		pending := make([]*realtime.Request, 0, batch)
+		var tick *time.Ticker
+		perTick := 0
+		if wl.mode == "open_loop" {
+			// Coarse pacing: a shared target rate split across
+			// submitters, refilled every 2ms.
+			tick = time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			perTick = wl.targetRate / wl.submitters / 500
+			if perTick < 1 {
+				perTick = 1
+			}
+		}
+		for !stop.Load() {
+			n := 1
+			if tick != nil {
+				<-tick.C
+				n = perTick
+			}
+			for i := 0; i < n && !stop.Load(); i++ {
+				var r *realtime.Request
+				for r == nil && !stop.Load() {
+					if r = d.AllocRequest(); r == nil {
+						runtime.Gosched() // pollers are freeing slots
+					}
+				}
+				if r == nil {
+					break
+				}
+				r.Src, r.Dst = src[:size], dsts[r.Index()][:size]
+				pending = append(pending, r)
+				if len(pending) == batch {
+					if err := d.SubmitBatch(pending); err != nil {
+						panic(err)
+					}
+					pending = pending[:0]
+				}
+			}
+		}
+		if len(pending) > 0 {
+			if err := d.SubmitBatch(pending); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	poller := func() {
+		defer pwg.Done()
+		buf := make([]*realtime.Request, 64)
+		for {
+			n := d.RetrieveCompletedBatch(buf)
+			for i := 0; i < n; i++ {
+				d.FreeRequest(buf[i])
+			}
+			if n > 0 {
+				continue
+			}
+			if stop.Load() {
+				s := d.Stats()
+				if s.Completed >= s.Submitted && d.RetrieveCompletedBatch(buf[:1]) == 0 {
+					return
+				}
+			}
+			d.Poll(time.Millisecond)
+		}
+	}
+
+	for i := 0; i < wl.pollers; i++ {
+		pwg.Add(1)
+		go poller()
+	}
+	for i := 0; i < wl.submitters; i++ {
+		wg.Add(1)
+		go submitter(wl.size, wl.batch)
+	}
+	for i := 0; i < wl.largeSubs; i++ {
+		wg.Add(1)
+		go submitter(wl.largeSize, 1)
+	}
+
+	time.Sleep(warmup)
+	s0 := d.Stats()
+	t0 := time.Now()
+	time.Sleep(window)
+	s1 := d.Stats()
+	elapsed := time.Since(t0)
+
+	stop.Store(true)
+	wg.Wait()
+	pwg.Wait()
+	d.Close()
+
+	lat := s1.Latency.Delta(s0.Latency)
+	ops := s1.Completed - s0.Completed
+	kicks := s1.Kicks - s0.Kicks
+	res := WorkloadResult{
+		Name:       wl.name,
+		Mode:       wl.mode,
+		Submitters: wl.submitters + wl.largeSubs,
+		Pollers:    wl.pollers,
+		SizeBytes:  wl.size,
+		Batch:      wl.batch,
+		WindowSec:  elapsed.Seconds(),
+		Ops:        ops,
+		OpsPerSec:  float64(ops) / elapsed.Seconds(),
+		GBPerSec:   float64(s1.BytesMoved-s0.BytesMoved) / elapsed.Seconds() / 1e9,
+		P50Ns:      lat.Quantile(0.50),
+		P99Ns:      lat.Quantile(0.99),
+		MeanNs:     lat.Mean(),
+		Kicks:      kicks,
+		Steals:     s1.Steals - s0.Steals,
+		Batches:    s1.Batches - s0.Batches,
+	}
+	if ops > 0 {
+		res.KicksPerOp = float64(kicks) / float64(ops)
+	}
+	return res
+}
+
+// validate enforces the report invariants CI depends on. It is run both
+// on the report membench just produced (self-check) and, via -validate,
+// on the artifact a previous step wrote.
+func validate(rep Report) error {
+	if rep.Benchmark != "membench" {
+		return fmt.Errorf("benchmark field is %q, want \"membench\"", rep.Benchmark)
+	}
+	if rep.Version < 1 {
+		return fmt.Errorf("version %d < 1", rep.Version)
+	}
+	if rep.UnixTime <= 0 {
+		return fmt.Errorf("unix_time %d is not positive", rep.UnixTime)
+	}
+	if len(rep.Workloads) == 0 {
+		return fmt.Errorf("no workloads in report")
+	}
+	for _, w := range rep.Workloads {
+		if w.Name == "" {
+			return fmt.Errorf("workload with empty name")
+		}
+		if w.Mode != "closed_loop" && w.Mode != "open_loop" {
+			return fmt.Errorf("workload %s: bad mode %q", w.Name, w.Mode)
+		}
+		if w.Ops <= 0 {
+			return fmt.Errorf("workload %s: completed %d ops, want > 0", w.Name, w.Ops)
+		}
+		if w.OpsPerSec <= 0 {
+			return fmt.Errorf("workload %s: ops_per_sec %f, want > 0", w.Name, w.OpsPerSec)
+		}
+		if w.WindowSec <= 0 {
+			return fmt.Errorf("workload %s: window_sec %f, want > 0", w.Name, w.WindowSec)
+		}
+		if w.P99Ns < w.P50Ns {
+			return fmt.Errorf("workload %s: p99 %d < p50 %d", w.Name, w.P99Ns, w.P50Ns)
+		}
+	}
+	return nil
+}
+
+func validateFile(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	return validate(rep)
+}

@@ -223,6 +223,8 @@ func runRealtime(reqs, bytesPer, controllers, chunkBytes, traceDepth int) {
 		st.Submitted, st.Completed, st.Canceled, st.Expired, st.Failed)
 	fmt.Printf("kicks %d  worker wakes %d  chunks %d  bytes %d MB  flush retries %d\n",
 		st.Kicks, st.WorkerWakes, st.Chunks, st.BytesMoved>>20, st.EnqueueRetries)
+	fmt.Printf("batches %d  steals %d  dispatch retries %d\n",
+		st.Batches, st.Steals, st.DispatchRetries)
 	fmt.Printf("queue high watermarks: submission %d, completion %d\n",
 		st.SubmissionHighWater, st.CompletionHighWater)
 	fmt.Printf("latency (ns): %v\n", st.Latency)

@@ -114,6 +114,23 @@ type HistogramSnapshot struct {
 	Buckets    [NumBuckets]int64
 }
 
+// Delta returns the samples accumulated between prev and s — the
+// steady-state window a benchmark measures after discarding warmup.
+// prev must be an earlier snapshot of the same histogram; per-bucket
+// counts are clamped at zero so a torn capture can never go negative.
+func (s HistogramSnapshot) Delta(prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	if d.Count < 0 {
+		d.Count = 0
+	}
+	for i := range s.Buckets {
+		if b := s.Buckets[i] - prev.Buckets[i]; b > 0 {
+			d.Buckets[i] = b
+		}
+	}
+	return d
+}
+
 // Mean returns the average sample (0 when empty).
 func (s HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {

@@ -77,6 +77,37 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestHistogramDelta(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	warm := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Observe(1 << 20)
+	}
+	d := h.Snapshot().Delta(warm)
+	if d.Count != 50 {
+		t.Errorf("delta count = %d, want 50", d.Count)
+	}
+	if d.Sum != 50<<20 {
+		t.Errorf("delta sum = %d, want %d", d.Sum, 50<<20)
+	}
+	if d.Buckets[bucketOf(10)] != 0 {
+		t.Errorf("warmup bucket leaked into delta: %d", d.Buckets[bucketOf(10)])
+	}
+	if d.Buckets[bucketOf(1<<20)] != 50 {
+		t.Errorf("delta bucket = %d, want 50", d.Buckets[bucketOf(1<<20)])
+	}
+	if got := d.Quantile(0.5); got < 1<<20 {
+		t.Errorf("delta p50 bound = %d, want >= %d", got, 1<<20)
+	}
+	// Delta against a later snapshot clamps rather than going negative.
+	if z := warm.Delta(h.Snapshot()); z.Count != 0 {
+		t.Errorf("reversed delta count = %d, want 0", z.Count)
+	}
+}
+
 func TestQuantileEmptyAndEdges(t *testing.T) {
 	var h Histogram
 	if h.Snapshot().Quantile(0.99) != 0 {

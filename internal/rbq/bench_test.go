@@ -1,0 +1,53 @@
+package rbq
+
+// Contention benchmarks for the red-blue queue, motivating the realtime
+// device's sharded staging: a single Michael–Scott queue serializes all
+// producers on one tail CAS, so splitting submitters across independent
+// queues on a shared slab should scale enqueue throughput with the
+// shard count (until the slab's free stack becomes the shared point).
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkMultiQueueContention measures enqueue+dequeue pairs with all
+// producer goroutines hammering one queue versus spreading across 4 or
+// 16 queues built on one shared slab — the shape of the realtime
+// device's staging shards.
+func BenchmarkMultiQueueContention(b *testing.B) {
+	for _, queues := range []int{1, 4, 16} {
+		queues := queues
+		b.Run(fmt.Sprintf("queues=%d", queues), func(b *testing.B) {
+			s := NewSlabForQueues(1<<14, queues, 8*queues)
+			qs := make([]*Queue, queues)
+			for i := range qs {
+				qs[i] = s.NewQueue(Blue)
+			}
+			var tok atomic.Uint32
+			b.RunParallel(func(pb *testing.PB) {
+				q := qs[tok.Add(1)%uint32(queues)]
+				for pb.Next() {
+					if _, ok := q.Enqueue(7); ok {
+						q.Dequeue()
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSharedSlabAllocRelease isolates the slab free stack — the
+// one structure the shards still share — so shard-scaling regressions
+// can be attributed to the right CAS loop.
+func BenchmarkSharedSlabAllocRelease(b *testing.B) {
+	s := NewSlab(1 << 14)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if n, ok := s.AllocNode(); ok {
+				s.ReleaseNode(n)
+			}
+		}
+	})
+}

@@ -148,6 +148,24 @@ func NewSlab(capacity int) *Slab {
 // Capacity returns the number of allocatable nodes.
 func (s *Slab) Capacity() int { return len(s.nodes) - 1 }
 
+// NewSlabForQueues sizes a slab for a device that builds numQueues
+// queues over at most live simultaneously queued elements. Each queue
+// permanently consumes one node as its dummy, and slack spare nodes
+// absorb the transient over-allocation windows where a dequeuing
+// consumer has not yet recycled the old dummy while a producer is
+// already allocating. Sharded devices (many staging queues on one slab)
+// should scale slack with the queue count, since every queue can be in
+// such a window at once.
+func NewSlabForQueues(live, numQueues, slack int) *Slab {
+	if numQueues < 1 {
+		numQueues = 1
+	}
+	if slack < 0 {
+		slack = 0
+	}
+	return NewSlab(live + numQueues + slack)
+}
+
 // allocNode pops a node off the free stack. ok is false when the slab is
 // exhausted.
 func (s *Slab) allocNode() (uint32, bool) {

@@ -1,0 +1,86 @@
+package realtime
+
+import (
+	"fmt"
+
+	"memif/internal/rbq"
+)
+
+// SubmitBatch queues every request in reqs as one protocol round: all
+// of them are staged on the submitter's shard, and the flush / recolor
+// / kick sequence runs at most once for the whole batch — one color
+// observation and at most one syscall-equivalent, the Figure 7
+// amortization — while each request still gets its own completion.
+//
+// The whole batch is validated before anything is staged: a size
+// mismatch rejects the batch with ErrBadSizes and no request is
+// submitted. After validation every request is accepted: one that
+// cannot be staged (slab exhaustion) surfaces through the completion
+// queue with ErrNoSlots rather than as a return value, so a batch
+// caller always collects exactly len(reqs) completions — none stranded,
+// none to special-case. A concurrent Cancel that claims a request in
+// the window keeps its ErrCanceled promise.
+func (d *Device) SubmitBatch(reqs []*Request) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	// Submitter gate, as in Submit: the increment precedes the closing
+	// check so Close cannot complete while the batch is mid-staging.
+	d.active.Add(1)
+	defer d.active.Add(-1)
+	if d.closing.Load() || d.closed.Load() {
+		return ErrClosed
+	}
+	for i, r := range reqs {
+		if len(r.Src) != len(r.Dst) {
+			return fmt.Errorf("%w: request %d: %d vs %d", ErrBadSizes, i, len(r.Src), len(r.Dst))
+		}
+	}
+	sh := d.shard()
+	mustFlush := false
+	for _, r := range reqs {
+		color, ok := d.stage(sh, r)
+		if !ok {
+			// Staging failed mid-batch. The request was accepted, so it
+			// must surface as a completion: ErrNoSlots, or ErrCanceled
+			// if a cancel already claimed it (finish resolves that).
+			d.m.submitted.Inc()
+			d.finish(r, ErrNoSlots)
+			continue
+		}
+		if color == rbq.Blue {
+			mustFlush = true
+		}
+	}
+	d.m.batches.Inc()
+	if mustFlush {
+		// At least one enqueue observed blue: this batch owns the flush.
+		// Running it once at the end drains everything staged above (and
+		// anything a neighbor staged meanwhile) with a single recolor
+		// and at most a single kick.
+		d.flushShard(sh, reqs[0].idx)
+	}
+	return nil
+}
+
+// RetrieveCompletedBatch fills buf with completed requests without
+// blocking and returns how many it retrieved (0 when none are pending).
+// One call replaces up to len(buf) Poll/RetrieveCompleted round trips
+// on the completion path.
+func (d *Device) RetrieveCompletedBatch(buf []*Request) int {
+	n := 0
+	for n < len(buf) {
+		idx, _, ok := d.completion.Dequeue()
+		if !ok {
+			break
+		}
+		if r, valid := d.req(idx); valid {
+			buf[n] = r
+			n++
+		}
+	}
+	if n > 0 && !d.completion.Empty() {
+		d.wake() // keep concurrent pollers from sleeping past the rest
+	}
+	return n
+}

@@ -2,6 +2,7 @@ package realtime
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -78,5 +79,154 @@ func BenchmarkPipelined64KB(b *testing.B) {
 		b.Run(fmt.Sprintf("ctl-%d", ctl), func(b *testing.B) {
 			benchCopy(b, 64<<10, 16, Options{NumReqs: 64, Controllers: ctl})
 		})
+	}
+}
+
+// benchConcurrentSubmit drives the device with `submitters` goroutines
+// issuing size-byte requests in batches of `batch`. Each submitter is a
+// closed loop: it keeps a bounded window of requests in flight and reaps
+// completions through the batch retrieval path to pace itself, so the
+// scheduler is never oversubscribed with spinning pollers. Destination
+// buffers are owned per slot (a slot is exclusive from Alloc to Free),
+// so any number of requests can be in flight without write races, and
+// it does not matter which submitter reaps which completion. Reports
+// kicks-per-op so the amortization claims are visible in the output.
+func benchConcurrentSubmit(b *testing.B, submitters, size, batch int, opts Options) {
+	b.Helper()
+	d := Open(opts)
+	src := make([]byte, size)
+	dsts := make([][]byte, opts.NumReqs)
+	for i := range dsts {
+		dsts[i] = make([]byte, size)
+	}
+	window := 4 * batch
+	if window < 16 {
+		window = 16
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		n := b.N / submitters
+		if s < b.N%submitters {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			buf := make([]*Request, window)
+			pending := make([]*Request, 0, batch)
+			// Approximate: reaping may collect a neighbor's completions,
+			// but the sum over submitters is exact, so the global
+			// in-flight count stays bounded by submitters*window.
+			inflight := 0
+			reap := func(block bool) {
+				for {
+					k := d.RetrieveCompletedBatch(buf)
+					for i := 0; i < k; i++ {
+						d.FreeRequest(buf[i])
+					}
+					inflight -= k
+					if k > 0 || !block {
+						return
+					}
+					d.Poll(10 * time.Millisecond)
+				}
+			}
+			for i := 0; i < n; i++ {
+				var r *Request
+				for r == nil {
+					if r = d.AllocRequest(); r == nil {
+						reap(true)
+					}
+				}
+				r.Src, r.Dst = src, dsts[r.idx]
+				pending = append(pending, r)
+				if len(pending) == batch || i == n-1 {
+					if err := d.SubmitBatch(pending); err != nil {
+						b.Error(err)
+						return
+					}
+					inflight += len(pending)
+					pending = pending[:0]
+				}
+				for inflight >= window {
+					reap(true)
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(30 * time.Second)
+	buf := make([]*Request, 64)
+	for d.Completed() < int64(b.N) {
+		if time.Now().After(deadline) {
+			b.Fatalf("pipeline stalled: %d of %d complete", d.Completed(), b.N)
+		}
+		d.Poll(time.Millisecond)
+		for k := d.RetrieveCompletedBatch(buf); k > 0; k = d.RetrieveCompletedBatch(buf) {
+			for i := 0; i < k; i++ {
+				d.FreeRequest(buf[i])
+			}
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(d.Kicks())/float64(b.N), "kicks/op")
+	}
+	d.Close()
+}
+
+// BenchmarkStagingShards is the tentpole ablation: submitter goroutines
+// × staging shards, 4 KB unbatched requests, so the contended CAS on
+// the staging tail is the variable under test.
+func BenchmarkStagingShards(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		for _, subs := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("shards=%d/submitters=%d", shards, subs), func(b *testing.B) {
+				benchConcurrentSubmit(b, subs, 4<<10, 1,
+					Options{NumReqs: 512, Controllers: 4, StagingShards: shards})
+			})
+		}
+	}
+}
+
+// BenchmarkSmallRequest8Submitters is the acceptance benchmark for the
+// sharded pipeline: 8 submitters of 4 KB requests against (a) the
+// pre-shard seed configuration — one staging queue, shared unbuffered
+// copy channel, unbatched — and (b) the sharded ring pipeline, unbatched
+// and batched. The sharded+batched variant is the one held to ≥2× the
+// baseline's ops/s, with kicks/op ≤ 1/batch.
+func BenchmarkSmallRequest8Submitters(b *testing.B) {
+	const size = 4 << 10
+	b.Run("baseline-preshard", func(b *testing.B) {
+		benchConcurrentSubmit(b, 8, size, 1,
+			Options{NumReqs: 512, Controllers: 4, StagingShards: 1, LegacyCopyQueue: true})
+	})
+	b.Run("sharded", func(b *testing.B) {
+		benchConcurrentSubmit(b, 8, size, 1,
+			Options{NumReqs: 512, Controllers: 4, StagingShards: 4})
+	})
+	b.Run("sharded-batched16", func(b *testing.B) {
+		benchConcurrentSubmit(b, 8, size, 16,
+			Options{NumReqs: 512, Controllers: 4, StagingShards: 4})
+	})
+}
+
+// BenchmarkWorkStealing ablates the dispatch path — per-controller
+// rings with stealing against the old shared unbuffered channel — on
+// chunked 4 MB transfers, where the channel's one-at-a-time handoff
+// throttles the worker hardest.
+func BenchmarkWorkStealing(b *testing.B) {
+	const size = 4 << 20
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"shared-chan", Options{NumReqs: 64, Controllers: 4, ChunkBytes: 256 << 10, LegacyCopyQueue: true}},
+		{"rings-stealing", Options{NumReqs: 64, Controllers: 4, ChunkBytes: 256 << 10}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) { benchCopy(b, size, 4, c.opts) })
 	}
 }

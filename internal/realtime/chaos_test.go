@@ -349,6 +349,262 @@ func TestChaosCancelVsFailedSubmitHonored(t *testing.T) {
 	}
 }
 
+// TestChaosBatchFlushExhaustionMidBatch forces every staging→submission
+// flush attempt to fail while a batch is submitted: all of the batch's
+// requests must surface as ErrNoSlots completions — none stranded, none
+// silently dropped — and the device must recover once the fault clears.
+func TestChaosBatchFlushExhaustionMidBatch(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	d := Open(Options{
+		NumReqs: 16,
+		Chaos: &ChaosHooks{
+			FlushEnqueue: func(idx uint32) bool { return failing.Load() },
+		},
+	})
+	defer d.Close()
+
+	const n = 6
+	batch := make([]*Request, n)
+	for i := range batch {
+		r := d.AllocRequest()
+		r.Src, r.Dst = []byte{1, 2, 3}, make([]byte, 3)
+		batch[i] = r
+	}
+	if err := d.SubmitBatch(batch); err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	got := drainAll(t, d, n)
+	for i, r := range got {
+		if !errors.Is(r.Err, ErrNoSlots) {
+			t.Errorf("request %d: err = %v, want ErrNoSlots", i, r.Err)
+		}
+		d.FreeRequest(r)
+	}
+	if err := d.AuditSlots(nil); err != nil {
+		t.Error(err)
+	}
+
+	// Fault cleared: the same slots must serve a clean batch again.
+	failing.Store(false)
+	for i := range batch {
+		r := d.AllocRequest()
+		if r == nil {
+			t.Fatalf("slot leak: alloc %d failed after exhausted batch", i)
+		}
+		r.Src, r.Dst = []byte{9, 8, 7}, make([]byte, 3)
+		batch[i] = r
+	}
+	if err := d.SubmitBatch(batch); err != nil {
+		t.Fatalf("post-recovery SubmitBatch: %v", err)
+	}
+	for _, r := range drainAll(t, d, n) {
+		if r.Err != nil || !bytes.Equal(r.Src, r.Dst) {
+			t.Errorf("post-recovery completion: err=%v dst=%v", r.Err, r.Dst)
+		}
+		d.FreeRequest(r)
+	}
+	if st := d.Stats(); st.DoubleCompletes != 0 {
+		t.Errorf("DoubleCompletes = %d, want 0", st.DoubleCompletes)
+	}
+}
+
+// TestChaosBatchStagingExhaustionMidBatch fails the staging enqueue for
+// every other request of a batch: the failed half must surface as
+// ErrNoSlots completions and the staged half must complete cleanly —
+// the batch contract is exactly len(batch) completions either way.
+func TestChaosBatchStagingExhaustionMidBatch(t *testing.T) {
+	var ctr atomic.Uint32
+	d := Open(Options{
+		NumReqs: 16,
+		Chaos: &ChaosHooks{
+			StagingEnqueue: func(idx uint32) bool { return ctr.Add(1)%2 == 0 },
+		},
+	})
+	defer d.Close()
+
+	const n = 8
+	batch := make([]*Request, n)
+	for i := range batch {
+		r := d.AllocRequest()
+		r.Src, r.Dst = bytes.Repeat([]byte{byte(i + 1)}, 128), make([]byte, 128)
+		batch[i] = r
+	}
+	if err := d.SubmitBatch(batch); err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	got := drainAll(t, d, n)
+	var clean, noSlots int
+	for _, r := range got {
+		switch {
+		case r.Err == nil:
+			clean++
+			if !bytes.Equal(r.Src, r.Dst) {
+				t.Errorf("request %d: clean completion with corrupt payload", r.idx)
+			}
+		case errors.Is(r.Err, ErrNoSlots):
+			noSlots++
+		default:
+			t.Errorf("request %d: unexpected error %v", r.idx, r.Err)
+		}
+		d.FreeRequest(r)
+	}
+	if clean != n/2 || noSlots != n/2 {
+		t.Errorf("clean/noSlots = %d/%d, want %d/%d", clean, noSlots, n/2, n/2)
+	}
+	if err := d.AuditSlots(nil); err != nil {
+		t.Error(err)
+	}
+	if st := d.Stats(); st.DoubleCompletes != 0 {
+		t.Errorf("DoubleCompletes = %d, want 0", st.DoubleCompletes)
+	}
+}
+
+// TestChaosBatchCancelStormStalledControllers lands a cancel storm on a
+// batch whose chunks are frozen inside the controllers: every request
+// must complete exactly once — clean or ErrCanceled, with the cancel's
+// promise honored — and every slot must return to the free list.
+func TestChaosBatchCancelStormStalledControllers(t *testing.T) {
+	stall := make(chan struct{})
+	var once sync.Once
+	d := Open(Options{
+		NumReqs:     32,
+		Controllers: 2,
+		ChunkBytes:  1 << 10,
+		Chaos: &ChaosHooks{
+			BeforeChunkCopy: func(idx uint32, off, end int) { <-stall },
+		},
+	})
+	defer d.Close()
+	defer once.Do(func() { close(stall) })
+
+	const n = 10
+	batch := make([]*Request, n)
+	for i := range batch {
+		r := d.AllocRequest()
+		src := bytes.Repeat([]byte{byte(i + 1)}, 4<<10) // 4 chunks each
+		r.Src, r.Dst = src, make([]byte, len(src))
+		batch[i] = r
+	}
+	if err := d.SubmitBatch(batch); err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	canceled := map[*Request]bool{}
+	for i, r := range batch {
+		if i%2 == 1 {
+			canceled[r] = d.Cancel(r)
+		}
+	}
+	once.Do(func() { close(stall) })
+
+	got := drainAll(t, d, n)
+	seen := map[*Request]int{}
+	for _, r := range got {
+		seen[r]++
+	}
+	for i, r := range batch {
+		if seen[r] != 1 {
+			t.Errorf("request %d completed %d times, want exactly once", i, seen[r])
+		}
+		switch {
+		case r.Err == nil:
+			if canceled[r] {
+				t.Errorf("request %d: cancel won but completed clean", i)
+			}
+			if !bytes.Equal(r.Src, r.Dst) {
+				t.Errorf("request %d: corrupt payload", i)
+			}
+		case errors.Is(r.Err, ErrCanceled):
+			if !canceled[r] {
+				t.Errorf("request %d: ErrCanceled without a winning cancel", i)
+			}
+		default:
+			t.Errorf("request %d: unexpected error %v", i, r.Err)
+		}
+	}
+	var held []uint32
+	for _, r := range got {
+		held = append(held, r.idx)
+	}
+	if err := d.AuditSlots(held); err != nil {
+		t.Error(err)
+	}
+	for _, r := range got {
+		d.FreeRequest(r)
+	}
+	if err := d.AuditSlots(nil); err != nil {
+		t.Error(err)
+	}
+	if st := d.Stats(); st.DoubleCompletes != 0 {
+		t.Errorf("DoubleCompletes = %d, want 0", st.DoubleCompletes)
+	}
+}
+
+// TestChaosBatchSubmitCloseRaceNoLostRequests is the batched analogue
+// of the submitter-gate regression test: a SubmitBatch that has passed
+// the closing check while Close runs must either be rejected whole or
+// produce a completion for every request it accepted — mid-batch, no
+// request may be stranded in a staging shard past the worker's final
+// drain.
+func TestChaosBatchSubmitCloseRaceNoLostRequests(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		d := Open(Options{NumReqs: 16, Controllers: 1})
+		var accepted, recycled atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := []byte{1, 2, 3, 4}
+			buf := make([]*Request, 8)
+			batch := make([]*Request, 0, 4)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for n := d.RetrieveCompletedBatch(buf); n > 0; n = d.RetrieveCompletedBatch(buf) {
+					for i := 0; i < n; i++ {
+						d.FreeRequest(buf[i])
+					}
+					recycled.Add(int64(n))
+				}
+				batch = batch[:0]
+				for len(batch) < 4 {
+					r := d.AllocRequest()
+					if r == nil {
+						break
+					}
+					r.Src, r.Dst = src, make([]byte, 4)
+					batch = append(batch, r)
+				}
+				if len(batch) == 0 {
+					continue
+				}
+				if err := d.SubmitBatch(batch); err != nil {
+					return // ErrClosed: the slots stay user-held, fine
+				}
+				accepted.Add(int64(len(batch)))
+			}
+		}()
+		for d.Completed() == 0 {
+			time.Sleep(10 * time.Microsecond)
+		}
+		d.Close()
+		close(stop)
+		wg.Wait()
+		var got int64
+		for d.RetrieveCompleted() != nil {
+			got++
+		}
+		if total := recycled.Load() + got; total != accepted.Load() {
+			t.Fatalf("iter %d: accepted %d batch submissions but saw %d completions — request lost across Close",
+				iter, accepted.Load(), total)
+		}
+	}
+}
+
 // TestChaosDispatchStallCancelStorm parks the worker inside dispatch
 // (after the request left the submission queue, before chunking) while
 // cancels land: the cancel must be observed before any byte moves, and

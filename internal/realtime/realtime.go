@@ -14,20 +14,47 @@
 //   - a worker goroutine plays the kernel thread: woken by the "syscall"
 //     (a channel send), it drains the queues, splits large requests into
 //     chunks, and dispatches them to a pool of transfer goroutines (the
-//     DMA engine's transfer controllers), recoloring the staging queue
+//     DMA engine's transfer controllers), recoloring the staging queues
 //     blue before sleeping;
 //   - completion notifications are posted from the transfer goroutines —
 //     the interrupt path — without the application holding any lock, and
 //     Poll blocks exactly like poll(2) on the device file.
 //
-// # Chunked parallel transfers
+// # Sharded staging
+//
+// One staging queue makes every submitter CAS the same Michael–Scott
+// tail. The device therefore keeps Options.StagingShards independent
+// red-blue staging queues on the shared slab, each carrying its own
+// color, and pins each submitting goroutine to a shard with a cheap
+// pooled token (sync.Pool is per-P, so repeat submitters from the same
+// context reuse the same shard and concurrent submitters spread out).
+// The Section 4.4 protocol runs per shard unchanged: a submitter that
+// observes blue flushes *its* shard and kicks once; the worker drains
+// shards round-robin and recolors each blue independently before
+// sleeping — so the single-kick amortization argument holds shard-wise,
+// and a burst over S shards costs at most S kicks rather than one per
+// request.
+//
+// # Batched submission
+//
+// SubmitBatch stages a whole slice of requests and runs the flush
+// protocol and the kick once for the batch — Figure 7's batching
+// amortization without giving up per-request completions.
+// RetrieveCompletedBatch symmetrically drains many completions in one
+// call so high-rate pollers don't pay one Poll wakeup per request.
+//
+// # Chunked parallel transfers, rings and stealing
 //
 // A request larger than Options.ChunkBytes is split into per-controller
 // chunks, mirroring how the EDMA3 engine spreads one scatter-gather
-// program across its transfer controllers. Each chunk is an independent
-// unit on the dispatch channel; a per-request atomic remaining-chunk
-// counter makes the completion path (Release + Notify) fire exactly
-// once, from whichever controller finishes last.
+// program across its transfer controllers. Chunks are distributed
+// round-robin over per-controller bounded lock-free rings; an idle
+// controller steals from its neighbors' rings, so a large request's
+// chunks flow to whichever controllers have cycles instead of queuing
+// behind a busy one, and the worker only waits when every ring is full
+// (whole-engine backpressure, not head-of-line blocking). A per-request
+// atomic remaining-chunk counter makes the completion path (Release +
+// Notify) fire exactly once, from whichever controller finishes last.
 //
 // # Cancellation, deadlines, shutdown
 //
@@ -98,7 +125,7 @@ const DefaultChunkBytes = 256 << 10
 // the path it is installed on.
 type ChaosHooks struct {
 	// StagingEnqueue, when it returns true, forces this request's
-	// staging enqueue in Submit to report slab exhaustion.
+	// staging enqueue in Submit/SubmitBatch to report slab exhaustion.
 	StagingEnqueue func(idx uint32) bool
 	// FlushEnqueue, when it returns true, forces one staging→submission
 	// enqueue attempt to fail as if the slab were exhausted; returning
@@ -129,6 +156,19 @@ type Options struct {
 	// DefaultChunkBytes; negative disables chunking (one chunk per
 	// request, the pre-chunking behavior).
 	ChunkBytes int
+	// StagingShards is the number of independent red-blue staging
+	// queues submitters are spread across. 0 means min(4, GOMAXPROCS);
+	// 1 reproduces the single-staging-queue behavior of the original
+	// protocol (and of the paper's single shared area).
+	StagingShards int
+	// RingDepth is the per-controller chunk ring capacity, rounded up
+	// to a power of two. 0 means DefaultRingDepth. Ignored when
+	// LegacyCopyQueue is set.
+	RingDepth int
+	// LegacyCopyQueue routes chunks through a single shared unbuffered
+	// channel — the pre-ring dispatch path, kept for the work-stealing
+	// ablation benchmarks. Production devices should leave this false.
+	LegacyCopyQueue bool
 	// TraceDepth enables the ring-buffer event trace with that many
 	// slots; 0 disables tracing (the default — counters and histograms
 	// are always on).
@@ -153,6 +193,12 @@ func defaultControllers() int {
 	}
 	return n
 }
+
+// defaultStagingShards matches the controller default: enough shards
+// that GOMAXPROCS submitters rarely share a tail, without inflating the
+// worst-case kicks-per-burst (one per shard) beyond the controller
+// count.
+func defaultStagingShards() int { return defaultControllers() }
 
 // Request lifecycle states, held in Request.state.
 const (
@@ -186,6 +232,13 @@ type Request struct {
 	submitted  atomic.Int64 // UnixNano
 	completed  atomic.Int64
 }
+
+// Index returns the request's slot index in [0, Options.NumReqs). A
+// slot is exclusive from AllocRequest to FreeRequest, so the index is a
+// stable identity for per-slot caller state (e.g. a preallocated
+// destination buffer that can never be written by two in-flight
+// requests at once).
+func (r *Request) Index() int { return int(r.idx) }
 
 // Latency returns the wall-clock submission-to-completion time. ok is
 // false — and the duration 0 — until the request has actually
@@ -245,7 +298,9 @@ type metrics struct {
 	submitted, completed       obs.Counter
 	canceled, expired, failed  obs.Counter
 	kicks, wakes               obs.Counter
+	batches                    obs.Counter
 	chunks, bytesMoved         obs.Counter
+	steals, dispatchRetries    obs.Counter
 	enqueueRetries             obs.Counter
 	doubleCompletes            obs.Counter
 	submissionHW, completionHW obs.Gauge
@@ -263,11 +318,16 @@ type StatsSnapshot struct {
 	Canceled, Expired, Failed int64
 	// Kicks counts the kick-start syscall-equivalents; WorkerWakes the
 	// times the worker actually slept and was woken (amortization means
-	// Kicks can stay near 1 for a burst).
-	Kicks, WorkerWakes int64
+	// Kicks can stay near 1 for a burst). Batches counts SubmitBatch
+	// calls — each costs at most one kick regardless of its length.
+	Kicks, WorkerWakes, Batches int64
 	// Chunks counts controller work units; BytesMoved the payload
 	// actually copied (canceled chunks don't count).
 	Chunks, BytesMoved int64
+	// Steals counts chunks a controller popped from another
+	// controller's ring; DispatchRetries counts worker backoffs with
+	// every ring full.
+	Steals, DispatchRetries int64
 	// EnqueueRetries counts transient slab-exhaustion retries in the
 	// flush path.
 	EnqueueRetries int64
@@ -286,6 +346,13 @@ type StatsSnapshot struct {
 	Trace []obs.Event
 }
 
+// submitterToken pins a submitting goroutine to one staging shard.
+// Tokens live in a sync.Pool, whose per-P caches make the pin cheap and
+// naturally aligned with the scheduler: a goroutine that keeps
+// submitting from the same P keeps hitting the same shard, and
+// goroutines on different Ps land on different shards.
+type submitterToken struct{ shard uint32 }
+
 // Device is one realtime memif instance.
 type Device struct {
 	opts       Options
@@ -294,15 +361,23 @@ type Device struct {
 	slab       *rbq.Slab
 
 	freeList   *rbq.Queue
-	staging    *rbq.Queue // red-blue
+	staging    []*rbq.Queue // per-shard red-blue staging queues
 	submission *rbq.Queue
 	completion *rbq.Queue
 
-	kick    chan struct{} // the MOV_ONE "syscall": wake the worker
-	notify  chan struct{} // completion edge for Poll
-	done    chan struct{} // closed at Close: unblocks sleeping Polls
-	copyQ   chan chunk    // worker -> transfer controllers
-	closing atomic.Bool   // CloseDrain: reject new submissions
+	tokens   sync.Pool     // *submitterToken: shard affinity for submitters
+	tokenSeq atomic.Uint32 // round-robin shard assignment for new tokens
+
+	kick   chan struct{} // the MOV_ONE "syscall": wake the worker
+	notify chan struct{} // completion edge for Poll
+	done   chan struct{} // closed at Close: unblocks sleeping Polls
+
+	rings    []*chunkRing  // per-controller chunk rings (nil in legacy mode)
+	work     chan struct{} // work-available edge for parked controllers
+	copyQ    chan chunk    // legacy shared dispatch channel (ablation only)
+	nextRing int           // worker-only round-robin cursor over rings
+
+	closing atomic.Bool // CloseDrain: reject new submissions
 	closed  atomic.Bool
 	active  atomic.Int64 // Submit calls in flight; Close waits them out
 	wg      sync.WaitGroup
@@ -318,27 +393,51 @@ func Open(opts Options) *Device {
 	if opts.Controllers <= 0 {
 		opts.Controllers = defaultControllers()
 	}
+	if opts.StagingShards <= 0 {
+		opts.StagingShards = defaultStagingShards()
+	}
+	if opts.RingDepth <= 0 {
+		opts.RingDepth = DefaultRingDepth
+	}
 	chunkBytes := opts.ChunkBytes
 	if chunkBytes == 0 {
 		chunkBytes = DefaultChunkBytes
 	} else if chunkBytes < 0 {
 		chunkBytes = 0 // disabled
 	}
-	slab := rbq.NewSlab(opts.NumReqs + 4 + 8)
+	// free + submission + completion + one dummy per staging shard;
+	// slack scales with the shard count since every queue can sit in a
+	// transient dummy-recycling window at once.
+	shards := opts.StagingShards
+	slab := rbq.NewSlabForQueues(opts.NumReqs, 3+shards, 8+shards)
 	d := &Device{
 		opts:       opts,
 		chunkBytes: chunkBytes,
 		reqs:       make([]*Request, opts.NumReqs),
 		slab:       slab,
 		freeList:   slab.NewQueue(rbq.Blue),
-		staging:    slab.NewQueue(rbq.Blue),
+		staging:    make([]*rbq.Queue, shards),
 		submission: slab.NewQueue(rbq.Blue),
 		completion: slab.NewQueue(rbq.Blue),
 		kick:       make(chan struct{}, 1),
 		notify:     make(chan struct{}, 1),
 		done:       make(chan struct{}),
-		copyQ:      make(chan chunk),
 		chaos:      opts.Chaos,
+	}
+	for i := range d.staging {
+		d.staging[i] = slab.NewQueue(rbq.Blue)
+	}
+	d.tokens.New = func() any {
+		return &submitterToken{shard: d.tokenSeq.Add(1) % uint32(shards)}
+	}
+	if opts.LegacyCopyQueue {
+		d.copyQ = make(chan chunk)
+	} else {
+		d.rings = make([]*chunkRing, opts.Controllers)
+		for i := range d.rings {
+			d.rings[i] = newChunkRing(opts.RingDepth)
+		}
+		d.work = make(chan struct{}, opts.Controllers)
 	}
 	d.m.trace = obs.NewTrace(opts.TraceDepth)
 	for i := range d.reqs {
@@ -350,9 +449,20 @@ func Open(opts Options) *Device {
 	d.wg.Add(1 + opts.Controllers)
 	go d.worker()
 	for c := 0; c < opts.Controllers; c++ {
-		go d.controller()
+		go d.controller(c)
 	}
 	return d
+}
+
+// backoff is the bounded spin-then-sleep discipline shared by every
+// wait loop that must not burn a core unboundedly: yield for a while,
+// then start sleeping.
+func backoff(attempt int) {
+	if attempt%256 == 255 {
+		time.Sleep(10 * time.Microsecond)
+	} else {
+		runtime.Gosched()
+	}
 }
 
 // Close shuts the device down and waits for the kernel-side goroutines.
@@ -367,9 +477,11 @@ func (d *Device) Close() {
 	// sequentially consistent atomics no Submit can slip in unseen).
 	// Without this, a staging enqueue could land after the worker's
 	// final drain and strand the request forever — the lost-index bug
-	// the chaos close-race test pins.
-	for d.active.Load() != 0 {
-		runtime.Gosched()
+	// the chaos close-race test pins. Spin-then-sleep: a preempted
+	// submitter can hold the gate for a scheduling quantum, and a
+	// pure-Gosched wait would burn this core for all of it.
+	for attempt := 0; d.active.Load() != 0; attempt++ {
+		backoff(attempt)
 	}
 	if d.closed.Swap(true) {
 		return
@@ -486,18 +598,17 @@ func (d *Device) mustEnqueue(q *rbq.Queue, idx uint32) {
 			return
 		}
 		d.m.enqueueRetries.Inc()
-		if attempt%256 == 255 {
-			time.Sleep(10 * time.Microsecond)
-		} else {
-			runtime.Gosched()
-		}
+		backoff(attempt)
 	}
 }
 
 // finish completes r exactly once: it resolves the terminal state,
 // stamps the completion time, posts the completion (Release) and wakes
-// a poller (Notify). forced overrides the state-derived outcome (the
-// slab-exhaustion failure path).
+// a poller (Notify). forced supplies the outcome for requests failing
+// off-protocol (the slab-exhaustion path) — but a cancel or deadline
+// that already claimed the request wins over it, because Cancel's
+// contract ("will complete with ErrCanceled") must hold no matter which
+// path posts the completion.
 func (d *Device) finish(r *Request, forced error) {
 	old := r.state.Swap(stDone)
 	if old == stDone {
@@ -508,13 +619,11 @@ func (d *Device) finish(r *Request, forced error) {
 		return
 	}
 	err := forced
-	if err == nil {
-		switch old {
-		case stCanceled:
-			err = ErrCanceled
-		case stExpired:
-			err = ErrDeadline
-		}
+	switch old {
+	case stCanceled:
+		err = ErrCanceled
+	case stExpired:
+		err = ErrDeadline
 	}
 	r.Err = err
 	now := time.Now().UnixNano()
@@ -541,8 +650,88 @@ func (d *Device) finish(r *Request, forced error) {
 	d.wake()
 }
 
+// shard picks the submitting goroutine's staging queue.
+func (d *Device) shard() *rbq.Queue {
+	if len(d.staging) == 1 {
+		return d.staging[0]
+	}
+	t := d.tokens.Get().(*submitterToken)
+	sh := d.staging[t.shard]
+	d.tokens.Put(t)
+	return sh
+}
+
+// stage marks r pending and enqueues it on sh, returning the color
+// observed atomically with the enqueue. ok is false on slab exhaustion
+// (or a forced chaos failure), with r left stPending for the caller to
+// resolve.
+func (d *Device) stage(sh *rbq.Queue, r *Request) (rbq.Color, bool) {
+	r.submitted.Store(time.Now().UnixNano())
+	r.state.Store(stPending)
+	if d.chaos != nil && d.chaos.StagingEnqueue != nil && d.chaos.StagingEnqueue(r.idx) {
+		return 0, false // forced slab exhaustion
+	}
+	color, ok := sh.Enqueue(r.idx)
+	if !ok {
+		return 0, false
+	}
+	d.m.submitted.Inc()
+	d.m.sizes.Observe(int64(len(r.Src)))
+	d.trace(EvSubmit, uint64(r.idx), uint64(len(r.Src)))
+	return color, true
+}
+
+// unstage resolves a failed staging enqueue: return r to idle, unless a
+// concurrent Cancel claimed the request inside the submission window
+// and promised the caller an ErrCanceled completion — then honor it
+// rather than silently un-submitting (the cancel-vs-failed-submit race
+// the chaos suite pins). Reports whether a completion was posted.
+func (d *Device) unstage(r *Request) bool {
+	if !r.state.CompareAndSwap(stPending, stIdle) {
+		d.m.submitted.Inc()
+		d.finish(r, nil)
+		return true
+	}
+	return false
+}
+
+// flushShard runs the blue-side of the Section 4.4 protocol on one
+// shard: drain it into the submission queue, recolor it red, and kick
+// the worker if nobody else already has. traceIdx labels the kick event.
+func (d *Device) flushShard(sh *rbq.Queue, traceIdx uint32) {
+flush:
+	for {
+		idx, _, ok := sh.Dequeue()
+		if !ok {
+			break
+		}
+		if !d.enqueueSubmission(idx) {
+			// The slot must not vanish: complete it with an error so
+			// the owner gets it back through the normal path.
+			if fr, valid := d.req(idx); valid {
+				d.finish(fr, ErrNoSlots)
+			}
+		}
+	}
+	old, ok := sh.SetColor(rbq.Red)
+	if !ok {
+		goto flush
+	}
+	if old == rbq.Red {
+		return
+	}
+	// The kick-start "syscall".
+	d.m.kicks.Inc()
+	d.trace(EvKick, uint64(traceIdx), 0)
+	select {
+	case d.kick <- struct{}{}:
+	default: // worker already has a pending kick
+	}
+}
+
 // Submit queues an asynchronous copy of r.Src into r.Dst, implementing
-// the Section 4.4 protocol. It never blocks beyond the bounded flush.
+// the Section 4.4 protocol on the submitter's staging shard. It never
+// blocks beyond the bounded flush.
 func (d *Device) Submit(r *Request) error {
 	// Submitter gate: the increment precedes the closing check, so
 	// Close's active-wait cannot complete while this call is between
@@ -555,60 +744,16 @@ func (d *Device) Submit(r *Request) error {
 	if len(r.Src) != len(r.Dst) {
 		return fmt.Errorf("%w: %d vs %d", ErrBadSizes, len(r.Src), len(r.Dst))
 	}
-	r.submitted.Store(time.Now().UnixNano())
-	r.state.Store(stPending)
-	var color rbq.Color
-	ok := true
-	if d.chaos != nil && d.chaos.StagingEnqueue != nil && d.chaos.StagingEnqueue(r.idx) {
-		ok = false // forced slab exhaustion
-	} else {
-		color, ok = d.staging.Enqueue(r.idx)
-	}
+	sh := d.shard()
+	color, ok := d.stage(sh, r)
 	if !ok {
-		if !r.state.CompareAndSwap(stPending, stIdle) {
-			// A concurrent Cancel claimed the request inside the
-			// submission window and promised the caller an ErrCanceled
-			// completion; honor it rather than silently un-submitting
-			// (the cancel-vs-failed-submit race the chaos suite pins).
-			d.m.submitted.Inc()
-			d.finish(r, nil)
+		if d.unstage(r) {
 			return nil
 		}
 		return ErrNoSlots
 	}
-	d.m.submitted.Inc()
-	d.m.sizes.Observe(int64(len(r.Src)))
-	d.trace(EvSubmit, uint64(r.idx), uint64(len(r.Src)))
-	if color == rbq.Red {
-		return nil // active worker will pick it up
-	}
-flush:
-	for {
-		idx, _, ok := d.staging.Dequeue()
-		if !ok {
-			break
-		}
-		if !d.enqueueSubmission(idx) {
-			// The slot must not vanish: complete it with an error so
-			// the owner gets it back through the normal path.
-			if fr, valid := d.req(idx); valid {
-				d.finish(fr, ErrNoSlots)
-			}
-		}
-	}
-	old, ok := d.staging.SetColor(rbq.Red)
-	if !ok {
-		goto flush
-	}
-	if old == rbq.Red {
-		return nil
-	}
-	// The kick-start "syscall".
-	d.m.kicks.Inc()
-	d.trace(EvKick, uint64(r.idx), 0)
-	select {
-	case d.kick <- struct{}{}:
-	default: // worker already has a pending kick
+	if color == rbq.Blue {
+		d.flushShard(sh, r.idx)
 	}
 	return nil
 }
@@ -626,36 +771,69 @@ func (d *Device) Cancel(r *Request) bool {
 	return false
 }
 
-// worker is the kernel thread: drain staging, chunk and dispatch
-// submissions to the controllers, recolor blue and sleep when idle.
+// worker is the kernel thread: drain the staging shards, chunk and
+// dispatch submissions to the controllers, recolor the shards blue and
+// sleep when idle.
 func (d *Device) worker() {
 	defer func() {
-		close(d.copyQ)
+		if d.rings != nil {
+			close(d.work) // controllers drain their rings and exit
+		} else {
+			close(d.copyQ)
+		}
 		d.wg.Done()
 	}()
 	for {
+		// Drain every shard round-robin: one element per shard per
+		// pass, so no shard starves behind a full neighbor.
 		for {
-			idx, _, ok := d.staging.Dequeue()
-			if !ok {
-				break
-			}
-			if !d.enqueueSubmission(idx) {
-				if r, valid := d.req(idx); valid {
-					d.finish(r, ErrNoSlots)
+			moved := false
+			for _, sh := range d.staging {
+				idx, _, ok := sh.Dequeue()
+				if !ok {
+					continue
 				}
+				moved = true
+				if !d.enqueueSubmission(idx) {
+					if r, valid := d.req(idx); valid {
+						d.finish(r, ErrNoSlots)
+					}
+				}
+			}
+			if !moved {
+				break
 			}
 		}
 		if idx, _, ok := d.submission.Dequeue(); ok {
 			d.dispatch(idx)
 			continue
 		}
-		if _, ok := d.staging.SetColor(rbq.Blue); !ok {
-			continue // staging refilled under us
+		// Before sleeping, recolor each shard blue independently; a
+		// shard that refilled under us refuses the recolor and sends
+		// the worker around again. This is the Section 4.4 invariant
+		// per shard: after the worker sleeps, every shard is blue, so
+		// the first submitter to any shard kicks exactly once.
+		refilled := false
+		for _, sh := range d.staging {
+			if _, ok := sh.SetColor(rbq.Blue); !ok {
+				refilled = true
+			}
+		}
+		if refilled {
+			continue
 		}
 		if d.closed.Load() {
 			// Drain anything that slipped in before the close.
-			if !d.staging.Empty() || !d.submission.Empty() {
-				d.staging.SetColor(rbq.Red)
+			pending := !d.submission.Empty()
+			for _, sh := range d.staging {
+				if !sh.Empty() {
+					pending = true
+				}
+			}
+			if pending {
+				for _, sh := range d.staging {
+					sh.SetColor(rbq.Red)
+				}
 				continue
 			}
 			return
@@ -667,8 +845,6 @@ func (d *Device) worker() {
 }
 
 // dispatch splits one request into chunks and feeds the controllers.
-// Sending on copyQ blocks when every controller is busy — the natural
-// backpressure that keeps the worker from outrunning the copy engine.
 func (d *Device) dispatch(idx uint32) {
 	r, ok := d.req(idx)
 	if !ok {
@@ -701,35 +877,119 @@ func (d *Device) dispatch(idx uint32) {
 				c.end = n
 			}
 		}
-		d.copyQ <- c
+		if d.rings == nil {
+			// Legacy path: the unbuffered handoff blocks the worker
+			// whenever every controller is mid-copy — even if only one
+			// of them is actually busy.
+			d.copyQ <- c
+			continue
+		}
+		d.pushChunk(c)
 	}
 }
 
-// controller is one transfer controller: it copies chunks, and whichever
-// controller retires a request's last chunk runs the completion path
-// (the interrupt handler's Release+Notify).
-func (d *Device) controller() {
+// pushChunk places one chunk on a controller ring, round-robin from the
+// ring after the last one used, skipping full rings. Only when every
+// ring is full does the worker back off — backpressure when the whole
+// copy engine is saturated, never because one controller is slow (its
+// backlog is steal-able by the others).
+func (d *Device) pushChunk(c chunk) {
+	n := len(d.rings)
+	for attempt := 0; ; attempt++ {
+		for i := 0; i < n; i++ {
+			ri := (d.nextRing + i) % n
+			if d.rings[ri].tryPush(c) {
+				d.nextRing = (ri + 1) % n
+				select {
+				case d.work <- struct{}{}:
+				default: // enough wake tokens buffered to rouse everyone
+				}
+				return
+			}
+		}
+		d.m.dispatchRetries.Inc()
+		backoff(attempt)
+	}
+}
+
+// controller is transfer controller id: it pops chunks from its own
+// ring, steals from its neighbors' rings when its own runs dry, and
+// whichever controller retires a request's last chunk runs the
+// completion path (the interrupt handler's Release+Notify).
+func (d *Device) controller(id int) {
 	defer d.wg.Done()
-	for c := range d.copyQ {
-		r, ok := d.req(c.idx)
+	if d.rings == nil {
+		for c := range d.copyQ {
+			d.runChunk(c)
+		}
+		return
+	}
+	own := d.rings[id]
+	n := len(d.rings)
+	spins := 0
+	for {
+		c, ok := own.tryPop()
 		if !ok {
+			for i := 1; i < n && !ok; i++ {
+				if c, ok = d.rings[(id+i)%n].tryPop(); ok {
+					d.m.steals.Inc()
+				}
+			}
+		}
+		if ok {
+			spins = 0
+			d.runChunk(c)
 			continue
 		}
-		if d.chaos != nil && d.chaos.BeforeChunkCopy != nil {
-			d.chaos.BeforeChunkCopy(c.idx, c.off, c.end)
+		// Nothing anywhere: spin briefly (work often lands within a
+		// few scheduler quanta under load), then park on the work edge.
+		// The check-empty-then-park order plus the buffered channel
+		// makes the park lossless: a chunk pushed after our scan left
+		// its wake token in the buffer for us.
+		if spins < 8 {
+			spins++
+			runtime.Gosched()
+			continue
 		}
-		// A cancel or deadline that won after dispatch stops the
-		// copying; the chunk countdown still runs so the completion
-		// fires exactly once.
-		if r.state.Load() == stPending {
-			copy(r.Dst[c.off:c.end], r.Src[c.off:c.end])
-			d.m.bytesMoved.Add(int64(c.end - c.off))
+		spins = 0
+		if _, open := <-d.work; !open {
+			// Shutdown: the worker dispatched its last chunk before
+			// closing the channel. Sweep every ring dry, then leave.
+			for {
+				c, ok := own.tryPop()
+				for i := 1; i < n && !ok; i++ {
+					c, ok = d.rings[(id+i)%n].tryPop()
+				}
+				if !ok {
+					return
+				}
+				d.runChunk(c)
+			}
 		}
-		d.m.chunks.Inc()
-		d.trace(EvChunk, uint64(c.idx), uint64(c.end-c.off))
-		if r.chunksLeft.Add(-1) == 0 {
-			d.finish(r, nil)
-		}
+	}
+}
+
+// runChunk copies one chunk (unless its request is already terminal)
+// and fires the completion when it was the request's last chunk.
+func (d *Device) runChunk(c chunk) {
+	r, ok := d.req(c.idx)
+	if !ok {
+		return
+	}
+	if d.chaos != nil && d.chaos.BeforeChunkCopy != nil {
+		d.chaos.BeforeChunkCopy(c.idx, c.off, c.end)
+	}
+	// A cancel or deadline that won after dispatch stops the
+	// copying; the chunk countdown still runs so the completion
+	// fires exactly once.
+	if r.state.Load() == stPending {
+		copy(r.Dst[c.off:c.end], r.Src[c.off:c.end])
+		d.m.bytesMoved.Add(int64(c.end - c.off))
+	}
+	d.m.chunks.Inc()
+	d.trace(EvChunk, uint64(c.idx), uint64(c.end-c.off))
+	if r.chunksLeft.Add(-1) == 0 {
+		d.finish(r, nil)
 	}
 }
 
@@ -767,32 +1027,57 @@ func (d *Device) ready() bool {
 // device: a retired wakeup is re-armed whenever completions remain, so
 // no poller sleeps past a retrievable completion.
 func (d *Device) Poll(timeout time.Duration) bool {
-	var deadline time.Time
-	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
-	}
-	for d.completion.Empty() {
-		if d.closed.Load() {
-			return d.ready()
-		}
-		if timeout <= 0 {
+	if timeout <= 0 {
+		for d.completion.Empty() {
+			if d.closed.Load() {
+				return d.ready()
+			}
 			select {
 			case <-d.notify:
 			case <-d.done:
 				return d.ready()
 			}
-			continue
+		}
+		d.wake()
+		return true
+	}
+	// The deadline is computed lazily — a Poll that finds a completion
+	// pending (the common case on a loaded device) costs no clock read
+	// at all. One timer then serves every retry of the loop: each Reset
+	// below runs only after the timer was stopped and its channel
+	// drained, the precondition Timer.Reset documents. (The
+	// per-iteration NewTimer this replaces allocated on every spurious
+	// wakeup — measurable garbage on a device with thousands of Polls
+	// per second.)
+	var deadline time.Time
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for d.completion.Empty() {
+		if d.closed.Load() {
+			return d.ready()
+		}
+		if deadline.IsZero() {
+			deadline = time.Now().Add(timeout)
 		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			return d.ready()
 		}
-		timer := time.NewTimer(remain)
+		if timer == nil {
+			timer = time.NewTimer(remain)
+		} else {
+			timer.Reset(remain)
+		}
 		select {
 		case <-d.notify:
-			timer.Stop()
+			if !timer.Stop() {
+				<-timer.C
+			}
 		case <-d.done:
-			timer.Stop()
 			return d.ready()
 		case <-timer.C:
 			return d.ready()
@@ -813,8 +1098,11 @@ func (d *Device) Stats() StatsSnapshot {
 		Failed:              d.m.failed.Load(),
 		Kicks:               d.m.kicks.Load(),
 		WorkerWakes:         d.m.wakes.Load(),
+		Batches:             d.m.batches.Load(),
 		Chunks:              d.m.chunks.Load(),
 		BytesMoved:          d.m.bytesMoved.Load(),
+		Steals:              d.m.steals.Load(),
+		DispatchRetries:     d.m.dispatchRetries.Load(),
 		EnqueueRetries:      d.m.enqueueRetries.Load(),
 		DoubleCompletes:     d.m.doubleCompletes.Load(),
 		SubmissionHighWater: d.m.submissionHW.Load(),
@@ -827,10 +1115,11 @@ func (d *Device) Stats() StatsSnapshot {
 
 // AuditSlots verifies, on a quiescent device (no Submit/Retrieve in
 // flight, pipeline drained), that every request slot is in exactly one
-// of {free list, staging, submission, completion, caller-held}. held
-// lists slot indices of requests the caller has allocated or retrieved
-// and not yet freed. This is the realtime side of the "no index may
-// ever vanish" invariant; the chaos suite runs it after every storm.
+// of {free list, a staging shard, submission, completion, caller-held}.
+// held lists slot indices of requests the caller has allocated or
+// retrieved and not yet freed. This is the realtime side of the "no
+// index may ever vanish" invariant; the chaos suite runs it after every
+// storm.
 func (d *Device) AuditSlots(held []uint32) error {
 	owner := make([]string, len(d.reqs))
 	claim := func(idx uint32, who string) error {
@@ -843,15 +1132,21 @@ func (d *Device) AuditSlots(held []uint32) error {
 		owner[idx] = who
 		return nil
 	}
-	for _, qi := range []struct {
+	queues := []struct {
 		name string
 		q    *rbq.Queue
 	}{
 		{"free", d.freeList},
-		{"staging", d.staging},
 		{"submission", d.submission},
 		{"completion", d.completion},
-	} {
+	}
+	for i, sh := range d.staging {
+		queues = append(queues, struct {
+			name string
+			q    *rbq.Queue
+		}{fmt.Sprintf("staging[%d]", i), sh})
+	}
+	for _, qi := range queues {
 		for _, idx := range qi.q.Snapshot() {
 			if err := claim(idx, qi.name); err != nil {
 				return err

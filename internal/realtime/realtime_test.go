@@ -3,6 +3,7 @@ package realtime
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -470,15 +471,15 @@ func TestMultiPollerNoLostWakeup(t *testing.T) {
 // remain allocatable afterwards. The pre-fix device lost indices when
 // submission.Enqueue failed, leaking slots forever.
 func TestSlabExhaustionNoLeak(t *testing.T) {
-	d := Open(Options{NumReqs: 8, Controllers: 2})
+	d := Open(Options{NumReqs: 8, Controllers: 2, StagingShards: 1})
 	defer d.Close()
 
-	// The slab holds NumReqs+12 nodes; 4 device dummies + 1 parasite
-	// dummy + 8 live indices leave 7 spare. Pin 5, leaving 2 — enough
-	// that the device works, tight enough that transient exhaustion is
-	// constant under concurrency.
+	// With one staging shard the slab holds NumReqs+13 nodes; 4 device
+	// dummies + 1 parasite dummy + 8 live indices leave 8 spare. Pin 6,
+	// leaving 2 — enough that the device works, tight enough that
+	// transient exhaustion is constant under concurrency.
 	parasite := d.slab.NewQueue(rbq.Blue)
-	for i := 0; i < 5; i++ {
+	for i := 0; i < 6; i++ {
 		if _, ok := parasite.Enqueue(0); !ok {
 			t.Fatalf("parasite enqueue %d failed at setup", i)
 		}
@@ -575,6 +576,316 @@ func TestSlabExhaustionNoLeak(t *testing.T) {
 	for _, r := range rs {
 		d.FreeRequest(r)
 	}
+}
+
+func TestSubmitBatchBasic(t *testing.T) {
+	d := Open(Options{NumReqs: 64, Controllers: 2})
+	defer d.Close()
+	const n = 32
+	reqs := make([]*Request, n)
+	srcs := make([][]byte, n)
+	for i := range reqs {
+		r := d.AllocRequest()
+		if r == nil {
+			t.Fatalf("alloc %d failed", i)
+		}
+		srcs[i] = bytes.Repeat([]byte{byte(i + 1)}, 2048)
+		r.Src, r.Dst = srcs[i], make([]byte, 2048)
+		r.Cookie = uint64(i)
+		reqs[i] = r
+	}
+	if err := d.SubmitBatch(reqs); err != nil {
+		t.Fatal(err)
+	}
+	got := drainAllReqs(t, d, n)
+	for _, r := range got {
+		if r.Err != nil {
+			t.Errorf("request %d: err = %v", r.Cookie, r.Err)
+		}
+		if !bytes.Equal(r.Src, r.Dst) {
+			t.Errorf("request %d: corrupt copy", r.Cookie)
+		}
+		d.FreeRequest(r)
+	}
+	st := d.Stats()
+	if st.Batches != 1 {
+		t.Errorf("Batches = %d, want 1", st.Batches)
+	}
+	// One quiet-device batch = one color observation = exactly one kick.
+	if st.Kicks != 1 {
+		t.Errorf("Kicks = %d for one batch on an idle device, want 1", st.Kicks)
+	}
+	if err := d.AuditSlots(nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// drainAllReqs retrieves count completions via the batch retrieval API.
+func drainAllReqs(t *testing.T, d *Device, count int) []*Request {
+	t.Helper()
+	var got []*Request
+	buf := make([]*Request, 16)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < count {
+		if n := d.RetrieveCompletedBatch(buf); n > 0 {
+			got = append(got, buf[:n]...)
+			continue
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drained %d/%d completions before timeout", len(got), count)
+		}
+		d.Poll(10 * time.Millisecond)
+	}
+	return got
+}
+
+func TestSubmitBatchValidation(t *testing.T) {
+	d := Open(Options{NumReqs: 8})
+	defer d.Close()
+	good := d.AllocRequest()
+	good.Src, good.Dst = make([]byte, 8), make([]byte, 8)
+	bad := d.AllocRequest()
+	bad.Src, bad.Dst = make([]byte, 8), make([]byte, 4)
+	err := d.SubmitBatch([]*Request{good, bad})
+	if !errors.Is(err, ErrBadSizes) {
+		t.Fatalf("err = %v, want ErrBadSizes", err)
+	}
+	// Nothing was submitted: no completion may ever arrive.
+	if st := d.Stats(); st.Submitted != 0 {
+		t.Errorf("Submitted = %d after rejected batch, want 0", st.Submitted)
+	}
+	if d.SubmitBatch(nil) != nil {
+		t.Error("empty batch returned an error")
+	}
+}
+
+func TestSubmitBatchAfterClose(t *testing.T) {
+	d := Open(DefaultOptions())
+	r := d.AllocRequest()
+	r.Src, r.Dst = make([]byte, 8), make([]byte, 8)
+	d.Close()
+	if err := d.SubmitBatch([]*Request{r}); !errors.Is(err, ErrClosed) {
+		t.Errorf("SubmitBatch after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestRetrieveCompletedBatchPartial(t *testing.T) {
+	d := Open(Options{NumReqs: 16})
+	defer d.Close()
+	const n = 5
+	src := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		r := d.AllocRequest()
+		r.Src, r.Dst = src, make([]byte, 64)
+		if err := d.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Completed() < n {
+		if time.Now().After(deadline) {
+			t.Fatal("pipeline did not drain")
+		}
+		d.Poll(10 * time.Millisecond)
+	}
+	// A buffer smaller than the backlog fills completely...
+	buf := make([]*Request, 3)
+	if got := d.RetrieveCompletedBatch(buf); got != 3 {
+		t.Fatalf("first batch retrieve = %d, want 3", got)
+	}
+	for _, r := range buf {
+		d.FreeRequest(r)
+	}
+	// ...and the rest comes on the next call, after which the queue is dry.
+	if got := d.RetrieveCompletedBatch(buf); got != 2 {
+		t.Fatalf("second batch retrieve = %d, want 2", got)
+	}
+	d.FreeRequest(buf[0])
+	d.FreeRequest(buf[1])
+	if got := d.RetrieveCompletedBatch(buf); got != 0 {
+		t.Fatalf("empty batch retrieve = %d, want 0", got)
+	}
+}
+
+// TestStagingShardsConcurrent runs the concurrent-submitter workout
+// across explicit shard counts, batched and unbatched, asserting every
+// payload lands intact — the sharded flush protocol must be
+// indistinguishable from the single queue's semantics.
+func TestStagingShardsConcurrent(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		for _, batch := range []int{1, 8} {
+			t.Run(fmt.Sprintf("shards=%d/batch=%d", shards, batch), func(t *testing.T) {
+				d := Open(Options{NumReqs: 256, Controllers: 2, StagingShards: shards})
+				defer d.Close()
+				const (
+					submitters = 4
+					perSub     = 96
+				)
+				var wg sync.WaitGroup
+				var retrieved, corrupt atomic.Int64
+				stop := make(chan struct{})
+				var rwg sync.WaitGroup
+				rwg.Add(1)
+				go func() {
+					defer rwg.Done()
+					buf := make([]*Request, 32)
+					for {
+						n := d.RetrieveCompletedBatch(buf)
+						for i := 0; i < n; i++ {
+							r := buf[i]
+							if r.Err != nil || len(r.Dst) == 0 || r.Dst[0] != byte(r.Cookie) {
+								corrupt.Add(1)
+							}
+							d.FreeRequest(r)
+							retrieved.Add(1)
+						}
+						if n > 0 {
+							continue
+						}
+						select {
+						case <-stop:
+							if d.RetrieveCompletedBatch(buf) == 0 {
+								return
+							}
+						default:
+							d.Poll(time.Millisecond)
+						}
+					}
+				}()
+				for s := 0; s < submitters; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						pending := make([]*Request, 0, batch)
+						for i := 0; i < perSub; i++ {
+							cookie := uint64(s*perSub+i) % 251
+							var r *Request
+							for r == nil {
+								if r = d.AllocRequest(); r == nil {
+									time.Sleep(time.Microsecond)
+								}
+							}
+							r.Src = bytes.Repeat([]byte{byte(cookie)}, 256)
+							r.Dst = make([]byte, 256)
+							r.Cookie = cookie
+							pending = append(pending, r)
+							if len(pending) == batch || i == perSub-1 {
+								if err := d.SubmitBatch(pending); err != nil {
+									t.Errorf("SubmitBatch: %v", err)
+									return
+								}
+								pending = pending[:0]
+							}
+						}
+					}(s)
+				}
+				wg.Wait()
+				deadline := time.After(5 * time.Second)
+				for d.Completed() < submitters*perSub {
+					select {
+					case <-deadline:
+						t.Fatalf("only %d of %d completed", d.Completed(), submitters*perSub)
+					case <-time.After(time.Millisecond):
+					}
+				}
+				close(stop)
+				rwg.Wait()
+				if got := retrieved.Load(); got != submitters*perSub {
+					t.Errorf("retrieved %d, want %d", got, submitters*perSub)
+				}
+				if corrupt.Load() != 0 {
+					t.Errorf("%d corrupted copies", corrupt.Load())
+				}
+				if err := d.AuditSlots(nil); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// TestWorkStealingUnblocksStalledController pins the point of the
+// per-controller rings: with one controller frozen mid-chunk, requests
+// whose chunks landed in the frozen controller's ring must still
+// complete — stolen by the other controller — where the old shared
+// channel would simply have kept them waiting.
+func TestWorkStealingUnblocksStalledController(t *testing.T) {
+	stall := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(stall) })
+	var stalled atomic.Bool
+	opts := Options{
+		NumReqs:     32,
+		Controllers: 2,
+		ChunkBytes:  -1,
+		Chaos: &ChaosHooks{
+			BeforeChunkCopy: func(idx uint32, off, end int) {
+				// Freeze exactly one controller: the first to take a chunk.
+				if stalled.CompareAndSwap(false, true) {
+					<-stall
+				}
+			},
+		},
+	}
+	d := Open(opts)
+	defer d.Close()
+
+	const n = 16
+	src := bytes.Repeat([]byte{0x5A}, 4096)
+	reqs := make([]*Request, n)
+	for i := range reqs {
+		r := d.AllocRequest()
+		r.Src, r.Dst = src, make([]byte, 4096)
+		if err := d.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+		reqs[i] = r
+	}
+	// All but the frozen one must complete while the stall holds.
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Completed() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d completed with one controller stalled — stealing failed",
+				d.Completed(), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := d.Stats(); st.Steals == 0 {
+		t.Error("no steals recorded while draining past a stalled controller")
+	}
+	once.Do(func() { close(stall) })
+	for _, r := range drainAllReqs(t, d, n) {
+		if r.Err != nil || !bytes.Equal(r.Src, r.Dst) {
+			t.Errorf("request %d: err=%v corrupt=%v", r.idx, r.Err, !bytes.Equal(r.Src, r.Dst))
+		}
+		d.FreeRequest(r)
+	}
+	if err := d.AuditSlots(nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLegacyCopyQueueCorrectness keeps the ablation path honest: the
+// shared-channel dispatch must still move bytes correctly.
+func TestLegacyCopyQueueCorrectness(t *testing.T) {
+	d := Open(Options{NumReqs: 16, Controllers: 4, ChunkBytes: 4096, LegacyCopyQueue: true})
+	defer d.Close()
+	size := 1<<19 + 777
+	src := make([]byte, size)
+	rand.New(rand.NewSource(7)).Read(src)
+	r := d.AllocRequest()
+	r.Src, r.Dst = src, make([]byte, size)
+	if err := d.Submit(r); err != nil {
+		t.Fatal(err)
+	}
+	got := drainOne(t, d)
+	if got.Err != nil || !bytes.Equal(got.Src, got.Dst) {
+		t.Fatalf("legacy path corrupt: err=%v", got.Err)
+	}
+	if st := d.Stats(); st.Steals != 0 {
+		t.Errorf("Steals = %d on the legacy path, want 0", st.Steals)
+	}
+	d.FreeRequest(got)
 }
 
 func TestStatsSnapshotAndTrace(t *testing.T) {

@@ -1,0 +1,98 @@
+package realtime
+
+import "sync/atomic"
+
+// DefaultRingDepth is the default per-controller chunk ring capacity:
+// deep enough that a burst of small requests never stalls the worker,
+// shallow enough that work stealing — not queueing — levels imbalance.
+const DefaultRingDepth = 64
+
+// chunkRing is a bounded lock-free MPMC ring (Vyukov's bounded queue)
+// holding one transfer controller's pending chunks. The worker is the
+// only producer in practice, but consumption is genuinely multi-consumer:
+// the owning controller pops from it and idle controllers steal from it,
+// so the full MPMC sequence protocol is kept.
+//
+// Each slot carries a sequence word. A slot is writable when
+// seq == enqueue position, readable when seq == dequeue position + 1;
+// the atomic sequence store after each access publishes the plainly
+// written chunk payload to the next party (release/acquire pairing),
+// which is what keeps the plain `c` field race-free.
+type chunkRing struct {
+	mask  uint64
+	slots []ringSlot
+	// enq and deq sit on separate cache lines so the producer's CAS
+	// traffic does not invalidate every consumer's line and vice versa.
+	_   [64]byte
+	enq atomic.Uint64
+	_   [64]byte
+	deq atomic.Uint64
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	c   chunk
+}
+
+// newChunkRing returns a ring with capacity rounded up to a power of
+// two, minimum 2.
+func newChunkRing(depth int) *chunkRing {
+	cap := 2
+	for cap < depth {
+		cap <<= 1
+	}
+	r := &chunkRing{mask: uint64(cap - 1), slots: make([]ringSlot, cap)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// tryPush appends c; false when the ring is full (the caller picks
+// another ring or backs off — it must not spin here, full is a state,
+// not a transient).
+func (r *chunkRing) tryPush(c chunk) bool {
+	for {
+		pos := r.enq.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.c = c
+				s.seq.Store(pos + 1)
+				return true
+			}
+		case seq < pos:
+			return false // full: the slot has not been consumed yet
+		}
+		// seq > pos: lost a race with another producer; reload and retry.
+	}
+}
+
+// tryPop removes the oldest chunk; false when the ring is empty.
+func (r *chunkRing) tryPop() (chunk, bool) {
+	for {
+		pos := r.deq.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				c := s.c
+				s.seq.Store(pos + r.mask + 1)
+				return c, true
+			}
+		case seq < pos+1:
+			return chunk{}, false // empty: the slot has not been produced yet
+		}
+		// seq > pos+1: lost a race with another consumer; retry.
+	}
+}
+
+// empty reports whether the ring currently holds no chunks (racy
+// snapshot, used only on the shutdown drain path and in tests).
+func (r *chunkRing) empty() bool {
+	pos := r.deq.Load()
+	return r.slots[pos&r.mask].seq.Load() < pos+1
+}

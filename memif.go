@@ -238,7 +238,10 @@ func NewSwapDaemon(app *Device, opts SwapOptions) *SwapDaemon {
 // RealtimeDevice runs the memif interface protocol — the same red-blue
 // queues, submit/flush/kick discipline, worker and completion paths —
 // under real goroutine concurrency as a host-side asynchronous copy
-// service, with chunked multi-controller transfers, cancellation and
+// service, with sharded staging queues, batched submission
+// (SubmitBatch / RetrieveCompletedBatch amortize the flush, recolor and
+// kick over a whole batch), chunked multi-controller transfers fed
+// through per-controller rings with work stealing, cancellation and
 // deadlines, and a built-in metrics layer (Device.Stats). See package
 // memif/internal/realtime for the full story.
 type RealtimeDevice = realtime.Device
@@ -248,7 +251,8 @@ type RealtimeDevice = realtime.Device
 type RealtimeRequest = realtime.Request
 
 // RealtimeOptions sizes a realtime device: request slots, transfer
-// controllers, the chunking threshold, and the event-trace depth.
+// controllers, staging shards, dispatch-ring depth, the chunking
+// threshold, and the event-trace depth.
 type RealtimeOptions = realtime.Options
 
 // RealtimeStats is the snapshot RealtimeDevice.Stats returns: outcome
@@ -256,10 +260,13 @@ type RealtimeOptions = realtime.Options
 // ring-buffer event trace.
 type RealtimeStats = realtime.StatsSnapshot
 
-// Realtime request outcomes beyond success.
+// Realtime request outcomes beyond success. ErrRealtimeNoSlots is how a
+// request accepted by SubmitBatch surfaces when the staging slab is
+// exhausted mid-batch: through its completion, never as a lost request.
 var (
 	ErrRealtimeCanceled = realtime.ErrCanceled
 	ErrRealtimeDeadline = realtime.ErrDeadline
+	ErrRealtimeNoSlots  = realtime.ErrNoSlots
 )
 
 // OpenRealtime starts a realtime device.
