@@ -25,12 +25,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"memif/internal/obs/lifecycle"
+	"memif/internal/obs/obshttp"
 	"memif/internal/realtime"
 )
 
@@ -63,6 +66,44 @@ type WorkloadResult struct {
 	KicksPerOp float64 `json:"kicks_per_op"`
 	Steals     int64   `json:"steals"`
 	Batches    int64   `json:"batches"`
+	// Stages is the per-stage latency breakdown of the steady-state
+	// window, from the lifecycle tracer's sampled requests (schema v2).
+	// Quantiles are interpolated within histogram buckets
+	// (obs.QuantileInterp), so they are smooth estimates rather than
+	// power-of-two upper bounds. Only stages with samples appear.
+	Stages []StageLatency `json:"stages"`
+}
+
+// StageLatency is one attribution bucket of the request latency:
+// staging wait, dispatch wait, ring wait, steal delay, copy, or
+// completion dwell.
+type StageLatency struct {
+	Stage  string  `json:"stage"`
+	Count  int64   `json:"count"`
+	P50Ns  float64 `json:"p50_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	MeanNs float64 `json:"mean_ns"`
+}
+
+// stageBreakdown converts a steady-state span delta into the report
+// rows, skipping empty spans (e.g. steal_delay on a steal-free run).
+func stageBreakdown(spans lifecycle.SpanSnapshot) []StageLatency {
+	names := lifecycle.SpanNames()
+	var out []StageLatency
+	for i, name := range names {
+		h := spans.Spans[i]
+		if h.Count == 0 {
+			continue
+		}
+		out = append(out, StageLatency{
+			Stage:  name,
+			Count:  h.Count,
+			P50Ns:  h.QuantileInterp(0.50),
+			P99Ns:  h.QuantileInterp(0.99),
+			MeanNs: h.Mean(),
+		})
+	}
+	return out
 }
 
 // workload describes one steady-state scenario. Large is an optional
@@ -94,7 +135,10 @@ func workloads(quick bool) []workload {
 		{
 			name: "large_bw", mode: "closed_loop",
 			submitters: 2, pollers: 1, size: 4 << 20, batch: 1,
-			opts: realtime.Options{NumReqs: 16, Controllers: 4, StagingShards: 2, ChunkBytes: 256 << 10},
+			// Low request rate (a few thousand 4 MB ops/s): a denser shift
+			// than the 1/128 default so short windows still land samples.
+			opts: realtime.Options{NumReqs: 16, Controllers: 4, StagingShards: 2, ChunkBytes: 256 << 10,
+				TraceSampleShift: 3},
 		},
 		{
 			name: "mixed", mode: "closed_loop",
@@ -106,15 +150,25 @@ func workloads(quick bool) []workload {
 			name: "open_loop", mode: "open_loop",
 			submitters: 2, pollers: 1, size: 4 << 10, batch: 8,
 			targetRate: rate,
-			opts:       realtime.Options{NumReqs: 256, Controllers: 2, StagingShards: 2},
+			// Sampling is per slot (1 in 2^k uses of that slot), so a
+			// low-rate paced workload needs a denser shift than the 1/128
+			// default to land samples inside a short measure window — at
+			// 20-50k ops/s the tracing cost is irrelevant anyway.
+			opts: realtime.Options{NumReqs: 256, Controllers: 2, StagingShards: 2,
+				TraceSampleShift: 3},
 		},
 	}
 }
+
+// liveDevice is the device of the workload currently running, for the
+// -http observability endpoint; nil between workloads.
+var liveDevice atomic.Pointer[realtime.Device]
 
 func main() {
 	quick := flag.Bool("quick", false, "short warmup/measure windows (CI smoke)")
 	out := flag.String("o", "BENCH_realtime.json", "output path for the JSON report (\"-\" for stdout only)")
 	validatePath := flag.String("validate", "", "validate an existing report file and exit")
+	httpAddr := flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address while benchmarking")
 	flag.Parse()
 
 	if *validatePath != "" {
@@ -126,6 +180,30 @@ func main() {
 		return
 	}
 
+	if *httpAddr != "" {
+		h := obshttp.NewHandler()
+		h.Register(func() []obshttp.Metric {
+			d := liveDevice.Load()
+			if d == nil {
+				return nil
+			}
+			return obshttp.RealtimeMetrics("bench", d.Stats())
+		})
+		h.RegisterTrace("membench", func() []lifecycle.Lifecycle {
+			d := liveDevice.Load()
+			if d == nil {
+				return nil
+			}
+			return d.Stats().Lifecycle.Captured
+		})
+		go func() {
+			fmt.Fprintf(os.Stderr, "membench: serving observability on %s\n", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, h); err != nil {
+				fmt.Fprintf(os.Stderr, "membench: http: %v\n", err)
+			}
+		}()
+	}
+
 	warmup, window := time.Second, 3*time.Second
 	if *quick {
 		warmup, window = 150*time.Millisecond, 400*time.Millisecond
@@ -133,7 +211,7 @@ func main() {
 
 	rep := Report{
 		Benchmark:  "membench",
-		Version:    1,
+		Version:    2,
 		UnixTime:   time.Now().Unix(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
@@ -172,6 +250,8 @@ func main() {
 // deltas, then tears everything down.
 func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
 	d := realtime.Open(wl.opts)
+	liveDevice.Store(d)
+	defer liveDevice.Store(nil)
 	maxSize := wl.size
 	if wl.largeSize > maxSize {
 		maxSize = wl.largeSize
@@ -301,6 +381,7 @@ func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
 		Kicks:      kicks,
 		Steals:     s1.Steals - s0.Steals,
 		Batches:    s1.Batches - s0.Batches,
+		Stages:     stageBreakdown(s1.Lifecycle.Spans.Delta(s0.Lifecycle.Spans)),
 	}
 	if ops > 0 {
 		res.KicksPerOp = float64(kicks) / float64(ops)
@@ -342,6 +423,31 @@ func validate(rep Report) error {
 		}
 		if w.P99Ns < w.P50Ns {
 			return fmt.Errorf("workload %s: p99 %d < p50 %d", w.Name, w.P99Ns, w.P50Ns)
+		}
+		for _, st := range w.Stages {
+			if st.Stage == "" {
+				return fmt.Errorf("workload %s: stage entry with empty name", w.Name)
+			}
+			if st.Count <= 0 {
+				return fmt.Errorf("workload %s stage %s: count %d, want > 0", w.Name, st.Stage, st.Count)
+			}
+			if st.P99Ns < st.P50Ns {
+				return fmt.Errorf("workload %s stage %s: p99 %.0f < p50 %.0f", w.Name, st.Stage, st.P99Ns, st.P50Ns)
+			}
+		}
+	}
+	if rep.Version >= 2 {
+		// The lifecycle tracer samples by default; a report with no stage
+		// attribution anywhere means tracing silently broke.
+		any := false
+		for _, w := range rep.Workloads {
+			if len(w.Stages) > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return fmt.Errorf("version %d report has no per-stage latency data in any workload", rep.Version)
 		}
 	}
 	return nil

@@ -9,6 +9,16 @@
 //
 //	memif-trace [-reqs N] [-pages N] [-op migrate|replicate] [-race detect|recover|prevent] [-v]
 //	memif-trace -rt [-reqs N] [-rt-bytes N] [-rt-controllers N] [-rt-chunk N] [-rt-trace N]
+//	memif-trace -serve :9090 [-serve-for 30s] [-reqs N] [-rt-bytes N]
+//	memif-trace -check-metrics metrics.txt
+//	memif-trace -check-trace trace.json
+//
+// With -serve the tool exercises all three instrumented subsystems (a
+// realtime burst with full lifecycle capture, a swap-out scenario, a
+// streaming run) and serves their combined observability over HTTP:
+// /metrics (Prometheus text format), /trace (Chrome trace_event JSON
+// for chrome://tracing or Perfetto), /debug/pprof/*. The -check-*
+// modes validate files scraped from those endpoints, for CI.
 //
 // With -v the engine's process-dispatch trace is streamed too, showing
 // every app/worker/interrupt context switch in virtual time.
@@ -46,7 +56,31 @@ func main() {
 	rtControllers := flag.Int("rt-controllers", 0, "realtime: transfer controllers (0 = default)")
 	rtChunk := flag.Int("rt-chunk", 0, "realtime: chunk bytes (0 = default, <0 disables chunking)")
 	rtTrace := flag.Int("rt-trace", 32, "realtime: event-trace ring depth (0 disables)")
+	serveAddr := flag.String("serve", "", "serve /metrics, /trace and /debug/pprof on this address")
+	serveFor := flag.Duration("serve-for", 0, "with -serve: shut down after this long (0 = forever)")
+	checkMetricsPath := flag.String("check-metrics", "", "validate a scraped /metrics file and exit")
+	checkTracePath := flag.String("check-trace", "", "validate a downloaded /trace file and exit")
 	flag.Parse()
+
+	if *checkMetricsPath != "" || *checkTracePath != "" {
+		if *checkMetricsPath != "" {
+			if err := checkMetrics(*checkMetricsPath); err != nil {
+				fmt.Fprintf(os.Stderr, "memif-trace: check-metrics %s: %v\n", *checkMetricsPath, err)
+				os.Exit(1)
+			}
+		}
+		if *checkTracePath != "" {
+			if err := checkTrace(*checkTracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "memif-trace: check-trace %s: %v\n", *checkTracePath, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if *serveAddr != "" {
+		runServe(*serveAddr, *serveFor, *reqs, *rtBytes)
+		return
+	}
 
 	if *rt {
 		runRealtime(*reqs, *rtBytes, *rtControllers, *rtChunk, *rtTrace)

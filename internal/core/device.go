@@ -161,6 +161,7 @@ flush:
 			continue // corrupted index: drop, never trust userspace
 		}
 		req.Status = uapi.StatusSubmitted
+		req.Flushed = p.Now()
 		if _, ok := d.Area.Submission.Enqueue(idx); !ok {
 			return ErrQueueFull
 		}
@@ -211,6 +212,7 @@ func (d *Device) RetrieveCompleted(p *sim.Proc) *uapi.MovReq {
 	if !valid {
 		return nil
 	}
+	r.Retrieved = p.Now()
 	return r
 }
 

@@ -107,11 +107,15 @@ func (d *Device) serveNext(p *sim.Proc, m *sim.Meter, ctx execCtx) (found, start
 // validation and its failure notification has already been posted).
 func (d *Device) serveReq(p *sim.Proc, m *sim.Meter, ctx execCtx, req *uapi.MovReq) bool {
 	req.Status = uapi.StatusInFlight
+	req.Dispatched = p.Now()
 	inf, errc := d.prepare(p, m, req)
 	if errc != uapi.ErrNone {
 		d.complete(p, m, req, errc)
 		return false
 	}
+	// Dispatched → CopyStart brackets the page lookup and PTE work of
+	// prepare; CopyStart → Completed the DMA configuration and copy.
+	req.CopyStart = p.Now()
 	if req.Op == uapi.OpMigrate {
 		d.stats.Migrations++
 	} else {

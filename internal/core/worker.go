@@ -95,6 +95,7 @@ func (d *Device) drainStaging(p *sim.Proc) {
 			continue
 		}
 		req.Status = uapi.StatusSubmitted
+		req.Flushed = p.Now()
 		d.Area.Submission.Enqueue(idx)
 	}
 }

@@ -1,0 +1,587 @@
+// Package lifecycle is the per-request lifecycle tracer: it timestamps
+// every stage transition a request makes through an asynchronous move
+// pipeline (submit → flushed → dispatched → copy start/end → completed →
+// retrieved) and derives per-stage latency histograms from the stamps —
+// the latency-budget attribution the paper's Section 6 builds its whole
+// argument on, turned into an always-on instrument.
+//
+// # Hot-path cost model
+//
+// Records are preallocated per request slot and indexed by the slot
+// number, so tracing allocates nothing after construction. Every
+// transition on a sampled request is one atomic store of a nanosecond
+// stamp; on an unsampled request the instrumentation site pays one
+// atomic load (the sampled check) and nothing else. The sampling
+// decision itself is a slot-local counter increment and a mask test,
+// taken once per request at Begin — no tracer-global contended write
+// on the unsampled path. All of the expensive work — computing span
+// durations, feeding histograms, pushing the capture ring — happens at
+// End, which runs on the application's completion-retrieval path, never
+// on the device's worker or controller goroutines (the interrupt path).
+//
+// # Sampling and capture
+//
+// A Tracer samples one request in 2^shift (shift 0 samples everything —
+// the full-capture debug mode). Sampled lifecycles feed the per-span
+// histograms and, once complete, are copied into a fixed-depth capture
+// ring from which ChromeTraceJSON renders a Chrome trace_event timeline
+// (chrome://tracing, Perfetto).
+//
+// Subsystems whose request records carry their own stage timestamps
+// (the simulated core device under swapd and streamrt) skip the Tracer
+// and feed a SpanSet directly through ObserveStamps, producing the same
+// per-stage histograms on virtual time.
+//
+// The package follows the obs ground rules: everything is lock-free,
+// safe from any goroutine, and nil-safe, so instrumentation sites need
+// no enabled-checks.
+package lifecycle
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"memif/internal/obs"
+)
+
+// Stage is one timestamped point in a request's life.
+type Stage uint8
+
+// The stage model. A pipeline stamps the subset it has: the realtime
+// device stamps all of them; a request failing off-protocol (e.g.
+// ErrNoSlots at the flush) skips straight from StageSubmit to
+// StageCompleted, and span derivation skips spans with a missing
+// endpoint.
+const (
+	// StageSubmit: the request entered the staging queue.
+	StageSubmit Stage = iota
+	// StageFlushed: the flush moved it staging → submission queue.
+	StageFlushed
+	// StageDispatched: the worker dequeued it and began chunking.
+	StageDispatched
+	// StageCopyStart: the first chunk reached a transfer controller.
+	StageCopyStart
+	// StageCopyEnd: the last chunk finished copying.
+	StageCopyEnd
+	// StageCompleted: the completion was posted (Release + Notify).
+	StageCompleted
+	// StageRetrieved: the application collected the completion.
+	StageRetrieved
+
+	NumStages int = iota
+)
+
+// stageNames index by Stage.
+var stageNames = [NumStages]string{
+	"submit", "flushed", "dispatched", "copy_start", "copy_end", "completed", "retrieved",
+}
+
+func (s Stage) String() string {
+	if int(s) < NumStages {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", uint8(s))
+}
+
+// Span is one derived stage-latency: the time between two stages (or,
+// for the chunk-level spans, a directly observed queue wait).
+type Span uint8
+
+// The attribution buckets of the Section 6 latency budget, pipeline
+// edition.
+const (
+	// SpanStagingWait: submit → flushed; time spent on a staging shard
+	// waiting for a flush.
+	SpanStagingWait Span = iota
+	// SpanDispatchWait: flushed → dispatched; time on the submission
+	// queue waiting for the worker.
+	SpanDispatchWait
+	// SpanRingWait: push → pop of a chunk on a dispatch ring (chunk
+	// level; observed once per sampled chunk).
+	SpanRingWait
+	// SpanStealDelay: ring wait of chunks that were stolen by a
+	// non-owning controller — how long work sat before stealing saved it.
+	SpanStealDelay
+	// SpanCopy: copy start → copy end; the actual byte-moving window,
+	// across every controller touching the request.
+	SpanCopy
+	// SpanCompletionDwell: completed → retrieved; time the finished
+	// request sat on the completion queue.
+	SpanCompletionDwell
+	// SpanTotal: submit → retrieved.
+	SpanTotal
+
+	NumSpans int = iota
+)
+
+var spanNames = [NumSpans]string{
+	"staging_wait", "dispatch_wait", "ring_wait", "steal_delay",
+	"copy", "completion_dwell", "total",
+}
+
+func (s Span) String() string {
+	if int(s) < NumSpans {
+		return spanNames[s]
+	}
+	return fmt.Sprintf("span(%d)", uint8(s))
+}
+
+// SpanNames returns the metric-label names of every span, indexed by
+// Span.
+func SpanNames() [NumSpans]string { return spanNames }
+
+// stageSpans lists the spans derived from stage pairs at End (the
+// chunk-level SpanRingWait / SpanStealDelay are observed separately).
+var stageSpans = [...]struct {
+	span     Span
+	from, to Stage
+}{
+	{SpanStagingWait, StageSubmit, StageFlushed},
+	{SpanDispatchWait, StageFlushed, StageDispatched},
+	{SpanCopy, StageCopyStart, StageCopyEnd},
+	{SpanCompletionDwell, StageCompleted, StageRetrieved},
+	{SpanTotal, StageSubmit, StageRetrieved},
+}
+
+// Outcome classifies a finished lifecycle.
+type Outcome uint8
+
+// Lifecycle outcomes.
+const (
+	OutcomeOK Outcome = iota
+	OutcomeCanceled
+	OutcomeExpired
+	OutcomeFailed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeCanceled:
+		return "canceled"
+	case OutcomeExpired:
+		return "expired"
+	default:
+		return "failed"
+	}
+}
+
+// SpanSet is a bundle of per-span latency histograms. Subsystems that
+// carry stage timestamps on their own request records feed it directly;
+// the Tracer embeds one for the records it manages.
+type SpanSet struct {
+	spans [NumSpans]obs.Histogram
+}
+
+// Observe records one duration (ns, wall or virtual) for a span.
+// Nil-safe; negative durations are clamped to zero rather than dropped,
+// so a torn clock can never hide a sample.
+func (s *SpanSet) Observe(sp Span, d int64) {
+	if s == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.spans[sp].Observe(d)
+}
+
+// ObserveStamps derives and records every stage-pair span whose
+// endpoints are both stamped (nonzero). The chunk-level spans are not
+// derivable from stamps and are untouched.
+func (s *SpanSet) ObserveStamps(ts *[NumStages]int64) {
+	if s == nil {
+		return
+	}
+	for _, d := range stageSpans {
+		from, to := ts[d.from], ts[d.to]
+		if from == 0 || to == 0 {
+			continue
+		}
+		s.Observe(d.span, to-from)
+	}
+}
+
+// Stamps assembles a stage-stamp array from the seven stage times of a
+// request record (0 = stage never reached) — the bridge for subsystems
+// whose requests carry their own timestamps, like the simulated core
+// device's MovReq. Feed the result to ObserveStamps.
+func Stamps(submit, flushed, dispatched, copyStart, copyEnd, completed, retrieved int64) [NumStages]int64 {
+	var ts [NumStages]int64
+	ts[StageSubmit] = submit
+	ts[StageFlushed] = flushed
+	ts[StageDispatched] = dispatched
+	ts[StageCopyStart] = copyStart
+	ts[StageCopyEnd] = copyEnd
+	ts[StageCompleted] = completed
+	ts[StageRetrieved] = retrieved
+	return ts
+}
+
+// Snapshot captures every span histogram. Nil-safe (zero snapshot).
+func (s *SpanSet) Snapshot() SpanSnapshot {
+	var out SpanSnapshot
+	if s == nil {
+		return out
+	}
+	for i := range s.spans {
+		out.Spans[i] = s.spans[i].Snapshot()
+	}
+	return out
+}
+
+// SpanSnapshot is a point-in-time copy of a SpanSet, indexed by Span.
+type SpanSnapshot struct {
+	Spans [NumSpans]obs.HistogramSnapshot
+}
+
+// Delta returns the per-span samples accumulated between prev and s —
+// the steady-state window of a benchmark.
+func (s SpanSnapshot) Delta(prev SpanSnapshot) SpanSnapshot {
+	var out SpanSnapshot
+	for i := range s.Spans {
+		out.Spans[i] = s.Spans[i].Delta(prev.Spans[i])
+	}
+	return out
+}
+
+// Lifecycle is one completed, captured request lifecycle: the slot it
+// ran in, a global order stamp, the payload size, the outcome, and the
+// raw stage timestamps (0 = stage never reached).
+type Lifecycle struct {
+	Seq     uint64
+	Slot    int
+	Bytes   int64
+	Outcome Outcome
+	TS      [NumStages]int64
+}
+
+// record is the preallocated per-slot state. active doubles as the
+// sampled flag: transitions on an unsampled request read it and stop.
+// count drives the sampling decision slot-locally, so an unsampled
+// Begin never touches a cacheline shared across submitters.
+type record struct {
+	count   atomic.Uint64
+	active  atomic.Uint32
+	bytes   atomic.Int64
+	seq     atomic.Uint64
+	outcome atomic.Uint32
+	ts      [NumStages]atomic.Int64
+}
+
+// captureSlot is one lock-free capture-ring entry. Like obs.Trace, the
+// seq word is stored last so a fully published slot is identifiable;
+// a slot mid-rewrite at snapshot time may carry mixed stamps — accepted
+// for a diagnostic ring, and never a data race (every field is atomic).
+type captureSlot struct {
+	seq     atomic.Uint64
+	slot    atomic.Int64
+	bytes   atomic.Int64
+	outcome atomic.Uint32
+	ts      [NumStages]atomic.Int64
+}
+
+// DefaultCaptureDepth is the capture-ring depth when the caller passes 0.
+const DefaultCaptureDepth = 256
+
+// Tracer owns the per-slot records of one device and the histograms
+// derived from them. A nil *Tracer is valid and records nothing.
+type Tracer struct {
+	mask    uint64 // sample when (seq-1)&mask == 0
+	shift   int
+	recs    []record
+	seq     atomic.Uint64
+	begun   obs.Counter
+	ended   obs.Counter
+	aborted obs.Counter
+	spans   SpanSet
+	capture []captureSlot
+	capCur  atomic.Uint64
+}
+
+// New returns a tracer for slots request slots sampling one request in
+// 2^sampleShift (shift 0 = every request, the full-capture mode), with
+// a captureDepth-deep completed-lifecycle ring (0 = DefaultCaptureDepth).
+// A negative sampleShift returns nil — tracing disabled; every method
+// is nil-safe.
+func New(slots, sampleShift, captureDepth int) *Tracer {
+	if sampleShift < 0 || slots <= 0 {
+		return nil
+	}
+	if sampleShift > 62 {
+		sampleShift = 62
+	}
+	if captureDepth <= 0 {
+		captureDepth = DefaultCaptureDepth
+	}
+	return &Tracer{
+		mask:    uint64(1)<<uint(sampleShift) - 1,
+		shift:   sampleShift,
+		recs:    make([]record, slots),
+		capture: make([]captureSlot, captureDepth),
+	}
+}
+
+// SampleShift reports the configured shift (-1 on a nil tracer).
+func (t *Tracer) SampleShift() int {
+	if t == nil {
+		return -1
+	}
+	return t.shift
+}
+
+// Begin opens a lifecycle on slot, making the sampling decision and —
+// when sampled — stamping StageSubmit with nano. It reports whether the
+// lifecycle is sampled. A previous lifecycle left un-ended on the slot
+// (an aborted submission) is overwritten.
+//
+// The decision counts slot-locally — each slot samples its own 1st,
+// 2^shift+1'th, ... request — so the unsampled path costs a counter
+// bump and a mask test on the slot's own cacheline, never a contended
+// RMW on tracer-global state. The global Seq order stamp is taken only
+// for sampled lifecycles (1 in 2^shift), where its cost vanishes.
+func (t *Tracer) Begin(slot int, bytes, nano int64) bool {
+	if t == nil || slot >= len(t.recs) {
+		return false
+	}
+	r := &t.recs[slot]
+	c := r.count.Add(1)
+	if (c-1)&t.mask != 0 {
+		if r.active.Load() != 0 {
+			r.active.Store(0) // clear a lifecycle left open by a failed submit
+		}
+		return false
+	}
+	for i := 1; i < NumStages; i++ {
+		r.ts[i].Store(0)
+	}
+	r.ts[StageSubmit].Store(nano)
+	r.bytes.Store(bytes)
+	r.seq.Store(t.seq.Add(1))
+	r.outcome.Store(uint32(OutcomeOK))
+	r.active.Store(1)
+	t.begun.Inc()
+	return true
+}
+
+// Sampled reports whether the lifecycle currently open on slot is
+// sampled — the one-atomic-load check instrumentation sites use before
+// reading a clock.
+func (t *Tracer) Sampled(slot int) bool {
+	return t != nil && slot < len(t.recs) && t.recs[slot].active.Load() != 0
+}
+
+// Transition stamps stage with nano on slot's open lifecycle: one
+// atomic store. No-op when the lifecycle is unsampled (one atomic load).
+func (t *Tracer) Transition(slot int, st Stage, nano int64) {
+	if !t.Sampled(slot) {
+		return
+	}
+	t.recs[slot].ts[st].Store(nano)
+}
+
+// TransitionFirst stamps stage only if it has no stamp yet — for stages
+// reached concurrently by several goroutines where the earliest wins
+// (StageCopyStart across parallel chunk copies).
+func (t *Tracer) TransitionFirst(slot int, st Stage, nano int64) {
+	if !t.Sampled(slot) {
+		return
+	}
+	t.recs[slot].ts[st].CompareAndSwap(0, nano)
+}
+
+// ObserveQueueWait records a chunk-level dispatch-ring wait; stolen
+// chunks are additionally attributed to SpanStealDelay.
+func (t *Tracer) ObserveQueueWait(d int64, stolen bool) {
+	if t == nil {
+		return
+	}
+	t.spans.Observe(SpanRingWait, d)
+	if stolen {
+		t.spans.Observe(SpanStealDelay, d)
+	}
+}
+
+// Abort closes slot's open lifecycle without deriving anything — for
+// submissions that failed back to the caller (the request never entered
+// the pipeline).
+func (t *Tracer) Abort(slot int) {
+	if !t.Sampled(slot) {
+		return
+	}
+	t.recs[slot].active.Store(0)
+	t.aborted.Inc()
+}
+
+// End closes slot's open lifecycle: stamps StageRetrieved with nano,
+// derives every stage-pair span into the histograms, and pushes the
+// completed lifecycle onto the capture ring. Runs on the application's
+// retrieval goroutine, never the device's.
+func (t *Tracer) End(slot int, outcome Outcome, nano int64) {
+	if !t.Sampled(slot) {
+		return
+	}
+	r := &t.recs[slot]
+	r.ts[StageRetrieved].Store(nano)
+	r.outcome.Store(uint32(outcome))
+	var ts [NumStages]int64
+	for i := range ts {
+		ts[i] = r.ts[i].Load()
+	}
+	t.spans.ObserveStamps(&ts)
+	t.pushCapture(Lifecycle{
+		Seq:     r.seq.Load(),
+		Slot:    slot,
+		Bytes:   r.bytes.Load(),
+		Outcome: outcome,
+		TS:      ts,
+	})
+	r.active.Store(0)
+	t.ended.Inc()
+}
+
+func (t *Tracer) pushCapture(lc Lifecycle) {
+	seq := t.capCur.Add(1)
+	s := &t.capture[(seq-1)%uint64(len(t.capture))]
+	s.slot.Store(int64(lc.Slot))
+	s.bytes.Store(lc.Bytes)
+	s.outcome.Store(uint32(lc.Outcome))
+	for i := range lc.TS {
+		s.ts[i].Store(lc.TS[i])
+	}
+	s.seq.Store(lc.Seq)
+}
+
+// Snapshot captures the tracer state: sampling counters, the per-span
+// histograms and the retained completed lifecycles in Seq order.
+// Nil-safe (zero snapshot, Enabled false).
+func (t *Tracer) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{SampleShift: -1}
+	}
+	s := Snapshot{
+		Enabled:     true,
+		SampleShift: t.shift,
+		Begun:       t.begun.Load(),
+		Ended:       t.ended.Load(),
+		Aborted:     t.aborted.Load(),
+		Spans:       t.spans.Snapshot(),
+	}
+	for i := range t.capture {
+		cs := &t.capture[i]
+		seq := cs.seq.Load()
+		if seq == 0 {
+			continue
+		}
+		lc := Lifecycle{
+			Seq:     seq,
+			Slot:    int(cs.slot.Load()),
+			Bytes:   cs.bytes.Load(),
+			Outcome: Outcome(cs.outcome.Load()),
+		}
+		for j := range lc.TS {
+			lc.TS[j] = cs.ts[j].Load()
+		}
+		s.Captured = append(s.Captured, lc)
+	}
+	sort.Slice(s.Captured, func(i, j int) bool { return s.Captured[i].Seq < s.Captured[j].Seq })
+	return s
+}
+
+// Snapshot is a point-in-time view of a Tracer.
+type Snapshot struct {
+	// Enabled is false on a disabled (nil) tracer; SampleShift is the
+	// configured 1-in-2^k shift (-1 when disabled).
+	Enabled     bool
+	SampleShift int
+	// Begun / Ended / Aborted count sampled lifecycles opened, completed
+	// through retrieval, and abandoned by failed submissions.
+	Begun, Ended, Aborted int64
+	// Spans holds the per-stage latency histograms.
+	Spans SpanSnapshot
+	// Captured holds the retained completed lifecycles, oldest first.
+	Captured []Lifecycle
+}
+
+// chromeEvent is one trace_event entry in the JSON Object Format that
+// chrome://tracing and Perfetto load. Timestamps and durations are
+// microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// TraceGroup is one process row of a Chrome trace: a named subsystem
+// and its captured lifecycles.
+type TraceGroup struct {
+	Process    string
+	Lifecycles []Lifecycle
+}
+
+// ChromeTraceJSON renders captured lifecycles as Chrome trace_event
+// JSON: one complete ("X") event per derivable span, one thread row per
+// request slot, timestamps rebased to the earliest submit so the
+// timeline starts near zero. The result loads directly into
+// chrome://tracing or ui.perfetto.dev.
+func ChromeTraceJSON(process string, lcs []Lifecycle) ([]byte, error) {
+	return ChromeTraceGroupsJSON([]TraceGroup{{Process: process, Lifecycles: lcs}})
+}
+
+// ChromeTraceGroupsJSON renders several subsystems into one timeline,
+// one Chrome "process" per group, sharing a common time base.
+func ChromeTraceGroupsJSON(groups []TraceGroup) ([]byte, error) {
+	var base int64
+	for _, g := range groups {
+		for _, lc := range g.Lifecycles {
+			if t := lc.TS[StageSubmit]; t != 0 && (base == 0 || t < base) {
+				base = t
+			}
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+	out := chromeTrace{DisplayTimeUnit: "ns"}
+	for gi, g := range groups {
+		pid := gi + 1
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Cat: "__metadata", Phase: "M", PID: pid,
+			Args: map[string]any{"name": g.Process},
+		})
+		for _, lc := range g.Lifecycles {
+			for _, d := range stageSpans {
+				if d.span == SpanTotal {
+					continue // the per-stage rows already tile the total
+				}
+				from, to := lc.TS[d.from], lc.TS[d.to]
+				if from == 0 || to == 0 {
+					continue
+				}
+				if to < from {
+					to = from
+				}
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: d.span.String(), Cat: "memif", Phase: "X",
+					TS: us(from), Dur: float64(to-from) / 1e3,
+					PID: pid, TID: lc.Slot,
+					Args: map[string]any{
+						"seq": lc.Seq, "bytes": lc.Bytes, "outcome": lc.Outcome.String(),
+					},
+				})
+			}
+		}
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,238 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSamplingRate(t *testing.T) {
+	// shift 3: exactly every 8th Begin (the 1st, 9th, 17th, ...) is
+	// sampled — the decision is a deterministic counter, not a PRNG.
+	tr := New(4, 3, 0)
+	sampled := 0
+	for i := 0; i < 64; i++ {
+		if tr.Begin(0, 100, int64(i+1)) {
+			sampled++
+			if i%8 != 0 {
+				t.Errorf("request %d sampled, want only multiples of 8", i)
+			}
+		}
+		tr.End(0, OutcomeOK, int64(i+1000))
+	}
+	if sampled != 8 {
+		t.Errorf("sampled %d of 64 at shift 3, want 8", sampled)
+	}
+	s := tr.Snapshot()
+	if s.Begun != 8 || s.Ended != 8 {
+		t.Errorf("begun/ended = %d/%d, want 8/8", s.Begun, s.Ended)
+	}
+	if s.SampleShift != 3 || !s.Enabled {
+		t.Errorf("snapshot shift/enabled = %d/%v", s.SampleShift, s.Enabled)
+	}
+}
+
+func TestFullCaptureAndSpans(t *testing.T) {
+	tr := New(2, 0, 8)
+	tr.Begin(1, 4096, 100)
+	tr.Transition(1, StageFlushed, 110)
+	tr.Transition(1, StageDispatched, 130)
+	tr.TransitionFirst(1, StageCopyStart, 160)
+	tr.TransitionFirst(1, StageCopyStart, 170) // later racer must lose
+	tr.Transition(1, StageCopyEnd, 200)
+	tr.Transition(1, StageCompleted, 210)
+	tr.ObserveQueueWait(25, false)
+	tr.ObserveQueueWait(40, true)
+	tr.End(1, OutcomeOK, 260)
+
+	s := tr.Snapshot()
+	if len(s.Captured) != 1 {
+		t.Fatalf("captured %d lifecycles, want 1", len(s.Captured))
+	}
+	lc := s.Captured[0]
+	wantTS := Stamps(100, 110, 130, 160, 200, 210, 260)
+	if lc.TS != wantTS {
+		t.Errorf("TS = %v, want %v", lc.TS, wantTS)
+	}
+	for span, want := range map[Span]int64{
+		SpanStagingWait:     10,
+		SpanDispatchWait:    20,
+		SpanCopy:            40,
+		SpanCompletionDwell: 50,
+		SpanTotal:           160,
+	} {
+		h := s.Spans.Spans[span]
+		if h.Count != 1 || h.Sum != want {
+			t.Errorf("span %s: count=%d sum=%d, want 1/%d", span, h.Count, h.Sum, want)
+		}
+	}
+	if h := s.Spans.Spans[SpanRingWait]; h.Count != 2 || h.Sum != 65 {
+		t.Errorf("ring wait: count=%d sum=%d, want 2/65", h.Count, h.Sum)
+	}
+	if h := s.Spans.Spans[SpanStealDelay]; h.Count != 1 || h.Sum != 40 {
+		t.Errorf("steal delay: count=%d sum=%d, want 1/40", h.Count, h.Sum)
+	}
+}
+
+func TestMissingEndpointsSkipSpans(t *testing.T) {
+	// An ErrNoSlots-style failure goes submit -> completed directly;
+	// only spans with both endpoints may record.
+	tr := New(1, 0, 0)
+	tr.Begin(0, 0, 100)
+	tr.Transition(0, StageCompleted, 150)
+	tr.End(0, OutcomeFailed, 180)
+	s := tr.Snapshot()
+	for _, span := range []Span{SpanStagingWait, SpanDispatchWait, SpanCopy} {
+		if c := s.Spans.Spans[span].Count; c != 0 {
+			t.Errorf("span %s recorded %d samples with missing endpoints", span, c)
+		}
+	}
+	if c := s.Spans.Spans[SpanCompletionDwell].Count; c != 1 {
+		t.Errorf("completion dwell count = %d, want 1", c)
+	}
+	if c := s.Spans.Spans[SpanTotal].Count; c != 1 {
+		t.Errorf("total count = %d, want 1", c)
+	}
+	if len(s.Captured) != 1 || s.Captured[0].Outcome != OutcomeFailed {
+		t.Errorf("captured = %+v", s.Captured)
+	}
+}
+
+func TestAbortAndSlotReuse(t *testing.T) {
+	tr := New(1, 0, 4)
+	tr.Begin(0, 0, 10)
+	tr.Abort(0)
+	if tr.Sampled(0) {
+		t.Error("slot still sampled after Abort")
+	}
+	// Reuse the slot: stale stamps must not leak into the new lifecycle.
+	tr.Begin(0, 0, 50)
+	tr.Transition(0, StageFlushed, 60)
+	tr.End(0, OutcomeOK, 70)
+	s := tr.Snapshot()
+	if s.Aborted != 1 || s.Ended != 1 || s.Begun != 2 {
+		t.Errorf("begun/ended/aborted = %d/%d/%d, want 2/1/1", s.Begun, s.Ended, s.Aborted)
+	}
+	if len(s.Captured) != 1 {
+		t.Fatalf("captured %d, want 1 (aborted lifecycle must not capture)", len(s.Captured))
+	}
+	if ts := s.Captured[0].TS; ts[StageSubmit] != 50 || ts[StageDispatched] != 0 {
+		t.Errorf("stale stamps leaked across reuse: %v", ts)
+	}
+}
+
+func TestCaptureRingWrap(t *testing.T) {
+	tr := New(1, 0, 4)
+	for i := int64(1); i <= 10; i++ {
+		tr.Begin(0, i, i*100)
+		tr.End(0, OutcomeOK, i*100+50)
+	}
+	s := tr.Snapshot()
+	if len(s.Captured) != 4 {
+		t.Fatalf("captured %d, want ring depth 4", len(s.Captured))
+	}
+	for i, lc := range s.Captured {
+		if i > 0 && lc.Seq <= s.Captured[i-1].Seq {
+			t.Errorf("capture not in seq order: %v", s.Captured)
+		}
+		if lc.Seq < 7 {
+			t.Errorf("old lifecycle %d survived a depth-4 ring", lc.Seq)
+		}
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	var ss SpanSet
+	ss.Observe(SpanCopy, -5)
+	s := ss.Snapshot()
+	if h := s.Spans[SpanCopy]; h.Count != 1 || h.Sum != 0 {
+		t.Errorf("negative duration: count=%d sum=%d, want 1/0", h.Count, h.Sum)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Begin(0, 0, 1) || tr.Sampled(0) {
+		t.Error("nil tracer claims sampling")
+	}
+	tr.Transition(0, StageFlushed, 1)
+	tr.TransitionFirst(0, StageCopyStart, 1)
+	tr.ObserveQueueWait(1, true)
+	tr.Abort(0)
+	tr.End(0, OutcomeOK, 1)
+	if s := tr.Snapshot(); s.Enabled || s.SampleShift != -1 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	if tr.SampleShift() != -1 {
+		t.Error("nil SampleShift != -1")
+	}
+	var ss *SpanSet
+	ss.Observe(SpanCopy, 1)
+	ts := Stamps(1, 2, 3, 4, 5, 6, 7)
+	ss.ObserveStamps(&ts)
+	_ = ss.Snapshot()
+	if New(0, 0, 0) != nil || New(10, -1, 0) != nil {
+		t.Error("disabled configs must return nil")
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	tr := New(2, 0, 8)
+	for slot := 0; slot < 2; slot++ {
+		base := int64(1000 * (slot + 1))
+		tr.Begin(slot, 4096, base)
+		tr.Transition(slot, StageFlushed, base+10)
+		tr.Transition(slot, StageDispatched, base+20)
+		tr.Transition(slot, StageCopyStart, base+30)
+		tr.Transition(slot, StageCopyEnd, base+90)
+		tr.Transition(slot, StageCompleted, base+95)
+		tr.End(slot, OutcomeOK, base+120)
+	}
+	blob, err := ChromeTraceGroupsJSON([]TraceGroup{
+		{Process: "a", Lifecycles: tr.Snapshot().Captured},
+		{Process: "b", Lifecycles: tr.Snapshot().Captured},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	meta, spans := 0, 0
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		pids[ev.PID] = true
+		switch ev.Phase {
+		case "M":
+			meta++
+		case "X":
+			spans++
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Errorf("negative ts/dur on %s: %f/%f", ev.Name, ev.TS, ev.Dur)
+			}
+			if ev.Args["outcome"] != "ok" {
+				t.Errorf("outcome arg = %v", ev.Args["outcome"])
+			}
+		}
+	}
+	if meta != 2 {
+		t.Errorf("metadata events = %d, want one per group", meta)
+	}
+	// 2 groups x 2 lifecycles x 4 stage-pair spans (total skipped).
+	if spans != 16 {
+		t.Errorf("span events = %d, want 16", spans)
+	}
+	if len(pids) != 2 {
+		t.Errorf("pids = %v, want 2 distinct", pids)
+	}
+}

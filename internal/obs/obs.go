@@ -35,23 +35,38 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
-// Gauge is a lock-free high-watermark gauge: Observe records a sample
-// and Load returns the largest sample ever observed. Used for queue
-// depth watermarks.
-type Gauge struct{ v atomic.Int64 }
+// Gauge is a lock-free level gauge tracking both the current value
+// (the last sample, via Set/Current) and the high watermark (the
+// largest sample ever, via Load). Used for queue depths: the watermark
+// says how deep a queue has ever been, the current value what it holds
+// right now.
+type Gauge struct{ cur, max atomic.Int64 }
 
-// Observe records v, keeping the maximum.
+// Set records v as the current value, keeping the high watermark.
+func (g *Gauge) Set(v int64) {
+	g.cur.Store(v)
+	g.Observe(v)
+}
+
+// Observe records a sample for the watermark only — the hot-path
+// variant: below the current maximum it costs one atomic load and no
+// store, so per-request call sites stay contention-free. Use Set where
+// the current value matters (Current is only meaningful on gauges fed
+// through Set).
 func (g *Gauge) Observe(v int64) {
 	for {
-		cur := g.v.Load()
-		if v <= cur || g.v.CompareAndSwap(cur, v) {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
 			return
 		}
 	}
 }
 
+// Current returns the last value set.
+func (g *Gauge) Current() int64 { return g.cur.Load() }
+
 // Load returns the high watermark.
-func (g *Gauge) Load() int64 { return g.v.Load() }
+func (g *Gauge) Load() int64 { return g.max.Load() }
 
 // NumBuckets is the number of histogram buckets: bucket i holds samples
 // v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i (bucket 0 holds
@@ -157,6 +172,43 @@ func (s HistogramSnapshot) Quantile(q float64) int64 {
 		}
 	}
 	return BucketUpper(NumBuckets - 1)
+}
+
+// QuantileInterp returns the q-quantile with linear interpolation
+// inside the bucket the quantile falls in, assuming samples spread
+// uniformly across the bucket's [lower, upper] range. Unlike Quantile —
+// which returns the bucket's upper bound and therefore always a power
+// of two minus one — this gives a smooth estimate suitable for
+// reporting p50/p99 in benchmark output.
+func (s HistogramSnapshot) QuantileInterp(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for i, b := range s.Buckets {
+		if b == 0 {
+			continue
+		}
+		bf := float64(b)
+		if seen+bf >= rank {
+			lower := float64(0)
+			if i > 0 {
+				lower = float64(int64(1) << uint(i-1))
+			}
+			upper := float64(BucketUpper(i))
+			frac := (rank - seen) / bf
+			return lower + (upper-lower)*frac
+		}
+		seen += bf
+	}
+	return float64(s.Max())
 }
 
 // Max returns the upper bound of the highest occupied bucket.

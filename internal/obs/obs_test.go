@@ -183,3 +183,64 @@ func TestFormatEvents(t *testing.T) {
 		t.Error("empty render")
 	}
 }
+
+func TestGaugeCurrentAndWatermark(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Set(50)
+	g.Set(3)
+	if cur := g.Current(); cur != 3 {
+		t.Errorf("Current() = %d, want 3 (last set)", cur)
+	}
+	if hw := g.Load(); hw != 50 {
+		t.Errorf("Load() = %d, want watermark 50", hw)
+	}
+	g.Set(-1)
+	if cur := g.Current(); cur != -1 {
+		t.Errorf("Current() = %d, want -1", cur)
+	}
+	if hw := g.Load(); hw != 50 {
+		t.Errorf("Load() = %d after lower Set, want 50", hw)
+	}
+}
+
+func TestQuantileInterp(t *testing.T) {
+	var h Histogram
+	// 100 samples spread across bucket [64,127] (bits.Len == 7).
+	for i := 0; i < 100; i++ {
+		h.Observe(64 + int64(i)%64)
+	}
+	s := h.Snapshot()
+	p50 := s.QuantileInterp(0.50)
+	if p50 < 64 || p50 > 127 {
+		t.Errorf("p50 = %f, want inside [64,127]", p50)
+	}
+	// Interpolation must land mid-bucket, not at the upper bound the
+	// plain Quantile reports.
+	if p50 == float64(s.Quantile(0.50)) {
+		t.Errorf("p50 interp %f equals bucket upper bound %d", p50, s.Quantile(0.50))
+	}
+	if got := s.QuantileInterp(0); got < 64 || got >= 65 {
+		t.Errorf("q=0 -> %f, want bucket lower edge 64", got)
+	}
+	if got := s.QuantileInterp(1); got != 127 {
+		t.Errorf("q=1 -> %f, want bucket upper edge 127", got)
+	}
+	// Monotone in q.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.QuantileInterp(q)
+		if v < prev {
+			t.Fatalf("QuantileInterp not monotone: q=%.2f -> %f < %f", q, v, prev)
+		}
+		prev = v
+	}
+	// Empty histogram and out-of-range q are safe.
+	var empty HistogramSnapshot
+	if empty.QuantileInterp(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	if v := s.QuantileInterp(2); v != 127 {
+		t.Errorf("q>1 clamps to max bucket edge, got %f", v)
+	}
+}

@@ -1,0 +1,125 @@
+package obshttp
+
+import (
+	"strconv"
+
+	"memif/internal/obs"
+	"memif/internal/realtime"
+	"memif/internal/streamrt"
+	"memif/internal/swapd"
+)
+
+// RealtimeMetrics maps a realtime.StatsSnapshot onto the
+// memif_realtime_* namespace. A non-empty device value becomes a
+// {device="..."} label on every series, so several devices can share a
+// handler.
+func RealtimeMetrics(device string, s realtime.StatsSnapshot) []Metric {
+	lb := deviceLabel(device)
+	ms := []Metric{
+		counter("memif_realtime_submitted_total", "Requests accepted into the pipeline.", lb, s.Submitted),
+		counter("memif_realtime_completed_total", "Requests reaching a terminal state (includes canceled/expired/failed).", lb, s.Completed),
+		counter("memif_realtime_canceled_total", "Requests canceled before or during the copy.", lb, s.Canceled),
+		counter("memif_realtime_expired_total", "Requests that missed their deadline.", lb, s.Expired),
+		counter("memif_realtime_failed_total", "Requests failing for other reasons.", lb, s.Failed),
+		counter("memif_realtime_kicks_total", "Kick-start syscall-equivalents issued.", lb, s.Kicks),
+		counter("memif_realtime_worker_wakes_total", "Times the worker slept and was woken.", lb, s.WorkerWakes),
+		counter("memif_realtime_batches_total", "SubmitBatch calls.", lb, s.Batches),
+		counter("memif_realtime_chunks_total", "Controller work units executed.", lb, s.Chunks),
+		counter("memif_realtime_bytes_moved_total", "Payload bytes actually copied.", lb, s.BytesMoved),
+		counter("memif_realtime_steals_total", "Chunks popped from another controller's ring.", lb, s.Steals),
+		counter("memif_realtime_dispatch_retries_total", "Worker backoffs with every dispatch ring full.", lb, s.DispatchRetries),
+		counter("memif_realtime_enqueue_retries_total", "Transient slab-exhaustion retries in the flush path.", lb, s.EnqueueRetries),
+		counter("memif_realtime_double_completes_total", "Completion paths finding the request already terminal (must stay 0).", lb, s.DoubleCompletes),
+		gauge("memif_realtime_submission_depth", "Live submission-queue depth at scrape time.", lb, s.SubmissionDepth),
+		gauge("memif_realtime_completion_depth", "Live completion-queue depth at scrape time.", lb, s.CompletionDepth),
+		gauge("memif_realtime_submission_depth_high_water", "Deepest the submission queue has ever been.", lb, s.SubmissionHighWater),
+		gauge("memif_realtime_completion_depth_high_water", "Deepest the completion queue has ever been.", lb, s.CompletionHighWater),
+		hist("memif_realtime_request_latency_ns", "Submission-to-completion latency (ns).", lb, s.Latency),
+		hist("memif_realtime_request_bytes", "Request payload size (bytes).", lb, s.Sizes),
+	}
+	for i, d := range s.StagingDepths {
+		ms = append(ms, gauge("memif_realtime_staging_depth",
+			"Live per-shard staging-queue depth at scrape time.",
+			append(append([]Label(nil), lb...), Label{"shard", strconv.Itoa(i)}), d))
+	}
+	for i, d := range s.RingDepths {
+		ms = append(ms, gauge("memif_realtime_ring_depth",
+			"Live per-controller dispatch-ring occupancy at scrape time.",
+			append(append([]Label(nil), lb...), Label{"controller", strconv.Itoa(i)}), d))
+	}
+	if s.Lifecycle.Enabled {
+		ms = append(ms,
+			gauge("memif_realtime_trace_sample_shift", "Lifecycle sampling shift: 1 request in 2^shift is traced.", lb, int64(s.Lifecycle.SampleShift)),
+			counter("memif_realtime_trace_begun_total", "Sampled lifecycles opened.", lb, s.Lifecycle.Begun),
+			counter("memif_realtime_trace_ended_total", "Sampled lifecycles completed through retrieval.", lb, s.Lifecycle.Ended),
+			counter("memif_realtime_trace_aborted_total", "Sampled lifecycles abandoned by failed submissions.", lb, s.Lifecycle.Aborted),
+		)
+		ms = append(ms, SpanMetrics("memif_realtime_stage_latency_ns",
+			"Per-stage latency attribution of sampled requests (ns).", lb, s.Lifecycle.Spans)...)
+	}
+	return ms
+}
+
+// RealtimeCollector wraps a live device's Stats method as a Collector.
+func RealtimeCollector(device string, d *realtime.Device) Collector {
+	return func() []Metric { return RealtimeMetrics(device, d.Stats()) }
+}
+
+// SwapdMetrics maps a swapd.MetricsSnapshot onto the memif_swapd_*
+// namespace. Stage latencies are in virtual (simulated) nanoseconds.
+func SwapdMetrics(device string, s swapd.MetricsSnapshot) []Metric {
+	lb := deviceLabel(device)
+	ms := []Metric{
+		counter("memif_swapd_evictions_total", "Completed fast-memory evictions.", lb, s.Evictions),
+		counter("memif_swapd_failed_evictions_total", "Evictions aborted by racing application accesses.", lb, s.FailedEvictions),
+		counter("memif_swapd_bytes_evicted_total", "Bytes migrated back to the slow node.", lb, s.BytesEvicted),
+		hist("memif_swapd_eviction_latency_ns", "Submission-to-completion latency of successful evictions (virtual ns).", lb, s.Latency),
+		hist("memif_swapd_eviction_bytes", "Per-eviction payload size (bytes).", lb, s.Sizes),
+	}
+	return append(ms, SpanMetrics("memif_swapd_stage_latency_ns",
+		"Per-stage latency attribution of evictions (virtual ns).", lb, s.Stages)...)
+}
+
+// SwapdCollector wraps a live daemon's Metrics method as a Collector.
+func SwapdCollector(device string, d *swapd.Daemon) Collector {
+	return func() []Metric { return SwapdMetrics(device, d.Metrics()) }
+}
+
+// StreamMetrics maps a streamrt.MetricsSnapshot onto the memif_stream_*
+// namespace. Stage latencies are in virtual (simulated) nanoseconds.
+func StreamMetrics(device string, s streamrt.MetricsSnapshot) []Metric {
+	lb := deviceLabel(device)
+	ms := []Metric{
+		counter("memif_stream_fast_chunks_total", "Chunks consumed out of prefetch buffers.", lb, s.FastChunks),
+		counter("memif_stream_slow_chunks_total", "Chunks consumed straight from the slow node.", lb, s.SlowChunks),
+		counter("memif_stream_bytes_prefetched_total", "Payload replicated into prefetch buffers.", lb, s.BytesPrefetched),
+		hist("memif_stream_fill_latency_ns", "Submit-to-completion latency of prefetch fills (virtual ns).", lb, s.FillLatency),
+	}
+	return append(ms, SpanMetrics("memif_stream_stage_latency_ns",
+		"Per-stage latency attribution of prefetch fills (virtual ns).", lb, s.Stages)...)
+}
+
+// StreamCollector wraps a live Metrics set's Snapshot method as a
+// Collector.
+func StreamCollector(device string, m *streamrt.Metrics) Collector {
+	return func() []Metric { return StreamMetrics(device, m.Snapshot()) }
+}
+
+func deviceLabel(device string) []Label {
+	if device == "" {
+		return nil
+	}
+	return []Label{{"device", device}}
+}
+
+func counter(name, help string, lb []Label, v int64) Metric {
+	return Metric{Name: name, Help: help, Type: TypeCounter, Labels: lb, Value: float64(v)}
+}
+
+func gauge(name, help string, lb []Label, v int64) Metric {
+	return Metric{Name: name, Help: help, Type: TypeGauge, Labels: lb, Value: float64(v)}
+}
+
+func hist(name, help string, lb []Label, h obs.HistogramSnapshot) Metric {
+	return Metric{Name: name, Help: help, Type: TypeHistogram, Labels: lb, Hist: h}
+}

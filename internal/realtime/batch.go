@@ -75,6 +75,7 @@ func (d *Device) RetrieveCompletedBatch(buf []*Request) int {
 			break
 		}
 		if r, valid := d.req(idx); valid {
+			d.lcEnd(r)
 			buf[n] = r
 			n++
 		}

@@ -98,6 +98,7 @@ import (
 	"time"
 
 	"memif/internal/obs"
+	"memif/internal/obs/lifecycle"
 	"memif/internal/rbq"
 )
 
@@ -173,10 +174,32 @@ type Options struct {
 	// slots; 0 disables tracing (the default — counters and histograms
 	// are always on).
 	TraceDepth int
+	// TraceSampleShift tunes the per-request lifecycle tracer: one
+	// request in 2^shift gets every stage transition timestamped and
+	// attributed to the per-stage latency histograms. 0 means
+	// DefaultTraceSampleShift; negative disables lifecycle tracing
+	// entirely (every instrumentation site then costs one nil check).
+	TraceSampleShift int
+	// TraceFullCapture samples every request regardless of
+	// TraceSampleShift — the debug mode for reconstructing a complete
+	// timeline. Its overhead is measured in EXPERIMENTS.md; leave it off
+	// in production and benchmarks.
+	TraceFullCapture bool
+	// TraceCaptureDepth is the completed-lifecycle capture ring depth
+	// behind Stats().Lifecycle.Captured and the Chrome trace export
+	// (0 = lifecycle.DefaultCaptureDepth).
+	TraceCaptureDepth int
 	// Chaos installs test-only fault-injection hooks. Leave nil outside
 	// the verification suite.
 	Chaos *ChaosHooks
 }
+
+// DefaultTraceSampleShift is the default lifecycle sampling rate: one
+// request in 2^7 = 128, cheap enough to leave on under full load (the
+// overhead guard in the bench suite holds it under 3% on the 8-submitter
+// small-request benchmark) while still collecting thousands of samples
+// per second at realistic rates.
+const DefaultTraceSampleShift = 7
 
 // DefaultOptions mirrors the EDMA3-ish defaults.
 func DefaultOptions() Options {
@@ -254,9 +277,13 @@ func (r *Request) Latency() (time.Duration, bool) {
 }
 
 // chunk is one unit of controller work: a byte range of one request.
+// nano carries the ring-push timestamp when the request's lifecycle is
+// sampled (0 otherwise), so the consumer can attribute the dispatch-ring
+// wait — and steal delay — without any per-chunk allocation.
 type chunk struct {
 	idx      uint32
 	off, end int
+	nano     int64
 }
 
 // Trace event kinds recorded when Options.TraceDepth > 0. Payload words
@@ -338,9 +365,21 @@ type StatsSnapshot struct {
 	DoubleCompletes int64
 	// Queue-depth high watermarks, from rbq's atomic Size.
 	SubmissionHighWater, CompletionHighWater int64
+	// Live queue depths sampled at Stats time (the watermark fields
+	// above carry the maxima): per-shard staging, submission,
+	// completion, and per-controller dispatch-ring occupancy. Nil ring
+	// depths mean the legacy shared-channel dispatch path.
+	StagingDepths                    []int64
+	SubmissionDepth, CompletionDepth int64
+	RingDepths                       []int64
 	// Latency is the submission-to-completion histogram (ns); Sizes the
 	// request payload histogram (bytes).
 	Latency, Sizes obs.HistogramSnapshot
+	// Lifecycle is the per-request lifecycle tracer snapshot: per-stage
+	// latency histograms (staging wait, dispatch wait, ring wait, steal
+	// delay, copy, completion dwell) and the captured complete
+	// lifecycles. Enabled is false when Options.TraceSampleShift < 0.
+	Lifecycle lifecycle.Snapshot
 	// Trace holds the retained ring-buffer events (nil unless
 	// Options.TraceDepth > 0). Render with obs.FormatEvents(…, EventName).
 	Trace []obs.Event
@@ -382,6 +421,7 @@ type Device struct {
 	active  atomic.Int64 // Submit calls in flight; Close waits them out
 	wg      sync.WaitGroup
 	m       metrics
+	lc      *lifecycle.Tracer // nil when lifecycle tracing is disabled
 	chaos   *ChaosHooks
 }
 
@@ -440,6 +480,13 @@ func Open(opts Options) *Device {
 		d.work = make(chan struct{}, opts.Controllers)
 	}
 	d.m.trace = obs.NewTrace(opts.TraceDepth)
+	lcShift := opts.TraceSampleShift
+	if opts.TraceFullCapture {
+		lcShift = 0
+	} else if lcShift == 0 {
+		lcShift = DefaultTraceSampleShift
+	}
+	d.lc = lifecycle.New(opts.NumReqs, lcShift, opts.TraceCaptureDepth)
 	for i := range d.reqs {
 		d.reqs[i] = &Request{idx: uint32(i)}
 		if _, ok := d.freeList.Enqueue(uint32(i)); !ok {
@@ -552,6 +599,35 @@ func (d *Device) trace(kind uint32, a, b uint64) {
 	}
 }
 
+// lcStamp timestamps one lifecycle stage for idx. The unsampled (and
+// disabled) fast path is a single atomic load — the clock is only read
+// for the one request in 2^TraceSampleShift actually being traced.
+func (d *Device) lcStamp(idx uint32, st lifecycle.Stage) {
+	if d.lc.Sampled(int(idx)) {
+		d.lc.Transition(int(idx), st, time.Now().UnixNano())
+	}
+}
+
+// lcEnd closes idx's lifecycle on the retrieval path, classifying the
+// outcome from the request error.
+func (d *Device) lcEnd(r *Request) {
+	if !d.lc.Sampled(int(r.idx)) {
+		return
+	}
+	var out lifecycle.Outcome
+	switch {
+	case r.Err == nil:
+		out = lifecycle.OutcomeOK
+	case errors.Is(r.Err, ErrCanceled):
+		out = lifecycle.OutcomeCanceled
+	case errors.Is(r.Err, ErrDeadline):
+		out = lifecycle.OutcomeExpired
+	default:
+		out = lifecycle.OutcomeFailed
+	}
+	d.lc.End(int(r.idx), out, time.Now().UnixNano())
+}
+
 // wake posts the (single-token) completion edge for Poll.
 func (d *Device) wake() {
 	select {
@@ -577,6 +653,7 @@ func (d *Device) enqueueSubmission(idx uint32) bool {
 		if !forced {
 			if _, ok := d.submission.Enqueue(idx); ok {
 				d.m.submissionHW.Observe(int64(d.submission.Size()))
+				d.lcStamp(idx, lifecycle.StageFlushed)
 				return true
 			}
 		}
@@ -628,6 +705,9 @@ func (d *Device) finish(r *Request, forced error) {
 	r.Err = err
 	now := time.Now().UnixNano()
 	r.completed.Store(now)
+	if d.lc.Sampled(int(r.idx)) {
+		d.lc.Transition(int(r.idx), lifecycle.StageCompleted, now)
+	}
 	if s := r.submitted.Load(); s > 0 {
 		d.m.latency.Observe(now - s)
 	}
@@ -666,7 +746,9 @@ func (d *Device) shard() *rbq.Queue {
 // (or a forced chaos failure), with r left stPending for the caller to
 // resolve.
 func (d *Device) stage(sh *rbq.Queue, r *Request) (rbq.Color, bool) {
-	r.submitted.Store(time.Now().UnixNano())
+	now := time.Now().UnixNano()
+	r.submitted.Store(now)
+	d.lc.Begin(int(r.idx), int64(len(r.Src)), now)
 	r.state.Store(stPending)
 	if d.chaos != nil && d.chaos.StagingEnqueue != nil && d.chaos.StagingEnqueue(r.idx) {
 		return 0, false // forced slab exhaustion
@@ -692,6 +774,9 @@ func (d *Device) unstage(r *Request) bool {
 		d.finish(r, nil)
 		return true
 	}
+	// The request never entered the pipeline: the caller gets the error
+	// back and keeps the slot, so its traced lifecycle ends here.
+	d.lc.Abort(int(r.idx))
 	return false
 }
 
@@ -853,6 +938,14 @@ func (d *Device) dispatch(idx uint32) {
 	if d.chaos != nil && d.chaos.BeforeDispatch != nil {
 		d.chaos.BeforeDispatch(idx)
 	}
+	// One clock read serves both the dispatch stamp and — when the
+	// rings are on — every chunk's push stamp below; the gap between
+	// them is a few branches.
+	var dispatchNano int64
+	if d.lc.Sampled(int(idx)) {
+		dispatchNano = time.Now().UnixNano()
+		d.lc.Transition(int(idx), lifecycle.StageDispatched, dispatchNano)
+	}
 	// Observe cancellation and deadline before any byte moves.
 	if !r.Deadline.IsZero() && time.Now().After(r.Deadline) {
 		r.state.CompareAndSwap(stPending, stExpired)
@@ -868,8 +961,15 @@ func (d *Device) dispatch(idx uint32) {
 	}
 	r.chunksLeft.Store(int32(nChunks))
 	d.trace(EvDispatch, uint64(idx), uint64(nChunks))
+	// One ring-push stamp serves every chunk of a sampled request: the
+	// pushes below are a tight loop, and the per-chunk ring wait is
+	// measured against it on the consumer side (zero = unsampled).
+	var pushNano int64
+	if d.rings != nil {
+		pushNano = dispatchNano
+	}
 	for i := 0; i < nChunks; i++ {
-		c := chunk{idx: idx, off: 0, end: n}
+		c := chunk{idx: idx, off: 0, end: n, nano: pushNano}
 		if nChunks > 1 {
 			c.off = i * d.chunkBytes
 			c.end = c.off + d.chunkBytes
@@ -929,15 +1029,20 @@ func (d *Device) controller(id int) {
 	spins := 0
 	for {
 		c, ok := own.tryPop()
+		stolen := false
 		if !ok {
 			for i := 1; i < n && !ok; i++ {
 				if c, ok = d.rings[(id+i)%n].tryPop(); ok {
 					d.m.steals.Inc()
+					stolen = true
 				}
 			}
 		}
 		if ok {
 			spins = 0
+			if c.nano != 0 {
+				d.lc.ObserveQueueWait(time.Now().UnixNano()-c.nano, stolen)
+			}
 			d.runChunk(c)
 			continue
 		}
@@ -979,6 +1084,13 @@ func (d *Device) runChunk(c chunk) {
 	if d.chaos != nil && d.chaos.BeforeChunkCopy != nil {
 		d.chaos.BeforeChunkCopy(c.idx, c.off, c.end)
 	}
+	// The copy window opens at the first chunk to reach any controller
+	// (first stamp wins) and closes when the finisher retires the last
+	// one — a canceled request still gets the stamps, bounding the time
+	// its chunks occupied controllers.
+	if d.lc.Sampled(int(c.idx)) {
+		d.lc.TransitionFirst(int(c.idx), lifecycle.StageCopyStart, time.Now().UnixNano())
+	}
 	// A cancel or deadline that won after dispatch stops the
 	// copying; the chunk countdown still runs so the completion
 	// fires exactly once.
@@ -989,6 +1101,7 @@ func (d *Device) runChunk(c chunk) {
 	d.m.chunks.Inc()
 	d.trace(EvChunk, uint64(c.idx), uint64(c.end-c.off))
 	if r.chunksLeft.Add(-1) == 0 {
+		d.lcStamp(c.idx, lifecycle.StageCopyEnd)
 		d.finish(r, nil)
 	}
 }
@@ -1004,6 +1117,7 @@ func (d *Device) RetrieveCompleted() *Request {
 	if !valid {
 		return nil
 	}
+	d.lcEnd(r)
 	if !d.completion.Empty() {
 		d.wake() // keep concurrent pollers from sleeping past pending completions
 	}
@@ -1090,7 +1204,23 @@ func (d *Device) Poll(timeout time.Duration) bool {
 // Stats returns a snapshot of the device's counters, histograms, queue
 // watermarks and trace. Safe from any goroutine at any time.
 func (d *Device) Stats() StatsSnapshot {
+	staging := make([]int64, len(d.staging))
+	for i, sh := range d.staging {
+		staging[i] = int64(sh.Size())
+	}
+	var ringDepths []int64
+	if d.rings != nil {
+		ringDepths = make([]int64, len(d.rings))
+		for i, r := range d.rings {
+			ringDepths[i] = r.size()
+		}
+	}
 	return StatsSnapshot{
+		StagingDepths:       staging,
+		SubmissionDepth:     int64(d.submission.Size()),
+		CompletionDepth:     int64(d.completion.Size()),
+		RingDepths:          ringDepths,
+		Lifecycle:           d.lc.Snapshot(),
 		Submitted:           d.m.submitted.Load(),
 		Completed:           d.m.completed.Load(),
 		Canceled:            d.m.canceled.Load(),

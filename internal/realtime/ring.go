@@ -90,6 +90,20 @@ func (r *chunkRing) tryPop() (chunk, bool) {
 	}
 }
 
+// size reports the current occupancy (racy snapshot for the live-depth
+// stats; clamped to [0, cap] so a torn read can never look absurd).
+func (r *chunkRing) size() int64 {
+	e, d := r.enq.Load(), r.deq.Load()
+	if e <= d {
+		return 0
+	}
+	n := int64(e - d)
+	if max := int64(len(r.slots)); n > max {
+		n = max
+	}
+	return n
+}
+
 // empty reports whether the ring currently holds no chunks (racy
 // snapshot, used only on the shutdown drain path and in tests).
 func (r *chunkRing) empty() bool {

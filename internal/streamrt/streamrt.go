@@ -21,6 +21,7 @@ import (
 	"memif/internal/core"
 	"memif/internal/hw"
 	"memif/internal/obs"
+	"memif/internal/obs/lifecycle"
 	"memif/internal/sim"
 	"memif/internal/stats"
 	"memif/internal/uapi"
@@ -54,6 +55,10 @@ type Metrics struct {
 	FastChunks, SlowChunks obs.Counter
 	// BytesPrefetched totals the payload replicated into buffers.
 	BytesPrefetched obs.Counter
+	// Stages attributes fill latency per pipeline stage (staging wait,
+	// dispatch wait, copy, completion dwell) from each fill request's
+	// stage stamps, in virtual ns.
+	Stages lifecycle.SpanSet
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics.
@@ -61,6 +66,7 @@ type MetricsSnapshot struct {
 	FillLatency            obs.HistogramSnapshot
 	FastChunks, SlowChunks int64
 	BytesPrefetched        int64
+	Stages                 lifecycle.SpanSnapshot
 }
 
 // Snapshot captures the metrics. Nil-safe (zero snapshot).
@@ -73,6 +79,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		FastChunks:      m.FastChunks.Load(),
 		SlowChunks:      m.SlowChunks.Load(),
 		BytesPrefetched: m.BytesPrefetched.Load(),
+		Stages:          m.Stages.Snapshot(),
 	}
 }
 
@@ -198,6 +205,10 @@ func Run(p *sim.Proc, d *core.Device, k workloads.Kernel, base, length int64, cf
 			if cfg.Metrics != nil && !failed {
 				cfg.Metrics.FillLatency.Observe(int64(r.Completed - r.Submitted))
 				cfg.Metrics.BytesPrefetched.Add(r.Length)
+				ts := lifecycle.Stamps(int64(r.Submitted), int64(r.Flushed),
+					int64(r.Dispatched), int64(r.CopyStart), int64(r.Completed),
+					int64(r.Completed), int64(r.Retrieved))
+				cfg.Metrics.Stages.ObserveStamps(&ts)
 			}
 			d.FreeRequest(p, r)
 			outstanding--

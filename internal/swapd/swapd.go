@@ -24,6 +24,7 @@ import (
 	"memif/internal/core"
 	"memif/internal/hw"
 	"memif/internal/obs"
+	"memif/internal/obs/lifecycle"
 	"memif/internal/sim"
 	"memif/internal/uapi"
 )
@@ -64,12 +65,14 @@ type Stats struct {
 	BytesEvicted   int64
 }
 
-// metrics is the daemon's obs instrument set: the Stats counters plus
-// an eviction latency histogram (virtual ns, submission to completion)
-// and an evicted-bytes histogram.
+// metrics is the daemon's obs instrument set: the Stats counters, an
+// eviction latency histogram (virtual ns, submission to completion), an
+// evicted-bytes histogram, and the per-stage lifecycle span histograms
+// derived from each eviction request's stage stamps.
 type metrics struct {
 	evictions, failed, bytes obs.Counter
 	latency, sizes           obs.Histogram
+	stages                   lifecycle.SpanSet
 }
 
 // MetricsSnapshot is the daemon's observability view: counters plus the
@@ -79,6 +82,9 @@ type MetricsSnapshot struct {
 	// Latency is the submission-to-completion histogram of successful
 	// evictions (virtual ns); Sizes the per-eviction byte histogram.
 	Latency, Sizes obs.HistogramSnapshot
+	// Stages attributes eviction latency per pipeline stage (staging
+	// wait, dispatch wait, copy, completion dwell), in virtual ns.
+	Stages lifecycle.SpanSnapshot
 }
 
 // Daemon is the fast-memory evictor.
@@ -147,6 +153,7 @@ func (d *Daemon) Metrics() MetricsSnapshot {
 		BytesEvicted:    d.m.bytes.Load(),
 		Latency:         d.m.latency.Snapshot(),
 		Sizes:           d.m.sizes.Snapshot(),
+		Stages:          d.m.stages.Snapshot(),
 	}
 }
 
@@ -192,6 +199,10 @@ func (d *Daemon) handleCompletion(p *sim.Proc, got *uapi.MovReq) {
 		d.m.bytes.Add(got.Length)
 		d.m.latency.Observe(int64(got.Completed - got.Submitted))
 		d.m.sizes.Observe(got.Length)
+		ts := lifecycle.Stamps(int64(got.Submitted), int64(got.Flushed),
+			int64(got.Dispatched), int64(got.CopyStart), int64(got.Completed),
+			int64(got.Completed), int64(got.Retrieved))
+		d.m.stages.ObserveStamps(&ts)
 	} else {
 		d.m.failed.Inc()
 	}

@@ -103,6 +103,18 @@ type MovReq struct {
 	FailPage  int64 // page index at which a race/failure was detected
 	Submitted sim.Time
 	Completed sim.Time
+
+	// Lifecycle stage stamps (virtual time, 0 = stage never reached),
+	// the per-request raw material of the stage-latency attribution:
+	// Flushed when the request moved staging → submission queue,
+	// Dispatched when a kernel context dequeued it, CopyStart when
+	// validation and PTE work finished and the first DMA batch was
+	// about to be configured, Retrieved when the application collected
+	// the completion.
+	Flushed    sim.Time
+	Dispatched sim.Time
+	CopyStart  sim.Time
+	Retrieved  sim.Time
 }
 
 // Index returns the request's slot index.

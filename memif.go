@@ -48,6 +48,8 @@ import (
 	"memif/internal/hw"
 	"memif/internal/linuxmig"
 	"memif/internal/machine"
+	"memif/internal/obs/lifecycle"
+	"memif/internal/obs/obshttp"
 	"memif/internal/rbq"
 	"memif/internal/realtime"
 	"memif/internal/sim"
@@ -275,3 +277,71 @@ func OpenRealtime(opts RealtimeOptions) *RealtimeDevice { return realtime.Open(o
 // DefaultRealtimeOptions mirrors the EDMA3-ish defaults, including
 // min(4, GOMAXPROCS) transfer controllers and 256 KB chunking.
 func DefaultRealtimeOptions() RealtimeOptions { return realtime.DefaultOptions() }
+
+// LifecycleSnapshot is the per-request lifecycle tracer's view,
+// available as RealtimeStats.Lifecycle: per-stage latency histograms
+// (staging wait, dispatch wait, ring wait, steal delay, copy,
+// completion dwell) and the captured complete lifecycles. Sampling is
+// controlled by RealtimeOptions.TraceSampleShift (1 request in 2^k;
+// negative disables) or TraceFullCapture.
+type LifecycleSnapshot = lifecycle.Snapshot
+
+// LifecycleSpans holds the per-stage latency histograms of one
+// pipeline; SwapMetricsSnapshot.Stages and StreamMetricsSnapshot.Stages
+// carry the same shape on virtual time.
+type LifecycleSpans = lifecycle.SpanSnapshot
+
+// CapturedLifecycle is one completed, captured request lifecycle: slot,
+// payload size, outcome, and the raw stage timestamps.
+type CapturedLifecycle = lifecycle.Lifecycle
+
+// ChromeTraceJSON renders captured lifecycles as Chrome trace_event
+// JSON for chrome://tracing or ui.perfetto.dev.
+func ChromeTraceJSON(process string, lcs []CapturedLifecycle) ([]byte, error) {
+	return lifecycle.ChromeTraceJSON(process, lcs)
+}
+
+// SwapMetricsSnapshot is the swap daemon's observability view
+// (SwapDaemon.Metrics): eviction counters, latency/size histograms and
+// per-stage latency attribution.
+type SwapMetricsSnapshot = swapd.MetricsSnapshot
+
+// StreamMetrics accumulates streaming-runtime observability across runs
+// (set StreamConfig.Metrics); StreamMetricsSnapshot is its snapshot.
+type StreamMetrics = streamrt.Metrics
+
+// StreamMetricsSnapshot is a point-in-time copy of StreamMetrics.
+type StreamMetricsSnapshot = streamrt.MetricsSnapshot
+
+// ObsHandler serves the observability endpoints — /metrics (Prometheus
+// text format), /trace (Chrome trace_event JSON), /debug/pprof/* — for
+// a set of registered collectors; mount it on any http server. See
+// cmd/memif-trace -serve and cmd/membench -http for ready-made setups.
+type ObsHandler = obshttp.Handler
+
+// ObsMetric is one exposition sample a collector produces.
+type ObsMetric = obshttp.Metric
+
+// NewObsHandler returns an empty observability handler.
+func NewObsHandler() *ObsHandler { return obshttp.NewHandler() }
+
+// RealtimeObsMetrics maps a realtime stats snapshot onto the
+// memif_realtime_* Prometheus namespace.
+func RealtimeObsMetrics(device string, s RealtimeStats) []ObsMetric {
+	return obshttp.RealtimeMetrics(device, s)
+}
+
+// SwapObsMetrics maps a swap-daemon snapshot onto memif_swapd_*.
+func SwapObsMetrics(device string, s SwapMetricsSnapshot) []ObsMetric {
+	return obshttp.SwapdMetrics(device, s)
+}
+
+// StreamObsMetrics maps a streaming-runtime snapshot onto
+// memif_stream_*.
+func StreamObsMetrics(device string, s StreamMetricsSnapshot) []ObsMetric {
+	return obshttp.StreamMetrics(device, s)
+}
+
+// ParseExposition validates Prometheus text-format exposition — the
+// check CI runs against a scraped /metrics body.
+func ParseExposition(data []byte) error { return obshttp.ParseExposition(data) }
