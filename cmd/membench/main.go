@@ -11,14 +11,23 @@
 //
 // Workloads:
 //
-//	small_iops  8 submitters × 2 pollers, 4 KB requests batched ×16 —
-//	            the IOPS / kick-amortization story
-//	large_bw    2 submitters × 1 poller, 4 MB chunked transfers —
-//	            bandwidth through the ring + work-stealing dispatch
-//	mixed       6 small-request submitters alongside 2 large-request
-//	            submitters on one device
-//	open_loop   paced arrivals at a fixed target rate, so the latency
-//	            histogram reflects queueing rather than saturation
+//	small_iops   8 submitters × 2 pollers, 4 KB requests batched ×16 —
+//	             the IOPS / kick-amortization story
+//	large_bw     2 submitters × 1 poller, 4 MB chunked transfers —
+//	             bandwidth through the ring + work-stealing dispatch
+//	mixed        6 small-request submitters alongside 2 large-request
+//	             submitters on one device
+//	open_loop    paced arrivals at a fixed target rate, so the latency
+//	             histogram reflects queueing rather than saturation
+//	fg_baseline  paced foreground-only load — the uncontended latency
+//	             reference for the overload run
+//	overload     the same paced foreground load with closed-loop
+//	             scavenger flooding (large transfers) on top: the
+//	             priority-isolation story — scavengers are shed with
+//	             ErrOverload, foreground latency holds near baseline
+//	inline_small paced small requests with adaptive inline completion on
+//	notify_small the same load with inline completion disabled
+//	             (always-notify) — the adaptive-completion ablation
 package main
 
 import (
@@ -72,6 +81,27 @@ type WorkloadResult struct {
 	// (obs.QuantileInterp), so they are smooth estimates rather than
 	// power-of-two upper bounds. Only stages with samples appear.
 	Stages []StageLatency `json:"stages"`
+	// QoS fields (schema v3). Shed counts admission rejections in the
+	// window; InlineCompleted the requests the worker copied inline;
+	// InlineThresholdBytes the adaptive cutoff at window end (0 =
+	// disabled); AgedPops the out-of-priority-order dispatches. Classes
+	// breaks the window down per priority class — present only for
+	// workloads that declare a class mix.
+	Shed                 int64         `json:"shed,omitempty"`
+	InlineCompleted      int64         `json:"inline_completed,omitempty"`
+	InlineThresholdBytes int64         `json:"inline_threshold_bytes,omitempty"`
+	AgedPops             int64         `json:"aged_pops,omitempty"`
+	Classes              []ClassResult `json:"classes,omitempty"`
+}
+
+// ClassResult is one priority class's slice of a workload window.
+type ClassResult struct {
+	Class  string  `json:"class"`
+	Ops    int64   `json:"ops"`  // completions, including shed batch members
+	Shed   int64   `json:"shed"` // admission rejections
+	P50Ns  int64   `json:"p50_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MeanNs float64 `json:"mean_ns"`
 }
 
 // StageLatency is one attribution bucket of the request latency:
@@ -107,7 +137,9 @@ func stageBreakdown(spans lifecycle.SpanSnapshot) []StageLatency {
 }
 
 // workload describes one steady-state scenario. Large is an optional
-// second submitter class for the mixed workload.
+// second submitter class for the mixed workload; classMix, when set,
+// replaces the legacy submitter fields with an explicit per-priority-
+// class load mix (the QoS workloads).
 type workload struct {
 	name       string
 	mode       string // closed_loop | open_loop
@@ -118,7 +150,19 @@ type workload struct {
 	largeSubs  int // extra submitters issuing largeSize requests
 	largeSize  int
 	targetRate int // open_loop only: requests/second
+	classMix   []classLoad
 	opts       realtime.Options
+}
+
+// classLoad is one priority class's share of a workload: submitters
+// issuing size-byte requests in batches, paced at rate requests/second
+// across the class (0 = closed loop, as fast as slots allow).
+type classLoad struct {
+	class      realtime.Class
+	submitters int
+	size       int
+	batch      int
+	rate       int
 }
 
 func workloads(quick bool) []workload {
@@ -156,6 +200,57 @@ func workloads(quick bool) []workload {
 			// 20-50k ops/s the tracing cost is irrelevant anyway.
 			opts: realtime.Options{NumReqs: 256, Controllers: 2, StagingShards: 2,
 				TraceSampleShift: 3},
+		},
+		{
+			// The uncontended reference: the overload workload's foreground
+			// load alone, on the same small device.
+			name: "fg_baseline", mode: "open_loop",
+			pollers: 2, size: 4 << 10, batch: 1,
+			classMix: []classLoad{
+				{class: realtime.ClassForeground, submitters: 2, size: 4 << 10, batch: 1, rate: rate / 2},
+			},
+			opts: realtime.Options{NumReqs: 64, Controllers: 2, StagingShards: 2,
+				TraceSampleShift: 3},
+		},
+		{
+			// Priority isolation under overload: the same paced foreground
+			// load, plus closed-loop scavenger submitters flooding the
+			// device with 1 MB transfers. The scavenger flood drives total
+			// occupancy past its 50% admission share, so scavengers are
+			// shed with ErrOverload while foreground — never shed, popped
+			// first, mostly completed inline — holds near its baseline
+			// latency.
+			name: "overload", mode: "open_loop",
+			pollers: 2, size: 4 << 10, batch: 1,
+			classMix: []classLoad{
+				{class: realtime.ClassForeground, submitters: 2, size: 4 << 10, batch: 1, rate: rate / 2},
+				{class: realtime.ClassScavenger, submitters: 4, size: 1 << 20, batch: 4},
+			},
+			opts: realtime.Options{NumReqs: 64, Controllers: 2, StagingShards: 2,
+				ChunkBytes: 256 << 10, TraceSampleShift: 3},
+		},
+		{
+			// Adaptive completion on: small paced requests, worker copies
+			// them inline (the paper's poll path).
+			name: "inline_small", mode: "open_loop",
+			pollers: 1, size: 4 << 10, batch: 1,
+			classMix: []classLoad{
+				{class: realtime.ClassForeground, submitters: 2, size: 4 << 10, batch: 1, rate: rate / 2},
+			},
+			opts: realtime.Options{NumReqs: 128, Controllers: 2, StagingShards: 2,
+				TraceSampleShift: 3},
+		},
+		{
+			// The always-notify ablation: identical load with inline
+			// completion disabled, so every request pays the ring push,
+			// controller wakeup and notify hop.
+			name: "notify_small", mode: "open_loop",
+			pollers: 1, size: 4 << 10, batch: 1,
+			classMix: []classLoad{
+				{class: realtime.ClassForeground, submitters: 2, size: 4 << 10, batch: 1, rate: rate / 2},
+			},
+			opts: realtime.Options{NumReqs: 128, Controllers: 2, StagingShards: 2,
+				TraceSampleShift: 3, QoS: realtime.QoSOptions{InlineThreshold: -1}},
 		},
 	}
 }
@@ -211,7 +306,7 @@ func main() {
 
 	rep := Report{
 		Benchmark:  "membench",
-		Version:    2,
+		Version:    3,
 		UnixTime:   time.Now().Unix(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
@@ -219,8 +314,12 @@ func main() {
 	for _, wl := range workloads(*quick) {
 		fmt.Fprintf(os.Stderr, "membench: running %-10s (warmup %v, window %v)\n", wl.name, warmup, window)
 		res := runWorkload(wl, warmup, window)
-		fmt.Fprintf(os.Stderr, "membench: %-10s %12.0f ops/s %8.2f GB/s  p50 %s  p99 %s  kicks/op %.4f\n",
+		fmt.Fprintf(os.Stderr, "membench: %-12s %12.0f ops/s %8.2f GB/s  p50 %s  p99 %s  kicks/op %.4f\n",
 			wl.name, res.OpsPerSec, res.GBPerSec, time.Duration(res.P50Ns), time.Duration(res.P99Ns), res.KicksPerOp)
+		for _, c := range res.Classes {
+			fmt.Fprintf(os.Stderr, "membench:   %-12s %10d ops %10d shed  p50 %s  p99 %s\n",
+				c.Class, c.Ops, c.Shed, time.Duration(c.P50Ns), time.Duration(c.P99Ns))
+		}
 		rep.Workloads = append(rep.Workloads, res)
 	}
 
@@ -252,9 +351,23 @@ func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
 	d := realtime.Open(wl.opts)
 	liveDevice.Store(d)
 	defer liveDevice.Store(nil)
-	maxSize := wl.size
-	if wl.largeSize > maxSize {
-		maxSize = wl.largeSize
+	// Legacy workloads describe a single (implicitly foreground) class,
+	// plus optionally a large-request side channel; normalize both forms
+	// into a class mix.
+	mix := wl.classMix
+	if len(mix) == 0 {
+		mix = []classLoad{{class: realtime.ClassForeground,
+			submitters: wl.submitters, size: wl.size, batch: wl.batch, rate: wl.targetRate}}
+		if wl.largeSubs > 0 {
+			mix = append(mix, classLoad{class: realtime.ClassForeground,
+				submitters: wl.largeSubs, size: wl.largeSize, batch: 1})
+		}
+	}
+	maxSize := 0
+	for _, cl := range mix {
+		if cl.size > maxSize {
+			maxSize = cl.size
+		}
 	}
 	// Destinations are owned per slot: a slot is exclusive from Alloc to
 	// Free, so slot-indexed buffers can never be written concurrently.
@@ -267,17 +380,17 @@ func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
 	var stop atomic.Bool
 	var wg, pwg sync.WaitGroup
 
-	submitter := func(size, batch int) {
+	submitter := func(cl classLoad) {
 		defer wg.Done()
-		pending := make([]*realtime.Request, 0, batch)
+		pending := make([]*realtime.Request, 0, cl.batch)
 		var tick *time.Ticker
 		perTick := 0
-		if wl.mode == "open_loop" {
-			// Coarse pacing: a shared target rate split across
+		if cl.rate > 0 {
+			// Coarse pacing: the class's target rate split across its
 			// submitters, refilled every 2ms.
 			tick = time.NewTicker(2 * time.Millisecond)
 			defer tick.Stop()
-			perTick = wl.targetRate / wl.submitters / 500
+			perTick = cl.rate / cl.submitters / 500
 			if perTick < 1 {
 				perTick = 1
 			}
@@ -298,9 +411,10 @@ func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
 				if r == nil {
 					break
 				}
-				r.Src, r.Dst = src[:size], dsts[r.Index()][:size]
+				r.Class = cl.class
+				r.Src, r.Dst = src[:cl.size], dsts[r.Index()][:cl.size]
 				pending = append(pending, r)
-				if len(pending) == batch {
+				if len(pending) == cl.batch {
 					if err := d.SubmitBatch(pending); err != nil {
 						panic(err)
 					}
@@ -340,13 +454,13 @@ func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
 		pwg.Add(1)
 		go poller()
 	}
-	for i := 0; i < wl.submitters; i++ {
-		wg.Add(1)
-		go submitter(wl.size, wl.batch)
-	}
-	for i := 0; i < wl.largeSubs; i++ {
-		wg.Add(1)
-		go submitter(wl.largeSize, 1)
+	totalSubs := 0
+	for _, cl := range mix {
+		totalSubs += cl.submitters
+		for i := 0; i < cl.submitters; i++ {
+			wg.Add(1)
+			go submitter(cl)
+		}
 	}
 
 	time.Sleep(warmup)
@@ -365,26 +479,47 @@ func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
 	ops := s1.Completed - s0.Completed
 	kicks := s1.Kicks - s0.Kicks
 	res := WorkloadResult{
-		Name:       wl.name,
-		Mode:       wl.mode,
-		Submitters: wl.submitters + wl.largeSubs,
-		Pollers:    wl.pollers,
-		SizeBytes:  wl.size,
-		Batch:      wl.batch,
-		WindowSec:  elapsed.Seconds(),
-		Ops:        ops,
-		OpsPerSec:  float64(ops) / elapsed.Seconds(),
-		GBPerSec:   float64(s1.BytesMoved-s0.BytesMoved) / elapsed.Seconds() / 1e9,
-		P50Ns:      lat.Quantile(0.50),
-		P99Ns:      lat.Quantile(0.99),
-		MeanNs:     lat.Mean(),
-		Kicks:      kicks,
-		Steals:     s1.Steals - s0.Steals,
-		Batches:    s1.Batches - s0.Batches,
-		Stages:     stageBreakdown(s1.Lifecycle.Spans.Delta(s0.Lifecycle.Spans)),
+		Name:                 wl.name,
+		Mode:                 wl.mode,
+		Submitters:           totalSubs,
+		Pollers:              wl.pollers,
+		SizeBytes:            wl.size,
+		Batch:                wl.batch,
+		WindowSec:            elapsed.Seconds(),
+		Ops:                  ops,
+		OpsPerSec:            float64(ops) / elapsed.Seconds(),
+		GBPerSec:             float64(s1.BytesMoved-s0.BytesMoved) / elapsed.Seconds() / 1e9,
+		P50Ns:                lat.Quantile(0.50),
+		P99Ns:                lat.Quantile(0.99),
+		MeanNs:               lat.Mean(),
+		Kicks:                kicks,
+		Steals:               s1.Steals - s0.Steals,
+		Batches:              s1.Batches - s0.Batches,
+		Stages:               stageBreakdown(s1.Lifecycle.Spans.Delta(s0.Lifecycle.Spans)),
+		Shed:                 s1.Shed - s0.Shed,
+		InlineCompleted:      s1.InlineCompleted - s0.InlineCompleted,
+		InlineThresholdBytes: s1.InlineThresholdBytes,
+		AgedPops:             s1.AgedPops - s0.AgedPops,
 	}
 	if ops > 0 {
 		res.KicksPerOp = float64(kicks) / float64(ops)
+	}
+	if len(wl.classMix) > 0 {
+		for c := range s1.Classes {
+			c0, c1 := s0.Classes[c], s1.Classes[c]
+			if c1.Submitted == c0.Submitted && c1.Shed == c0.Shed {
+				continue // class idle in this workload
+			}
+			clat := c1.Latency.Delta(c0.Latency)
+			res.Classes = append(res.Classes, ClassResult{
+				Class:  realtime.ClassName(c),
+				Ops:    c1.Completed - c0.Completed,
+				Shed:   c1.Shed - c0.Shed,
+				P50Ns:  clat.Quantile(0.50),
+				P99Ns:  clat.Quantile(0.99),
+				MeanNs: clat.Mean(),
+			})
+		}
 	}
 	return res
 }
@@ -449,6 +584,58 @@ func validate(rep Report) error {
 		if !any {
 			return fmt.Errorf("version %d report has no per-stage latency data in any workload", rep.Version)
 		}
+	}
+	if rep.Version >= 3 {
+		if err := validateQoS(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateQoS enforces the schema-v3 QoS invariants: the overload
+// workload must actually shed scavengers and never shed foreground, and
+// the inline/notify ablation pair must differ in the inline counter.
+// The gates are structural, not timing-based, so they hold on loaded CI
+// machines; the latency comparison itself lives in EXPERIMENTS.md.
+func validateQoS(rep Report) error {
+	byName := map[string]WorkloadResult{}
+	for _, w := range rep.Workloads {
+		byName[w.Name] = w
+	}
+	if w, ok := byName["overload"]; ok {
+		if len(w.Classes) == 0 {
+			return fmt.Errorf("overload workload has no per-class results")
+		}
+		var fg, scav *ClassResult
+		for i := range w.Classes {
+			switch w.Classes[i].Class {
+			case "foreground":
+				fg = &w.Classes[i]
+			case "scavenger":
+				scav = &w.Classes[i]
+			}
+		}
+		if fg == nil || scav == nil {
+			return fmt.Errorf("overload workload is missing foreground or scavenger class results")
+		}
+		if fg.Shed != 0 {
+			return fmt.Errorf("overload: %d foreground requests shed — foreground must never be shed", fg.Shed)
+		}
+		if fg.Ops <= 0 {
+			return fmt.Errorf("overload: no foreground completions in the window")
+		}
+		if scav.Shed <= 0 {
+			return fmt.Errorf("overload: no scavenger requests shed — admission control is not engaging")
+		}
+	}
+	inline, haveInline := byName["inline_small"]
+	notify, haveNotify := byName["notify_small"]
+	if haveInline && inline.InlineCompleted <= 0 {
+		return fmt.Errorf("inline_small: no inline completions — adaptive completion is not engaging")
+	}
+	if haveNotify && notify.InlineCompleted != 0 {
+		return fmt.Errorf("notify_small: %d inline completions with inline disabled", notify.InlineCompleted)
 	}
 	return nil
 }

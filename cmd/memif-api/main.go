@@ -1,0 +1,52 @@
+// memif-api maintains api/memif.txt, the committed snapshot of the
+// package memif public surface.
+//
+// Usage:
+//
+//	memif-api [-dir .] -o api/memif.txt     regenerate the snapshot
+//	memif-api [-dir .] -check api/memif.txt fail (exit 1) on drift
+//
+// CI runs the -check form: any change to the exported facade — a new
+// symbol, a removed alias, a signature change — fails until the
+// snapshot is regenerated and committed, so API drift is always a
+// reviewed diff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memif/internal/apisnap"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to snapshot")
+	out := flag.String("o", "", "write the surface to this file (\"-\" or empty = stdout)")
+	check := flag.String("check", "", "compare the surface against this snapshot file and exit nonzero on drift")
+	flag.Parse()
+
+	if *check != "" {
+		if err := apisnap.Check(*dir, *check); err != nil {
+			fmt.Fprintf(os.Stderr, "memif-api: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("memif-api: %s matches the exported surface of %s\n", *check, *dir)
+		return
+	}
+
+	surface, err := apisnap.Surface(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memif-api: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" || *out == "-" {
+		os.Stdout.WriteString(surface)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(surface), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "memif-api: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "memif-api: wrote %s\n", *out)
+}

@@ -1,0 +1,179 @@
+// Package apisnap renders a Go package's exported API surface as
+// deterministic text, one declaration per line. cmd/memif-api uses it
+// to maintain api/memif.txt, the committed snapshot of the public
+// facade that CI diffs against — so any change to the exported surface
+// (a new symbol, a renamed alias, a signature change) fails the build
+// until the snapshot is regenerated, making facade drift a reviewed
+// decision rather than an accident.
+//
+// The renderer is purely syntactic (go/parser, no type checking): it
+// prints each exported top-level declaration with bodies and comments
+// stripped and whitespace normalized, then sorts the lines. That is
+// enough to catch every drift that matters at the facade — the facade
+// is an alias layer, so even "type X = internal.Y" rewrites show up
+// verbatim.
+package apisnap
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Surface parses the Go package in dir (excluding _test.go files) and
+// returns its exported API surface: one sorted line per exported
+// top-level const, var, type or func declaration.
+func Surface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.SkipObjectResolution)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") || pkg.Name == "main" {
+			continue
+		}
+		// Deterministic file order (map iteration is random).
+		files := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			files = append(files, name)
+		}
+		sort.Strings(files)
+		for _, name := range files {
+			lines = append(lines, fileSurface(fset, pkg.Files[name])...)
+		}
+	}
+	if len(lines) == 0 {
+		return "", fmt.Errorf("apisnap: no non-test library package found in %s", dir)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+func fileSurface(fset *token.FileSet, f *ast.File) []string {
+	var lines []string
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Recv != nil {
+				// The facade's methods live on aliased internal types;
+				// only package-level functions are part of its surface.
+				continue
+			}
+			fn := *d
+			fn.Doc, fn.Body = nil, nil
+			lines = append(lines, render(fset, &fn))
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				if line, ok := specSurface(fset, d.Tok, spec); ok {
+					lines = append(lines, line)
+				}
+			}
+		}
+	}
+	return lines
+}
+
+// specSurface renders one exported const/var/type spec. Unexported
+// names inside a shared group are dropped; a spec with no exported
+// names disappears entirely.
+func specSurface(fset *token.FileSet, tok token.Token, spec ast.Spec) (string, bool) {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		if !s.Name.IsExported() {
+			return "", false
+		}
+		ts := *s
+		ts.Doc, ts.Comment = nil, nil
+		return tok.String() + " " + render(fset, &ts), true
+	case *ast.ValueSpec:
+		vs := *s
+		vs.Doc, vs.Comment = nil, nil
+		var names []*ast.Ident
+		for _, n := range vs.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			return "", false
+		}
+		// Values stay in the rendering only when every name in the spec
+		// is exported — a mixed spec can't keep its value list aligned.
+		if len(names) != len(vs.Names) {
+			vs.Values, vs.Type = nil, nil
+		}
+		vs.Names = names
+		return tok.String() + " " + render(fset, &vs), true
+	default:
+		return "", false
+	}
+}
+
+// render prints a node on one line: comments dropped (printer.Fprint
+// ignores them for detached nodes), interior whitespace collapsed.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// Check compares the live surface of the package in dir against the
+// snapshot file. It returns an error describing the drift (with
+// per-line +/- detail) when they differ.
+func Check(dir, snapshotPath string) error {
+	want, err := os.ReadFile(snapshotPath)
+	if err != nil {
+		return err
+	}
+	got, err := Surface(dir)
+	if err != nil {
+		return err
+	}
+	if got == string(want) {
+		return nil
+	}
+	return fmt.Errorf("exported API surface differs from %s — regenerate with `go run ./cmd/memif-api -o %s` and review the diff:\n%s",
+		snapshotPath, filepath.ToSlash(snapshotPath), diff(string(want), got))
+}
+
+// diff renders a minimal line diff: lines only in want as "-", only in
+// got as "+". Order-insensitive (both sides are sorted).
+func diff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimRight(want, "\n"), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+		gotSet[l] = true
+	}
+	var out []string
+	for l := range wantSet {
+		if !gotSet[l] {
+			out = append(out, "- "+l)
+		}
+	}
+	for l := range gotSet {
+		if !wantSet[l] {
+			out = append(out, "+ "+l)
+		}
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		out = []string{"(lines reordered or whitespace changed)"}
+	}
+	return strings.Join(out, "\n")
+}

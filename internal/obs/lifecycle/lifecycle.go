@@ -249,11 +249,13 @@ func (s SpanSnapshot) Delta(prev SpanSnapshot) SpanSnapshot {
 }
 
 // Lifecycle is one completed, captured request lifecycle: the slot it
-// ran in, a global order stamp, the payload size, the outcome, and the
-// raw stage timestamps (0 = stage never reached).
+// ran in, a global order stamp, the payload size, the priority class
+// (0 on pipelines without classes), the outcome, and the raw stage
+// timestamps (0 = stage never reached).
 type Lifecycle struct {
 	Seq     uint64
 	Slot    int
+	Class   int
 	Bytes   int64
 	Outcome Outcome
 	TS      [NumStages]int64
@@ -266,6 +268,7 @@ type Lifecycle struct {
 type record struct {
 	count   atomic.Uint64
 	active  atomic.Uint32
+	class   atomic.Uint32
 	bytes   atomic.Int64
 	seq     atomic.Uint64
 	outcome atomic.Uint32
@@ -279,6 +282,7 @@ type record struct {
 type captureSlot struct {
 	seq     atomic.Uint64
 	slot    atomic.Int64
+	class   atomic.Uint32
 	bytes   atomic.Int64
 	outcome atomic.Uint32
 	ts      [NumStages]atomic.Int64
@@ -290,24 +294,27 @@ const DefaultCaptureDepth = 256
 // Tracer owns the per-slot records of one device and the histograms
 // derived from them. A nil *Tracer is valid and records nothing.
 type Tracer struct {
-	mask    uint64 // sample when (seq-1)&mask == 0
-	shift   int
-	recs    []record
-	seq     atomic.Uint64
-	begun   obs.Counter
-	ended   obs.Counter
-	aborted obs.Counter
-	spans   SpanSet
-	capture []captureSlot
-	capCur  atomic.Uint64
+	mask       uint64 // sample when (seq-1)&mask == 0
+	shift      int
+	recs       []record
+	seq        atomic.Uint64
+	begun      obs.Counter
+	ended      obs.Counter
+	aborted    obs.Counter
+	spans      SpanSet
+	classSpans []SpanSet // per-class attribution; empty without classes
+	capture    []captureSlot
+	capCur     atomic.Uint64
 }
 
 // New returns a tracer for slots request slots sampling one request in
 // 2^sampleShift (shift 0 = every request, the full-capture mode), with
 // a captureDepth-deep completed-lifecycle ring (0 = DefaultCaptureDepth).
-// A negative sampleShift returns nil — tracing disabled; every method
-// is nil-safe.
-func New(slots, sampleShift, captureDepth int) *Tracer {
+// classes > 0 additionally attributes every span to the request's
+// priority class (Begin's class argument), giving per-class stage
+// latencies alongside the global ones. A negative sampleShift returns
+// nil — tracing disabled; every method is nil-safe.
+func New(slots, sampleShift, captureDepth, classes int) *Tracer {
 	if sampleShift < 0 || slots <= 0 {
 		return nil
 	}
@@ -317,11 +324,15 @@ func New(slots, sampleShift, captureDepth int) *Tracer {
 	if captureDepth <= 0 {
 		captureDepth = DefaultCaptureDepth
 	}
+	if classes < 0 {
+		classes = 0
+	}
 	return &Tracer{
-		mask:    uint64(1)<<uint(sampleShift) - 1,
-		shift:   sampleShift,
-		recs:    make([]record, slots),
-		capture: make([]captureSlot, captureDepth),
+		mask:       uint64(1)<<uint(sampleShift) - 1,
+		shift:      sampleShift,
+		recs:       make([]record, slots),
+		classSpans: make([]SpanSet, classes),
+		capture:    make([]captureSlot, captureDepth),
 	}
 }
 
@@ -334,16 +345,18 @@ func (t *Tracer) SampleShift() int {
 }
 
 // Begin opens a lifecycle on slot, making the sampling decision and —
-// when sampled — stamping StageSubmit with nano. It reports whether the
-// lifecycle is sampled. A previous lifecycle left un-ended on the slot
-// (an aborted submission) is overwritten.
+// when sampled — stamping StageSubmit with nano. class attributes the
+// lifecycle's spans to a priority class (pass 0 on pipelines without
+// classes). It reports whether the lifecycle is sampled. A previous
+// lifecycle left un-ended on the slot (an aborted submission) is
+// overwritten.
 //
 // The decision counts slot-locally — each slot samples its own 1st,
 // 2^shift+1'th, ... request — so the unsampled path costs a counter
 // bump and a mask test on the slot's own cacheline, never a contended
 // RMW on tracer-global state. The global Seq order stamp is taken only
 // for sampled lifecycles (1 in 2^shift), where its cost vanishes.
-func (t *Tracer) Begin(slot int, bytes, nano int64) bool {
+func (t *Tracer) Begin(slot, class int, bytes, nano int64) bool {
 	if t == nil || slot >= len(t.recs) {
 		return false
 	}
@@ -359,6 +372,7 @@ func (t *Tracer) Begin(slot int, bytes, nano int64) bool {
 		r.ts[i].Store(0)
 	}
 	r.ts[StageSubmit].Store(nano)
+	r.class.Store(uint32(class))
 	r.bytes.Store(bytes)
 	r.seq.Store(t.seq.Add(1))
 	r.outcome.Store(uint32(OutcomeOK))
@@ -393,15 +407,22 @@ func (t *Tracer) TransitionFirst(slot int, st Stage, nano int64) {
 	t.recs[slot].ts[st].CompareAndSwap(0, nano)
 }
 
-// ObserveQueueWait records a chunk-level dispatch-ring wait; stolen
-// chunks are additionally attributed to SpanStealDelay.
-func (t *Tracer) ObserveQueueWait(d int64, stolen bool) {
+// ObserveQueueWait records a chunk-level dispatch-ring wait for a
+// request of the given class; stolen chunks are additionally attributed
+// to SpanStealDelay.
+func (t *Tracer) ObserveQueueWait(class int, d int64, stolen bool) {
 	if t == nil {
 		return
 	}
 	t.spans.Observe(SpanRingWait, d)
 	if stolen {
 		t.spans.Observe(SpanStealDelay, d)
+	}
+	if class >= 0 && class < len(t.classSpans) {
+		t.classSpans[class].Observe(SpanRingWait, d)
+		if stolen {
+			t.classSpans[class].Observe(SpanStealDelay, d)
+		}
 	}
 }
 
@@ -432,9 +453,14 @@ func (t *Tracer) End(slot int, outcome Outcome, nano int64) {
 		ts[i] = r.ts[i].Load()
 	}
 	t.spans.ObserveStamps(&ts)
+	class := int(r.class.Load())
+	if class < len(t.classSpans) {
+		t.classSpans[class].ObserveStamps(&ts)
+	}
 	t.pushCapture(Lifecycle{
 		Seq:     r.seq.Load(),
 		Slot:    slot,
+		Class:   class,
 		Bytes:   r.bytes.Load(),
 		Outcome: outcome,
 		TS:      ts,
@@ -447,6 +473,7 @@ func (t *Tracer) pushCapture(lc Lifecycle) {
 	seq := t.capCur.Add(1)
 	s := &t.capture[(seq-1)%uint64(len(t.capture))]
 	s.slot.Store(int64(lc.Slot))
+	s.class.Store(uint32(lc.Class))
 	s.bytes.Store(lc.Bytes)
 	s.outcome.Store(uint32(lc.Outcome))
 	for i := range lc.TS {
@@ -470,6 +497,12 @@ func (t *Tracer) Snapshot() Snapshot {
 		Aborted:     t.aborted.Load(),
 		Spans:       t.spans.Snapshot(),
 	}
+	if len(t.classSpans) > 0 {
+		s.ClassSpans = make([]SpanSnapshot, len(t.classSpans))
+		for i := range t.classSpans {
+			s.ClassSpans[i] = t.classSpans[i].Snapshot()
+		}
+	}
 	for i := range t.capture {
 		cs := &t.capture[i]
 		seq := cs.seq.Load()
@@ -479,6 +512,7 @@ func (t *Tracer) Snapshot() Snapshot {
 		lc := Lifecycle{
 			Seq:     seq,
 			Slot:    int(cs.slot.Load()),
+			Class:   int(cs.class.Load()),
 			Bytes:   cs.bytes.Load(),
 			Outcome: Outcome(cs.outcome.Load()),
 		}
@@ -489,6 +523,16 @@ func (t *Tracer) Snapshot() Snapshot {
 	}
 	sort.Slice(s.Captured, func(i, j int) bool { return s.Captured[i].Seq < s.Captured[j].Seq })
 	return s
+}
+
+// Spans captures only the global per-span histograms — the cheap
+// accessor for periodic consumers (e.g. an adaptive-threshold retuner)
+// that must not pay Snapshot's capture-ring scan. Nil-safe.
+func (t *Tracer) Spans() SpanSnapshot {
+	if t == nil {
+		return SpanSnapshot{}
+	}
+	return t.spans.Snapshot()
 }
 
 // Snapshot is a point-in-time view of a Tracer.
@@ -502,6 +546,9 @@ type Snapshot struct {
 	Begun, Ended, Aborted int64
 	// Spans holds the per-stage latency histograms.
 	Spans SpanSnapshot
+	// ClassSpans holds the same histograms split by priority class,
+	// indexed by class; empty when the tracer was built without classes.
+	ClassSpans []SpanSnapshot
 	// Captured holds the retained completed lifecycles, oldest first.
 	Captured []Lifecycle
 }
@@ -577,7 +624,8 @@ func ChromeTraceGroupsJSON(groups []TraceGroup) ([]byte, error) {
 					TS: us(from), Dur: float64(to-from) / 1e3,
 					PID: pid, TID: lc.Slot,
 					Args: map[string]any{
-						"seq": lc.Seq, "bytes": lc.Bytes, "outcome": lc.Outcome.String(),
+						"seq": lc.Seq, "bytes": lc.Bytes, "class": lc.Class,
+						"outcome": lc.Outcome.String(),
 					},
 				})
 			}

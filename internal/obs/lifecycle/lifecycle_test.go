@@ -8,10 +8,10 @@ import (
 func TestSamplingRate(t *testing.T) {
 	// shift 3: exactly every 8th Begin (the 1st, 9th, 17th, ...) is
 	// sampled — the decision is a deterministic counter, not a PRNG.
-	tr := New(4, 3, 0)
+	tr := New(4, 3, 0, 0)
 	sampled := 0
 	for i := 0; i < 64; i++ {
-		if tr.Begin(0, 100, int64(i+1)) {
+		if tr.Begin(0, 0, 100, int64(i+1)) {
 			sampled++
 			if i%8 != 0 {
 				t.Errorf("request %d sampled, want only multiples of 8", i)
@@ -32,16 +32,16 @@ func TestSamplingRate(t *testing.T) {
 }
 
 func TestFullCaptureAndSpans(t *testing.T) {
-	tr := New(2, 0, 8)
-	tr.Begin(1, 4096, 100)
+	tr := New(2, 0, 8, 0)
+	tr.Begin(1, 0, 4096, 100)
 	tr.Transition(1, StageFlushed, 110)
 	tr.Transition(1, StageDispatched, 130)
 	tr.TransitionFirst(1, StageCopyStart, 160)
 	tr.TransitionFirst(1, StageCopyStart, 170) // later racer must lose
 	tr.Transition(1, StageCopyEnd, 200)
 	tr.Transition(1, StageCompleted, 210)
-	tr.ObserveQueueWait(25, false)
-	tr.ObserveQueueWait(40, true)
+	tr.ObserveQueueWait(0, 25, false)
+	tr.ObserveQueueWait(0, 40, true)
 	tr.End(1, OutcomeOK, 260)
 
 	s := tr.Snapshot()
@@ -76,8 +76,8 @@ func TestFullCaptureAndSpans(t *testing.T) {
 func TestMissingEndpointsSkipSpans(t *testing.T) {
 	// An ErrNoSlots-style failure goes submit -> completed directly;
 	// only spans with both endpoints may record.
-	tr := New(1, 0, 0)
-	tr.Begin(0, 0, 100)
+	tr := New(1, 0, 0, 0)
+	tr.Begin(0, 0, 0, 100)
 	tr.Transition(0, StageCompleted, 150)
 	tr.End(0, OutcomeFailed, 180)
 	s := tr.Snapshot()
@@ -98,14 +98,14 @@ func TestMissingEndpointsSkipSpans(t *testing.T) {
 }
 
 func TestAbortAndSlotReuse(t *testing.T) {
-	tr := New(1, 0, 4)
-	tr.Begin(0, 0, 10)
+	tr := New(1, 0, 4, 0)
+	tr.Begin(0, 0, 0, 10)
 	tr.Abort(0)
 	if tr.Sampled(0) {
 		t.Error("slot still sampled after Abort")
 	}
 	// Reuse the slot: stale stamps must not leak into the new lifecycle.
-	tr.Begin(0, 0, 50)
+	tr.Begin(0, 0, 0, 50)
 	tr.Transition(0, StageFlushed, 60)
 	tr.End(0, OutcomeOK, 70)
 	s := tr.Snapshot()
@@ -121,9 +121,9 @@ func TestAbortAndSlotReuse(t *testing.T) {
 }
 
 func TestCaptureRingWrap(t *testing.T) {
-	tr := New(1, 0, 4)
+	tr := New(1, 0, 4, 0)
 	for i := int64(1); i <= 10; i++ {
-		tr.Begin(0, i, i*100)
+		tr.Begin(0, 0, i, i*100)
 		tr.End(0, OutcomeOK, i*100+50)
 	}
 	s := tr.Snapshot()
@@ -140,6 +140,47 @@ func TestCaptureRingWrap(t *testing.T) {
 	}
 }
 
+func TestPerClassSpans(t *testing.T) {
+	tr := New(2, 0, 4, 3)
+	run := func(slot, class int, base int64) {
+		tr.Begin(slot, class, 64, base)
+		tr.Transition(slot, StageFlushed, base+10)
+		tr.ObserveQueueWait(class, 7, false)
+		tr.End(slot, Outcome(0), base+100)
+	}
+	run(0, 0, 1000)
+	run(1, 2, 2000)
+	run(0, 2, 3000)
+	s := tr.Snapshot()
+	if len(s.ClassSpans) != 3 {
+		t.Fatalf("ClassSpans len = %d, want 3", len(s.ClassSpans))
+	}
+	if c := s.ClassSpans[0].Spans[SpanTotal].Count; c != 1 {
+		t.Errorf("class 0 total count = %d, want 1", c)
+	}
+	if c := s.ClassSpans[2].Spans[SpanTotal].Count; c != 2 {
+		t.Errorf("class 2 total count = %d, want 2", c)
+	}
+	if c := s.ClassSpans[1].Spans[SpanTotal].Count; c != 0 {
+		t.Errorf("class 1 total count = %d, want 0", c)
+	}
+	if c := s.ClassSpans[2].Spans[SpanRingWait].Count; c != 2 {
+		t.Errorf("class 2 ring wait count = %d, want 2", c)
+	}
+	// The global spans see everything regardless of class.
+	if c := s.Spans.Spans[SpanTotal].Count; c != 3 {
+		t.Errorf("global total count = %d, want 3", c)
+	}
+	// Captured lifecycles carry their class.
+	classes := map[int]int{}
+	for _, lc := range s.Captured {
+		classes[lc.Class]++
+	}
+	if classes[0] != 1 || classes[2] != 2 {
+		t.Errorf("captured classes = %v, want {0:1, 2:2}", classes)
+	}
+}
+
 func TestNegativeDurationClamped(t *testing.T) {
 	var ss SpanSet
 	ss.Observe(SpanCopy, -5)
@@ -151,12 +192,12 @@ func TestNegativeDurationClamped(t *testing.T) {
 
 func TestNilSafety(t *testing.T) {
 	var tr *Tracer
-	if tr.Begin(0, 0, 1) || tr.Sampled(0) {
+	if tr.Begin(0, 0, 0, 1) || tr.Sampled(0) {
 		t.Error("nil tracer claims sampling")
 	}
 	tr.Transition(0, StageFlushed, 1)
 	tr.TransitionFirst(0, StageCopyStart, 1)
-	tr.ObserveQueueWait(1, true)
+	tr.ObserveQueueWait(0, 1, true)
 	tr.Abort(0)
 	tr.End(0, OutcomeOK, 1)
 	if s := tr.Snapshot(); s.Enabled || s.SampleShift != -1 {
@@ -170,16 +211,16 @@ func TestNilSafety(t *testing.T) {
 	ts := Stamps(1, 2, 3, 4, 5, 6, 7)
 	ss.ObserveStamps(&ts)
 	_ = ss.Snapshot()
-	if New(0, 0, 0) != nil || New(10, -1, 0) != nil {
+	if New(0, 0, 0, 0) != nil || New(10, -1, 0, 0) != nil {
 		t.Error("disabled configs must return nil")
 	}
 }
 
 func TestChromeTraceJSON(t *testing.T) {
-	tr := New(2, 0, 8)
+	tr := New(2, 0, 8, 0)
 	for slot := 0; slot < 2; slot++ {
 		base := int64(1000 * (slot + 1))
-		tr.Begin(slot, 4096, base)
+		tr.Begin(slot, 0, 4096, base)
 		tr.Transition(slot, StageFlushed, base+10)
 		tr.Transition(slot, StageDispatched, base+20)
 		tr.Transition(slot, StageCopyStart, base+30)

@@ -30,6 +30,12 @@ func RealtimeMetrics(device string, s realtime.StatsSnapshot) []Metric {
 		counter("memif_realtime_dispatch_retries_total", "Worker backoffs with every dispatch ring full.", lb, s.DispatchRetries),
 		counter("memif_realtime_enqueue_retries_total", "Transient slab-exhaustion retries in the flush path.", lb, s.EnqueueRetries),
 		counter("memif_realtime_double_completes_total", "Completion paths finding the request already terminal (must stay 0).", lb, s.DoubleCompletes),
+		counter("memif_realtime_shed_total", "Submissions rejected by the admission controller with ErrOverload.", lb, s.Shed),
+		counter("memif_realtime_overload_completions_total", "Admission rejections surfaced as ErrOverload completions (batch members).", lb, s.Overloaded),
+		counter("memif_realtime_inline_completed_total", "Requests copied inline by the worker (adaptive poll path).", lb, s.InlineCompleted),
+		counter("memif_realtime_inline_retunes_total", "Adaptive inline-threshold recomputations.", lb, s.Retunes),
+		counter("memif_realtime_aged_pops_total", "Dispatches serving a lower class out of strict-priority order.", lb, s.AgedPops),
+		gauge("memif_realtime_inline_threshold_bytes", "Current adaptive inline-completion cutoff (0 = disabled).", lb, s.InlineThresholdBytes),
 		gauge("memif_realtime_submission_depth", "Live submission-queue depth at scrape time.", lb, s.SubmissionDepth),
 		gauge("memif_realtime_completion_depth", "Live completion-queue depth at scrape time.", lb, s.CompletionDepth),
 		gauge("memif_realtime_submission_depth_high_water", "Deepest the submission queue has ever been.", lb, s.SubmissionHighWater),
@@ -47,6 +53,18 @@ func RealtimeMetrics(device string, s realtime.StatsSnapshot) []Metric {
 			"Live per-controller dispatch-ring occupancy at scrape time.",
 			append(append([]Label(nil), lb...), Label{"controller", strconv.Itoa(i)}), d))
 	}
+	for c := range s.Classes {
+		cs := s.Classes[c]
+		clb := append(append([]Label(nil), lb...), Label{"class", realtime.ClassName(c)})
+		ms = append(ms,
+			counter("memif_realtime_class_submitted_total", "Accepted submissions by priority class.", clb, cs.Submitted),
+			counter("memif_realtime_class_completed_total", "Terminal requests by priority class.", clb, cs.Completed),
+			counter("memif_realtime_class_shed_total", "Admission rejections by priority class.", clb, cs.Shed),
+			gauge("memif_realtime_class_in_flight", "Live accepted-but-not-terminal requests by priority class.", clb, cs.InFlight),
+			gauge("memif_realtime_class_queue_depth", "Live per-class submission-queue depth at scrape time.", clb, cs.QueueDepth),
+			hist("memif_realtime_class_request_latency_ns", "Submission-to-completion latency by priority class (ns).", clb, cs.Latency),
+		)
+	}
 	if s.Lifecycle.Enabled {
 		ms = append(ms,
 			gauge("memif_realtime_trace_sample_shift", "Lifecycle sampling shift: 1 request in 2^shift is traced.", lb, int64(s.Lifecycle.SampleShift)),
@@ -56,6 +74,11 @@ func RealtimeMetrics(device string, s realtime.StatsSnapshot) []Metric {
 		)
 		ms = append(ms, SpanMetrics("memif_realtime_stage_latency_ns",
 			"Per-stage latency attribution of sampled requests (ns).", lb, s.Lifecycle.Spans)...)
+		for c, sp := range s.Lifecycle.ClassSpans {
+			clb := append(append([]Label(nil), lb...), Label{"class", realtime.ClassName(c)})
+			ms = append(ms, SpanMetrics("memif_realtime_class_stage_latency_ns",
+				"Per-stage latency attribution of sampled requests by priority class (ns).", clb, sp)...)
+		}
 	}
 	return ms
 }

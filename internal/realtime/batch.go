@@ -16,10 +16,12 @@ import (
 // mismatch rejects the batch with ErrBadSizes and no request is
 // submitted. After validation every request is accepted: one that
 // cannot be staged (slab exhaustion) surfaces through the completion
-// queue with ErrNoSlots rather than as a return value, so a batch
-// caller always collects exactly len(reqs) completions — none stranded,
-// none to special-case. A concurrent Cancel that claims a request in
-// the window keeps its ErrCanceled promise.
+// queue with ErrNoSlots rather than as a return value, and one the
+// admission controller sheds surfaces the same way with an
+// *OverloadError (errors.Is ErrOverload) — so a batch caller always
+// collects exactly len(reqs) completions — none stranded, none to
+// special-case. A concurrent Cancel that claims a request in the window
+// keeps its ErrCanceled promise.
 func (d *Device) SubmitBatch(reqs []*Request) error {
 	if len(reqs) == 0 {
 		return nil
@@ -39,12 +41,22 @@ func (d *Device) SubmitBatch(reqs []*Request) error {
 	sh := d.shard()
 	mustFlush := false
 	for _, r := range reqs {
+		if err := d.admit(r); err != nil {
+			// Shed by admission mid-batch. The batch contract promises a
+			// completion per request, so the rejection surfaces through
+			// the completion queue instead of failing the whole batch.
+			r.submitted.Store(0) // no pipeline latency to attribute
+			r.state.Store(stPending)
+			d.accept(r)
+			d.finish(r, err)
+			continue
+		}
 		color, ok := d.stage(sh, r)
 		if !ok {
 			// Staging failed mid-batch. The request was accepted, so it
 			// must surface as a completion: ErrNoSlots, or ErrCanceled
 			// if a cancel already claimed it (finish resolves that).
-			d.m.submitted.Inc()
+			d.accept(r)
 			d.finish(r, ErrNoSlots)
 			continue
 		}

@@ -648,3 +648,123 @@ func TestChaosDispatchStallCancelStorm(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestChaosCancelDuringShed lands a cancel storm inside the admission
+// shed window: the pipeline is saturated with stalled foreground work so
+// every scavenger in a batch is shed, while a concurrent canceler races
+// the shed-completion path for the same requests. Each scavenger must
+// complete exactly once — with ErrOverload if the shed won or
+// ErrCanceled if the cancel claimed it first — and no slot may leak.
+func TestChaosCancelDuringShed(t *testing.T) {
+	stall := make(chan struct{})
+	var once sync.Once
+	opts := Options{
+		NumReqs:     16,
+		Controllers: 1,
+		ChunkBytes:  1 << 10,
+		QoS:         QoSOptions{InlineThreshold: -1}, // keep copies off the worker
+		Chaos: &ChaosHooks{
+			BeforeChunkCopy: func(idx uint32, off, end int) { <-stall },
+		},
+	}
+	d := Open(opts)
+	defer d.Close()
+	defer once.Do(func() { close(stall) })
+
+	// Saturate to the scavenger admission threshold (50% of 16 = 8
+	// slots) with foreground requests frozen in the controller.
+	const nFG = 8
+	fgs := make([]*Request, 0, nFG)
+	for i := 0; i < nFG; i++ {
+		r := d.AllocRequest()
+		r.Src, r.Dst = bytes.Repeat([]byte{byte(i + 1)}, 4<<10), make([]byte, 4<<10)
+		if err := d.Submit(r); err != nil {
+			t.Fatalf("foreground submit %d: %v", i, err)
+		}
+		fgs = append(fgs, r)
+	}
+
+	// Batch-submit scavengers — all shed by admission — while a cancel
+	// storm races the shed completions for the same requests.
+	const nScav = 6
+	scavs := make([]*Request, 0, nScav)
+	for i := 0; i < nScav; i++ {
+		r := d.AllocRequest()
+		r.Class = ClassScavenger
+		r.Src, r.Dst = bytes.Repeat([]byte{0xEE}, 1<<10), make([]byte, 1<<10)
+		scavs = append(scavs, r)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, r := range scavs {
+				d.Cancel(r)
+			}
+		}
+	}()
+	if err := d.SubmitBatch(scavs); err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	once.Do(func() { close(stall) })
+
+	got := drainAll(t, d, nFG+nScav)
+	seen := map[*Request]int{}
+	for _, r := range got {
+		seen[r]++
+	}
+	for i, r := range fgs {
+		if seen[r] != 1 {
+			t.Errorf("foreground %d completed %d times, want exactly once", i, seen[r])
+		}
+		if r.Err != nil {
+			t.Errorf("foreground %d: %v, want clean completion", i, r.Err)
+		} else if !bytes.Equal(r.Src, r.Dst) {
+			t.Errorf("foreground %d: clean completion with corrupt payload", i)
+		}
+	}
+	for i, r := range scavs {
+		if seen[r] != 1 {
+			t.Errorf("scavenger %d completed %d times, want exactly once", i, seen[r])
+		}
+		switch {
+		case errors.Is(r.Err, ErrOverload):
+			var oe *OverloadError
+			if !errors.As(r.Err, &oe) || oe.Class != ClassScavenger {
+				t.Errorf("scavenger %d: shed error %v lacks the typed class", i, r.Err)
+			}
+		case errors.Is(r.Err, ErrCanceled):
+			// The cancel claimed the request inside the shed window.
+		default:
+			t.Errorf("scavenger %d: err = %v, want ErrOverload or ErrCanceled", i, r.Err)
+		}
+		for _, b := range r.Dst {
+			if b != 0 {
+				t.Errorf("scavenger %d: bytes moved despite shed/cancel", i)
+				break
+			}
+		}
+	}
+
+	var held []uint32
+	for _, r := range got {
+		held = append(held, r.idx)
+	}
+	if err := d.AuditSlots(held); err != nil {
+		t.Error(err)
+	}
+	if st := d.Stats(); st.DoubleCompletes != 0 {
+		t.Errorf("DoubleCompletes = %d, want 0", st.DoubleCompletes)
+	} else if st.Shed == 0 {
+		t.Error("no shed was recorded — the overload window never opened")
+	}
+}

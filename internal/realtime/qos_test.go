@@ -1,0 +1,409 @@
+package realtime
+
+// Unit coverage for the QoS layer: option resolution, the admission
+// controller's occupancy thresholds and typed overload error, the
+// strict-priority-with-aging dispatch order, the adaptive inline
+// threshold retuner, and the context-based poll/drain entry points.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"memif/internal/rbq"
+)
+
+func TestResolveQoSDefaults(t *testing.T) {
+	q := resolveQoS(QoSOptions{})
+	if q.ClassShares != DefaultClassShares() {
+		t.Errorf("zero shares resolved to %v, want defaults %v", q.ClassShares, DefaultClassShares())
+	}
+	if q.AgingCredit != DefaultAgingCredit {
+		t.Errorf("AgingCredit = %d, want %d", q.AgingCredit, DefaultAgingCredit)
+	}
+	if q.InlineThreshold != DefaultInlineThreshold {
+		t.Errorf("InlineThreshold = %d, want %d", q.InlineThreshold, DefaultInlineThreshold)
+	}
+	if q.RetuneEvery != DefaultRetuneEvery {
+		t.Errorf("RetuneEvery = %d, want %d", q.RetuneEvery, DefaultRetuneEvery)
+	}
+
+	q = resolveQoS(QoSOptions{
+		ClassShares:     [NumClasses]float64{2.5, -1, 0.25},
+		InlineThreshold: -1,
+	})
+	if q.ClassShares[ClassForeground] != 1 {
+		t.Errorf("share > 1 clamped to %v, want 1", q.ClassShares[ClassForeground])
+	}
+	if q.ClassShares[ClassBackground] != DefaultClassShares()[ClassBackground] {
+		t.Errorf("negative share resolved to %v, want default", q.ClassShares[ClassBackground])
+	}
+	if q.ClassShares[ClassScavenger] != 0.25 {
+		t.Errorf("explicit share rewritten to %v", q.ClassShares[ClassScavenger])
+	}
+	if q.InlineThreshold != 0 {
+		t.Errorf("negative InlineThreshold resolved to %d, want 0 (disabled)", q.InlineThreshold)
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	for i := 0; i < NumClasses; i++ {
+		if ClassName(i) != Class(i).String() {
+			t.Errorf("ClassName(%d)=%q != Class.String %q", i, ClassName(i), Class(i).String())
+		}
+	}
+	if Class(9).String() == ClassName(0) {
+		t.Error("out-of-range class collided with a real name")
+	}
+}
+
+// TestAdmitShedsAtClassThreshold drives the admission check directly by
+// inflating the in-flight count (submitted-completed): with 8 slots the
+// scavenger limit is 4 and the background limit 6, while foreground is
+// never shed by admission at all.
+func TestAdmitShedsAtClassThreshold(t *testing.T) {
+	d := Open(Options{NumReqs: 8, Controllers: 1})
+	defer d.Close()
+
+	admit := func(c Class) error { return d.admit(&Request{Class: c}) }
+	inFlight := func(n int64) {
+		for d.m.submitted.Load()-d.m.completed.Load() < n {
+			d.m.submitted.Inc()
+		}
+	}
+
+	for _, c := range []Class{ClassForeground, ClassBackground, ClassScavenger} {
+		if err := admit(c); err != nil {
+			t.Fatalf("idle admit(%v): %v", c, err)
+		}
+	}
+
+	inFlight(4) // scavenger threshold: 0.5 * 8
+	if err := admit(ClassScavenger); !errors.Is(err, ErrOverload) {
+		t.Errorf("scavenger at 4/8 in flight: err=%v, want ErrOverload", err)
+	}
+	if err := admit(ClassBackground); err != nil {
+		t.Errorf("background at 4/8 in flight: %v, want admitted", err)
+	}
+
+	inFlight(6) // background threshold: int(0.85 * 8)
+	if err := admit(ClassBackground); !errors.Is(err, ErrOverload) {
+		t.Errorf("background at 6/8 in flight: err=%v, want ErrOverload", err)
+	}
+
+	inFlight(8) // full slab: foreground admission still never sheds
+	if err := admit(ClassForeground); err != nil {
+		t.Errorf("foreground at 8/8 in flight: %v, want admitted", err)
+	}
+
+	err := admit(ClassScavenger)
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("shed error is %T, want *OverloadError", err)
+	}
+	if oe.Class != ClassScavenger {
+		t.Errorf("OverloadError.Class = %v, want scavenger", oe.Class)
+	}
+	if oe.RetryAfter < minRetryAfter {
+		t.Errorf("RetryAfter = %v, below the %v floor", oe.RetryAfter, minRetryAfter)
+	}
+
+	if got := d.m.shed.Load(); got == 0 {
+		t.Error("shed counter did not move")
+	}
+	if got := d.m.classShed[ClassScavenger].Load(); got < 2 {
+		t.Errorf("scavenger classShed = %d, want >= 2", got)
+	}
+	if got := d.m.classShed[ClassForeground].Load(); got != 0 {
+		t.Errorf("foreground classShed = %d, want 0", got)
+	}
+}
+
+func TestAdmitRejectsUnknownClass(t *testing.T) {
+	d := Open(Options{NumReqs: 8, Controllers: 1})
+	defer d.Close()
+	if err := d.admit(&Request{Class: Class(7)}); !errors.Is(err, ErrBadClass) {
+		t.Errorf("admit(class 7) = %v, want ErrBadClass", err)
+	}
+}
+
+// TestRetryAfterTracksLatencyEWMA: the overload hint follows the
+// completion-latency EWMA, floored at minRetryAfter.
+func TestRetryAfterTracksLatencyEWMA(t *testing.T) {
+	d := Open(Options{NumReqs: 8, Controllers: 1})
+	defer d.Close()
+
+	if ra := d.overloadError(ClassScavenger).RetryAfter; ra != minRetryAfter {
+		t.Errorf("cold retry-after = %v, want floor %v", ra, minRetryAfter)
+	}
+	for i := 0; i < 64; i++ {
+		d.observeLatEWMA(int64(8 * time.Millisecond))
+	}
+	ra := d.overloadError(ClassScavenger).RetryAfter
+	if ra < time.Millisecond || ra > 8*time.Millisecond {
+		t.Errorf("warm retry-after = %v, want near the 8ms EWMA", ra)
+	}
+}
+
+// popDevice builds the minimal Device popSubmission needs: the
+// per-class queues, the aging credits, and the resolved QoS options.
+func popDevice(credit int) *Device {
+	d := &Device{qos: resolveQoS(QoSOptions{AgingCredit: credit})}
+	slab := rbq.NewSlabForQueues(16, NumClasses, NumClasses+4)
+	for c := range d.submission {
+		d.submission[c] = slab.NewQueue(rbq.Blue)
+	}
+	return d
+}
+
+// TestPopSubmissionStrictPriority: with a single class loaded, pops come
+// in FIFO order; with all classes loaded, higher classes drain first.
+func TestPopSubmissionStrictPriority(t *testing.T) {
+	d := popDevice(1 << 20) // credit high enough that aging never fires
+	d.submission[ClassScavenger].Enqueue(20)
+	d.submission[ClassBackground].Enqueue(10)
+	d.submission[ClassForeground].Enqueue(0)
+	d.submission[ClassForeground].Enqueue(1)
+
+	want := []uint32{0, 1, 10, 20}
+	for i, w := range want {
+		idx, ok := d.popSubmission()
+		if !ok || idx != w {
+			t.Fatalf("pop %d = (%d, %v), want (%d, true)", i, idx, ok, w)
+		}
+	}
+	if _, ok := d.popSubmission(); ok {
+		t.Error("pop on empty queues reported work")
+	}
+	if d.m.agedPops.Load() != 0 {
+		t.Errorf("agedPops = %d on a pure strict-priority run", d.m.agedPops.Load())
+	}
+}
+
+// TestPopSubmissionAging: a lower class passed over AgingCredit times
+// while non-empty is served one pop out of order, so a saturating
+// foreground stream cannot starve it forever.
+func TestPopSubmissionAging(t *testing.T) {
+	d := popDevice(2)
+	for i := uint32(0); i < 4; i++ {
+		d.submission[ClassForeground].Enqueue(i)
+	}
+	d.submission[ClassBackground].Enqueue(10)
+	d.submission[ClassBackground].Enqueue(11)
+
+	// Pops 1-2 serve foreground and accrue background credit; pop 3 is
+	// the aged background pop; strict priority resumes for pops 4-5
+	// (re-accruing credit), and pop 6 serves the last background request
+	// as a second aged pop.
+	want := []uint32{0, 1, 10, 2, 3, 11}
+	for i, w := range want {
+		idx, ok := d.popSubmission()
+		if !ok || idx != w {
+			t.Fatalf("pop %d = (%d, %v), want (%d, true)", i, idx, ok, w)
+		}
+	}
+	if got := d.m.agedPops.Load(); got != 2 {
+		t.Errorf("agedPops = %d, want 2", got)
+	}
+	if d.credits[ClassBackground] != 0 {
+		t.Errorf("background credit = %d after its queue drained, want 0", d.credits[ClassBackground])
+	}
+}
+
+// TestInlineRetuneMovesThreshold: with lifecycle full capture on and a
+// tiny retune cadence, a stream of ring-path requests gives the retuner
+// the span signal it needs; the threshold must move off its floor and
+// stay inside [minInlineThreshold, chunkBytes].
+func TestInlineRetuneMovesThreshold(t *testing.T) {
+	opts := Options{
+		NumReqs:          16,
+		Controllers:      1,
+		ChunkBytes:       64 << 10,
+		TraceFullCapture: true,
+		QoS: QoSOptions{
+			InlineThreshold: minInlineThreshold, // start at the floor
+			RetuneEvery:     8,
+		},
+	}
+	d := Open(opts)
+	defer d.Close()
+
+	src := make([]byte, 48<<10) // single chunk, well above the floor: ring path
+	dst := make([]byte, len(src))
+	for i := 0; i < 64; i++ {
+		r := d.AllocRequest()
+		if r == nil {
+			t.Fatal("alloc failed")
+		}
+		r.Src, r.Dst = src, dst
+		if err := d.Submit(r); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		for d.RetrieveCompleted() == nil {
+			d.Poll(10 * time.Millisecond)
+		}
+		d.FreeRequest(r)
+	}
+
+	st := d.Stats()
+	if st.Retunes == 0 {
+		t.Fatal("no retunes after 64 dispatches at RetuneEvery=8")
+	}
+	th := st.InlineThresholdBytes
+	if th < minInlineThreshold || th > int64(opts.ChunkBytes) {
+		t.Errorf("threshold %d outside [%d, %d]", th, minInlineThreshold, opts.ChunkBytes)
+	}
+	if th == minInlineThreshold {
+		t.Errorf("threshold never moved off the %d floor despite ring-wait signal", minInlineThreshold)
+	}
+}
+
+// TestInlineRetuneDisabled: DisableRetune freezes the threshold exactly
+// where it started.
+func TestInlineRetuneDisabled(t *testing.T) {
+	const fixed = 2 << 10
+	d := Open(Options{
+		NumReqs:          16,
+		Controllers:      1,
+		TraceFullCapture: true,
+		QoS:              QoSOptions{InlineThreshold: fixed, DisableRetune: true, RetuneEvery: 4},
+	})
+	defer d.Close()
+
+	src := make([]byte, 16<<10)
+	dst := make([]byte, len(src))
+	for i := 0; i < 32; i++ {
+		r := d.AllocRequest()
+		r.Src, r.Dst = src, dst
+		if err := d.Submit(r); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		for d.RetrieveCompleted() == nil {
+			d.Poll(10 * time.Millisecond)
+		}
+		d.FreeRequest(r)
+	}
+	st := d.Stats()
+	if st.Retunes != 0 {
+		t.Errorf("Retunes = %d with DisableRetune, want 0", st.Retunes)
+	}
+	if st.InlineThresholdBytes != fixed {
+		t.Errorf("threshold drifted to %d, want frozen at %d", st.InlineThresholdBytes, fixed)
+	}
+}
+
+// TestInlineCompletionCountsAndCopies: a request at or under the
+// threshold is copied by the worker itself and counted as inline; one
+// above it takes the ring path.
+func TestInlineCompletionCountsAndCopies(t *testing.T) {
+	d := Open(Options{
+		NumReqs:     8,
+		Controllers: 1,
+		QoS:         QoSOptions{InlineThreshold: 4 << 10, DisableRetune: true},
+	})
+	defer d.Close()
+
+	run := func(n int) *Request {
+		r := d.AllocRequest()
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i)
+		}
+		r.Src, r.Dst = src, make([]byte, n)
+		if err := d.Submit(r); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		for d.RetrieveCompleted() == nil {
+			d.Poll(10 * time.Millisecond)
+		}
+		return r
+	}
+
+	small := run(4 << 10)
+	if got := d.Stats().InlineCompleted; got != 1 {
+		t.Errorf("InlineCompleted after small request = %d, want 1", got)
+	}
+	if small.Err != nil || !bytes.Equal(small.Src, small.Dst) {
+		t.Errorf("inline completion corrupt: err=%v", small.Err)
+	}
+	d.FreeRequest(small)
+
+	large := run(8 << 10)
+	if got := d.Stats().InlineCompleted; got != 1 {
+		t.Errorf("InlineCompleted after large request = %d, want still 1", got)
+	}
+	if large.Err != nil {
+		t.Errorf("ring-path completion: %v", large.Err)
+	}
+	d.FreeRequest(large)
+}
+
+// TestPollContextCanceled: an already-canceled context returns
+// immediately, reporting whether a completion is ready (it is not).
+func TestPollContextCanceled(t *testing.T) {
+	d := Open(Options{NumReqs: 8, Controllers: 1})
+	defer d.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if d.PollContext(ctx) {
+		t.Error("PollContext on an idle device reported a completion")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("canceled PollContext blocked for %v", elapsed)
+	}
+}
+
+// TestCloseDrainContextStalled: with a controller frozen mid-copy and a
+// canceled context, CloseDrainContext reports the pipeline did not
+// drain — but still closes the device once the stall lifts.
+func TestCloseDrainContextStalled(t *testing.T) {
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	d := Open(Options{
+		NumReqs:     8,
+		Controllers: 1,
+		QoS:         QoSOptions{InlineThreshold: -1}, // keep the copy off the worker
+		Chaos: &ChaosHooks{
+			BeforeChunkCopy: func(idx uint32, off, end int) {
+				once.Do(func() { close(stalled) })
+				<-release
+			},
+		},
+	})
+
+	r := d.AllocRequest()
+	r.Src, r.Dst = make([]byte, 1<<10), make([]byte, 1<<10)
+	if err := d.Submit(r); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-stalled
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	if d.CloseDrainContext(ctx) {
+		t.Error("CloseDrainContext reported drained with a stalled request in flight")
+	}
+	if err := d.Submit(r); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseDrainContextIdle: an idle device drains immediately.
+func TestCloseDrainContextIdle(t *testing.T) {
+	d := Open(Options{NumReqs: 8, Controllers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if !d.CloseDrainContext(ctx) {
+		t.Error("idle device did not drain")
+	}
+}

@@ -90,6 +90,7 @@
 package realtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -189,6 +190,9 @@ type Options struct {
 	// behind Stats().Lifecycle.Captured and the Chrome trace export
 	// (0 = lifecycle.DefaultCaptureDepth).
 	TraceCaptureDepth int
+	// QoS tunes priority classes, admission control and adaptive
+	// completion; the zero value applies the defaults (see QoSOptions).
+	QoS QoSOptions
 	// Chaos installs test-only fault-injection hooks. Leave nil outside
 	// the verification suite.
 	Chaos *ChaosHooks
@@ -241,6 +245,11 @@ type Request struct {
 
 	Src, Dst []byte
 	Cookie   uint64
+	// Class is the request's priority class: admission, dispatch order
+	// and shedding key off it. The zero value is ClassForeground, so
+	// callers that never set it behave exactly as before classes
+	// existed. Set before Submit.
+	Class Class
 	// Deadline, when nonzero, expires the request: if the worker
 	// reaches it after the deadline it completes with ErrDeadline
 	// without copying.
@@ -330,6 +339,13 @@ type metrics struct {
 	steals, dispatchRetries    obs.Counter
 	enqueueRetries             obs.Counter
 	doubleCompletes            obs.Counter
+	shed, overloaded           obs.Counter
+	inlineCompleted            obs.Counter
+	agedPops, retunes          obs.Counter
+	classSubmitted             [NumClasses]obs.Counter
+	classCompleted             [NumClasses]obs.Counter
+	classShed                  [NumClasses]obs.Counter
+	classLatency               [NumClasses]obs.Histogram
 	submissionHW, completionHW obs.Gauge
 	latency, sizes             obs.Histogram
 	trace                      *obs.Trace
@@ -363,6 +379,22 @@ type StatsSnapshot struct {
 	// once, so any nonzero value is a bug; the chaos suite asserts it
 	// stays zero.
 	DoubleCompletes int64
+	// Shed counts submissions the admission controller rejected with
+	// ErrOverload (single submits returned the error; batch members
+	// surfaced it through their completion). Overloaded is the subset
+	// that surfaced as completions. Both exclude ErrNoSlots, which
+	// remains a Failed outcome.
+	Shed, Overloaded int64
+	// InlineCompleted counts requests copied inline by the worker (the
+	// adaptive poll path); InlineThresholdBytes is the current
+	// self-tuned cutoff (0 = inline completion disabled); Retunes counts
+	// threshold recomputations.
+	InlineCompleted, InlineThresholdBytes, Retunes int64
+	// AgedPops counts dispatches that served a lower class out of
+	// strict-priority order via the aging credit.
+	AgedPops int64
+	// Classes breaks submissions down by priority class.
+	Classes [NumClasses]ClassStats
 	// Queue-depth high watermarks, from rbq's atomic Size.
 	SubmissionHighWater, CompletionHighWater int64
 	// Live queue depths sampled at Stats time (the watermark fields
@@ -385,6 +417,21 @@ type StatsSnapshot struct {
 	Trace []obs.Event
 }
 
+// ClassStats is one priority class's slice of the device counters.
+type ClassStats struct {
+	// Submitted counts accepted submissions at this class; Completed
+	// the terminal ones; Shed the admission rejections (never accepted,
+	// except batch members, which also complete with ErrOverload).
+	Submitted, Completed, Shed int64
+	// InFlight is the live accepted-but-not-terminal count.
+	InFlight int64
+	// QueueDepth is the class's submission-queue depth at Stats time.
+	QueueDepth int64
+	// Latency is the submission-to-completion histogram (ns) of this
+	// class alone.
+	Latency obs.HistogramSnapshot
+}
+
 // submitterToken pins a submitting goroutine to one staging shard.
 // Tokens live in a sync.Pool, whose per-P caches make the pin cheap and
 // naturally aligned with the scheduler: a goroutine that keeps
@@ -396,13 +443,21 @@ type submitterToken struct{ shard uint32 }
 type Device struct {
 	opts       Options
 	chunkBytes int // resolved: 0 disables chunking
+	qos        QoSOptions
 	reqs       []*Request
 	slab       *rbq.Slab
 
 	freeList   *rbq.Queue
-	staging    []*rbq.Queue // per-shard red-blue staging queues
-	submission *rbq.Queue
+	staging    []*rbq.Queue           // per-shard red-blue staging queues
+	submission [NumClasses]*rbq.Queue // per-class, popped in priority order
 	completion *rbq.Queue
+
+	classLimit    [NumClasses]int64 // admission occupancy thresholds (slots)
+	classInFlight [NumClasses]atomic.Int64
+	credits       [NumClasses]int64 // worker-only aging credits
+	inline        atomic.Int64      // adaptive inline-completion threshold (bytes; 0 = off)
+	dispatchSeq   uint64            // worker-only, drives retune cadence
+	latEWMA       atomic.Int64      // completion-latency EWMA (ns), the retry-after hint
 
 	tokens   sync.Pool     // *submitterToken: shard affinity for submitters
 	tokenSeq atomic.Uint32 // round-robin shard assignment for new tokens
@@ -445,25 +500,41 @@ func Open(opts Options) *Device {
 	} else if chunkBytes < 0 {
 		chunkBytes = 0 // disabled
 	}
-	// free + submission + completion + one dummy per staging shard;
-	// slack scales with the shard count since every queue can sit in a
-	// transient dummy-recycling window at once.
+	qos := resolveQoS(opts.QoS)
+	// free + completion + one submission queue per class + one dummy per
+	// staging shard; slack scales with the queue count since every queue
+	// can sit in a transient dummy-recycling window at once.
 	shards := opts.StagingShards
-	slab := rbq.NewSlabForQueues(opts.NumReqs, 3+shards, 8+shards)
+	numQueues := 2 + NumClasses + shards
+	slab := rbq.NewSlabForQueues(opts.NumReqs, numQueues, 5+numQueues)
 	d := &Device{
 		opts:       opts,
 		chunkBytes: chunkBytes,
+		qos:        qos,
 		reqs:       make([]*Request, opts.NumReqs),
 		slab:       slab,
 		freeList:   slab.NewQueue(rbq.Blue),
 		staging:    make([]*rbq.Queue, shards),
-		submission: slab.NewQueue(rbq.Blue),
 		completion: slab.NewQueue(rbq.Blue),
 		kick:       make(chan struct{}, 1),
 		notify:     make(chan struct{}, 1),
 		done:       make(chan struct{}),
 		chaos:      opts.Chaos,
 	}
+	for c := range d.submission {
+		d.submission[c] = slab.NewQueue(rbq.Blue)
+	}
+	for c, share := range qos.ClassShares {
+		limit := int64(share * float64(opts.NumReqs))
+		if share >= 1 || limit > int64(opts.NumReqs) {
+			limit = int64(opts.NumReqs)
+		}
+		if limit < 1 {
+			limit = 1
+		}
+		d.classLimit[c] = limit
+	}
+	d.inline.Store(int64(qos.InlineThreshold))
 	for i := range d.staging {
 		d.staging[i] = slab.NewQueue(rbq.Blue)
 	}
@@ -486,7 +557,7 @@ func Open(opts Options) *Device {
 	} else if lcShift == 0 {
 		lcShift = DefaultTraceSampleShift
 	}
-	d.lc = lifecycle.New(opts.NumReqs, lcShift, opts.TraceCaptureDepth)
+	d.lc = lifecycle.New(opts.NumReqs, lcShift, opts.TraceCaptureDepth, NumClasses)
 	for i := range d.reqs {
 		d.reqs[i] = &Request{idx: uint32(i)}
 		if _, ok := d.freeList.Enqueue(uint32(i)); !ok {
@@ -545,15 +616,25 @@ func (d *Device) Close() {
 // outstanding request to reach its completion queue, then closes the
 // device. It reports whether the pipeline drained fully within the
 // timeout; on false the close still proceeds (with Close's semantics).
+// Thin wrapper over CloseDrainContext.
 func (d *Device) CloseDrain(timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return d.CloseDrainContext(ctx)
+}
+
+// CloseDrainContext rejects new submissions, waits until every
+// outstanding request has reached its completion queue or ctx is done,
+// then closes the device. It reports whether the pipeline drained fully;
+// on false the close still proceeds (with Close's semantics).
+func (d *Device) CloseDrainContext(ctx context.Context) bool {
 	d.closing.Store(true)
-	deadline := time.Now().Add(timeout)
 	drained := true
 	for d.m.completed.Load() < d.m.submitted.Load() {
 		if d.closed.Load() {
 			break
 		}
-		if time.Now().After(deadline) {
+		if ctx.Err() != nil {
 			drained = false
 			break
 		}
@@ -580,6 +661,7 @@ func (d *Device) AllocRequest() *Request {
 	}
 	r := d.reqs[idx]
 	r.Src, r.Dst, r.Cookie, r.Err = nil, nil, 0, nil
+	r.Class = ClassForeground
 	r.Deadline = time.Time{}
 	r.state.Store(stIdle)
 	r.submitted.Store(0)
@@ -643,16 +725,21 @@ func (d *Device) wake() {
 // slab is being starved externally.
 const flushRetries = 64
 
-// enqueueSubmission moves one request index onto the submission queue,
-// retrying briefly across transient slab exhaustion. false means the
-// retry budget ran out and the caller must fail the request rather than
-// drop it.
+// enqueueSubmission moves one request index onto its class's submission
+// queue, retrying briefly across transient slab exhaustion. false means
+// the retry budget ran out and the caller must fail the request rather
+// than drop it.
 func (d *Device) enqueueSubmission(idx uint32) bool {
+	class := ClassForeground
+	if r, valid := d.req(idx); valid {
+		class = r.Class
+	}
+	q := d.submission[class]
 	for attempt := 0; ; attempt++ {
 		forced := d.chaos != nil && d.chaos.FlushEnqueue != nil && d.chaos.FlushEnqueue(idx)
 		if !forced {
-			if _, ok := d.submission.Enqueue(idx); ok {
-				d.m.submissionHW.Observe(int64(d.submission.Size()))
+			if _, ok := q.Enqueue(idx); ok {
+				d.m.submissionHW.Observe(d.submissionDepth())
 				d.lcStamp(idx, lifecycle.StageFlushed)
 				return true
 			}
@@ -663,6 +750,15 @@ func (d *Device) enqueueSubmission(idx uint32) bool {
 		d.m.enqueueRetries.Inc()
 		runtime.Gosched()
 	}
+}
+
+// submissionDepth sums the per-class submission queue depths.
+func (d *Device) submissionDepth() int64 {
+	var n int64
+	for _, q := range d.submission {
+		n += int64(q.Size())
+	}
+	return n
 }
 
 // mustEnqueue retries until the enqueue succeeds. Used on the
@@ -709,7 +805,10 @@ func (d *Device) finish(r *Request, forced error) {
 		d.lc.Transition(int(r.idx), lifecycle.StageCompleted, now)
 	}
 	if s := r.submitted.Load(); s > 0 {
-		d.m.latency.Observe(now - s)
+		lat := now - s
+		d.m.latency.Observe(lat)
+		d.m.classLatency[r.Class].Observe(lat)
+		d.observeLatEWMA(lat)
 	}
 	switch {
 	case err == nil:
@@ -717,10 +816,14 @@ func (d *Device) finish(r *Request, forced error) {
 		d.m.canceled.Inc()
 	case errors.Is(err, ErrDeadline):
 		d.m.expired.Inc()
+	case errors.Is(err, ErrOverload):
+		d.m.overloaded.Inc()
 	default:
 		d.m.failed.Inc()
 	}
 	d.m.completed.Inc()
+	d.m.classCompleted[r.Class].Inc()
+	d.classInFlight[r.Class].Add(-1)
 	if d.chaos != nil && d.chaos.OnFinish != nil {
 		d.chaos.OnFinish(r.idx, err)
 	}
@@ -748,7 +851,7 @@ func (d *Device) shard() *rbq.Queue {
 func (d *Device) stage(sh *rbq.Queue, r *Request) (rbq.Color, bool) {
 	now := time.Now().UnixNano()
 	r.submitted.Store(now)
-	d.lc.Begin(int(r.idx), int64(len(r.Src)), now)
+	d.lc.Begin(int(r.idx), int(r.Class), int64(len(r.Src)), now)
 	r.state.Store(stPending)
 	if d.chaos != nil && d.chaos.StagingEnqueue != nil && d.chaos.StagingEnqueue(r.idx) {
 		return 0, false // forced slab exhaustion
@@ -757,10 +860,20 @@ func (d *Device) stage(sh *rbq.Queue, r *Request) (rbq.Color, bool) {
 	if !ok {
 		return 0, false
 	}
-	d.m.submitted.Inc()
+	d.accept(r)
 	d.m.sizes.Observe(int64(len(r.Src)))
 	d.trace(EvSubmit, uint64(r.idx), uint64(len(r.Src)))
 	return color, true
+}
+
+// accept does the accepted-submission accounting: the global and
+// per-class submitted counters plus the class in-flight token, which
+// finish releases. Every path that will eventually reach finish must
+// come through here exactly once.
+func (d *Device) accept(r *Request) {
+	d.m.submitted.Inc()
+	d.m.classSubmitted[r.Class].Inc()
+	d.classInFlight[r.Class].Add(1)
 }
 
 // unstage resolves a failed staging enqueue: return r to idle, unless a
@@ -770,7 +883,7 @@ func (d *Device) stage(sh *rbq.Queue, r *Request) (rbq.Color, bool) {
 // the chaos suite pins). Reports whether a completion was posted.
 func (d *Device) unstage(r *Request) bool {
 	if !r.state.CompareAndSwap(stPending, stIdle) {
-		d.m.submitted.Inc()
+		d.accept(r)
 		d.finish(r, nil)
 		return true
 	}
@@ -828,6 +941,9 @@ func (d *Device) Submit(r *Request) error {
 	}
 	if len(r.Src) != len(r.Dst) {
 		return fmt.Errorf("%w: %d vs %d", ErrBadSizes, len(r.Src), len(r.Dst))
+	}
+	if err := d.admit(r); err != nil {
+		return err
 	}
 	sh := d.shard()
 	color, ok := d.stage(sh, r)
@@ -889,7 +1005,7 @@ func (d *Device) worker() {
 				break
 			}
 		}
-		if idx, _, ok := d.submission.Dequeue(); ok {
+		if idx, ok := d.popSubmission(); ok {
 			d.dispatch(idx)
 			continue
 		}
@@ -909,7 +1025,12 @@ func (d *Device) worker() {
 		}
 		if d.closed.Load() {
 			// Drain anything that slipped in before the close.
-			pending := !d.submission.Empty()
+			pending := false
+			for _, q := range d.submission {
+				if !q.Empty() {
+					pending = true
+				}
+			}
 			for _, sh := range d.staging {
 				if !sh.Empty() {
 					pending = true
@@ -929,12 +1050,16 @@ func (d *Device) worker() {
 	}
 }
 
-// dispatch splits one request into chunks and feeds the controllers.
+// dispatch splits one request into chunks and feeds the controllers —
+// or, when the request is small enough for the adaptive inline
+// threshold, copies it right here on the worker (the poll path: no ring
+// push, no controller wakeup, no notify hop for the copy itself).
 func (d *Device) dispatch(idx uint32) {
 	r, ok := d.req(idx)
 	if !ok {
 		return
 	}
+	d.maybeRetune()
 	if d.chaos != nil && d.chaos.BeforeDispatch != nil {
 		d.chaos.BeforeDispatch(idx)
 	}
@@ -961,6 +1086,19 @@ func (d *Device) dispatch(idx uint32) {
 	}
 	r.chunksLeft.Store(int32(nChunks))
 	d.trace(EvDispatch, uint64(idx), uint64(nChunks))
+	// Adaptive completion, the paper's Section 5 poll/interrupt split:
+	// a single-chunk request at or below the inline threshold is copied
+	// by the worker itself. runChunk keeps every invariant (cancel
+	// check, chunk countdown, exactly-once finish); only the transport
+	// changes. Ring mode only — the legacy channel path stays pure for
+	// the ablation benchmarks.
+	if nChunks == 1 && d.rings != nil {
+		if th := d.inline.Load(); th > 0 && int64(n) <= th {
+			d.m.inlineCompleted.Inc()
+			d.runChunk(chunk{idx: idx, off: 0, end: n})
+			return
+		}
+	}
 	// One ring-push stamp serves every chunk of a sampled request: the
 	// pushes below are a tight loop, and the per-chunk ring wait is
 	// measured against it on the consumer side (zero = unsampled).
@@ -1041,7 +1179,11 @@ func (d *Device) controller(id int) {
 		if ok {
 			spins = 0
 			if c.nano != 0 {
-				d.lc.ObserveQueueWait(time.Now().UnixNano()-c.nano, stolen)
+				class := 0
+				if r, valid := d.req(c.idx); valid {
+					class = int(r.Class)
+				}
+				d.lc.ObserveQueueWait(class, time.Now().UnixNano()-c.nano, stolen)
 			}
 			d.runChunk(c)
 			continue
@@ -1201,6 +1343,28 @@ func (d *Device) Poll(timeout time.Duration) bool {
 	return true
 }
 
+// PollContext blocks until a completion notification is pending or ctx
+// is done, whichever comes first, and reports whether a notification is
+// available — poll(2) with a context instead of a hand-rolled timeout
+// loop. Like Poll, any number of goroutines may PollContext the same
+// device concurrently.
+func (d *Device) PollContext(ctx context.Context) bool {
+	for d.completion.Empty() {
+		if d.closed.Load() || ctx.Err() != nil {
+			return d.ready()
+		}
+		select {
+		case <-d.notify:
+		case <-d.done:
+			return d.ready()
+		case <-ctx.Done():
+			return d.ready()
+		}
+	}
+	d.wake()
+	return true
+}
+
 // Stats returns a snapshot of the device's counters, histograms, queue
 // watermarks and trace. Safe from any goroutine at any time.
 func (d *Device) Stats() StatsSnapshot {
@@ -1215,31 +1379,49 @@ func (d *Device) Stats() StatsSnapshot {
 			ringDepths[i] = r.size()
 		}
 	}
+	var classes [NumClasses]ClassStats
+	for c := range classes {
+		classes[c] = ClassStats{
+			Submitted:  d.m.classSubmitted[c].Load(),
+			Completed:  d.m.classCompleted[c].Load(),
+			Shed:       d.m.classShed[c].Load(),
+			InFlight:   d.classInFlight[c].Load(),
+			QueueDepth: int64(d.submission[c].Size()),
+			Latency:    d.m.classLatency[c].Snapshot(),
+		}
+	}
 	return StatsSnapshot{
-		StagingDepths:       staging,
-		SubmissionDepth:     int64(d.submission.Size()),
-		CompletionDepth:     int64(d.completion.Size()),
-		RingDepths:          ringDepths,
-		Lifecycle:           d.lc.Snapshot(),
-		Submitted:           d.m.submitted.Load(),
-		Completed:           d.m.completed.Load(),
-		Canceled:            d.m.canceled.Load(),
-		Expired:             d.m.expired.Load(),
-		Failed:              d.m.failed.Load(),
-		Kicks:               d.m.kicks.Load(),
-		WorkerWakes:         d.m.wakes.Load(),
-		Batches:             d.m.batches.Load(),
-		Chunks:              d.m.chunks.Load(),
-		BytesMoved:          d.m.bytesMoved.Load(),
-		Steals:              d.m.steals.Load(),
-		DispatchRetries:     d.m.dispatchRetries.Load(),
-		EnqueueRetries:      d.m.enqueueRetries.Load(),
-		DoubleCompletes:     d.m.doubleCompletes.Load(),
-		SubmissionHighWater: d.m.submissionHW.Load(),
-		CompletionHighWater: d.m.completionHW.Load(),
-		Latency:             d.m.latency.Snapshot(),
-		Sizes:               d.m.sizes.Snapshot(),
-		Trace:               d.m.trace.Snapshot(),
+		StagingDepths:        staging,
+		SubmissionDepth:      d.submissionDepth(),
+		CompletionDepth:      int64(d.completion.Size()),
+		RingDepths:           ringDepths,
+		Lifecycle:            d.lc.Snapshot(),
+		Submitted:            d.m.submitted.Load(),
+		Completed:            d.m.completed.Load(),
+		Canceled:             d.m.canceled.Load(),
+		Expired:              d.m.expired.Load(),
+		Failed:               d.m.failed.Load(),
+		Kicks:                d.m.kicks.Load(),
+		WorkerWakes:          d.m.wakes.Load(),
+		Batches:              d.m.batches.Load(),
+		Chunks:               d.m.chunks.Load(),
+		BytesMoved:           d.m.bytesMoved.Load(),
+		Steals:               d.m.steals.Load(),
+		DispatchRetries:      d.m.dispatchRetries.Load(),
+		EnqueueRetries:       d.m.enqueueRetries.Load(),
+		DoubleCompletes:      d.m.doubleCompletes.Load(),
+		Shed:                 d.m.shed.Load(),
+		Overloaded:           d.m.overloaded.Load(),
+		InlineCompleted:      d.m.inlineCompleted.Load(),
+		InlineThresholdBytes: d.inline.Load(),
+		Retunes:              d.m.retunes.Load(),
+		AgedPops:             d.m.agedPops.Load(),
+		Classes:              classes,
+		SubmissionHighWater:  d.m.submissionHW.Load(),
+		CompletionHighWater:  d.m.completionHW.Load(),
+		Latency:              d.m.latency.Snapshot(),
+		Sizes:                d.m.sizes.Snapshot(),
+		Trace:                d.m.trace.Snapshot(),
 	}
 }
 
@@ -1267,8 +1449,13 @@ func (d *Device) AuditSlots(held []uint32) error {
 		q    *rbq.Queue
 	}{
 		{"free", d.freeList},
-		{"submission", d.submission},
 		{"completion", d.completion},
+	}
+	for c, q := range d.submission {
+		queues = append(queues, struct {
+			name string
+			q    *rbq.Queue
+		}{fmt.Sprintf("submission[%s]", ClassName(c)), q})
 	}
 	for i, sh := range d.staging {
 		queues = append(queues, struct {

@@ -818,6 +818,9 @@ func TestWorkStealingUnblocksStalledController(t *testing.T) {
 		NumReqs:     32,
 		Controllers: 2,
 		ChunkBytes:  -1,
+		// Inline completion would have the worker copy these small
+		// requests itself; this test is about the ring/steal path.
+		QoS: QoSOptions{InlineThreshold: -1},
 		Chaos: &ChaosHooks{
 			BeforeChunkCopy: func(idx uint32, off, end int) {
 				// Freeze exactly one controller: the first to take a chunk.

@@ -12,6 +12,32 @@
 // measurements (see DESIGN.md). The red-blue lock-free queue at the heart
 // of the interface is real CAS-based code, exercised by real goroutines.
 //
+// # The API surface
+//
+// The facade is organized into four documented groups, each a thin alias
+// layer over an implementation package (the whole system is reachable
+// from this single import):
+//
+//   - The simulated machine — NewMachine, Open, DefaultOptions and the
+//     types around them reproduce the paper's kernel prototype on
+//     virtual time, including the swap daemon and the Linux baseline.
+//   - The realtime device — OpenRealtime, DefaultRealtimeOptions and
+//     the Realtime* types run the interface protocol under real
+//     concurrency, with QoS priority classes, admission control and
+//     adaptive completion.
+//   - The streaming runtime — Stream, StreamDirect and the Stream*
+//     types replay the Section 6.6 double-buffered kernels.
+//   - Observability — NewObsHandler and the Obs* helpers expose every
+//     subsystem's metrics and traces over HTTP.
+//
+// A fifth, clearly marked low-level block at the bottom exports the
+// building blocks (the red-blue queue, the raw mov_req layout) for
+// direct experimentation; applications should not need it.
+//
+// The exported surface is snapshotted in api/memif.txt and guarded by
+// CI: changing it requires regenerating the snapshot with
+// cmd/memif-api, making facade drift a reviewed decision.
+//
 // # Quick start
 //
 // Boot a machine, open a device, and move memory the way Figure 2 of the
@@ -39,11 +65,21 @@
 //	})
 //	m.Eng.Run()
 //
-// All names below are aliases into the implementation packages, so the
-// whole system is reachable from this single import.
+// # Errors
+//
+// Realtime request outcomes form one taxonomy, matched with errors.Is:
+// ErrCanceled, ErrDeadline, ErrNoSlots, ErrOverload (whose concrete
+// *RealtimeOverloadError carries a retry-after hint), ErrClosed and
+// ErrBadSizes. Submit returns admission errors synchronously;
+// SubmitBatch surfaces per-request failures through their completions
+// (Request.Err), so a batch caller always collects exactly one
+// completion per request. The simulated device uses the numeric
+// ErrNone/ErrRace/... codes of the paper's uapi instead.
 package memif
 
 import (
+	"context"
+
 	"memif/internal/core"
 	"memif/internal/hw"
 	"memif/internal/linuxmig"
@@ -59,6 +95,10 @@ import (
 	"memif/internal/vm"
 	"memif/internal/workloads"
 )
+
+// ---------------------------------------------------------------------
+// The simulated machine: the paper's system on virtual time.
+// ---------------------------------------------------------------------
 
 // Machine is one simulated computer: event engine, platform, physical
 // memory and DMA engine.
@@ -127,44 +167,17 @@ func Open(m *Machine, as *AddressSpace, opts Options) *Device {
 	return core.Open(m, as, opts)
 }
 
-// MovReq is one move request (Figure 3b).
-type MovReq = uapi.MovReq
+// File is an in-memory file whose pages live in a machine-wide page
+// cache; mappings of it are shared between processes, and migration
+// rebinds the cache alongside every PTE (the file-backed-pages
+// limitation of Section 6.7, implemented).
+type File = vm.File
 
-// Move operations.
-const (
-	OpReplicate = uapi.OpReplicate
-	OpMigrate   = uapi.OpMigrate
-)
-
-// Request completion states and failure codes.
-const (
-	StatusDone   = uapi.StatusDone
-	StatusFailed = uapi.StatusFailed
-
-	ErrNone       = uapi.ErrNone
-	ErrRace       = uapi.ErrRace
-	ErrAborted    = uapi.ErrAborted
-	ErrNoMemory   = uapi.ErrNoMemory
-	ErrBadRequest = uapi.ErrBadRequest
-	ErrBusy       = uapi.ErrBusy
-)
-
-// Queue is the red-blue lock-free queue (Section 4.3), usable on its own:
-// a Michael–Scott-style lock-free FIFO that maintains a queue-wide color
-// atomically with every operation.
-type Queue = rbq.Queue
-
-// QueueSlab is the node pool shared by a set of Queues.
-type QueueSlab = rbq.Slab
-
-// NewQueueSlab allocates a node pool for red-blue queues.
-func NewQueueSlab(capacity int) *QueueSlab { return rbq.NewSlab(capacity) }
-
-// Queue colors.
-const (
-	Blue = rbq.Blue
-	Red  = rbq.Red
-)
+// NewFile creates a file of the given size on m's page cache. pageBytes
+// must match the page size of the address spaces that will map it.
+func NewFile(m *Machine, name string, size, pageBytes int64) *File {
+	return vm.NewFile(m.Mem, m.Rmap, name, size, pageBytes)
+}
 
 // LinuxMigrator is the baseline: synchronous, CPU-copy Linux page
 // migration driven by mbind-style batch syscalls (Section 2.2).
@@ -174,6 +187,153 @@ type LinuxMigrator = linuxmig.Migrator
 func NewLinuxMigrator(m *Machine, as *AddressSpace) *LinuxMigrator {
 	return linuxmig.New(m, as)
 }
+
+// SwapDaemon is the kswapd-style automatic fast-memory evictor (the
+// future-work item of Section 6.7): it watches the fast node's usage and
+// migrates the coldest registered regions back to slow memory through
+// memif, in proceed-and-recover mode so evictions can never hurt the
+// application.
+type SwapDaemon = swapd.Daemon
+
+// SwapOptions tunes the daemon's watermarks and period.
+type SwapOptions = swapd.Options
+
+// DefaultSwapOptions suits the 6 MB MSMC node.
+func DefaultSwapOptions() SwapOptions { return swapd.DefaultOptions() }
+
+// NewSwapDaemon starts an evictor for the address space behind app.
+func NewSwapDaemon(app *Device, opts SwapOptions) *SwapDaemon {
+	return swapd.New(app, opts)
+}
+
+// ---------------------------------------------------------------------
+// The realtime device: the interface protocol under real concurrency.
+// ---------------------------------------------------------------------
+
+// RealtimeDevice runs the memif interface protocol — the same red-blue
+// queues, submit/flush/kick discipline, worker and completion paths —
+// under real goroutine concurrency as a host-side asynchronous copy
+// service: sharded staging queues, batched submission (SubmitBatch /
+// RetrieveCompletedBatch amortize the flush, recolor and kick over a
+// whole batch), chunked multi-controller transfers fed through
+// per-controller rings with work stealing, cancellation and deadlines,
+// QoS priority classes with admission control and adaptive
+// poll-vs-notify completion, and a built-in metrics layer
+// (Device.Stats). See package memif/internal/realtime for the full
+// story.
+type RealtimeDevice = realtime.Device
+
+// RealtimeRequest is a realtime mov_req: an async copy between two
+// caller-owned byte slices, optionally carrying a priority Class and a
+// Deadline.
+type RealtimeRequest = realtime.Request
+
+// RealtimeOptions sizes a realtime device: request slots, transfer
+// controllers, staging shards, dispatch-ring depth, the chunking
+// threshold, tracing, and the QoS knobs. Construct it with
+// DefaultRealtimeOptions and override fields.
+type RealtimeOptions = realtime.Options
+
+// DefaultRealtimeOptions mirrors the EDMA3-ish defaults, including
+// min(4, GOMAXPROCS) transfer controllers and 256 KB chunking. QoS
+// fields left zero take their documented defaults (foreground never
+// shed, background past 85% occupancy, scavenger past 50%; adaptive
+// inline completion on).
+func DefaultRealtimeOptions() RealtimeOptions { return realtime.DefaultOptions() }
+
+// OpenRealtime starts a realtime device.
+func OpenRealtime(opts RealtimeOptions) *RealtimeDevice { return realtime.Open(opts) }
+
+// RealtimeClass is a realtime request's priority class: admission,
+// dispatch order and shedding key off it. The zero value is
+// RealtimeForeground.
+type RealtimeClass = realtime.Class
+
+// The priority classes, highest first. Foreground is never shed by
+// admission; scavenger is the first to be shed under pressure.
+const (
+	RealtimeForeground = realtime.ClassForeground
+	RealtimeBackground = realtime.ClassBackground
+	RealtimeScavenger  = realtime.ClassScavenger
+)
+
+// RealtimeNumClasses is the number of priority classes.
+const RealtimeNumClasses = realtime.NumClasses
+
+// RealtimeClassName returns the metric-label name of class i
+// ("foreground", "background", "scavenger").
+func RealtimeClassName(i int) string { return realtime.ClassName(i) }
+
+// RealtimeQoSOptions tunes admission control (per-class occupancy
+// shares), dispatch priority aging, and the adaptive inline-completion
+// threshold of a realtime device (RealtimeOptions.QoS).
+type RealtimeQoSOptions = realtime.QoSOptions
+
+// DefaultRealtimeClassShares returns the default per-class occupancy
+// thresholds: foreground 1.0 (never shed), background 0.85, scavenger
+// 0.5.
+func DefaultRealtimeClassShares() [RealtimeNumClasses]float64 {
+	return realtime.DefaultClassShares()
+}
+
+// RealtimeStats is the snapshot RealtimeDevice.Stats returns: outcome
+// counters, latency/size histograms, per-class breakdowns, QoS and
+// adaptive-completion counters, queue watermarks, and the optional
+// ring-buffer event trace.
+type RealtimeStats = realtime.StatsSnapshot
+
+// RealtimeClassStats is one priority class's slice of the device
+// counters (RealtimeStats.Classes).
+type RealtimeClassStats = realtime.ClassStats
+
+// RealtimeOverloadError is the concrete admission rejection: the shed
+// class plus a retry-after hint (an EWMA of recent completion latency).
+// errors.Is(err, ErrOverload) matches it.
+type RealtimeOverloadError = realtime.OverloadError
+
+// The realtime error taxonomy. Every request outcome and submission
+// rejection is one of these (or wraps one); match with errors.Is.
+var (
+	// ErrCanceled is the outcome of a request whose Cancel won.
+	ErrCanceled = realtime.ErrCanceled
+	// ErrDeadline is the outcome of a request that missed its Deadline.
+	ErrDeadline = realtime.ErrDeadline
+	// ErrNoSlots reports slab exhaustion: synchronously from Submit, or
+	// through the completion of a batch member accepted by SubmitBatch.
+	ErrNoSlots = realtime.ErrNoSlots
+	// ErrOverload is the admission controller's rejection of work at a
+	// sheddable priority class; the concrete *RealtimeOverloadError
+	// carries a retry-after hint.
+	ErrOverload = realtime.ErrOverload
+	// ErrClosed rejects submissions to a closed (or closing) device.
+	ErrClosed = realtime.ErrClosed
+	// ErrBadSizes rejects a request whose Src and Dst lengths differ.
+	ErrBadSizes = realtime.ErrBadSizes
+)
+
+// Deprecated aliases of the unified error taxonomy above, kept so code
+// written against the pre-QoS facade keeps compiling; use ErrCanceled,
+// ErrDeadline and ErrNoSlots in new code.
+var (
+	// Deprecated: use ErrCanceled.
+	ErrRealtimeCanceled = realtime.ErrCanceled
+	// Deprecated: use ErrDeadline.
+	ErrRealtimeDeadline = realtime.ErrDeadline
+	// Deprecated: use ErrNoSlots.
+	ErrRealtimeNoSlots = realtime.ErrNoSlots
+)
+
+// RealtimePollContext blocks until a completion notification is pending
+// on d or ctx is done — poll(2) with a context. Method form:
+// d.PollContext(ctx); the time.Duration variant d.Poll(timeout) is a
+// thin wrapper over the same wait.
+func RealtimePollContext(ctx context.Context, d *RealtimeDevice) bool {
+	return d.PollContext(ctx)
+}
+
+// ---------------------------------------------------------------------
+// The streaming runtime: Section 6.6's double-buffered kernels.
+// ---------------------------------------------------------------------
 
 // StreamConfig sizes the mini streaming runtime's prefetch buffers
 // (Section 6.6).
@@ -207,81 +367,15 @@ func StreamDirect(p *Proc, as *AddressSpace, k StreamKernel, base, length int64,
 	return streamrt.RunDirect(p, as, k, base, length, cfg)
 }
 
-// File is an in-memory file whose pages live in a machine-wide page
-// cache; mappings of it are shared between processes, and migration
-// rebinds the cache alongside every PTE (the file-backed-pages
-// limitation of Section 6.7, implemented).
-type File = vm.File
-
-// NewFile creates a file of the given size on m's page cache. pageBytes
-// must match the page size of the address spaces that will map it.
-func NewFile(m *Machine, name string, size, pageBytes int64) *File {
-	return vm.NewFile(m.Mem, m.Rmap, name, size, pageBytes)
-}
-
-// SwapDaemon is the kswapd-style automatic fast-memory evictor (the
-// future-work item of Section 6.7): it watches the fast node's usage and
-// migrates the coldest registered regions back to slow memory through
-// memif, in proceed-and-recover mode so evictions can never hurt the
-// application.
-type SwapDaemon = swapd.Daemon
-
-// SwapOptions tunes the daemon's watermarks and period.
-type SwapOptions = swapd.Options
-
-// DefaultSwapOptions suits the 6 MB MSMC node.
-func DefaultSwapOptions() SwapOptions { return swapd.DefaultOptions() }
-
-// NewSwapDaemon starts an evictor for the address space behind app.
-func NewSwapDaemon(app *Device, opts SwapOptions) *SwapDaemon {
-	return swapd.New(app, opts)
-}
-
-// RealtimeDevice runs the memif interface protocol — the same red-blue
-// queues, submit/flush/kick discipline, worker and completion paths —
-// under real goroutine concurrency as a host-side asynchronous copy
-// service, with sharded staging queues, batched submission
-// (SubmitBatch / RetrieveCompletedBatch amortize the flush, recolor and
-// kick over a whole batch), chunked multi-controller transfers fed
-// through per-controller rings with work stealing, cancellation and
-// deadlines, and a built-in metrics layer (Device.Stats). See package
-// memif/internal/realtime for the full story.
-type RealtimeDevice = realtime.Device
-
-// RealtimeRequest is a realtime mov_req: an async copy between two
-// caller-owned byte slices, optionally carrying a Deadline.
-type RealtimeRequest = realtime.Request
-
-// RealtimeOptions sizes a realtime device: request slots, transfer
-// controllers, staging shards, dispatch-ring depth, the chunking
-// threshold, and the event-trace depth.
-type RealtimeOptions = realtime.Options
-
-// RealtimeStats is the snapshot RealtimeDevice.Stats returns: outcome
-// counters, latency/size histograms, queue watermarks, and the optional
-// ring-buffer event trace.
-type RealtimeStats = realtime.StatsSnapshot
-
-// Realtime request outcomes beyond success. ErrRealtimeNoSlots is how a
-// request accepted by SubmitBatch surfaces when the staging slab is
-// exhausted mid-batch: through its completion, never as a lost request.
-var (
-	ErrRealtimeCanceled = realtime.ErrCanceled
-	ErrRealtimeDeadline = realtime.ErrDeadline
-	ErrRealtimeNoSlots  = realtime.ErrNoSlots
-)
-
-// OpenRealtime starts a realtime device.
-func OpenRealtime(opts RealtimeOptions) *RealtimeDevice { return realtime.Open(opts) }
-
-// DefaultRealtimeOptions mirrors the EDMA3-ish defaults, including
-// min(4, GOMAXPROCS) transfer controllers and 256 KB chunking.
-func DefaultRealtimeOptions() RealtimeOptions { return realtime.DefaultOptions() }
+// ---------------------------------------------------------------------
+// Observability: metrics, lifecycle traces, HTTP exposition.
+// ---------------------------------------------------------------------
 
 // LifecycleSnapshot is the per-request lifecycle tracer's view,
 // available as RealtimeStats.Lifecycle: per-stage latency histograms
 // (staging wait, dispatch wait, ring wait, steal delay, copy,
-// completion dwell) and the captured complete lifecycles. Sampling is
+// completion dwell), the same broken down per priority class
+// (ClassSpans), and the captured complete lifecycles. Sampling is
 // controlled by RealtimeOptions.TraceSampleShift (1 request in 2^k;
 // negative disables) or TraceFullCapture.
 type LifecycleSnapshot = lifecycle.Snapshot
@@ -292,7 +386,7 @@ type LifecycleSnapshot = lifecycle.Snapshot
 type LifecycleSpans = lifecycle.SpanSnapshot
 
 // CapturedLifecycle is one completed, captured request lifecycle: slot,
-// payload size, outcome, and the raw stage timestamps.
+// payload size, priority class, outcome, and the raw stage timestamps.
 type CapturedLifecycle = lifecycle.Lifecycle
 
 // ChromeTraceJSON renders captured lifecycles as Chrome trace_event
@@ -326,7 +420,8 @@ type ObsMetric = obshttp.Metric
 func NewObsHandler() *ObsHandler { return obshttp.NewHandler() }
 
 // RealtimeObsMetrics maps a realtime stats snapshot onto the
-// memif_realtime_* Prometheus namespace.
+// memif_realtime_* Prometheus namespace, including the per-class
+// {class="..."} series.
 func RealtimeObsMetrics(device string, s RealtimeStats) []ObsMetric {
 	return obshttp.RealtimeMetrics(device, s)
 }
@@ -345,3 +440,50 @@ func StreamObsMetrics(device string, s StreamMetricsSnapshot) []ObsMetric {
 // ParseExposition validates Prometheus text-format exposition — the
 // check CI runs against a scraped /metrics body.
 func ParseExposition(data []byte) error { return obshttp.ParseExposition(data) }
+
+// ---------------------------------------------------------------------
+// Low-level building blocks. Applications should not need anything
+// below this line; it exports the primitives the system is made of for
+// direct experimentation and the verification suites.
+// ---------------------------------------------------------------------
+
+// Queue is the red-blue lock-free queue (Section 4.3), usable on its own:
+// a Michael–Scott-style lock-free FIFO that maintains a queue-wide color
+// atomically with every operation.
+type Queue = rbq.Queue
+
+// QueueSlab is the node pool shared by a set of Queues.
+type QueueSlab = rbq.Slab
+
+// NewQueueSlab allocates a node pool for red-blue queues.
+func NewQueueSlab(capacity int) *QueueSlab { return rbq.NewSlab(capacity) }
+
+// Queue colors.
+const (
+	Blue = rbq.Blue
+	Red  = rbq.Red
+)
+
+// MovReq is one simulated move request (Figure 3b), the raw uapi layout
+// behind Device.AllocRequest.
+type MovReq = uapi.MovReq
+
+// Move operations.
+const (
+	OpReplicate = uapi.OpReplicate
+	OpMigrate   = uapi.OpMigrate
+)
+
+// Simulated-request completion states and failure codes (the numeric
+// uapi codes of Figure 3b, distinct from the realtime error taxonomy).
+const (
+	StatusDone   = uapi.StatusDone
+	StatusFailed = uapi.StatusFailed
+
+	ErrNone       = uapi.ErrNone
+	ErrRace       = uapi.ErrRace
+	ErrAborted    = uapi.ErrAborted
+	ErrNoMemory   = uapi.ErrNoMemory
+	ErrBadRequest = uapi.ErrBadRequest
+	ErrBusy       = uapi.ErrBusy
+)

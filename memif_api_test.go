@@ -1,0 +1,307 @@
+package memif_test
+
+// The facade contract test: every exported symbol of package memif is
+// exercised through the public import path only. Aliases that drift
+// from their internal types, or error variables that stop matching the
+// values the device actually returns, fail here — before the API
+// snapshot check even runs.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"memif"
+)
+
+// TestFacadeSymbolCoverage references every exported symbol. Most of
+// the work is done at compile time — an alias pointing at the wrong
+// internal type breaks an assignment below — with light behavioral
+// checks where a value is cheap to produce.
+func TestFacadeSymbolCoverage(t *testing.T) {
+	// Machine group: platforms, nodes, pages, sim types.
+	var _ *memif.Platform = memif.KeyStoneII()
+	var _ *memif.Platform = memif.XeonE5()
+	m := memif.NewMachine(memif.KeyStoneII())
+	var _ *memif.Machine = m
+	var _ memif.NodeID = memif.NodeSlow
+	var _ memif.NodeID = memif.NodeFast
+	for _, pg := range []int64{memif.Page4K, memif.Page64K, memif.Page2M} {
+		if pg <= 0 {
+			t.Fatalf("page preset %d not positive", pg)
+		}
+	}
+	var _ memif.Time
+	var opts memif.Options = memif.DefaultOptions()
+	opts.RaceMode = memif.RaceRecover
+	opts.RaceMode = memif.RacePrevent
+	opts.RaceMode = memif.RaceDetect
+
+	// One sim flow touches Open, Device, AddressSpace, Proc, MovReq,
+	// the op/status/uapi-error constants, File, the Linux baseline, the
+	// swap daemon, streaming, and their metrics types.
+	ran := false
+	m.Eng.Spawn("api", func(p *memif.Proc) {
+		ran = true
+		as := m.NewAddressSpace(memif.Page4K)
+		var dev *memif.Device = memif.Open(m, as, opts)
+		defer dev.Close()
+
+		const n = 64 << 10
+		src, err := as.Mmap(p, n, memif.NodeSlow, "src")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := as.Mmap(p, n, memif.NodeFast, "dst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var req *memif.MovReq = dev.AllocRequest(p)
+		req.Op = memif.OpReplicate
+		req.SrcBase, req.DstBase, req.Length = src, dst, n
+		if err := dev.Submit(p, req); err != nil {
+			t.Fatal(err)
+		}
+		dev.Poll(p, 0)
+		done := dev.RetrieveCompleted(p)
+		if done == nil || done.Status != memif.StatusDone || done.Err != memif.ErrNone {
+			t.Fatalf("sim completion: %+v", done)
+		}
+		_ = memif.OpMigrate
+		_ = memif.StatusFailed
+		for _, code := range []uint8{uint8(memif.ErrRace), uint8(memif.ErrAborted),
+			uint8(memif.ErrNoMemory), uint8(memif.ErrBadRequest), uint8(memif.ErrBusy)} {
+			if code == uint8(memif.ErrNone) {
+				t.Fatal("uapi failure code equals ErrNone")
+			}
+		}
+		dev.FreeRequest(p, done)
+
+		var f *memif.File = memif.NewFile(m, "api-test", memif.Page4K*4, memif.Page4K)
+		_ = f
+		var mig *memif.LinuxMigrator = memif.NewLinuxMigrator(m, as)
+		_ = mig
+		var sd *memif.SwapDaemon = memif.NewSwapDaemon(dev, memif.DefaultSwapOptions())
+		var swopts memif.SwapOptions = memif.DefaultSwapOptions()
+		_ = swopts
+		var swm memif.SwapMetricsSnapshot = sd.Metrics()
+		if ms := memif.SwapObsMetrics("api", swm); len(ms) == 0 {
+			t.Error("SwapObsMetrics returned no series")
+		}
+		sd.Stop()
+
+		var cfg memif.StreamConfig = memif.DefaultStreamConfig()
+		cfg.BufBytes = memif.Page4K * 4 // stream length below must be a multiple
+		var sm memif.StreamMetrics
+		cfg.Metrics = &sm
+		var k memif.StreamKernel = memif.KernelTriad
+		_ = memif.KernelAdd
+		_ = memif.KernelPGain
+		base, err := as.Mmap(p, memif.Page4K*16, memif.NodeSlow, "stream")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res memif.StreamResult
+		if res, err = memif.Stream(p, dev, k, base, memif.Page4K*16, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if res.Elapsed <= 0 {
+			t.Error("stream run reported nonpositive elapsed time")
+		}
+		if _, err = memif.StreamDirect(p, as, k, base, memif.Page4K*16, cfg); err != nil {
+			t.Fatal(err)
+		}
+		var sms memif.StreamMetricsSnapshot = sm.Snapshot()
+		if ms := memif.StreamObsMetrics("api", sms); len(ms) == 0 {
+			t.Error("StreamObsMetrics returned no series")
+		}
+	})
+	m.Eng.Run()
+	if !ran {
+		t.Fatal("sim flow never ran")
+	}
+
+	// Low-level block: the red-blue queue on its own.
+	var slab *memif.QueueSlab = memif.NewQueueSlab(8)
+	var q *memif.Queue = slab.NewQueue(memif.Blue)
+	if old, ok := q.SetColor(memif.Red); !ok || old != memif.Blue {
+		t.Fatalf("SetColor on empty queue: old=%v ok=%v", old, ok)
+	}
+	if color, ok := q.Enqueue(1); !ok || color != memif.Red {
+		t.Fatalf("enqueue: color=%v ok=%v", color, ok)
+	}
+	if v, color, ok := q.Dequeue(); !ok || v != 1 || color != memif.Red {
+		t.Fatalf("dequeue: v=%d color=%v ok=%v", v, color, ok)
+	}
+
+	// Realtime group compile-time coverage; behavior is in the QoS tests
+	// below.
+	var _ memif.RealtimeClass = memif.RealtimeForeground
+	var classes = [memif.RealtimeNumClasses]memif.RealtimeClass{
+		memif.RealtimeForeground, memif.RealtimeBackground, memif.RealtimeScavenger,
+	}
+	for i, c := range classes {
+		if memif.RealtimeClassName(i) != c.String() {
+			t.Errorf("class %d: name %q != String %q", i, memif.RealtimeClassName(i), c.String())
+		}
+	}
+	shares := memif.DefaultRealtimeClassShares()
+	if shares[memif.RealtimeForeground] != 1.0 || shares[memif.RealtimeScavenger] >= shares[memif.RealtimeBackground] {
+		t.Errorf("default class shares out of order: %v", shares)
+	}
+	var qos memif.RealtimeQoSOptions
+	qos.InlineThreshold = -1
+	_ = qos
+
+	// Error taxonomy: the deprecated aliases must be the same values.
+	if !errors.Is(memif.ErrRealtimeCanceled, memif.ErrCanceled) ||
+		!errors.Is(memif.ErrRealtimeDeadline, memif.ErrDeadline) ||
+		!errors.Is(memif.ErrRealtimeNoSlots, memif.ErrNoSlots) {
+		t.Error("deprecated error aliases diverged from the unified taxonomy")
+	}
+	for _, err := range []error{memif.ErrCanceled, memif.ErrDeadline, memif.ErrNoSlots,
+		memif.ErrOverload, memif.ErrClosed, memif.ErrBadSizes} {
+		if err == nil || err.Error() == "" {
+			t.Error("unified taxonomy exports a nil or empty error")
+		}
+	}
+}
+
+// TestRealtimeFacadeQoS drives the realtime surface end to end through
+// the facade: priority classes, admission shedding with the typed
+// overload error, context-based poll and drain, per-class stats, and
+// the observability exports.
+func TestRealtimeFacadeQoS(t *testing.T) {
+	ropts := memif.DefaultRealtimeOptions()
+	ropts.NumReqs = 8
+	ropts.Controllers = 1
+	// Scavenger admission cuts off at 50% occupancy = 4 slots.
+	var d *memif.RealtimeDevice = memif.OpenRealtime(ropts)
+
+	payload := make([]byte, 1<<10)
+	submit := func(class memif.RealtimeClass, src, dst []byte) (*memif.RealtimeRequest, error) {
+		r := d.AllocRequest()
+		if r == nil {
+			t.Fatal("AllocRequest: slab exhausted")
+		}
+		r.Class = class
+		r.Src, r.Dst = src, dst
+		err := d.Submit(r)
+		if err != nil {
+			d.FreeRequest(r)
+			return nil, err
+		}
+		return r, nil
+	}
+
+	// Foreground flows regardless of load; completions arrive via the
+	// context poll.
+	fg, err := submit(memif.RealtimeForeground, payload, make([]byte, len(payload)))
+	if err != nil {
+		t.Fatalf("foreground submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if !memif.RealtimePollContext(ctx, d) {
+		t.Fatal("PollContext returned without a completion")
+	}
+	cancel()
+	got := d.RetrieveCompleted()
+	if got != fg || got.Err != nil {
+		t.Fatalf("retrieved %v err=%v, want the foreground request", got, got.Err)
+	}
+	if lat, ok := got.Latency(); !ok || lat <= 0 {
+		t.Errorf("latency = %v ok=%v", lat, ok)
+	}
+	d.FreeRequest(got)
+
+	// Burst scavenger submissions past the class's occupancy share
+	// (50% of 8 slots = 4 in flight). The payloads are large (512 KiB,
+	// above the inline-copy threshold) so each accepted request holds
+	// its slot for a memcpy-bound service time while the submit loop
+	// runs in microseconds — occupancy crosses the limit and admission
+	// sheds with the typed overload error.
+	const big = 512 << 10
+	bigSrc := make([]byte, big)
+	var overErr error
+	var held []*memif.RealtimeRequest
+	for i := 0; i < ropts.NumReqs*4 && overErr == nil; i++ {
+		r, err := submit(memif.RealtimeScavenger, bigSrc, make([]byte, big))
+		switch {
+		case err == nil:
+			held = append(held, r)
+		case errors.Is(err, memif.ErrOverload):
+			overErr = err
+		default:
+			t.Fatalf("scavenger submit: %v", err)
+		}
+	}
+	if overErr == nil {
+		t.Fatal("no scavenger submission was shed at 4x capacity")
+	}
+	var oe *memif.RealtimeOverloadError
+	if !errors.As(overErr, &oe) {
+		t.Fatalf("overload error is %T, want *RealtimeOverloadError", overErr)
+	}
+	if oe.Class != memif.RealtimeScavenger || oe.RetryAfter <= 0 {
+		t.Errorf("overload error = %+v, want scavenger class and positive retry-after", oe)
+	}
+
+	// Drain what was accepted, then check the per-class stats and the
+	// Prometheus exports.
+	for range held {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		memif.RealtimePollContext(ctx, d)
+		cancel()
+		if r := d.RetrieveCompleted(); r != nil {
+			d.FreeRequest(r)
+		}
+	}
+	var st memif.RealtimeStats = d.Stats()
+	var cs memif.RealtimeClassStats = st.Classes[memif.RealtimeScavenger]
+	if cs.Shed == 0 {
+		t.Error("scavenger class stats recorded no sheds")
+	}
+	if st.Classes[memif.RealtimeForeground].Submitted == 0 {
+		t.Error("foreground class stats recorded no submissions")
+	}
+	if st.Shed == 0 {
+		t.Error("device-level Shed counter is zero")
+	}
+
+	ms := memif.RealtimeObsMetrics("api", st)
+	var sawClass bool
+	for _, mm := range ms {
+		var _ memif.ObsMetric = mm
+		if mm.Name == "memif_realtime_class_shed_total" {
+			sawClass = true
+		}
+	}
+	if !sawClass {
+		t.Error("RealtimeObsMetrics emitted no per-class shed series")
+	}
+	h := memif.NewObsHandler()
+	var _ *memif.ObsHandler = h
+
+	// Lifecycle exports: captured lifecycles render as Chrome trace JSON.
+	var lcs memif.LifecycleSnapshot = st.Lifecycle
+	var spans memif.LifecycleSpans = lcs.Spans
+	_ = spans
+	var caps []memif.CapturedLifecycle = lcs.Captured
+	if blob, err := memif.ChromeTraceJSON("api", caps); err != nil {
+		t.Errorf("ChromeTraceJSON: %v", err)
+	} else if !strings.Contains(string(blob), "traceEvents") {
+		t.Error("Chrome trace JSON missing traceEvents")
+	}
+
+	// Context drain closes the device; ErrClosed afterwards.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	if !d.CloseDrainContext(ctx2) {
+		t.Error("CloseDrainContext did not drain an idle device")
+	}
+	cancel2()
+	if _, err := submit(memif.RealtimeForeground, payload, make([]byte, len(payload))); !errors.Is(err, memif.ErrClosed) {
+		t.Errorf("submit after close: %v, want ErrClosed", err)
+	}
+}
