@@ -55,6 +55,10 @@ type Report struct {
 	GoMaxProcs int              `json:"gomaxprocs"`
 	Quick      bool             `json:"quick"`
 	Workloads  []WorkloadResult `json:"workloads"`
+	// Tiering is the virtual-time tiering-daemon scenario (schema v4):
+	// promotion/demotion counts, promotion lag, and the foreground-p99-
+	// under-migration comparison. See tiering.go.
+	Tiering *TieringResult `json:"tiering,omitempty"`
 }
 
 type WorkloadResult struct {
@@ -306,7 +310,7 @@ func main() {
 
 	rep := Report{
 		Benchmark:  "membench",
-		Version:    3,
+		Version:    4,
 		UnixTime:   time.Now().Unix(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
@@ -322,6 +326,10 @@ func main() {
 		}
 		rep.Workloads = append(rep.Workloads, res)
 	}
+
+	fmt.Fprintf(os.Stderr, "membench: running tiering    (virtual-time sim)\n")
+	rep.Tiering = runTiering(*quick)
+	reportTiering(rep.Tiering)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -587,6 +595,11 @@ func validate(rep Report) error {
 	}
 	if rep.Version >= 3 {
 		if err := validateQoS(rep); err != nil {
+			return err
+		}
+	}
+	if rep.Version >= 4 {
+		if err := validateTiering(rep); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,298 @@
+// The tiering workload exercises the transactional tiering daemon
+// (internal/swapd) end to end on the simulated KeyStone II machine: a
+// 400 MB slow-tier dataset (102,400 pages in 64 KB regions) under
+// Zipf-skewed access whose hot set shifts every epoch, with a laggy
+// writer trailing one epoch behind so demotions race real stores. A
+// paced foreground prober ping-pongs one page through the application
+// device the whole time, giving an uncontended latency baseline before
+// the storm and a contended histogram during it — the QoS story is that
+// the two p99s land within one log2 histogram bucket of each other.
+//
+// Unlike the realtime workloads this one runs in virtual time, so its
+// numbers are deterministic for fixed seeds and safe to gate CI on.
+package main
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"os"
+
+	"memif/internal/core"
+	"memif/internal/hw"
+	"memif/internal/machine"
+	"memif/internal/obs"
+	"memif/internal/sim"
+	"memif/internal/swapd"
+	"memif/internal/uapi"
+)
+
+// TieringResult is the tiering section of the report (schema v4). All
+// latencies are virtual (simulated) nanoseconds.
+type TieringResult struct {
+	Pages       int64 `json:"pages"`
+	Regions     int   `json:"regions"`
+	RegionBytes int64 `json:"region_bytes"`
+	Epochs      int   `json:"epochs"`
+	VirtNs      int64 `json:"virt_ns"` // simulated duration of the scenario
+
+	Promotions        int64 `json:"promotions"`
+	Demotions         int64 `json:"demotions"`
+	ZeroCopyDemotions int64 `json:"zero_copy_demotions"`
+	TxnAborts         int64 `json:"txn_aborts"`
+	BytesMoved        int64 `json:"bytes_moved"`
+
+	// PromotionLag measures region-turned-hot to promotion-committed.
+	PromotionLagP50Ns int64 `json:"promotion_lag_p50_ns"`
+	PromotionLagP99Ns int64 `json:"promotion_lag_p99_ns"`
+
+	// Foreground probe latency, uncontended vs. during the migration
+	// storm. The validate() gate allows at most one log2 bucket of
+	// drift between the two p99s.
+	FgBaselineOps   int64 `json:"fg_baseline_ops"`
+	FgStormOps      int64 `json:"fg_storm_ops"`
+	FgP99BaselineNs int64 `json:"fg_p99_baseline_ns"`
+	FgP99StormNs    int64 `json:"fg_p99_storm_ns"`
+}
+
+// runTiering builds the machine, runs the scenario to completion in
+// virtual time, and distills the daemon's metrics into the report row.
+func runTiering(quick bool) *TieringResult {
+	const (
+		pageBytes   = 4096
+		regionPages = 16
+		regionBytes = regionPages * pageBytes
+		numRegions  = 6400 // 102,400 pages ≈ 400 MB of slow memory
+		baselineNS  = 20_000_000
+		zipfS       = 1.2
+	)
+	epochs, epochNS := 5, int64(15_000_000)
+	if quick {
+		epochs, epochNS = 3, 10_000_000
+	}
+
+	m := machine.New(hw.KeyStoneII())
+	as := m.NewAddressSpace(pageBytes)
+	app := core.Open(m, as, core.DefaultOptions())
+
+	opts := swapd.DefaultOptions()
+	// Lower watermarks than the 90/70 defaults: the promotion rate is
+	// MaxInflight-bound, so quick-mode windows must hit pressure with
+	// ~70 resident regions rather than ~90.
+	opts.HighWatermark, opts.LowWatermark = 0.72, 0.55
+	opts.PeriodNS = 500_000
+	opts.ScanPeriodNS = 1_000_000
+	opts.MaxInflight = 8
+	opts.ChainPages = 4 // small DMA batches bound foreground HOL blocking
+	opts.ScanBudget = 400
+	sd := swapd.New(app, opts)
+
+	var (
+		bases      [numRegions]int64
+		fgBase     int64
+		stormStart sim.Time // 0 until the baseline window closes
+		stormDone  bool
+		virtEnd    sim.Time
+		baseHist   obs.Histogram
+		stormHist  obs.Histogram
+	)
+
+	// fgOnce issues one paced foreground page move and records its
+	// submission-to-completion latency. Failures (transiently full fast
+	// node) are not observed; the prober simply retries next period.
+	fgOnce := func(p *sim.Proc, dst hw.NodeID, h *obs.Histogram) bool {
+		r := app.AllocRequest(p)
+		if r == nil {
+			return false
+		}
+		r.Op = uapi.OpMigrate
+		r.SrcBase, r.Length, r.DstNode = fgBase, pageBytes, dst
+		r.Class = uapi.ClassForeground
+		if err := app.Submit(p, r); err != nil {
+			app.FreeRequest(p, r)
+			return false
+		}
+		for {
+			if got := app.RetrieveCompleted(p); got != nil {
+				ok := got.Status == uapi.StatusDone
+				if ok {
+					h.Observe(int64(got.Completed - got.Submitted))
+				}
+				app.FreeRequest(p, got)
+				return ok
+			}
+			app.Poll(p, 0)
+		}
+	}
+
+	m.Eng.Spawn("fg", func(p *sim.Proc) {
+		defer app.Close()
+		defer sd.Stop()
+		for i := range bases {
+			b, err := as.Mmap(p, regionBytes, hw.NodeSlow, fmt.Sprintf("t%d", i))
+			if err != nil {
+				panic(err)
+			}
+			bases[i] = b
+			sd.Register(b, regionBytes)
+		}
+		fgBase, _ = as.Mmap(p, pageBytes, hw.NodeSlow, "fg-probe")
+		if err := as.Write(p, fgBase, []byte{1}); err != nil {
+			panic(err)
+		}
+
+		dst := hw.NodeFast
+		flip := func(ok bool) {
+			if !ok {
+				return // retry the same destination next period
+			}
+			if dst == hw.NodeFast {
+				dst = hw.NodeSlow
+			} else {
+				dst = hw.NodeFast
+			}
+		}
+		start := p.Now()
+		for p.Now() < start+baselineNS {
+			flip(fgOnce(p, dst, &baseHist))
+			p.SleepNS(50_000)
+		}
+		stormStart = p.Now()
+		for !stormDone {
+			flip(fgOnce(p, dst, &stormHist))
+			p.SleepNS(50_000)
+		}
+		virtEnd = p.Now()
+	})
+
+	// The reader drives the Zipf hot set: touch hints plus a real read
+	// so the access-bit scanner sees referenced-but-clean pages. The
+	// hot set shifts by a fixed stride each epoch (churn).
+	m.Eng.Spawn("reader", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(42))
+		zipf := rand.NewZipf(rng, zipfS, 1, numRegions-1)
+		for stormStart == 0 {
+			p.SleepNS(500_000)
+		}
+		for e := 0; e < epochs; e++ {
+			stride := e * 997
+			end := stormStart + sim.Time(int64(e+1)*epochNS)
+			for p.Now() < end {
+				b := bases[(int(zipf.Uint64())+stride)%numRegions]
+				sd.Touch(b, p.Now())
+				if err := as.Touch(p, b, false); err != nil {
+					panic(err)
+				}
+				p.SleepNS(3_000)
+			}
+		}
+		stormDone = true
+	})
+
+	// The laggy writer trails one epoch behind the reader: it keeps
+	// storing into regions that have already gone cold and are being
+	// demoted, so commits race real dirty bits — the txn-abort path.
+	m.Eng.Spawn("writer", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(1337))
+		zipf := rand.NewZipf(rng, zipfS, 1, numRegions-1)
+		for stormStart == 0 {
+			p.SleepNS(500_000)
+		}
+		for e := 0; e < epochs && !stormDone; e++ {
+			stride := 0
+			if e > 0 {
+				stride = (e - 1) * 997
+			}
+			end := stormStart + sim.Time(int64(e+1)*epochNS)
+			for p.Now() < end && !stormDone {
+				b := bases[(int(zipf.Uint64())+stride)%numRegions]
+				if err := as.Write(p, b, []byte{0xEE}); err != nil {
+					panic(err)
+				}
+				p.SleepNS(4_000)
+			}
+		}
+	})
+
+	m.Eng.Run()
+
+	st := sd.Stats()
+	ms := sd.Metrics()
+	base, storm := baseHist.Snapshot(), stormHist.Snapshot()
+	return &TieringResult{
+		Pages:             int64(numRegions * regionPages),
+		Regions:           numRegions,
+		RegionBytes:       regionBytes,
+		Epochs:            epochs,
+		VirtNs:            int64(virtEnd),
+		Promotions:        st.Promotions,
+		Demotions:         st.Demotions,
+		ZeroCopyDemotions: st.ZeroCopyDemotions,
+		TxnAborts:         st.Aborts,
+		BytesMoved:        st.BytesMoved,
+		PromotionLagP50Ns: ms.PromotionLag.Quantile(0.50),
+		PromotionLagP99Ns: ms.PromotionLag.Quantile(0.99),
+		FgBaselineOps:     base.Count,
+		FgStormOps:        storm.Count,
+		FgP99BaselineNs:   base.Quantile(0.99),
+		FgP99StormNs:      storm.Quantile(0.99),
+	}
+}
+
+// bucketDelta is the distance between two latencies in log2 histogram
+// buckets — the unit the "p99 holds under migration" gate is stated in.
+func bucketDelta(a, b int64) int {
+	ba, bb := bits.Len64(uint64(a)), bits.Len64(uint64(b))
+	if ba > bb {
+		return ba - bb
+	}
+	return bb - ba
+}
+
+// validateTiering enforces the schema-v4 tiering invariants: the
+// scenario is big enough to count (≥100k pages), every migration path
+// fired (promotions, demotions, zero-copy demotions, txn aborts), the
+// promotion-lag histogram has data, and foreground p99 held within one
+// log2 bucket of its uncontended baseline during the storm.
+func validateTiering(rep Report) error {
+	t := rep.Tiering
+	if t == nil {
+		return fmt.Errorf("version %d report has no tiering section", rep.Version)
+	}
+	if t.Pages < 100_000 {
+		return fmt.Errorf("tiering: %d pages, want >= 100000", t.Pages)
+	}
+	if t.Promotions <= 0 {
+		return fmt.Errorf("tiering: no promotions — scan/touch-driven promotion is not engaging")
+	}
+	if t.Demotions <= 0 {
+		return fmt.Errorf("tiering: no demotions — watermark pressure is not engaging")
+	}
+	if t.ZeroCopyDemotions <= 0 {
+		return fmt.Errorf("tiering: no zero-copy demotions — non-exclusive shadows are not being used")
+	}
+	if t.TxnAborts <= 0 {
+		return fmt.Errorf("tiering: no txn aborts — the racing writer never hit a commit window")
+	}
+	if t.PromotionLagP99Ns <= 0 {
+		return fmt.Errorf("tiering: empty promotion-lag histogram")
+	}
+	if t.FgBaselineOps <= 0 || t.FgStormOps <= 0 {
+		return fmt.Errorf("tiering: foreground probe recorded %d baseline / %d storm ops, want both > 0",
+			t.FgBaselineOps, t.FgStormOps)
+	}
+	if d := bucketDelta(t.FgP99StormNs, t.FgP99BaselineNs); d > 1 {
+		return fmt.Errorf("tiering: foreground p99 under migration (%dns) drifted %d log2 buckets from baseline (%dns)",
+			t.FgP99StormNs, d, t.FgP99BaselineNs)
+	}
+	return nil
+}
+
+// reportTiering prints the human summary line mirroring the per-workload
+// lines of the realtime benchmarks.
+func reportTiering(t *TieringResult) {
+	fmt.Fprintf(os.Stderr,
+		"membench: tiering      %6d promo %6d demo (%d zero-copy) %5d aborts  promo-lag p99 %dns  fg p99 %dns vs %dns\n",
+		t.Promotions, t.Demotions, t.ZeroCopyDemotions, t.TxnAborts,
+		t.PromotionLagP99Ns, t.FgP99StormNs, t.FgP99BaselineNs)
+}

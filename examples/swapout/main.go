@@ -86,7 +86,7 @@ func main() {
 
 	st := sd.Stats()
 	fmt.Printf("daemon: %d evictions (%d MB), %d aborted by racing use\n",
-		st.Evictions, st.BytesEvicted>>20, st.FailedEvictons)
+		st.Evictions, st.BytesEvicted>>20, st.FailedEvictions)
 	if st.Evictions == 0 {
 		log.Fatal("expected the daemon to evict under pressure")
 	}

@@ -42,6 +42,10 @@ type pageMove struct {
 	maps     []mappedPTE
 	oldFrame *phys.Frame
 	newFrame *phys.Frame
+
+	// Transactional-migration page states.
+	zeroCopy bool // newFrame is a still-valid shadow copy: commit is a PTE flip
+	noop     bool // page already resides on the destination node
 }
 
 // inflight is one request being served: its pages, its DMA batches, and
@@ -54,6 +58,8 @@ type inflight struct {
 	transfer  *dma.Transfer
 	aborted   bool // recover-mode fault handler took over
 	released  bool
+	txn       bool // transactional migration (ReqTxn)
+	keepSrc   bool // retain committed source frames as shadow copies
 
 	// Migration claim to drop once the move ends (success or abort).
 	claimVPN uint64
@@ -80,8 +86,9 @@ func (d *Device) busy(p *sim.Proc, m *sim.Meter, phase string, ns int64) {
 // serveNext dequeues and serves one request from the submission queue.
 // found reports whether a request was dequeued; started whether it
 // resulted in a DMA transfer (and hence a completion that will drive
-// further progress). A found-but-not-started request failed validation
-// and completed straight to the failure queue.
+// further progress). A found-but-not-started request completed inline —
+// either it failed validation (failure queue) or it was a zero-copy
+// transactional commit with no bytes to move.
 func (d *Device) serveNext(p *sim.Proc, m *sim.Meter, ctx execCtx) (found, started bool) {
 	d.busy(p, m, stats.PhaseInterface, d.M.Plat.Cost.QueueOp)
 	idx, _, ok := d.Area.Submission.Dequeue()
@@ -118,8 +125,20 @@ func (d *Device) serveReq(p *sim.Proc, m *sim.Meter, ctx execCtx, req *uapi.MovR
 	req.CopyStart = p.Now()
 	if req.Op == uapi.OpMigrate {
 		d.stats.Migrations++
+		if inf.txn {
+			d.stats.TxnMigrations++
+		}
 	} else {
 		d.stats.Replications++
+	}
+
+	// A transactional migration satisfied entirely by valid shadow
+	// copies (and pages already in place) has no bytes to move: commit
+	// it here, with no DMA and hence no completion interrupt. Returning
+	// false tells the syscall path to wake the worker itself.
+	if inf.txn && len(inf.batches) == 0 {
+		d.finish(p, m, inf)
+		return false
 	}
 
 	// Decide the completion mode (Section 5.4): the kernel thread polls
@@ -198,6 +217,17 @@ func (d *Device) prepare(p *sim.Proc, m *sim.Meter, req *uapi.MovReq) (*inflight
 		if !ok {
 			as.MigRelease(vpn, n)
 			return nil, uapi.ErrBadRequest
+		}
+		if req.Flags&uapi.ReqTxn != 0 {
+			inf := &inflight{
+				req: req, claimVPN: vpn, claimN: n,
+				txn: true, keepSrc: req.Flags&uapi.ReqKeepSrc != 0,
+			}
+			if errc := d.prepareTxn(p, m, inf, slots, req); errc != uapi.ErrNone {
+				as.MigRelease(vpn, n)
+				return nil, errc
+			}
+			return inf, uapi.ErrNone
 		}
 		inf := &inflight{req: req, claimVPN: vpn, claimN: n}
 		if errc := d.remap(p, m, inf, slots, req); errc != uapi.ErrNone {
@@ -337,6 +367,108 @@ func (d *Device) remap(p *sim.Proc, m *sim.Meter, inf *inflight, slots []*pageta
 	return uapi.ErrNone
 }
 
+// prepareTxn performs the Nomad-style prepare for a transactional
+// migration: no PTE is touched except to clear the dirty bit as the copy
+// baseline, so the application keeps reading and writing the page at full
+// speed during the copy. Per page it decides one of three outcomes —
+// noop (already on the destination node), zero-copy (a still-valid
+// shadow copy sits on the destination: commit will be a bare PTE flip),
+// or copy (allocate a destination frame and DMA the bytes). Validation,
+// not the race policy, rejects shared pages: the single commit CAS can
+// only retire one mapping.
+func (d *Device) prepareTxn(p *sim.Proc, m *sim.Meter, inf *inflight, slots []*pagetable.Slot, req *uapi.MovReq) uapi.ErrCode {
+	as := d.AS
+	cost := &d.M.Plat.Cost
+	pb := as.PageBytes
+	var ns int64
+	var segs []dma.Segment
+
+	for i, slot := range slots {
+		old := slot.Load()
+		oldFrame, ok := as.Mem.Lookup(old.Frame())
+		if !ok {
+			d.rollbackTxnPrep(p, m, inf)
+			return uapi.ErrBadRequest
+		}
+		if oldFrame.RefCount > 1 {
+			d.rollbackTxnPrep(p, m, inf)
+			return uapi.ErrBadRequest
+		}
+		if as.Rmap != nil && len(as.Rmap.Lookup(oldFrame.ID)) > 1 {
+			d.rollbackTxnPrep(p, m, inf)
+			return uapi.ErrBadRequest
+		}
+		addr := req.SrcBase + int64(i)*pb
+		vpn := as.VPN(addr)
+		pg := pageMove{
+			addr:     addr,
+			maps:     []mappedPTE{{as: as, slot: slot, vpn: vpn, old: old}},
+			oldFrame: oldFrame,
+		}
+		if oldFrame.Node == req.DstNode {
+			pg.noop = true
+			inf.pages = append(inf.pages, pg)
+			continue
+		}
+		// Shadow validity is judged against the pre-baseline PTE: a
+		// dirty bit set now means the page changed since the shadow was
+		// taken, regardless of what the scan below clears.
+		if sh, of := as.ShadowAt(vpn); sh != nil {
+			if of != old.Frame() || old.Has(pagetable.FlagDirty) {
+				as.DropShadow(vpn)
+				ns += cost.PageFree
+			} else if sh.Node == req.DstNode {
+				pg.zeroCopy = true
+				pg.newFrame = sh
+			}
+		}
+		// Clear dirty as the copy baseline; a write from here on marks
+		// the page dirty again and the commit CAS will refuse it.
+		if old.Has(pagetable.FlagDirty) {
+			for {
+				cur := slot.Load()
+				clean := cur.Without(pagetable.FlagDirty)
+				if slot.CompareAndSwap(cur, clean) {
+					break
+				}
+			}
+			ns += cost.PTECas
+		}
+		if !pg.zeroCopy {
+			newFrame, err := as.Mem.Alloc(req.DstNode, pb)
+			if err != nil {
+				d.rollbackTxnPrep(p, m, inf)
+				return uapi.ErrNoMemory
+			}
+			pg.newFrame = newFrame
+			ns += cost.PageAlloc
+			segs = append(segs, dma.Segment{Src: oldFrame, Dst: newFrame, Bytes: pb})
+		}
+		inf.pages = append(inf.pages, pg)
+	}
+	d.busy(p, m, stats.PhaseRemap, ns)
+	if len(segs) > 0 {
+		inf.batches = d.splitBatches(segs)
+	}
+	return uapi.ErrNone
+}
+
+// rollbackTxnPrep frees destination frames allocated by a partially
+// prepared transactional migration. Nothing else changed: the pages were
+// never remapped.
+func (d *Device) rollbackTxnPrep(p *sim.Proc, m *sim.Meter, inf *inflight) {
+	cost := &d.M.Plat.Cost
+	var ns int64
+	for _, pg := range inf.pages {
+		if pg.newFrame != nil && !pg.zeroCopy && !pg.noop {
+			d.AS.Mem.Free(pg.newFrame)
+			ns += cost.PageFree
+		}
+	}
+	d.busy(p, m, stats.PhaseRemap, ns)
+	inf.pages = nil
+}
+
 // rollbackRemap undoes partially completed remaps after a mid-request
 // allocation failure.
 func (d *Device) rollbackRemap(p *sim.Proc, m *sim.Meter, inf *inflight) {
@@ -403,6 +535,7 @@ func (d *Device) startBatch(p *sim.Proc, m *sim.Meter, inf *inflight, irq bool) 
 		d.complete(p, m, inf.req, uapi.ErrBadRequest)
 		return false
 	}
+	tr.Class = uint8(inf.req.Class)
 	inf.transfer = tr
 	var bytes int64
 	for _, s := range batch {
@@ -425,6 +558,10 @@ func (d *Device) finish(p *sim.Proc, m *sim.Meter, inf *inflight) {
 		return
 	}
 	inf.released = true
+	if inf.txn {
+		d.finishTxn(p, m, inf)
+		return
+	}
 	req := inf.req
 	cost := &d.M.Plat.Cost
 	as := d.AS
@@ -486,6 +623,117 @@ func (d *Device) finish(p *sim.Proc, m *sim.Meter, inf *inflight) {
 	d.complete(p, m, req, errc)
 }
 
+// finishTxn commits a transactional migration: one CAS per page from the
+// clean baseline PTE to the final mapping of the destination frame. A
+// dirty bit (or a changed frame) at any page aborts the whole request —
+// already-committed pages are rolled back, freshly allocated frames are
+// freed, and the original mappings remain untouched, so the caller can
+// simply retry. No yield occurs between the first CAS and the last
+// rollback store, so the commit is atomic in virtual time; the CPU cost
+// is charged as one aggregate afterwards.
+func (d *Device) finishTxn(p *sim.Proc, m *sim.Meter, inf *inflight) {
+	req := inf.req
+	cost := &d.M.Plat.Cost
+	as := d.AS
+	pb := as.PageBytes
+	var ns int64
+
+	committed := make([]pagetable.PTE, len(inf.pages))
+	abortAt := -1
+	for i := range inf.pages {
+		pg := &inf.pages[i]
+		if pg.noop {
+			continue
+		}
+		mp := &pg.maps[0]
+		cur := mp.slot.Load()
+		ns += cost.PTECas
+		// The young bit is installed set ("armed"): at the commit
+		// instant the page is known unreferenced, so an access-bit
+		// scanner reading this PTE must not see a phantom reference.
+		final := pagetable.Make(pg.newFrame.ID,
+			pagetable.FlagPresent|pagetable.FlagWrite|pagetable.FlagYoung)
+		if cur.Frame() != pg.oldFrame.ID || cur.Has(pagetable.FlagDirty) ||
+			!mp.slot.CompareAndSwap(cur, final) {
+			abortAt = i
+			req.FailPage = int64(i)
+			break
+		}
+		committed[i] = cur
+	}
+
+	if abortAt >= 0 {
+		for j := 0; j < abortAt; j++ {
+			pg := &inf.pages[j]
+			if pg.noop {
+				continue
+			}
+			mp := &pg.maps[0]
+			mp.slot.Store(committed[j])
+			mp.as.InvalidatePage(mp.vpn)
+			ns += cost.PTEReplace + cost.TLBFlushPage
+		}
+		// Free only the frames this request allocated; zero-copy frames
+		// stay owned by the shadow registry (revalidated on retry).
+		for i := range inf.pages {
+			pg := &inf.pages[i]
+			if pg.newFrame != nil && !pg.zeroCopy && !pg.noop {
+				as.Mem.Free(pg.newFrame)
+				ns += cost.PageFree
+			}
+		}
+		d.stats.TxnAborts++
+		d.busy(p, m, stats.PhaseRelease, ns)
+		inf.dropClaim(as)
+		d.complete(p, m, req, uapi.ErrTxnDirty)
+		return
+	}
+
+	var moved, zeroPages int64
+	for i := range inf.pages {
+		pg := &inf.pages[i]
+		if pg.noop {
+			continue
+		}
+		mp := &pg.maps[0]
+		mp.as.InvalidatePage(mp.vpn)
+		ns += cost.TLBFlushPage
+		pg.oldFrame.RefCount--
+		pg.newFrame.RefCount++
+		if as.Rmap != nil {
+			as.Rmap.Move(pg.oldFrame, pg.newFrame)
+		}
+		if pg.zeroCopy {
+			// The shadow frame is now the live mapping: release it from
+			// the registry without freeing it.
+			as.TakeShadow(mp.vpn)
+			zeroPages++
+			d.stats.ZeroCopyPages++
+		} else {
+			moved += pb
+		}
+		if inf.keepSrc && pg.oldFrame.RefCount == 0 &&
+			!pg.oldFrame.Pinned && !pg.oldFrame.FileBacked {
+			// Non-exclusive tiering: the source frame stays valid until
+			// the page is next dirtied, making the reverse move free.
+			as.SetShadow(mp.vpn, pg.oldFrame, pg.newFrame.ID)
+			ns += cost.RmapBook
+		} else {
+			as.DropShadow(mp.vpn)
+			ns += cost.PageFree
+			if pg.oldFrame.RefCount == 0 && !pg.oldFrame.Pinned && !pg.oldFrame.FileBacked {
+				as.Mem.Free(pg.oldFrame)
+			}
+		}
+	}
+	req.MovedBytes = moved
+	req.ZeroCopyPages = zeroPages
+	d.stats.TxnCommits++
+	d.busy(p, m, stats.PhaseRelease, ns)
+	inf.dropClaim(as)
+	d.complete(p, m, req, uapi.ErrNone)
+}
+
 // complete posts the notification (operation 5).
 func (d *Device) complete(p *sim.Proc, m *sim.Meter, req *uapi.MovReq, errc uapi.ErrCode) {
 	// A request must complete exactly once; a second completion means
@@ -501,7 +749,11 @@ func (d *Device) complete(p *sim.Proc, m *sim.Meter, req *uapi.MovReq, errc uapi
 	if errc == uapi.ErrNone {
 		req.Status = uapi.StatusDone
 		d.stats.Completed++
-		d.stats.BytesMoved += req.Length
+		if req.Flags&uapi.ReqTxn != 0 {
+			d.stats.BytesMoved += req.MovedBytes
+		} else {
+			d.stats.BytesMoved += req.Length
+		}
 		d.Area.CompOK.Enqueue(req.Index())
 	} else {
 		req.Status = uapi.StatusFailed

@@ -94,4 +94,10 @@ type Stats struct {
 	BytesMoved     int64
 	Replications   int64
 	Migrations     int64
+
+	// Transactional migration activity (ReqTxn requests).
+	TxnMigrations int64 // transactional migrations served
+	TxnCommits    int64 // committed atomically with all pages clean
+	TxnAborts     int64 // aborted by the commit CAS (page went dirty)
+	ZeroCopyPages int64 // pages committed by PTE flip alone (valid shadow)
 }

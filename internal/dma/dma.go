@@ -70,6 +70,11 @@ type Transfer struct {
 	onIRQ   func()     // completion-interrupt handler (runs after IRQ latency)
 	Done    *sim.Event // fires when the copy physically completes (or aborts)
 	aborted bool
+
+	// Class orders the transfer at the engine's single channel: lower
+	// value is served first, FIFO within a class, never preempting the
+	// active transfer. Set before Start; zero is the highest priority.
+	Class uint8
 }
 
 // Bytes returns the total payload size.
@@ -96,6 +101,9 @@ type Stats struct {
 	DescWritesReused int64
 	IRQs             int64
 	Aborts           int64
+	// PriorityBypasses counts queued transfers that a later, higher-class
+	// submission jumped ahead of.
+	PriorityBypasses int64
 }
 
 // Engine is the DMA engine plus its (enhanced) kernel driver state.
@@ -292,12 +300,28 @@ func (e *Engine) Program(p *sim.Proc, reuse bool, segs []Segment, meters ...*sim
 // Start triggers the transfer. If irq is true, onIRQ runs (in engine
 // context) one interrupt latency after the copy completes; with irq false
 // the caller is expected to poll t.Done (the kernel thread's polling mode
-// for small transfers, Section 5.4). The channel serializes transfers.
+// for small transfers, Section 5.4). The channel serializes transfers;
+// queued transfers are ordered by Class (lower first, FIFO within a
+// class) and the active transfer is never preempted.
 func (e *Engine) Start(t *Transfer, irq bool, onIRQ func()) {
 	t.irq = irq
 	t.onIRQ = onIRQ
 	if e.active != nil {
-		e.queue = append(e.queue, t)
+		pos := len(e.queue)
+		for i, q := range e.queue {
+			if t.Class < q.Class {
+				pos = i
+				break
+			}
+		}
+		if pos < len(e.queue) {
+			e.stats.PriorityBypasses += int64(len(e.queue) - pos)
+			e.queue = append(e.queue, nil)
+			copy(e.queue[pos+1:], e.queue[pos:])
+			e.queue[pos] = t
+		} else {
+			e.queue = append(e.queue, t)
+		}
 		return
 	}
 	e.begin(t)

@@ -376,3 +376,53 @@ func TestDescriptorChainLinks(t *testing.T) {
 	})
 	r.eng.Run()
 }
+
+// A higher-class (lower value) transfer submitted while the channel is
+// busy jumps ahead of queued lower-class work but never preempts the
+// active transfer.
+func TestClassPriorityOrdering(t *testing.T) {
+	r := newRig()
+	var order []uint8
+	r.eng.Spawn("drv", func(p *sim.Proc) {
+		mk := func(class uint8) *Transfer {
+			tr, err := r.dma.Program(p, true, r.segs(t, 1, 4096))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Class = class
+			return tr
+		}
+		active := mk(2)
+		scav1, scav2 := mk(2), mk(2)
+		fg := mk(0)
+		bg := mk(1)
+		done := func(tr *Transfer) {
+			r.dma.Start(tr, false, nil)
+		}
+		done(active) // becomes active immediately
+		done(scav1)
+		done(scav2)
+		done(fg) // should bypass both scavengers
+		done(bg) // should slot between fg and the scavengers
+		for _, tr := range []*Transfer{active, scav1, scav2, fg, bg} {
+			tr := tr
+			r.eng.Spawn("wait", func(wp *sim.Proc) {
+				wp.WaitEvent(tr.Done)
+				order = append(order, tr.Class)
+			})
+		}
+	})
+	r.eng.Run()
+	want := []uint8{2, 0, 1, 2, 2}
+	if len(order) != len(want) {
+		t.Fatalf("completions = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("completion order = %v, want %v", order, want)
+		}
+	}
+	if r.dma.Stats().PriorityBypasses == 0 {
+		t.Error("PriorityBypasses not counted")
+	}
+}

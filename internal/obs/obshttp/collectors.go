@@ -93,11 +93,21 @@ func RealtimeCollector(device string, d *realtime.Device) Collector {
 func SwapdMetrics(device string, s swapd.MetricsSnapshot) []Metric {
 	lb := deviceLabel(device)
 	ms := []Metric{
+		counter("memif_swapd_promotions_total", "Completed promotions into fast memory.", lb, s.Promotions),
+		counter("memif_swapd_demotions_total", "Completed demotions out of fast memory.", lb, s.Demotions),
+		counter("memif_swapd_zero_copy_demotions_total", "Demotions committed as pure PTE flips (valid slow-tier shadow, zero bytes moved).", lb, s.ZeroCopyDemotions),
+		counter("memif_swapd_txn_aborts_total", "Transactional migrations aborted by racing application writes.", lb, s.Aborts),
+		counter("memif_swapd_bytes_promoted_total", "Requested bytes of completed promotions.", lb, s.BytesPromoted),
+		counter("memif_swapd_bytes_demoted_total", "Requested bytes of completed demotions.", lb, s.BytesDemoted),
+		counter("memif_swapd_bytes_moved_total", "Bytes actually copied by DMA (excludes zero-copy PTE flips).", lb, s.BytesMoved),
+		hist("memif_swapd_promotion_lag_ns", "Region-turned-hot to promotion-committed lag (virtual ns).", lb, s.PromotionLag),
+		// Legacy eviction view (demotion-side aliases), kept for
+		// dashboards written against the seed daemon.
 		counter("memif_swapd_evictions_total", "Completed fast-memory evictions.", lb, s.Evictions),
 		counter("memif_swapd_failed_evictions_total", "Evictions aborted by racing application accesses.", lb, s.FailedEvictions),
 		counter("memif_swapd_bytes_evicted_total", "Bytes migrated back to the slow node.", lb, s.BytesEvicted),
-		hist("memif_swapd_eviction_latency_ns", "Submission-to-completion latency of successful evictions (virtual ns).", lb, s.Latency),
-		hist("memif_swapd_eviction_bytes", "Per-eviction payload size (bytes).", lb, s.Sizes),
+		hist("memif_swapd_eviction_latency_ns", "Submission-to-completion latency of successful migrations (virtual ns).", lb, s.Latency),
+		hist("memif_swapd_eviction_bytes", "Per-migration payload size (bytes).", lb, s.Sizes),
 	}
 	return append(ms, SpanMetrics("memif_swapd_stage_latency_ns",
 		"Per-stage latency attribution of evictions (virtual ns).", lb, s.Stages)...)

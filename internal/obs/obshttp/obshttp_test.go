@@ -213,10 +213,13 @@ func TestAllSubsystemConverters(t *testing.T) {
 		spans.Observe(lifecycle.SpanTotal, i*200)
 	}
 	sw := swapd.MetricsSnapshot{
-		Evictions: 16, BytesEvicted: 16 << 20,
-		Latency: sampleHistogram(100, 200, 400),
-		Sizes:   sampleHistogram(1 << 20),
-		Stages:  spans.Snapshot(),
+		Promotions: 7, Demotions: 16, ZeroCopyDemotions: 5, Aborts: 3,
+		BytesPromoted: 7 << 20, BytesDemoted: 16 << 20, BytesMoved: 11 << 20,
+		Evictions: 16, FailedEvictions: 3, BytesEvicted: 16 << 20,
+		Latency:      sampleHistogram(100, 200, 400),
+		Sizes:        sampleHistogram(1 << 20),
+		PromotionLag: sampleHistogram(2_000_000),
+		Stages:       spans.Snapshot(),
 	}
 	st := streamrt.MetricsSnapshot{
 		FastChunks: 12, SlowChunks: 4, BytesPrefetched: 6 << 20,
@@ -232,6 +235,12 @@ func TestAllSubsystemConverters(t *testing.T) {
 		t.Fatalf("combined exposition invalid: %v\n%s", err, text)
 	}
 	for _, want := range []string{
+		`memif_swapd_promotions_total{device="swapd0"} 7`,
+		`memif_swapd_demotions_total{device="swapd0"} 16`,
+		`memif_swapd_zero_copy_demotions_total{device="swapd0"} 5`,
+		`memif_swapd_txn_aborts_total{device="swapd0"} 3`,
+		`memif_swapd_bytes_moved_total{device="swapd0"} 11534336`,
+		`memif_swapd_promotion_lag_ns_count{device="swapd0"} 1`,
 		`memif_swapd_evictions_total{device="swapd0"} 16`,
 		`memif_swapd_stage_latency_ns_count{device="swapd0",stage="copy"} 16`,
 		"memif_stream_fast_chunks_total 12",

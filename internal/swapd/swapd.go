@@ -1,25 +1,33 @@
-// Package swapd implements the automatic fast-memory swap-out the
+// Package swapd implements the automatic fast-memory tiering the
 // paper's prototype lacks (Section 6.7: "the current memif cannot
 // automatically swap out fast memory").
 //
-// A kswapd-style daemon watches the fast node's usage. When it rises
-// above a high watermark the daemon picks the least recently used of the
-// registered regions that are resident in fast memory and migrates them
-// back to the slow node — through a memif device of its own, so the
-// evictions are asynchronous, DMA-accelerated, and race-detected like any
-// other move. Applications (or a runtime) register candidate regions and
-// report use with Touch, the same contract madvise-style hints give a
-// kernel.
+// The daemon is a two-way hot/cold tiering engine in the style of Nomad
+// (non-exclusive memory tiering via transactional page migration). An
+// access-scanning pass samples young/dirty bits over the registered
+// regions — re-arming the young bit each pass, so a cleared bit at the
+// next pass means the region was referenced — and folds the samples into
+// a per-region heat EWMA. Heat feeds two queues: hot slow-tier regions
+// are promoted into fast memory, and cold fast-tier regions are demoted
+// out when usage crosses the high watermark or a hotter region needs the
+// room.
 //
-// The daemon's device runs in proceed-and-recover mode (Section 5.2,
-// "Alternative"): if the application writes to a region mid-eviction the
-// trap aborts the DMA, restores the fast-memory mapping, and preserves
-// the write — an eviction can never corrupt or fault the application.
-// The daemon just notes the region is hot and retries later.
+// Every move is a *transactional* migration through the daemon's own
+// memif device (uapi.ReqTxn): the application keeps reading and writing
+// the page at full speed during the copy, and the commit is a per-page
+// PTE CAS that fails if the page went dirty — the daemon simply retries
+// later, so tiering can never corrupt, fault, or block the application.
+// Promotions carry uapi.ReqKeepSrc, retaining the slow-tier frame as a
+// shadow copy (non-exclusive tiering): demoting a page that stayed clean
+// is then a bare PTE flip that moves zero bytes. Demotions ride the
+// scavenger QoS class and promotions the background class, so tiering
+// traffic yields the DMA channel to the application's foreground moves.
 package swapd
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"memif/internal/core"
 	"memif/internal/hw"
@@ -31,69 +39,138 @@ import (
 
 // Options tunes the daemon.
 type Options struct {
-	// HighWatermark is the fast-node usage fraction that wakes the
-	// evictor; LowWatermark is the target to evict down to.
+	// HighWatermark is the fast-node usage fraction that triggers
+	// pressure demotion; LowWatermark is the target to demote down to,
+	// and the headroom ceiling promotions fill up to.
 	HighWatermark, LowWatermark float64
 	// PeriodNS is the poll interval of the daemon.
 	PeriodNS int64
-	// FastNode is watched; evictions move regions to SlowNode.
+	// ScanPeriodNS is the access-bit scan cadence (defaults to PeriodNS).
+	ScanPeriodNS int64
+	// FastNode is the managed tier; demotions move regions to SlowNode.
 	FastNode, SlowNode hw.NodeID
+
+	// PromoteThreshold is the heat (EWMA of the referenced fraction of
+	// sampled pages, 0..1) at which a slow-tier region becomes a
+	// promotion candidate.
+	PromoteThreshold float64
+	// HeatDecay is the EWMA retention factor: heat = decay*heat +
+	// (1-decay)*sample.
+	HeatDecay float64
+	// SamplePages bounds how many pages of a region one scan pass
+	// samples (a rotating window; 0 = the whole region).
+	SamplePages int
+	// ScanBudget bounds how many regions one pass scans (round-robin
+	// across passes; 0 = all registered regions).
+	ScanBudget int
+	// MaxInflight caps concurrently outstanding tiering migrations.
+	MaxInflight int
+	// ChainPages is the daemon device's DMA batch size; small batches
+	// bound the head-of-line blocking a tiering transfer can impose on
+	// the application's foreground traffic.
+	ChainPages int
+	// PromoteClass and DemoteClass are the QoS classes tiering transfers
+	// ride (promotions default to background, demotions to scavenger).
+	PromoteClass, DemoteClass uapi.Class
 }
 
 // DefaultOptions returns watermarks suited to the 6 MB MSMC node.
 func DefaultOptions() Options {
 	return Options{
-		HighWatermark: 0.90,
-		LowWatermark:  0.70,
-		PeriodNS:      1_000_000, // 1 ms
-		FastNode:      hw.NodeFast,
-		SlowNode:      hw.NodeSlow,
+		HighWatermark:    0.90,
+		LowWatermark:     0.70,
+		PeriodNS:         1_000_000, // 1 ms
+		ScanPeriodNS:     2_000_000,
+		FastNode:         hw.NodeFast,
+		SlowNode:         hw.NodeSlow,
+		PromoteThreshold: 0.5,
+		HeatDecay:        0.5,
+		SamplePages:      16,
+		MaxInflight:      4,
+		ChainPages:       8,
+		PromoteClass:     uapi.ClassBackground,
+		DemoteClass:      uapi.ClassScavenger,
 	}
 }
 
-// region is one registered eviction candidate.
+// region is one registered tiering candidate.
 type region struct {
 	base, length int64
 	lastTouch    sim.Time
-	evicting     bool
+	heat         float64  // EWMA of the referenced fraction per scan
+	hotSince     sim.Time // when heat last crossed PromoteThreshold
+	scanOff      int      // rotating sample-window offset (pages)
+	primePasses  int      // scan passes done; the first full rotation only arms
+	migrating    bool     // a tiering request for this region is in flight
 }
 
 // Stats counts daemon activity.
 type Stats struct {
-	Evictions      int64 // completed evictions
-	FailedEvictons int64 // evictions aborted by racing accesses
-	BytesEvicted   int64
+	Promotions        int64 // completed promotions into fast memory
+	Demotions         int64 // completed demotions out of fast memory
+	ZeroCopyDemotions int64 // demotions that moved zero bytes (valid shadow)
+	Aborts            int64 // migrations aborted by racing writes (txn-dirty)
+	BytesPromoted     int64 // requested bytes of completed promotions
+	BytesDemoted      int64 // requested bytes of completed demotions
+	BytesMoved        int64 // bytes actually copied by DMA (excludes PTE flips)
+
+	// Legacy eviction view (the seed daemon's counters): evictions are
+	// demotions, failures are aborts.
+	Evictions       int64
+	FailedEvictions int64
+	BytesEvicted    int64
 }
 
-// metrics is the daemon's obs instrument set: the Stats counters, an
-// eviction latency histogram (virtual ns, submission to completion), an
-// evicted-bytes histogram, and the per-stage lifecycle span histograms
-// derived from each eviction request's stage stamps.
+// metrics is the daemon's obs instrument set: the Stats counters, a
+// migration latency histogram (virtual ns, submission to completion), a
+// per-migration byte histogram, the promotion-lag histogram (region
+// turning hot → promotion committed), and the per-stage lifecycle span
+// histograms derived from each request's stage stamps.
 type metrics struct {
-	evictions, failed, bytes obs.Counter
-	latency, sizes           obs.Histogram
-	stages                   lifecycle.SpanSet
+	promotions, demotions, zeroCopy, aborts obs.Counter
+	bytesPromoted, bytesDemoted, bytesMoved obs.Counter
+	latency, sizes, promoLag                obs.Histogram
+	stages                                  lifecycle.SpanSet
 }
 
 // MetricsSnapshot is the daemon's observability view: counters plus the
-// eviction latency and size distributions.
+// migration latency, size, and promotion-lag distributions.
 type MetricsSnapshot struct {
+	Promotions, Demotions, ZeroCopyDemotions, Aborts int64
+	BytesPromoted, BytesDemoted, BytesMoved          int64
+
+	// Legacy eviction view (demotion-side aliases).
 	Evictions, FailedEvictions, BytesEvicted int64
+
 	// Latency is the submission-to-completion histogram of successful
-	// evictions (virtual ns); Sizes the per-eviction byte histogram.
-	Latency, Sizes obs.HistogramSnapshot
-	// Stages attributes eviction latency per pipeline stage (staging
+	// migrations (virtual ns); Sizes the per-migration byte histogram;
+	// PromotionLag the region-hot-to-promotion-committed histogram.
+	Latency, Sizes, PromotionLag obs.HistogramSnapshot
+	// Stages attributes migration latency per pipeline stage (staging
 	// wait, dispatch wait, copy, completion dwell), in virtual ns.
 	Stages lifecycle.SpanSnapshot
 }
 
-// Daemon is the fast-memory evictor.
+// Daemon is the tiering engine.
 type Daemon struct {
-	dev     *core.Device // the daemon's own memif device
-	opts    Options
-	regions map[int64]*region
-	stopped bool
-	m       metrics
+	dev  *core.Device // the daemon's own memif device
+	opts Options
+
+	// mu guards regions, stop, outstanding, pendingDelta, and the
+	// demotion log against Register/Unregister/Touch/Stop racing the
+	// daemon process.
+	mu          sync.Mutex
+	regions     map[int64]*region
+	stop        bool
+	outstanding int
+	// pendingDelta projects the fast-node byte delta of in-flight
+	// migrations (+promotions, -demotions) so one pump pass neither
+	// over-demotes nor over-promotes.
+	pendingDelta int64
+	demotionLog  []int64 // bases in demotion-submit order (replay assertions)
+	scanCursor   int
+
+	m metrics
 }
 
 // New starts a daemon for the address space behind dev's machine. It
@@ -104,8 +181,22 @@ func New(app *core.Device, opts Options) *Daemon {
 		opts.LowWatermark <= 0 || opts.LowWatermark >= opts.HighWatermark {
 		panic(fmt.Sprintf("swapd: bad watermarks %+v", opts))
 	}
+	if opts.ScanPeriodNS <= 0 {
+		opts.ScanPeriodNS = opts.PeriodNS
+	}
+	if opts.HeatDecay <= 0 || opts.HeatDecay >= 1 {
+		opts.HeatDecay = 0.5
+	}
+	if opts.PromoteThreshold <= 0 {
+		opts.PromoteThreshold = 0.5
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 4
+	}
 	devOpts := core.DefaultOptions()
-	devOpts.RaceMode = core.RaceRecover
+	if opts.ChainPages > 0 {
+		devOpts.MaxChainPages = opts.ChainPages
+	}
 	d := &Daemon{
 		dev:     core.Open(app.M, app.AS, devOpts),
 		opts:    opts,
@@ -115,46 +206,113 @@ func New(app *core.Device, opts Options) *Daemon {
 	return d
 }
 
-// Register adds an eviction candidate (typically right after migrating
-// it into fast memory).
+// Register adds a tiering candidate covering [base, base+length).
 func (d *Daemon) Register(base, length int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.regions[base] = &region{base: base, length: length}
 }
 
 // Unregister removes a candidate (e.g. before unmapping it).
-func (d *Daemon) Unregister(base int64) { delete(d.regions, base) }
+func (d *Daemon) Unregister(base int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.regions, base)
+}
 
-// Touch records a use of the region at base, at time now. More recently
-// touched regions are evicted later.
+// Touch records an explicit use hint for the region at base, at time
+// now — the madvise-style contract of the seed daemon, still honored
+// alongside the access-bit scan. A touch counts as a fully referenced
+// scan sample.
 func (d *Daemon) Touch(base int64, now sim.Time) {
-	if r, ok := d.regions[base]; ok {
-		r.lastTouch = now
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.regions[base]
+	if !ok {
+		return
+	}
+	r.lastTouch = now
+	was := r.heat
+	r.heat = d.opts.HeatDecay*r.heat + (1 - d.opts.HeatDecay)
+	if was < d.opts.PromoteThreshold && r.heat >= d.opts.PromoteThreshold {
+		r.hotSince = now
 	}
 }
 
-// Stop shuts the daemon (and its device) down.
-func (d *Daemon) Stop() { d.stopped = true; d.dev.Close() }
+// Stop asks the daemon to shut down. The daemon process drains every
+// in-flight migration before exiting and closing its device, so no
+// request is ever leaked — Audit stays clean even when Stop races a
+// migration storm.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stop = true
+}
 
 // Stats returns a snapshot of the daemon counters.
 func (d *Daemon) Stats() Stats {
 	return Stats{
-		Evictions:      d.m.evictions.Load(),
-		FailedEvictons: d.m.failed.Load(),
-		BytesEvicted:   d.m.bytes.Load(),
+		Promotions:        d.m.promotions.Load(),
+		Demotions:         d.m.demotions.Load(),
+		ZeroCopyDemotions: d.m.zeroCopy.Load(),
+		Aborts:            d.m.aborts.Load(),
+		BytesPromoted:     d.m.bytesPromoted.Load(),
+		BytesDemoted:      d.m.bytesDemoted.Load(),
+		BytesMoved:        d.m.bytesMoved.Load(),
+		Evictions:         d.m.demotions.Load(),
+		FailedEvictions:   d.m.aborts.Load(),
+		BytesEvicted:      d.m.bytesDemoted.Load(),
 	}
 }
 
 // Metrics returns the full observability snapshot, including the
-// eviction latency and size histograms.
+// migration latency, size, and promotion-lag histograms.
 func (d *Daemon) Metrics() MetricsSnapshot {
 	return MetricsSnapshot{
-		Evictions:       d.m.evictions.Load(),
-		FailedEvictions: d.m.failed.Load(),
-		BytesEvicted:    d.m.bytes.Load(),
-		Latency:         d.m.latency.Snapshot(),
-		Sizes:           d.m.sizes.Snapshot(),
-		Stages:          d.m.stages.Snapshot(),
+		Promotions:        d.m.promotions.Load(),
+		Demotions:         d.m.demotions.Load(),
+		ZeroCopyDemotions: d.m.zeroCopy.Load(),
+		Aborts:            d.m.aborts.Load(),
+		BytesPromoted:     d.m.bytesPromoted.Load(),
+		BytesDemoted:      d.m.bytesDemoted.Load(),
+		BytesMoved:        d.m.bytesMoved.Load(),
+		Evictions:         d.m.demotions.Load(),
+		FailedEvictions:   d.m.aborts.Load(),
+		BytesEvicted:      d.m.bytesDemoted.Load(),
+		Latency:           d.m.latency.Snapshot(),
+		Sizes:             d.m.sizes.Snapshot(),
+		PromotionLag:      d.m.promoLag.Snapshot(),
+		Stages:            d.m.stages.Snapshot(),
 	}
+}
+
+// Outstanding reports how many tiering migrations are in flight.
+func (d *Daemon) Outstanding() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.outstanding
+}
+
+// DemotionLog returns the region bases in demotion-submission order —
+// the replay-stability assertion surface for the seeded scheduler.
+func (d *Daemon) DemotionLog() []int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]int64, len(d.demotionLog))
+	copy(out, d.demotionLog)
+	return out
+}
+
+// Audit verifies the daemon device's request-conservation invariant.
+// Call after the daemon has exited (post engine run): every request slot
+// must be back on a queue, none user-held.
+func (d *Daemon) Audit() error { return d.dev.Area.Audit(nil) }
+
+// stopping reports whether Stop was called.
+func (d *Daemon) stopping() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stop
 }
 
 // usage returns the fast node's used fraction.
@@ -163,40 +321,261 @@ func (d *Daemon) usage() float64 {
 	return float64(d.dev.M.Mem.Used(d.opts.FastNode)) / float64(node.Capacity)
 }
 
-// resident reports whether the region currently lives on the fast node.
-func (d *Daemon) resident(r *region) bool {
+// tier reports which node the region currently resides on (the node of
+// its first page's frame), or -1 if unmapped.
+func (d *Daemon) tier(r *region) hw.NodeID {
 	f := d.dev.AS.FrameAt(r.base)
-	return f != nil && f.Node == d.opts.FastNode
+	if f == nil {
+		return -1
+	}
+	return f.Node
 }
 
-// victim picks the least recently touched resident region not already
-// being evicted.
-func (d *Daemon) victim() *region {
-	var best *region
+// cookie packs a region base and the migration direction into a request
+// cookie; bases are page aligned, so the low bit is free.
+func cookie(base int64, promote bool) uint64 {
+	c := uint64(base)
+	if promote {
+		c |= 1
+	}
+	return c
+}
+
+// scan runs one access-bit sampling pass over (a budgeted, rotating
+// subset of) the registered regions and folds the referenced fraction
+// into each region's heat EWMA.
+func (d *Daemon) scan(p *sim.Proc) {
+	d.mu.Lock()
+	regs := make([]*region, 0, len(d.regions))
 	for _, r := range d.regions {
-		if r.evicting || !d.resident(r) {
+		regs = append(regs, r)
+	}
+	d.mu.Unlock()
+	if len(regs) == 0 {
+		return
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].base < regs[j].base })
+	budget := d.opts.ScanBudget
+	if budget <= 0 || budget > len(regs) {
+		budget = len(regs)
+	}
+	as := d.dev.AS
+	pb := as.PageBytes
+	for i := 0; i < budget; i++ {
+		r := regs[(d.scanCursor+i)%len(regs)]
+		pages := int(r.length / pb)
+		if pages == 0 {
 			continue
 		}
-		if best == nil || r.lastTouch < best.lastTouch {
-			best = r
+		n := d.opts.SamplePages
+		if n <= 0 || n > pages {
+			n = pages
 		}
+		d.mu.Lock()
+		off := r.scanOff % pages
+		r.scanOff = (off + n) % pages
+		d.mu.Unlock()
+		if off+n > pages {
+			n = pages - off
+		}
+		ref, _, sampled := as.ScanAccessBits(p, as.VPN(r.base)+uint64(off), n)
+		if sampled == 0 {
+			continue
+		}
+		// A young bit can only be read as referenced once the scanner
+		// armed it: the first full rotation over a region primes the
+		// bits and contributes no heat (a fresh mmap or a migration
+		// release leaves young clear without any access having happened).
+		rotations := (pages + n - 1) / n
+		d.mu.Lock()
+		if r.primePasses < rotations {
+			r.primePasses++
+			d.mu.Unlock()
+			continue
+		}
+		d.mu.Unlock()
+		sample := float64(ref) / float64(sampled)
+		d.mu.Lock()
+		was := r.heat
+		r.heat = d.opts.HeatDecay*r.heat + (1-d.opts.HeatDecay)*sample
+		if sample > 0 {
+			r.lastTouch = p.Now()
+		}
+		if was < d.opts.PromoteThreshold && r.heat >= d.opts.PromoteThreshold {
+			r.hotSince = p.Now()
+		}
+		d.mu.Unlock()
 	}
-	return best
+	d.scanCursor = (d.scanCursor + budget) % len(regs)
 }
 
-// handleCompletion books one finished eviction attempt.
-func (d *Daemon) handleCompletion(p *sim.Proc, got *uapi.MovReq) {
-	if v, ok := d.regions[int64(got.Cookie)]; ok {
-		v.evicting = false
-		if got.Status != uapi.StatusDone {
-			// A racing access aborted the eviction: the region is
-			// hot; bump its recency so it is retried last.
-			v.lastTouch = p.Now()
+// plan snapshots, under the lock, the demotion candidates (fast-tier,
+// coldest first; ties by last touch, then base — the deterministic-order
+// fix) and promotion candidates (slow-tier, hot, hottest first; ties by
+// how long they have been hot, then base).
+func (d *Daemon) plan() (demote, promote []*region) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range d.regions {
+		if r.migrating {
+			continue
+		}
+		switch d.tier(r) {
+		case d.opts.FastNode:
+			demote = append(demote, r)
+		case d.opts.SlowNode:
+			if r.heat >= d.opts.PromoteThreshold {
+				promote = append(promote, r)
+			}
 		}
 	}
+	sort.Slice(demote, func(i, j int) bool {
+		a, b := demote[i], demote[j]
+		if a.heat != b.heat {
+			return a.heat < b.heat
+		}
+		if a.lastTouch != b.lastTouch {
+			return a.lastTouch < b.lastTouch
+		}
+		return a.base < b.base
+	})
+	sort.Slice(promote, func(i, j int) bool {
+		a, b := promote[i], promote[j]
+		if a.heat != b.heat {
+			return a.heat > b.heat
+		}
+		if a.hotSince != b.hotSince {
+			return a.hotSince < b.hotSince
+		}
+		return a.base < b.base
+	})
+	return demote, promote
+}
+
+// submit issues one transactional tiering migration for r.
+func (d *Daemon) submit(p *sim.Proc, r *region, promote bool) bool {
+	req := d.dev.AllocRequest(p)
+	if req == nil {
+		return false
+	}
+	req.Op = uapi.OpMigrate
+	req.SrcBase, req.Length = r.base, r.length
+	req.Cookie = cookie(r.base, promote)
+	req.Flags = uapi.ReqTxn
+	if promote {
+		req.DstNode = d.opts.FastNode
+		req.Class = d.opts.PromoteClass
+		// Non-exclusive tiering: keep the slow copy for free demotion.
+		req.Flags |= uapi.ReqKeepSrc
+	} else {
+		req.DstNode = d.opts.SlowNode
+		req.Class = d.opts.DemoteClass
+	}
+	if err := d.dev.Submit(p, req); err != nil {
+		d.dev.FreeRequest(p, req)
+		return false
+	}
+	d.mu.Lock()
+	r.migrating = true
+	d.outstanding++
+	if promote {
+		d.pendingDelta += r.length
+	} else {
+		d.pendingDelta -= r.length
+		d.demotionLog = append(d.demotionLog, r.base)
+	}
+	d.mu.Unlock()
+	return true
+}
+
+// pump issues tiering work for one period: pressure demotion down to the
+// low watermark when usage crossed the high one, make-room demotion for
+// hotter promotion candidates, then promotions while headroom lasts.
+func (d *Daemon) pump(p *sim.Proc) {
+	capacity := float64(d.dev.M.Mem.Node(d.opts.FastNode).Capacity)
+	demote, promote := d.plan()
+
+	projected := func() float64 {
+		d.mu.Lock()
+		delta := d.pendingDelta
+		d.mu.Unlock()
+		return d.usage() + float64(delta)/capacity
+	}
+	room := func() bool {
+		d.mu.Lock()
+		ok := d.outstanding < d.opts.MaxInflight
+		d.mu.Unlock()
+		return ok
+	}
+
+	// Pressure demotion: over the high watermark, shed coldest-first
+	// down to the low one.
+	di := 0
+	if projected() >= d.opts.HighWatermark {
+		for projected() > d.opts.LowWatermark && di < len(demote) && room() {
+			d.submit(p, demote[di], false)
+			di++
+		}
+	}
+
+	// Promotion, with make-room demotion: a hot slow region may displace
+	// a strictly colder fast region even below the high watermark.
+	for _, hot := range promote {
+		if !room() {
+			break
+		}
+		need := float64(hot.length) / capacity
+		for projected()+need > d.opts.HighWatermark && di < len(demote) && room() {
+			cold := demote[di]
+			if cold.heat >= hot.heat {
+				break // nothing colder than the promotion candidate
+			}
+			d.submit(p, cold, false)
+			di++
+		}
+		if projected()+need > d.opts.HighWatermark || !room() {
+			continue
+		}
+		d.submit(p, hot, true)
+	}
+}
+
+// handleCompletion books one finished tiering migration.
+func (d *Daemon) handleCompletion(p *sim.Proc, got *uapi.MovReq) {
+	promoted := got.Cookie&1 == 1
+	base := int64(got.Cookie &^ 1)
+	d.mu.Lock()
+	r := d.regions[base]
+	if r != nil {
+		r.migrating = false
+	}
+	d.outstanding--
+	if promoted {
+		d.pendingDelta -= got.Length
+	} else {
+		d.pendingDelta += got.Length
+	}
+	var hotSince sim.Time
+	if r != nil {
+		hotSince = r.hotSince
+	}
+	d.mu.Unlock()
+
 	if got.Status == uapi.StatusDone {
-		d.m.evictions.Inc()
-		d.m.bytes.Add(got.Length)
+		if promoted {
+			d.m.promotions.Inc()
+			d.m.bytesPromoted.Add(got.Length)
+			if hotSince > 0 {
+				d.m.promoLag.Observe(int64(got.Completed - hotSince))
+			}
+		} else {
+			d.m.demotions.Inc()
+			d.m.bytesDemoted.Add(got.Length)
+			if got.MovedBytes == 0 {
+				d.m.zeroCopy.Inc()
+			}
+		}
+		d.m.bytesMoved.Add(got.MovedBytes)
 		d.m.latency.Observe(int64(got.Completed - got.Submitted))
 		d.m.sizes.Observe(got.Length)
 		ts := lifecycle.Stamps(int64(got.Submitted), int64(got.Flushed),
@@ -204,59 +583,53 @@ func (d *Daemon) handleCompletion(p *sim.Proc, got *uapi.MovReq) {
 			int64(got.Completed), int64(got.Retrieved))
 		d.m.stages.ObserveStamps(&ts)
 	} else {
-		d.m.failed.Inc()
+		// A racing write aborted the commit (txn-dirty) or another mover
+		// holds the claim (busy): the region is hot — bump its recency
+		// so cold candidates go first on retry.
+		d.m.aborts.Inc()
+		if r != nil {
+			d.mu.Lock()
+			r.lastTouch = p.Now()
+			d.mu.Unlock()
+		}
 	}
 	d.dev.FreeRequest(p, got)
 }
 
-// run is the daemon process: poll usage, evict past the high watermark
-// down to the low one. Eviction submissions are asynchronous; the loop
-// projects the usage drop of in-flight evictions so it neither
-// over-evicts nor stops early.
-func (d *Daemon) run(p *sim.Proc) {
-	capacity := float64(d.dev.M.Mem.Node(d.opts.FastNode).Capacity)
-	for !d.stopped {
-		p.SleepNS(d.opts.PeriodNS)
-		if d.usage() < d.opts.HighWatermark {
+// drain retrieves finished migrations. With block set it waits until no
+// migration remains outstanding — the shutdown path, so Stop can never
+// leak an in-flight request.
+func (d *Daemon) drain(p *sim.Proc, block bool) {
+	for {
+		got := d.dev.RetrieveCompleted(p)
+		if got != nil {
+			d.handleCompletion(p, got)
 			continue
 		}
-		outstanding := 0
-		var pendingBytes int64
-		projected := func() float64 {
-			return d.usage() - float64(pendingBytes)/capacity
+		if !block || d.Outstanding() == 0 {
+			return
 		}
-		for projected() > d.opts.LowWatermark && !d.stopped {
-			v := d.victim()
-			if v == nil {
-				break // nothing evictable right now
-			}
-			r := d.dev.AllocRequest(p)
-			if r == nil {
-				break
-			}
-			r.Op = uapi.OpMigrate
-			r.SrcBase, r.Length, r.DstNode = v.base, v.length, d.opts.SlowNode
-			r.Cookie = uint64(v.base)
-			v.evicting = true
-			if err := d.dev.Submit(p, r); err != nil {
-				d.dev.FreeRequest(p, r)
-				v.evicting = false
-				break
-			}
-			outstanding++
-			pendingBytes += v.length
-		}
-		// Drain every in-flight eviction before the next period. A
-		// failed (raced) eviction reduces the projection, which the
-		// next period will notice and retry.
-		for outstanding > 0 && !d.stopped {
-			got := d.dev.RetrieveCompleted(p)
-			if got == nil {
-				d.dev.Poll(p, d.opts.PeriodNS)
-				continue
-			}
-			d.handleCompletion(p, got)
-			outstanding--
-		}
+		d.dev.Poll(p, d.opts.PeriodNS)
 	}
+}
+
+// run is the daemon process: scan heat on its cadence, pump tiering work
+// each period, retrieve completions, and on Stop drain everything before
+// closing the device.
+func (d *Daemon) run(p *sim.Proc) {
+	defer d.dev.Close()
+	var lastScan sim.Time
+	for {
+		p.SleepNS(d.opts.PeriodNS)
+		d.drain(p, false)
+		if d.stopping() {
+			break
+		}
+		if lastScan == 0 || int64(p.Now()-lastScan) >= d.opts.ScanPeriodNS {
+			d.scan(p)
+			lastScan = p.Now()
+		}
+		d.pump(p)
+	}
+	d.drain(p, true)
 }

@@ -2,6 +2,7 @@ package swapd
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 
 	"memif/internal/core"
@@ -38,7 +39,7 @@ func migrateIn(t *testing.T, d *core.Device, p *sim.Proc, base, length int64) {
 	}
 }
 
-func TestEvictsColdestWhenOverWatermark(t *testing.T) {
+func TestDemotesColdestWhenOverWatermark(t *testing.T) {
 	m, d := setup()
 	sd := New(d, DefaultOptions())
 	const regionBytes = 2 << 20 // 2 MB each; three fill the 6 MB node
@@ -55,44 +56,55 @@ func TestEvictsColdestWhenOverWatermark(t *testing.T) {
 			sd.Touch(b, p.Now())
 		}
 		// Fast node now 100% full (> high watermark). Region 0 is the
-		// coldest (touched first). Let the daemon run.
+		// coldest (touched once; the others twice). Let the daemon run.
 		sd.Touch(bases[1], p.Now())
 		sd.Touch(bases[2], p.Now())
 		p.SleepNS(20_000_000) // 20 ms: several daemon periods
 
 		if f := d.AS.FrameAt(bases[0]); f == nil || f.Node != hw.NodeSlow {
-			t.Errorf("coldest region not evicted (node %v)", f)
+			t.Errorf("coldest region not demoted (node %v)", f)
 		}
 		if f := d.AS.FrameAt(bases[2]); f == nil || f.Node != hw.NodeFast {
-			t.Errorf("hottest region evicted (node %v)", f)
+			t.Errorf("hottest region demoted (node %v)", f)
 		}
 		usage := float64(m.Mem.Used(hw.NodeFast)) / float64(m.Mem.Node(hw.NodeFast).Capacity)
 		if usage > DefaultOptions().HighWatermark {
 			t.Errorf("usage still %.2f after daemon ran", usage)
 		}
-		// Evicted data survives intact.
+		// Demoted data survives intact.
 		var b [1]byte
 		d.AS.Read(p, bases[0], b[:])
 		if b[0] != 1 {
-			t.Errorf("evicted region corrupted: %d", b[0])
+			t.Errorf("demoted region corrupted: %d", b[0])
 		}
 	})
 	m.Eng.Run()
-	if sd.Stats().Evictions == 0 {
-		t.Error("daemon recorded no evictions")
+	st := sd.Stats()
+	if st.Demotions == 0 {
+		t.Error("daemon recorded no demotions")
+	}
+	// Legacy eviction aliases track the demotion side.
+	if st.Evictions != st.Demotions || st.BytesEvicted != st.BytesDemoted ||
+		st.FailedEvictions != st.Aborts {
+		t.Errorf("legacy aliases diverge: %+v", st)
 	}
 	ms := sd.Metrics()
-	if ms.Evictions != sd.Stats().Evictions {
-		t.Errorf("Metrics.Evictions = %d, Stats.Evictions = %d", ms.Evictions, sd.Stats().Evictions)
+	if ms.Demotions != st.Demotions || ms.Evictions != st.Demotions {
+		t.Errorf("Metrics/Stats demotions diverge: %d/%d", ms.Demotions, st.Demotions)
 	}
-	if ms.Latency.Count != ms.Evictions {
-		t.Errorf("latency histogram has %d samples for %d evictions", ms.Latency.Count, ms.Evictions)
+	if ms.Latency.Count != ms.Demotions+ms.Promotions {
+		t.Errorf("latency histogram has %d samples for %d migrations",
+			ms.Latency.Count, ms.Demotions+ms.Promotions)
 	}
 	if ms.Latency.Count > 0 && ms.Latency.Mean() <= 0 {
-		t.Errorf("eviction latency mean = %v", ms.Latency.Mean())
+		t.Errorf("migration latency mean = %v", ms.Latency.Mean())
 	}
-	if ms.Sizes.Sum != ms.BytesEvicted {
-		t.Errorf("size histogram sum = %d, BytesEvicted = %d", ms.Sizes.Sum, ms.BytesEvicted)
+	if ms.Sizes.Sum != ms.BytesDemoted+ms.BytesPromoted {
+		t.Errorf("size histogram sum = %d, booked bytes = %d",
+			ms.Sizes.Sum, ms.BytesDemoted+ms.BytesPromoted)
+	}
+	if err := sd.Audit(); err != nil {
+		t.Errorf("request accounting: %v", err)
 	}
 }
 
@@ -108,51 +120,282 @@ func TestIdleBelowWatermark(t *testing.T) {
 		sd.Register(b, 2<<20)
 		p.SleepNS(10_000_000)
 		if f := d.AS.FrameAt(b); f == nil || f.Node != hw.NodeFast {
-			t.Error("region evicted below watermark")
+			t.Error("region demoted below watermark")
 		}
 	})
 	m.Eng.Run()
-	if sd.Stats().Evictions != 0 {
-		t.Errorf("evictions = %d below watermark", sd.Stats().Evictions)
+	if sd.Stats().Demotions != 0 {
+		t.Errorf("demotions = %d below watermark", sd.Stats().Demotions)
 	}
 }
 
-func TestRacingWriteAbortsEvictionAndIsPreserved(t *testing.T) {
+// A write racing the demotion copy dirties the page; the transactional
+// commit refuses it, the write is preserved, and the daemon books an
+// abort and retries later. The writer itself never blocks or faults.
+func TestRacingWriteAbortsDemotionAndIsPreserved(t *testing.T) {
 	m, d := setup()
-	opts := DefaultOptions()
-	sd := New(d, opts)
+	sd := New(d, DefaultOptions())
 	m.Eng.Spawn("app", func(p *sim.Proc) {
 		defer d.Close()
 		defer sd.Stop()
 		const regionBytes = 3 << 20
-		var bases [2]int64
-		for i := range bases {
-			b, _ := d.AS.Mmap(p, regionBytes, hw.NodeSlow, "r")
-			bases[i] = b
-			migrateIn(t, d, p, b, regionBytes)
-			sd.Register(b, regionBytes)
+		// Fill the node; register only the region under write, so every
+		// demotion attempt targets it.
+		b, _ := d.AS.Mmap(p, regionBytes, hw.NodeSlow, "hot")
+		migrateIn(t, d, p, b, regionBytes)
+		if _, err := d.AS.Mmap(p, regionBytes, hw.NodeFast, "ballast"); err != nil {
+			t.Fatal(err)
 		}
-		// Node is full; the daemon will start evicting region 0 at its
-		// next period (1 ms). Keep writing to it so every eviction
-		// attempt aborts.
+		sd.Register(b, regionBytes)
+		// A 3 MB copy outlasts the 200 µs write cadence by a wide
+		// margin, so a write always lands between baseline and commit.
 		for i := 0; i < 40; i++ {
-			p.SleepNS(500_000)
-			if err := d.AS.Write(p, bases[0], []byte{0xEE}); err != nil {
-				t.Fatalf("write during eviction: %v", err)
+			p.SleepNS(200_000)
+			if err := d.AS.Write(p, b, []byte{0xEE}); err != nil {
+				t.Fatalf("write during demotion: %v", err)
 			}
-			sd.Touch(bases[0], p.Now())
 		}
-		var b [1]byte
-		d.AS.Read(p, bases[0], b[:])
-		if b[0] != 0xEE {
-			t.Errorf("racing write lost: %d", b[0])
+		var buf [1]byte
+		d.AS.Read(p, b, buf[:])
+		if buf[0] != 0xEE {
+			t.Errorf("racing write lost: %d", buf[0])
+		}
+		if f := d.AS.FrameAt(b); f == nil || f.Node != hw.NodeFast {
+			t.Error("region left its original node despite aborts")
 		}
 	})
 	m.Eng.Run()
 	st := sd.Stats()
-	t.Logf("evictions=%d failed=%d", st.Evictions, st.FailedEvictons)
-	if st.FailedEvictons == 0 && st.Evictions == 0 {
-		t.Error("daemon never attempted an eviction")
+	t.Logf("demotions=%d aborts=%d", st.Demotions, st.Aborts)
+	if st.Aborts == 0 {
+		t.Error("no demotion was aborted by the racing writes")
+	}
+	if st.FailedEvictions != st.Aborts {
+		t.Errorf("FailedEvictions = %d, Aborts = %d", st.FailedEvictions, st.Aborts)
+	}
+	if err := sd.Audit(); err != nil {
+		t.Errorf("request accounting: %v", err)
+	}
+}
+
+// The access-bit scan finds a hot slow-tier region with no explicit
+// Touch hints and promotes it, booking the promotion lag.
+func TestScanDrivenPromotion(t *testing.T) {
+	m, d := setup()
+	sd := New(d, DefaultOptions())
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		defer sd.Stop()
+		const regionBytes = 256 << 10
+		b, _ := d.AS.Mmap(p, regionBytes, hw.NodeSlow, "hot")
+		sd.Register(b, regionBytes)
+		buf := make([]byte, regionBytes)
+		for i := 0; i < 20; i++ {
+			// Touch every page so each rotating sample window sees a
+			// fully referenced region.
+			if err := d.AS.Read(p, b, buf); err != nil {
+				t.Fatal(err)
+			}
+			p.SleepNS(1_000_000)
+		}
+		if f := d.AS.FrameAt(b); f == nil || f.Node != hw.NodeFast {
+			t.Errorf("hot region not promoted (frame %v)", f)
+		}
+		// The slow copy is retained as a shadow (non-exclusive tiering).
+		if d.AS.Shadows() == 0 {
+			t.Error("promotion retained no shadow copies")
+		}
+	})
+	m.Eng.Run()
+	st := sd.Stats()
+	if st.Promotions == 0 {
+		t.Fatal("daemon recorded no promotions")
+	}
+	ms := sd.Metrics()
+	if ms.PromotionLag.Count == 0 || ms.PromotionLag.Mean() <= 0 {
+		t.Errorf("promotion lag histogram: count=%d mean=%v",
+			ms.PromotionLag.Count, ms.PromotionLag.Mean())
+	}
+}
+
+// A promoted region that stays clean demotes by PTE flip alone: zero
+// bytes move, and the zero-copy counter says so.
+func TestCleanDemotionMovesZeroBytes(t *testing.T) {
+	m, d := setup()
+	sd := New(d, DefaultOptions())
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		defer sd.Stop()
+		const regionBytes = 1 << 20
+		b, _ := d.AS.Mmap(p, regionBytes, hw.NodeSlow, "r")
+		d.AS.Write(p, b, bytes.Repeat([]byte{0x5A}, 4096))
+		sd.Register(b, regionBytes)
+		sd.Touch(b, p.Now())
+		sd.Touch(b, p.Now()) // heat 0.75: promotion candidate
+		p.SleepNS(10_000_000)
+		if f := d.AS.FrameAt(b); f == nil || f.Node != hw.NodeFast {
+			t.Fatalf("region not promoted (frame %v)", f)
+		}
+		dmaBefore := m.DMA.Stats().BytesMoved
+		// Crowd the fast node with unregistered ballast: pressure
+		// demotion has exactly one candidate — our clean region.
+		if _, err := d.AS.Mmap(p, 5<<20, hw.NodeFast, "ballast"); err != nil {
+			t.Fatal(err)
+		}
+		p.SleepNS(10_000_000)
+		if f := d.AS.FrameAt(b); f == nil || f.Node != hw.NodeSlow {
+			t.Fatalf("region not demoted under pressure (frame %v)", f)
+		}
+		if moved := m.DMA.Stats().BytesMoved - dmaBefore; moved != 0 {
+			t.Errorf("clean demotion moved %d bytes through DMA", moved)
+		}
+		// The shadow frames became the live mapping; none remain.
+		if d.AS.Shadows() != 0 {
+			t.Errorf("%d shadows left after zero-copy demotion", d.AS.Shadows())
+		}
+		var buf [1]byte
+		d.AS.Read(p, b, buf[:])
+		if buf[0] != 0x5A {
+			t.Errorf("demoted data corrupted: %#x", buf[0])
+		}
+	})
+	m.Eng.Run()
+	st := sd.Stats()
+	if st.ZeroCopyDemotions == 0 {
+		t.Error("zero-copy demotion not counted")
+	}
+	if st.Demotions == 0 || st.Promotions == 0 {
+		t.Errorf("promotions=%d demotions=%d", st.Promotions, st.Demotions)
+	}
+}
+
+// Stop racing a migration storm: the daemon must retrieve and free every
+// in-flight request before exiting — the seed daemon leaked them.
+func TestStopUnderLoadDrainsInflight(t *testing.T) {
+	m, d := setup()
+	sd := New(d, DefaultOptions())
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		const regionBytes = 3 << 20
+		for i := 0; i < 2; i++ {
+			b, _ := d.AS.Mmap(p, regionBytes, hw.NodeSlow, "r")
+			migrateIn(t, d, p, b, regionBytes)
+			sd.Register(b, regionBytes)
+		}
+		// The daemon's first period fires at 1 ms and submits demotions
+		// whose 3 MB copies take far longer; stop while they fly.
+		p.SleepNS(1_200_000)
+		sd.Stop()
+	})
+	m.Eng.Run()
+	if n := sd.Outstanding(); n != 0 {
+		t.Errorf("daemon exited with %d migrations outstanding", n)
+	}
+	if err := sd.Audit(); err != nil {
+		t.Errorf("leaked requests after stop under load: %v", err)
+	}
+	st := sd.Stats()
+	if st.Demotions+st.Aborts == 0 {
+		t.Error("no migration was in flight when Stop hit; scenario lost its teeth")
+	}
+}
+
+// Demotion order is deterministic: lastTouch ties break by base address,
+// so identical runs replay identically (the seed's map-iteration bug).
+func TestDemotionOrderReplayStable(t *testing.T) {
+	run := func() []int64 {
+		m, d := setup()
+		sd := New(d, DefaultOptions())
+		m.Eng.Spawn("app", func(p *sim.Proc) {
+			defer d.Close()
+			defer sd.Stop()
+			const regionBytes = 1 << 20
+			for i := 0; i < 6; i++ {
+				b, _ := d.AS.Mmap(p, regionBytes, hw.NodeSlow, "r")
+				migrateIn(t, d, p, b, regionBytes)
+				// Never touched: every region ties at heat 0, lastTouch 0.
+				sd.Register(b, regionBytes)
+			}
+			p.SleepNS(20_000_000)
+		})
+		m.Eng.Run()
+		return sd.DemotionLog()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no demotions submitted")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("replay diverged: %d vs %d demotions", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Errorf("tied regions not demoted in base order: %#x after %#x", a[i], a[i-1])
+		}
+	}
+}
+
+// Register/Unregister/Touch from application processes racing the
+// daemon's scan/pump/completion path; run under -race in CI.
+func TestConcurrentRegistrationChaos(t *testing.T) {
+	m, d := setup()
+	sd := New(d, DefaultOptions())
+	const regionBytes = 1 << 20
+	var bases [6]int64
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		for i := range bases {
+			b, _ := d.AS.Mmap(p, regionBytes, hw.NodeSlow, "r")
+			migrateIn(t, d, p, b, regionBytes)
+			sd.Register(b, regionBytes)
+			// Publish only once in place: the toucher writing mid
+			// migrate-in would race the app device's own move.
+			bases[i] = b
+		}
+		p.SleepNS(30_000_000)
+		sd.Stop()
+	})
+	m.Eng.Spawn("toucher", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 200; i++ {
+			p.SleepNS(100_000)
+			b := bases[rng.Intn(len(bases))]
+			if b == 0 {
+				continue
+			}
+			sd.Touch(b, p.Now())
+			if err := d.AS.Write(p, b, []byte{byte(i)}); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+	})
+	m.Eng.Spawn("churner", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 100; i++ {
+			p.SleepNS(250_000)
+			b := bases[rng.Intn(len(bases))]
+			if b == 0 {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				sd.Unregister(b)
+			} else {
+				sd.Register(b, regionBytes)
+			}
+		}
+	})
+	m.Eng.Run()
+	if n := sd.Outstanding(); n != 0 {
+		t.Errorf("outstanding = %d after chaos run", n)
+	}
+	if err := sd.Audit(); err != nil {
+		t.Errorf("request accounting after chaos: %v", err)
 	}
 }
 

@@ -76,11 +76,45 @@ const (
 	// ErrBusy: another move of an overlapping region is in flight
 	// (EAGAIN semantics — resubmit later).
 	ErrBusy
+	// ErrTxnDirty: a transactional migration's commit CAS found the page
+	// dirtied (or remapped) after the copy baseline; the original mapping
+	// is intact and the caller may retry.
+	ErrTxnDirty
 )
 
 func (e ErrCode) String() string {
-	return [...]string{"ok", "race", "aborted", "nomem", "badreq", "busy"}[e]
+	return [...]string{"ok", "race", "aborted", "nomem", "badreq", "busy", "txn-dirty"}[e]
 }
+
+// Class is the QoS class a request's DMA transfers ride in. Lower value
+// means higher priority at the engine's single channel; FIFO within a
+// class, no preemption of an active transfer.
+type Class uint8
+
+// The three request classes, mirroring the realtime engine's QoS tiers.
+const (
+	ClassForeground Class = iota
+	ClassBackground
+	ClassScavenger
+)
+
+func (c Class) String() string {
+	return [...]string{"foreground", "background", "scavenger"}[c]
+}
+
+// ReqFlags modify how a request is executed.
+type ReqFlags uint8
+
+const (
+	// ReqTxn makes an OpMigrate transactional: the page stays mapped and
+	// writable during the copy, and the remap is a per-page commit CAS
+	// that fails with ErrTxnDirty if the page was dirtied meanwhile.
+	ReqTxn ReqFlags = 1 << iota
+	// ReqKeepSrc retains the source frame of a committed transactional
+	// migration as a shadow copy, enabling later zero-byte demotions
+	// while the page stays clean (non-exclusive tiering).
+	ReqKeepSrc
+)
 
 // MovReq mirrors the mov_req of Figure 3(b): a hardware-independent
 // description of one move request. The application populates the request
@@ -96,6 +130,8 @@ type MovReq struct {
 	Length  int64     // bytes; a multiple of the page size
 	DstNode hw.NodeID // destination memory node (migration)
 	Cookie  uint64    // opaque user tag, returned in the notification
+	Class   Class     // QoS class of the request's DMA transfers
+	Flags   ReqFlags  // execution modifiers (ReqTxn, ReqKeepSrc)
 
 	// Result fields (kernel-populated).
 	Status    Status
@@ -103,6 +139,11 @@ type MovReq struct {
 	FailPage  int64 // page index at which a race/failure was detected
 	Submitted sim.Time
 	Completed sim.Time
+	// MovedBytes counts bytes actually copied by DMA; a transactional
+	// migration satisfied entirely by valid shadow copies reports 0.
+	MovedBytes int64
+	// ZeroCopyPages counts pages committed by PTE flip alone.
+	ZeroCopyPages int64
 
 	// Lifecycle stage stamps (virtual time, 0 = stage never reached),
 	// the per-request raw material of the stage-latency attribution:

@@ -101,8 +101,11 @@ func TestStringersDontPanic(t *testing.T) {
 	for s := StatusFree; s <= StatusFailed; s++ {
 		_ = s.String()
 	}
-	for e := ErrNone; e <= ErrBadRequest; e++ {
+	for e := ErrNone; e <= ErrTxnDirty; e++ {
 		_ = e.String()
+	}
+	for c := ClassForeground; c <= ClassScavenger; c++ {
+		_ = c.String()
 	}
 	r := MovReq{}
 	_ = r.String()

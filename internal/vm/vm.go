@@ -89,6 +89,7 @@ type AddressSpace struct {
 
 	migWaiters map[*pagetable.Slot]*sim.Event
 	migClaims  map[uint64]bool
+	shadows    map[uint64]shadowCopy
 	fault      FaultHandler
 
 	// MonitorTax models the runtime overhead of transparent access
@@ -115,6 +116,7 @@ func New(eng *sim.Engine, plat *hw.Platform, mem *phys.Memory, pageBytes int64) 
 		nextAddr:   1 << 32,
 		migWaiters: make(map[*pagetable.Slot]*sim.Event),
 		migClaims:  make(map[uint64]bool),
+		shadows:    make(map[uint64]shadowCopy),
 	}
 }
 
@@ -205,6 +207,7 @@ func (as *AddressSpace) Munmap(p *sim.Proc, base int64) error {
 				as.Mem.Free(f)
 			}
 		}
+		as.DropShadow(vpn)
 	}
 	charge(p, pages*(cost.PageFree+cost.PTEReplace))
 	as.vmas = append(as.vmas[:idx], as.vmas[idx+1:]...)
@@ -443,4 +446,105 @@ func (as *AddressSpace) MigRelease(vpn uint64, n int) {
 func (as *AddressSpace) FlushTLBPage(p *sim.Proc, meters ...*sim.Meter) {
 	as.TLBFlushes++
 	charge(p, as.Plat.Cost.TLBFlushPage, meters...)
+}
+
+// shadowCopy records a retained frame holding a still-valid copy of a
+// page's contents, taken when the page last migrated away from it. The
+// copy is valid only while the page's PTE still maps frame `of` and the
+// page has stayed clean; the transactional prepare path checks both.
+type shadowCopy struct {
+	frame *phys.Frame  // the retained (slow-tier) copy
+	of    phys.FrameID // the frame the page mapped when the copy was taken
+}
+
+// SetShadow retains frame as vpn's shadow copy, valid while the page
+// keeps mapping `of` and stays clean. Any previous shadow is dropped.
+func (as *AddressSpace) SetShadow(vpn uint64, frame *phys.Frame, of phys.FrameID) {
+	as.DropShadow(vpn)
+	as.shadows[vpn] = shadowCopy{frame: frame, of: of}
+}
+
+// ShadowAt returns vpn's shadow frame and the frame ID the copy was
+// taken against, or (nil, 0) if none is registered.
+func (as *AddressSpace) ShadowAt(vpn uint64) (*phys.Frame, phys.FrameID) {
+	sc, ok := as.shadows[vpn]
+	if !ok {
+		return nil, 0
+	}
+	return sc.frame, sc.of
+}
+
+// TakeShadow removes and returns vpn's shadow frame without freeing it —
+// the zero-copy commit path re-installs the frame into the PTE.
+func (as *AddressSpace) TakeShadow(vpn uint64) *phys.Frame {
+	sc, ok := as.shadows[vpn]
+	if !ok {
+		return nil
+	}
+	delete(as.shadows, vpn)
+	return sc.frame
+}
+
+// DropShadow discards vpn's shadow copy, freeing the frame if nothing
+// else holds it.
+func (as *AddressSpace) DropShadow(vpn uint64) {
+	sc, ok := as.shadows[vpn]
+	if !ok {
+		return
+	}
+	delete(as.shadows, vpn)
+	f := sc.frame
+	if f.RefCount == 0 && !f.Pinned && !f.FileBacked {
+		as.Mem.Free(f)
+	}
+}
+
+// Shadows reports how many shadow copies are currently retained.
+func (as *AddressSpace) Shadows() int { return len(as.shadows) }
+
+// ScanAccessBits samples reference and dirty state over n pages starting
+// at vpn, Nomad-style: a page whose FlagYoung is *absent* was referenced
+// since the previous pass (accesses clear young — the race-detection
+// discipline of touchSlot), and the scan re-arms young so the next pass
+// sees fresh information. Pages with an active migration claim or a
+// migration/recover PTE are skipped — rewriting their young bit could
+// reconstruct the driver's installed PTE and mask a real race. Returns
+// how many pages were referenced, dirty, and actually sampled. Walk and
+// PTE-update costs are charged to p.
+func (as *AddressSpace) ScanAccessBits(p *sim.Proc, vpn uint64, n int, meters ...*sim.Meter) (referenced, dirty, sampled int) {
+	cost := &as.Plat.Cost
+	var casCost int64
+	for i := 0; i < n; i++ {
+		v := vpn + uint64(i)
+		if as.migClaims[v] {
+			continue
+		}
+		slot, _ := as.Table.Lookup(v)
+		if slot == nil {
+			continue
+		}
+		pte := slot.Load()
+		if !pte.Has(pagetable.FlagPresent) ||
+			pte.Has(pagetable.FlagMigration) || pte.Has(pagetable.FlagRecover) {
+			continue
+		}
+		sampled++
+		if !pte.Has(pagetable.FlagYoung) {
+			referenced++
+		}
+		if pte.Has(pagetable.FlagDirty) {
+			dirty++
+		}
+		if armed := pte.With(pagetable.FlagYoung); armed != pte {
+			if slot.CompareAndSwap(pte, armed) {
+				casCost += cost.PTECas
+			}
+		}
+	}
+	walk := cost.PageLookupVertical
+	if n > 1 {
+		walk += int64(n-1) * cost.PageLookupHorizontal
+	}
+	charge(p, walk+casCost, meters...)
+	return referenced, dirty, sampled
 }

@@ -188,14 +188,17 @@ func NewLinuxMigrator(m *Machine, as *AddressSpace) *LinuxMigrator {
 	return linuxmig.New(m, as)
 }
 
-// SwapDaemon is the kswapd-style automatic fast-memory evictor (the
-// future-work item of Section 6.7): it watches the fast node's usage and
-// migrates the coldest registered regions back to slow memory through
-// memif, in proceed-and-recover mode so evictions can never hurt the
-// application.
+// SwapDaemon is the kswapd-style tiering engine (the future-work item
+// of Section 6.7, grown into a two-way hot/cold manager): it samples
+// access bits into per-region heat, promotes hot slow-tier regions into
+// fast memory and demotes cold ones out, all through transactional
+// migrations that a racing application write simply aborts — tiering
+// can never hurt the application. Keep-src promotions retain the slow
+// copy, so demoting a still-clean region is a zero-byte PTE flip.
 type SwapDaemon = swapd.Daemon
 
-// SwapOptions tunes the daemon's watermarks and period.
+// SwapOptions tunes the daemon's watermarks, scan cadence, heat
+// thresholds and migration QoS classes.
 type SwapOptions = swapd.Options
 
 // DefaultSwapOptions suits the 6 MB MSMC node.
@@ -486,4 +489,29 @@ const (
 	ErrNoMemory   = uapi.ErrNoMemory
 	ErrBadRequest = uapi.ErrBadRequest
 	ErrBusy       = uapi.ErrBusy
+	ErrTxnDirty   = uapi.ErrTxnDirty
+)
+
+// MovClass is the QoS class a simulated request's DMA transfers ride:
+// lower classes are served first at the engine, FIFO within a class,
+// never preempting an active transfer.
+type MovClass = uapi.Class
+
+// Simulated-request QoS classes.
+const (
+	MovForeground = uapi.ClassForeground
+	MovBackground = uapi.ClassBackground
+	MovScavenger  = uapi.ClassScavenger
+)
+
+// MovFlags modify a simulated request.
+type MovFlags = uapi.ReqFlags
+
+// Request flags: MovFlagTxn migrates transactionally — pages stay
+// mapped writable during the copy and the commit fails with ErrTxnDirty
+// if a write raced it; MovFlagKeepSrc retains the source frames as
+// shadow copies, enabling zero-copy demotion while the pages stay clean.
+const (
+	MovFlagTxn     = uapi.ReqTxn
+	MovFlagKeepSrc = uapi.ReqKeepSrc
 )

@@ -72,10 +72,19 @@ func TestFacadeSymbolCoverage(t *testing.T) {
 		_ = memif.OpMigrate
 		_ = memif.StatusFailed
 		for _, code := range []uint8{uint8(memif.ErrRace), uint8(memif.ErrAborted),
-			uint8(memif.ErrNoMemory), uint8(memif.ErrBadRequest), uint8(memif.ErrBusy)} {
+			uint8(memif.ErrNoMemory), uint8(memif.ErrBadRequest), uint8(memif.ErrBusy),
+			uint8(memif.ErrTxnDirty)} {
 			if code == uint8(memif.ErrNone) {
 				t.Fatal("uapi failure code equals ErrNone")
 			}
+		}
+		var cls memif.MovClass = memif.MovForeground
+		if cls != 0 || memif.MovBackground == memif.MovScavenger {
+			t.Fatal("QoS class constants are not distinct/ordered")
+		}
+		var fl memif.MovFlags = memif.MovFlagTxn | memif.MovFlagKeepSrc
+		if fl&memif.MovFlagTxn == 0 || fl&memif.MovFlagKeepSrc == 0 {
+			t.Fatal("request flag constants do not compose")
 		}
 		dev.FreeRequest(p, done)
 
