@@ -59,6 +59,10 @@ type Report struct {
 	// promotion/demotion counts, promotion lag, and the foreground-p99-
 	// under-migration comparison. See tiering.go.
 	Tiering *TieringResult `json:"tiering,omitempty"`
+	// Tenants is the multi-tenant fairness/isolation scenario (schema
+	// v5): 1k+ tenant cohort Jain's index, weighted DRR shares, and the
+	// victim-vs-aggressor p99 comparison. See tenants.go.
+	Tenants *TenantsResult `json:"tenants,omitempty"`
 }
 
 type WorkloadResult struct {
@@ -310,7 +314,7 @@ func main() {
 
 	rep := Report{
 		Benchmark:  "membench",
-		Version:    4,
+		Version:    5,
 		UnixTime:   time.Now().Unix(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
@@ -330,6 +334,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "membench: running tiering    (virtual-time sim)\n")
 	rep.Tiering = runTiering(*quick)
 	reportTiering(rep.Tiering)
+
+	fmt.Fprintf(os.Stderr, "membench: running tenants    (fairness + isolation)\n")
+	rep.Tenants = runTenants(*quick)
+	reportTenants(rep.Tenants)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -600,6 +608,11 @@ func validate(rep Report) error {
 	}
 	if rep.Version >= 4 {
 		if err := validateTiering(rep); err != nil {
+			return err
+		}
+	}
+	if rep.Version >= 5 {
+		if err := validateTenants(rep); err != nil {
 			return err
 		}
 	}

@@ -345,3 +345,249 @@ func decodeArea(key string) areaState {
 	copy(s.queues[:], parts)
 	return s
 }
+
+// ---------------------------------------------------------------------
+// Submission scheduler: sequential spec of the realtime device's
+// per-class priority+aging submission discipline and its multi-tenant
+// weighted-deficit-round-robin (DRR) refinement.
+//
+// State: per class, the set of tenants with buffered work in activation
+// order, each a FIFO with a DRR deficit, plus a cursor; across classes,
+// the aging credits. Pop is deterministic given the state, so the spec
+// simply replays the discipline: an aged lower class is served first
+// (one pop, credit reset), then classes in strict priority order; within
+// a class the cursor's tenant is served, its deficit topped up by its
+// weight once per visit and decremented per request, the cursor
+// advancing when the quantum is spent and a tenant deactivating — with
+// its unspent deficit forgotten — when its FIFO empties.
+// ---------------------------------------------------------------------
+
+// TOp is the input of one submission-scheduler operation: a push of
+// value V for Tenant at priority Class, or a pop.
+type TOp struct {
+	Push   bool
+	Class  int
+	Tenant uint32
+	V      uint32
+}
+
+// TRes is the output of one submission-scheduler operation. For a pop,
+// V and Tenant identify the served request and Aged marks an
+// out-of-priority-order pop granted by the aging credit. A push with
+// Ok == false (slab exhaustion) is a legal no-op.
+type TRes struct {
+	V      uint32
+	Tenant uint32
+	Aged   bool
+	Ok     bool
+}
+
+func (o TOp) String() string {
+	if o.Push {
+		return fmt.Sprintf("push(c%d t%d v%d)", o.Class, o.Tenant, o.V)
+	}
+	return "pop()"
+}
+
+func (r TRes) String() string {
+	if !r.Ok {
+		return "(!ok)"
+	}
+	return fmt.Sprintf("(v=%d t=%d aged=%v)", r.V, r.Tenant, r.Aged)
+}
+
+// subBucket is one tenant's FIFO inside one class of the model state.
+type subBucket struct {
+	tenant  uint32
+	deficit int64
+	fifo    []uint32
+}
+
+// subClass is one class: active tenants in visit order plus the cursor.
+type subClass struct {
+	cur     int
+	tenants []subBucket
+}
+
+type subState struct {
+	credits []int64
+	classes []subClass
+}
+
+func (c *subClass) queued() int {
+	n := 0
+	for i := range c.tenants {
+		n += len(c.tenants[i].fifo)
+	}
+	return n
+}
+
+func (c *subClass) push(tenant, v uint32) {
+	for i := range c.tenants {
+		if c.tenants[i].tenant == tenant {
+			c.tenants[i].fifo = append(c.tenants[i].fifo, v)
+			return
+		}
+	}
+	c.tenants = append(c.tenants, subBucket{tenant: tenant, fifo: []uint32{v}})
+}
+
+// pop mirrors the implementation's drrClass.pop exactly.
+func (c *subClass) pop(weightOf func(uint32) int64) (v, tenant uint32, ok bool) {
+	if len(c.tenants) == 0 {
+		return 0, 0, false
+	}
+	if c.cur >= len(c.tenants) {
+		c.cur = 0
+	}
+	b := &c.tenants[c.cur]
+	if b.deficit <= 0 {
+		w := weightOf(b.tenant)
+		if w < 1 {
+			w = 1
+		}
+		b.deficit += w
+	}
+	v, tenant = b.fifo[0], b.tenant
+	b.fifo = b.fifo[1:]
+	b.deficit--
+	if len(b.fifo) == 0 {
+		c.tenants = append(c.tenants[:c.cur], c.tenants[c.cur+1:]...)
+	} else if b.deficit <= 0 {
+		c.cur++
+	}
+	return v, tenant, true
+}
+
+// pop mirrors the implementation's tenantSched.pop exactly.
+func (st *subState) pop(aging int64, weightOf func(uint32) int64) (v, tenant uint32, aged, ok bool) {
+	for c := 1; c < len(st.classes); c++ {
+		if st.credits[c] < aging {
+			continue
+		}
+		if v, t, ok := st.classes[c].pop(weightOf); ok {
+			st.credits[c] = 0
+			return v, t, true, true
+		}
+		st.credits[c] = 0
+	}
+	for c := range st.classes {
+		v, t, ok := st.classes[c].pop(weightOf)
+		if !ok {
+			continue
+		}
+		for l := c + 1; l < len(st.classes); l++ {
+			if st.classes[l].queued() > 0 {
+				st.credits[l]++
+			}
+		}
+		return v, t, false, true
+	}
+	return 0, 0, false, false
+}
+
+// encodeSub renders the state canonically: "cr0,3|cur0;1:2:5.6;2:0:7|cur1".
+func encodeSub(st *subState) string {
+	var b strings.Builder
+	b.WriteString("cr")
+	for i, cr := range st.credits {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", cr)
+	}
+	for ci := range st.classes {
+		c := &st.classes[ci]
+		fmt.Fprintf(&b, "|cur%d", c.cur)
+		for _, t := range c.tenants {
+			fmt.Fprintf(&b, ";%d:%d:", t.tenant, t.deficit)
+			for i, v := range t.fifo {
+				if i > 0 {
+					b.WriteByte('.')
+				}
+				fmt.Fprintf(&b, "%d", v)
+			}
+		}
+	}
+	return b.String()
+}
+
+func decodeSub(key string) *subState {
+	parts := strings.Split(key, "|")
+	st := &subState{classes: make([]subClass, len(parts)-1)}
+	for _, p := range strings.Split(strings.TrimPrefix(parts[0], "cr"), ",") {
+		var cr int64
+		fmt.Sscanf(p, "%d", &cr)
+		st.credits = append(st.credits, cr)
+	}
+	for ci, p := range parts[1:] {
+		fields := strings.Split(p, ";")
+		fmt.Sscanf(fields[0], "cur%d", &st.classes[ci].cur)
+		for _, f := range fields[1:] {
+			sub := strings.SplitN(f, ":", 3)
+			var b subBucket
+			fmt.Sscanf(sub[0], "%d", &b.tenant)
+			fmt.Sscanf(sub[1], "%d", &b.deficit)
+			if sub[2] != "" {
+				for _, vs := range strings.Split(sub[2], ".") {
+					var v uint32
+					fmt.Sscanf(vs, "%d", &v)
+					b.fifo = append(b.fifo, v)
+				}
+			}
+			st.classes[ci].tenants = append(st.classes[ci].tenants, b)
+		}
+	}
+	return st
+}
+
+func submissionModel(name string, numClasses int, aging int64, weightOf func(uint32) int64) Model {
+	return Model{
+		Name: name,
+		Init: func() any {
+			st := &subState{credits: make([]int64, numClasses), classes: make([]subClass, numClasses)}
+			return encodeSub(st)
+		},
+		Step: func(state, input, output any) (bool, any) {
+			st := decodeSub(state.(string))
+			op := input.(TOp)
+			out := output.(TRes)
+			if op.Push {
+				if !out.Ok {
+					return true, state // slab exhausted: legal no-op
+				}
+				if op.Class < 0 || op.Class >= numClasses {
+					return false, nil
+				}
+				st.classes[op.Class].push(op.Tenant, op.V)
+				return true, encodeSub(st)
+			}
+			v, tenant, aged, ok := st.pop(aging, weightOf)
+			if out.Ok != ok || (ok && (out.V != v || out.Tenant != tenant || out.Aged != aged)) {
+				return false, nil
+			}
+			return true, encodeSub(st)
+		},
+		Describe: func(input, output any) string {
+			return fmt.Sprintf("%v -> %v", input, output)
+		},
+	}
+}
+
+// SubmissionModel returns the sequential specification of the per-class
+// strict-priority submission queue with the aging credit — the
+// single-tenant discipline (every push uses Tenant 0), where DRR
+// degenerates to one FIFO per class.
+func SubmissionModel(numClasses int, aging int64) Model {
+	return submissionModel("priority+aging submission queue", numClasses, aging,
+		func(uint32) int64 { return 1 })
+}
+
+// DRRSubmissionModel returns the sequential specification of the
+// multi-tenant submission scheduler: strict priority with aging across
+// classes, weighted deficit round robin between tenants within a class.
+// weightOf maps a tenant id to its DRR quantum (values < 1 count as 1)
+// and must be a pure function of the id for the duration of the check.
+func DRRSubmissionModel(numClasses int, aging int64, weightOf func(uint32) int64) Model {
+	return submissionModel("tenant DRR submission scheduler", numClasses, aging, weightOf)
+}

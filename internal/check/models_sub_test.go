@@ -1,0 +1,256 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSubmissionModelPriorityOrder(t *testing.T) {
+	m := SubmissionModel(3, 16)
+	ok := mkOps([]opSpec{
+		{0, TOp{Push: true, Class: 2, V: 30}, TRes{Ok: true}, 1, 2},
+		{0, TOp{Push: true, Class: 1, V: 20}, TRes{Ok: true}, 3, 4},
+		{0, TOp{Push: true, Class: 0, V: 10}, TRes{Ok: true}, 5, 6},
+		{0, TOp{}, TRes{V: 10, Ok: true}, 7, 8},
+		{0, TOp{}, TRes{V: 20, Ok: true}, 9, 10},
+		{0, TOp{}, TRes{V: 30, Ok: true}, 11, 12},
+		{0, TOp{}, TRes{Ok: false}, 13, 14},
+	})
+	if r := Check(m, ok); !r.Ok {
+		t.Fatalf("legal priority-order history rejected: %s", r.Info)
+	}
+	// Scavenger served before a waiting background violates strict
+	// priority (no aging credit has accumulated).
+	bad := mkOps([]opSpec{
+		{0, TOp{Push: true, Class: 2, V: 30}, TRes{Ok: true}, 1, 2},
+		{0, TOp{Push: true, Class: 1, V: 20}, TRes{Ok: true}, 3, 4},
+		{0, TOp{}, TRes{V: 30, Ok: true}, 5, 6},
+	})
+	if r := Check(m, bad); r.Ok {
+		t.Fatal("priority inversion accepted")
+	}
+}
+
+func TestSubmissionModelAging(t *testing.T) {
+	m := SubmissionModel(2, 2) // aging credit of 2 pops
+	// Class 1's value waits through two class-0 pops, earning the aged
+	// out-of-order pop on the third — which must be flagged Aged.
+	ok := mkOps([]opSpec{
+		{0, TOp{Push: true, Class: 0, V: 1}, TRes{Ok: true}, 1, 2},
+		{0, TOp{Push: true, Class: 0, V: 2}, TRes{Ok: true}, 3, 4},
+		{0, TOp{Push: true, Class: 0, V: 3}, TRes{Ok: true}, 5, 6},
+		{0, TOp{Push: true, Class: 1, V: 99}, TRes{Ok: true}, 7, 8},
+		{0, TOp{}, TRes{V: 1, Ok: true}, 9, 10},
+		{0, TOp{}, TRes{V: 2, Ok: true}, 11, 12},
+		{0, TOp{}, TRes{V: 99, Aged: true, Ok: true}, 13, 14},
+		{0, TOp{}, TRes{V: 3, Ok: true}, 15, 16},
+	})
+	if r := Check(m, ok); !r.Ok {
+		t.Fatalf("legal aged history rejected: %s", r.Info)
+	}
+	// The same history without the aged pop starves class 1 past its
+	// credit: the model demands v=99 at the third pop.
+	starved := mkOps([]opSpec{
+		{0, TOp{Push: true, Class: 0, V: 1}, TRes{Ok: true}, 1, 2},
+		{0, TOp{Push: true, Class: 0, V: 2}, TRes{Ok: true}, 3, 4},
+		{0, TOp{Push: true, Class: 0, V: 3}, TRes{Ok: true}, 5, 6},
+		{0, TOp{Push: true, Class: 1, V: 99}, TRes{Ok: true}, 7, 8},
+		{0, TOp{}, TRes{V: 1, Ok: true}, 9, 10},
+		{0, TOp{}, TRes{V: 2, Ok: true}, 11, 12},
+		{0, TOp{}, TRes{V: 3, Ok: true}, 13, 14},
+	})
+	if r := Check(m, starved); r.Ok {
+		t.Fatal("starvation past the aging credit accepted")
+	}
+}
+
+func TestDRRSubmissionModelRoundRobin(t *testing.T) {
+	m := DRRSubmissionModel(1, 16, func(uint32) int64 { return 1 })
+	// Equal weights: after tenant 1's first serve its quantum is spent,
+	// so the cursor must advance to tenant 2 before 1's second value.
+	ok := mkOps([]opSpec{
+		{0, TOp{Push: true, Tenant: 1, V: 10}, TRes{Ok: true}, 1, 2},
+		{0, TOp{Push: true, Tenant: 1, V: 11}, TRes{Ok: true}, 3, 4},
+		{0, TOp{Push: true, Tenant: 2, V: 20}, TRes{Ok: true}, 5, 6},
+		{0, TOp{}, TRes{V: 10, Tenant: 1, Ok: true}, 7, 8},
+		{0, TOp{}, TRes{V: 20, Tenant: 2, Ok: true}, 9, 10},
+		{0, TOp{}, TRes{V: 11, Tenant: 1, Ok: true}, 11, 12},
+	})
+	if r := Check(m, ok); !r.Ok {
+		t.Fatalf("legal DRR round rejected: %s", r.Info)
+	}
+	// Serving tenant 1 twice in a row while tenant 2 is backlogged at
+	// equal weight hogs the round.
+	hog := mkOps([]opSpec{
+		{0, TOp{Push: true, Tenant: 1, V: 10}, TRes{Ok: true}, 1, 2},
+		{0, TOp{Push: true, Tenant: 1, V: 11}, TRes{Ok: true}, 3, 4},
+		{0, TOp{Push: true, Tenant: 2, V: 20}, TRes{Ok: true}, 5, 6},
+		{0, TOp{}, TRes{V: 10, Tenant: 1, Ok: true}, 7, 8},
+		{0, TOp{}, TRes{V: 11, Tenant: 1, Ok: true}, 9, 10},
+		{0, TOp{}, TRes{V: 20, Tenant: 2, Ok: true}, 11, 12},
+	})
+	if r := Check(m, hog); r.Ok {
+		t.Fatal("round hogging at equal weights accepted")
+	}
+}
+
+func TestDRRSubmissionModelWeightedQuantum(t *testing.T) {
+	weights := func(ten uint32) int64 {
+		if ten == 1 {
+			return 2
+		}
+		return 1
+	}
+	m := DRRSubmissionModel(1, 16, weights)
+	// Tenant 1 (weight 2) gets two consecutive serves per round.
+	ok := mkOps([]opSpec{
+		{0, TOp{Push: true, Tenant: 1, V: 10}, TRes{Ok: true}, 1, 2},
+		{0, TOp{Push: true, Tenant: 1, V: 11}, TRes{Ok: true}, 3, 4},
+		{0, TOp{Push: true, Tenant: 1, V: 12}, TRes{Ok: true}, 5, 6},
+		{0, TOp{Push: true, Tenant: 2, V: 20}, TRes{Ok: true}, 7, 8},
+		{0, TOp{}, TRes{V: 10, Tenant: 1, Ok: true}, 9, 10},
+		{0, TOp{}, TRes{V: 11, Tenant: 1, Ok: true}, 11, 12},
+		{0, TOp{}, TRes{V: 20, Tenant: 2, Ok: true}, 13, 14},
+		{0, TOp{}, TRes{V: 12, Tenant: 1, Ok: true}, 15, 16},
+	})
+	if r := Check(m, ok); !r.Ok {
+		t.Fatalf("legal weighted round rejected: %s", r.Info)
+	}
+	// Breaking into tenant 1's quantum after a single serve under-serves
+	// its weight.
+	cut := mkOps([]opSpec{
+		{0, TOp{Push: true, Tenant: 1, V: 10}, TRes{Ok: true}, 1, 2},
+		{0, TOp{Push: true, Tenant: 1, V: 11}, TRes{Ok: true}, 3, 4},
+		{0, TOp{Push: true, Tenant: 2, V: 20}, TRes{Ok: true}, 5, 6},
+		{0, TOp{}, TRes{V: 10, Tenant: 1, Ok: true}, 7, 8},
+		{0, TOp{}, TRes{V: 20, Tenant: 2, Ok: true}, 9, 10},
+		{0, TOp{}, TRes{V: 11, Tenant: 1, Ok: true}, 11, 12},
+	})
+	if r := Check(m, cut); r.Ok {
+		t.Fatal("quantum cut short accepted")
+	}
+}
+
+func TestDRRSubmissionModelConcurrentReorder(t *testing.T) {
+	m := DRRSubmissionModel(1, 16, func(uint32) int64 { return 1 })
+	// The two tenants' pushes overlap, so either activation order is
+	// linearizable; the pops pin tenant 2 first.
+	ops := mkOps([]opSpec{
+		{0, TOp{Push: true, Tenant: 1, V: 10}, TRes{Ok: true}, 1, 10},
+		{1, TOp{Push: true, Tenant: 2, V: 20}, TRes{Ok: true}, 2, 9},
+		{2, TOp{}, TRes{V: 20, Tenant: 2, Ok: true}, 11, 12},
+		{2, TOp{}, TRes{V: 10, Tenant: 1, Ok: true}, 13, 14},
+	})
+	if r := Check(m, ops); !r.Ok {
+		t.Fatalf("legal concurrent activation reorder rejected: %s", r.Info)
+	}
+}
+
+// unfairSched is a deliberately broken tenant scheduler: it serves the
+// lowest tenant id with buffered work, ignoring the DRR round entirely,
+// so a low-id tenant with a backlog starves everyone else. Pushes and
+// pops yield between their read and write halves, so the deterministic
+// scheduler decides which pushes a pop observes.
+type unfairSched struct {
+	buckets map[uint32][]uint32
+}
+
+func (u *unfairSched) push(t *Thread, tenant, v uint32) {
+	fifo := u.buckets[tenant]
+	t.Yield()
+	u.buckets[tenant] = append(fifo, v)
+}
+
+func (u *unfairSched) pop(t *Thread) (v, tenant uint32, ok bool) {
+	best := uint32(0)
+	found := false
+	for ten, fifo := range u.buckets {
+		if len(fifo) > 0 && (!found || ten < best) {
+			best, found = ten, true
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	t.Yield()
+	fifo := u.buckets[best]
+	v = fifo[0]
+	u.buckets[best] = fifo[1:]
+	return v, best, true
+}
+
+// runUnfair drives the starvation scheduler under one seed and checks
+// the history against the DRR model.
+func runUnfair(seed int64) error {
+	u := &unfairSched{buckets: map[uint32][]uint32{}}
+	hist := NewHistory(3)
+	s := NewSched(seed)
+	s.Go(func(t *Thread) { // tenant 1: two values
+		for i := 0; i < 2; i++ {
+			v := uint32(10 + i)
+			hist.Record(0, TOp{Push: true, Tenant: 1, V: v}, func() any {
+				u.push(t, 1, v)
+				return TRes{Ok: true}
+			})
+			t.Yield()
+		}
+	})
+	s.Go(func(t *Thread) { // tenant 2: one value
+		hist.Record(1, TOp{Push: true, Tenant: 2, V: 20}, func() any {
+			u.push(t, 2, 20)
+			return TRes{Ok: true}
+		})
+	})
+	s.Go(func(t *Thread) { // worker
+		for i := 0; i < 5; i++ {
+			hist.Record(2, TOp{}, func() any {
+				v, ten, ok := u.pop(t)
+				return TRes{V: v, Tenant: ten, Ok: ok}
+			})
+			t.Yield()
+		}
+	})
+	if err := s.Run(); err != nil {
+		return err
+	}
+	m := DRRSubmissionModel(1, 16, func(uint32) int64 { return 1 })
+	if r := CheckHistory(m, hist); !r.Ok {
+		return fmt.Errorf("not linearizable: %s", r.Info)
+	}
+	return nil
+}
+
+func TestCheckerRejectsUnfairScheduler(t *testing.T) {
+	// Some schedule must land both tenants backlogged across a pop, where
+	// lowest-id-first steals tenant 2's DRR turn.
+	err := Explore(64, 1, runUnfair)
+	if err == nil {
+		t.Fatal("checker accepted every schedule of a deliberately-unfair scheduler")
+	}
+	if !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("failure does not name its seed: %v", err)
+	}
+	t.Logf("unfair scheduler rejected as expected: %v", err)
+}
+
+func TestUnfairSchedulerFailureReplaysBySeed(t *testing.T) {
+	var failing int64 = -1
+	for seed := int64(1); seed <= 64; seed++ {
+		if runUnfair(seed) != nil {
+			failing = seed
+			break
+		}
+	}
+	if failing < 0 {
+		t.Fatal("no failing seed in corpus")
+	}
+	err1 := runUnfair(failing)
+	err2 := runUnfair(failing)
+	if err1 == nil || err2 == nil {
+		t.Fatalf("failing seed %d did not replay: first=%v second=%v", failing, err1, err2)
+	}
+	if err1.Error() != err2.Error() {
+		t.Fatalf("replay diverged:\n  first:  %v\n  second: %v", err1, err2)
+	}
+}

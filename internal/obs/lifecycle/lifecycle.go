@@ -442,6 +442,14 @@ func (t *Tracer) Abort(slot int) {
 // completed lifecycle onto the capture ring. Runs on the application's
 // retrieval goroutine, never the device's.
 func (t *Tracer) End(slot int, outcome Outcome, nano int64) {
+	t.EndInto(slot, outcome, nano, nil)
+}
+
+// EndInto is End with one extra attribution target: the derived spans
+// are also observed into extra (when non-nil), so a caller can attribute
+// the same lifecycle to a second dimension — the realtime device uses it
+// for per-tenant stage latencies — without stamping or deriving twice.
+func (t *Tracer) EndInto(slot int, outcome Outcome, nano int64, extra *SpanSet) {
 	if !t.Sampled(slot) {
 		return
 	}
@@ -453,6 +461,9 @@ func (t *Tracer) End(slot int, outcome Outcome, nano int64) {
 		ts[i] = r.ts[i].Load()
 	}
 	t.spans.ObserveStamps(&ts)
+	if extra != nil {
+		extra.ObserveStamps(&ts)
+	}
 	class := int(r.class.Load())
 	if class < len(t.classSpans) {
 		t.classSpans[class].ObserveStamps(&ts)

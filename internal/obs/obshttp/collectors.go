@@ -65,6 +65,24 @@ func RealtimeMetrics(device string, s realtime.StatsSnapshot) []Metric {
 			hist("memif_realtime_class_request_latency_ns", "Submission-to-completion latency by priority class (ns).", clb, cs.Latency),
 		)
 	}
+	for _, ts := range s.Tenants {
+		tlb := append(append([]Label(nil), lb...), Label{"tenant", ts.Name})
+		ms = append(ms,
+			counter("memif_realtime_tenant_submitted_total", "Accepted submissions by tenant.", tlb, ts.Submitted),
+			counter("memif_realtime_tenant_completed_total", "Terminal requests by tenant.", tlb, ts.Completed),
+			counter("memif_realtime_tenant_shed_total", "Admission rejections charged to the tenant's quota.", tlb, ts.Shed),
+			counter("memif_realtime_tenant_canceled_total", "ErrCanceled completions by tenant (Cancel and CancelAll).", tlb, ts.Canceled),
+			gauge("memif_realtime_tenant_weight", "Configured DRR weight (requests per scheduling round).", tlb, ts.Weight),
+			gauge("memif_realtime_tenant_slot_quota", "Configured in-flight cap (0 = default namespace, global admission).", tlb, ts.SlotQuota),
+			gauge("memif_realtime_tenant_in_flight", "Live accepted-but-not-terminal requests by tenant.", tlb, ts.InFlight),
+			gauge("memif_realtime_tenant_queue_depth", "Live flushed-but-not-dispatched requests by tenant.", tlb, ts.QueueDepth),
+			hist("memif_realtime_tenant_request_latency_ns", "Submission-to-completion latency by tenant (ns).", tlb, ts.Latency),
+		)
+		if s.Lifecycle.Enabled {
+			ms = append(ms, SpanMetrics("memif_realtime_tenant_stage_latency_ns",
+				"Per-stage latency attribution of sampled requests by tenant (ns).", tlb, ts.Spans)...)
+		}
+	}
 	if s.Lifecycle.Enabled {
 		ms = append(ms,
 			gauge("memif_realtime_trace_sample_shift", "Lifecycle sampling shift: 1 request in 2^shift is traced.", lb, int64(s.Lifecycle.SampleShift)),

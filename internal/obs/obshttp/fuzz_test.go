@@ -1,0 +1,38 @@
+package obshttp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseExposition throws arbitrary bytes at the exposition
+// validator. The validator runs in CI against scraped /metrics output,
+// so it must be total: any input — torn lines, absurd label syntax,
+// half a histogram — yields a nil or non-nil error, never a panic, and
+// acceptance implies the input really carried at least one sample.
+func FuzzParseExposition(f *testing.F) {
+	f.Add([]byte("# HELP m total\n# TYPE m counter\nm 1\n"))
+	f.Add([]byte("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n"))
+	f.Add([]byte("# TYPE g gauge\ng{tenant=\"a b\",class=\"fg\"} 42\n"))
+	f.Add([]byte("m{label=\"unterminated 1\n"))
+	f.Add([]byte("# TYPE h histogram\nh_bucket{le=\"5\"} 3\nh_bucket{le=\"1\"} 4\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := ParseExposition(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must contain a non-comment, non-blank line — the
+		// "at least one sample" contract.
+		hasSample := false
+		for _, line := range strings.Split(string(data), "\n") {
+			trimmed := strings.TrimSpace(line)
+			if trimmed != "" && !strings.HasPrefix(line, "#") {
+				hasSample = true
+			}
+		}
+		if !hasSample {
+			t.Fatalf("ParseExposition accepted input with no samples: %q", data)
+		}
+	})
+}

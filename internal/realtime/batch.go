@@ -23,6 +23,15 @@ import (
 // special-case. A concurrent Cancel that claims a request in the window
 // keeps its ErrCanceled promise.
 func (d *Device) SubmitBatch(reqs []*Request) error {
+	for _, r := range reqs {
+		r.tenant.Store(0)
+	}
+	return d.submitBatch(reqs)
+}
+
+// submitBatch is the tenant-agnostic SubmitBatch body: every request's
+// tenant is already stamped by the caller-facing wrapper.
+func (d *Device) submitBatch(reqs []*Request) error {
 	if len(reqs) == 0 {
 		return nil
 	}
@@ -46,7 +55,7 @@ func (d *Device) SubmitBatch(reqs []*Request) error {
 			// completion per request, so the rejection surfaces through
 			// the completion queue instead of failing the whole batch.
 			r.submitted.Store(0) // no pipeline latency to attribute
-			r.state.Store(stPending)
+			r.state.Store(r.word(stPending))
 			d.accept(r)
 			d.finish(r, err)
 			continue

@@ -16,6 +16,7 @@ package realtime
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -766,5 +767,179 @@ func TestChaosCancelDuringShed(t *testing.T) {
 		t.Errorf("DoubleCompletes = %d, want 0", st.DoubleCompletes)
 	} else if st.Shed == 0 {
 		t.Error("no shed was recorded — the overload window never opened")
+	}
+}
+
+// TestChaosTenantCancelStorm is the multi-tenant isolation storm: an
+// aggressor tenant cancels every one of its requests mid-flight, over
+// and over, while two victim tenants submit steadily. The device must
+// keep its exactly-once completion promise for everyone, the storm must
+// never shed or cancel a victim request, and every slot must come home.
+func TestChaosTenantCancelStorm(t *testing.T) {
+	d := Open(Options{
+		NumReqs:     64,
+		Controllers: 2,
+		ChunkBytes:  1 << 10,
+		Chaos: &ChaosHooks{
+			BeforeChunkCopy: func(idx uint32, off, end int) { time.Sleep(5 * time.Microsecond) },
+		},
+	})
+	defer d.Close()
+
+	aggr, err := d.OpenTenant(TenantConfig{Name: "aggressor", Weight: 1, SlotQuota: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := make([]*Tenant, 2)
+	for i := range victims {
+		v, err := d.OpenTenant(TenantConfig{Name: fmt.Sprintf("victim%d", i), Weight: 2, SlotQuota: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		victims[i] = v
+	}
+
+	const perVictim = 60
+	var (
+		wg        sync.WaitGroup
+		retrieved atomic.Int64
+		stopDrain = make(chan struct{})
+	)
+	// Drainer: frees every completion; per-tenant outcomes are checked
+	// through the tenant counters afterwards.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if r := d.RetrieveCompleted(); r != nil {
+				if r.Err == nil && !bytes.Equal(r.Src, r.Dst) {
+					t.Errorf("request %d: clean completion with corrupt payload", r.idx)
+				}
+				d.FreeRequest(r)
+				retrieved.Add(1)
+				continue
+			}
+			select {
+			case <-stopDrain:
+				return
+			default:
+				d.Poll(time.Millisecond)
+			}
+		}
+	}()
+
+	// Victims: steady submission, multi-chunk payloads so cancels have a
+	// window, every submit must be admitted (their quota is theirs alone).
+	var accepted atomic.Int64
+	for vi, v := range victims {
+		wg.Add(1)
+		go func(vi int, v *Tenant) {
+			defer wg.Done()
+			src := bytes.Repeat([]byte{byte(vi + 1)}, 4<<10)
+			for n := 0; n < perVictim; {
+				// Stay under the victim's own quota so a shed can only
+				// mean cross-tenant leakage, never self-inflicted
+				// admission pressure.
+				if v.Stats().InFlight >= 12 {
+					time.Sleep(20 * time.Microsecond)
+					continue
+				}
+				r := d.AllocRequest()
+				if r == nil {
+					time.Sleep(20 * time.Microsecond)
+					continue
+				}
+				r.Src, r.Dst = src, make([]byte, len(src))
+				if err := v.Submit(r); err != nil {
+					t.Errorf("victim %d submit: %v — aggressor storm leaked into a victim", vi, err)
+					d.FreeRequest(r)
+					return
+				}
+				accepted.Add(1)
+				n++
+			}
+		}(vi, v)
+	}
+
+	// Aggressor: floods its quota and mass-cancels everything, forever.
+	stopStorm := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := bytes.Repeat([]byte{0xAA}, 4<<10)
+		for {
+			select {
+			case <-stopStorm:
+				return
+			default:
+			}
+			for i := 0; i < 8; i++ {
+				r := d.AllocRequest()
+				if r == nil {
+					break
+				}
+				r.Src, r.Dst = src, make([]byte, len(src))
+				if err := aggr.Submit(r); err != nil {
+					d.FreeRequest(r)
+					break
+				}
+				accepted.Add(1)
+			}
+			aggr.CancelAll()
+		}
+	}()
+
+	// Let the storm rage until every victim request has been accepted,
+	// then stop the aggressor and wait for the pipeline to go quiet.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for _, v := range victims {
+			if v.Stats().Submitted < perVictim {
+				done = false
+			}
+		}
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stopStorm)
+	for retrieved.Load() < accepted.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stopDrain)
+	wg.Wait()
+
+	if got, want := retrieved.Load(), accepted.Load(); got != want {
+		t.Errorf("retrieved %d completions for %d accepted submissions", got, want)
+	}
+	for vi, v := range victims {
+		st := v.Stats()
+		if st.Submitted != perVictim {
+			t.Errorf("victim %d: submitted %d, want %d", vi, st.Submitted, perVictim)
+		}
+		if st.Completed != st.Submitted {
+			t.Errorf("victim %d: completed %d of %d", vi, st.Completed, st.Submitted)
+		}
+		if st.Shed != 0 {
+			t.Errorf("victim %d: %d sheds — the aggressor's overload reached a victim", vi, st.Shed)
+		}
+		if st.Canceled != 0 {
+			t.Errorf("victim %d: %d canceled — the aggressor's storm claimed a victim request", vi, st.Canceled)
+		}
+		if st.InFlight != 0 || st.QueueDepth != 0 {
+			t.Errorf("victim %d: inFlight=%d queueDepth=%d after quiesce", vi, st.InFlight, st.QueueDepth)
+		}
+	}
+	ast := aggr.Stats()
+	if ast.Completed != ast.Submitted {
+		t.Errorf("aggressor: completed %d of %d", ast.Completed, ast.Submitted)
+	}
+	if err := d.AuditSlots(nil); err != nil {
+		t.Error(err)
+	}
+	if st := d.Stats(); st.DoubleCompletes != 0 {
+		t.Errorf("DoubleCompletes = %d, want 0", st.DoubleCompletes)
 	}
 }

@@ -1,0 +1,49 @@
+package realtime
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzTenantConfigValidate drives TenantConfig.Validate with arbitrary
+// configs. Validate is the gate between user input and the /metrics
+// label namespace plus the scheduler's quantum arithmetic, so the fuzz
+// properties are its contract: it never panics, every rejection matches
+// ErrBadTenant, and every accepted config satisfies the invariants the
+// rest of the device assumes (label-safe name, bounded weight, positive
+// quota).
+func FuzzTenantConfigValidate(f *testing.F) {
+	f.Add("tenant-a", 1, 64)
+	f.Add("", 0, 0)
+	f.Add("has\"quote", 4, 8)
+	f.Add("back\\slash", 4, 8)
+	f.Add("newline\nname", 1, 1)
+	f.Add("okname", -1, 16)
+	f.Add("okname", MaxTenantWeight+1, 16)
+	f.Add("\xff\xfe", 2, 2)
+	f.Fuzz(func(t *testing.T, name string, weight, quota int) {
+		cfg := TenantConfig{Name: name, Weight: weight, SlotQuota: quota}
+		err := cfg.Validate()
+		if err != nil {
+			if !errors.Is(err, ErrBadTenant) {
+				t.Fatalf("Validate(%+v) = %v, not ErrBadTenant", cfg, err)
+			}
+			return
+		}
+		if name == "" || len(name) > maxTenantNameLen {
+			t.Fatalf("accepted name %q of length %d", name, len(name))
+		}
+		for i := 0; i < len(name); i++ {
+			b := name[i]
+			if b < 0x20 || b > 0x7e || b == '"' || b == '\\' {
+				t.Fatalf("accepted name %q with label-unsafe byte 0x%02x at %d", name, b, i)
+			}
+		}
+		if weight < 0 || weight > MaxTenantWeight {
+			t.Fatalf("accepted weight %d outside [0, %d]", weight, MaxTenantWeight)
+		}
+		if quota <= 0 {
+			t.Fatalf("accepted non-positive slot quota %d", quota)
+		}
+	})
+}

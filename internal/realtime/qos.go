@@ -85,15 +85,21 @@ var (
 )
 
 // OverloadError is the concrete admission rejection: which class was
-// shed and a hint for how long the caller should back off before
-// retrying (an EWMA of recent request completion latency — roughly one
-// pipeline drain). errors.Is(err, ErrOverload) matches it.
+// shed, which tenant's occupancy bound it (empty when the global
+// controller shed an untenanted request), and a hint for how long the
+// caller should back off before retrying (an EWMA of recent request
+// completion latency — roughly one pipeline drain).
+// errors.Is(err, ErrOverload) matches it.
 type OverloadError struct {
 	Class      Class
+	Tenant     string
 	RetryAfter time.Duration
 }
 
 func (e *OverloadError) Error() string {
+	if e.Tenant != "" {
+		return fmt.Sprintf("realtime: overloaded: tenant %q %s shed, retry after %v", e.Tenant, e.Class, e.RetryAfter)
+	}
 	return fmt.Sprintf("realtime: overloaded: %s shed, retry after %v", e.Class, e.RetryAfter)
 }
 
@@ -188,15 +194,28 @@ func resolveQoS(q QoSOptions) QoSOptions {
 	return q
 }
 
-// admit is the admission controller: it accepts or sheds r based on its
-// class's occupancy threshold. Foreground (any class with share 1) is
-// never shed here — the slab's own capacity is its only limit. Called
-// with the submitter gate held, before the request is staged, so a shed
-// request never consumes a queue node.
+// admit is the admission controller: it accepts or sheds r based on an
+// occupancy threshold. A tenanted request is measured against its own
+// tenant's quota — never the global occupancy — so one tenant's
+// overload sheds only that tenant's requests; the untenanted default
+// namespace keeps the global PR 5 thresholds, where foreground (any
+// class with share 1) is never shed and the slab's capacity is its only
+// limit. Called with the submitter gate held, before the request is
+// staged, so a shed request never consumes a queue node.
 func (d *Device) admit(r *Request) error {
 	c := r.Class
 	if int(c) >= NumClasses {
 		return fmt.Errorf("%w: %d", ErrBadClass, uint8(c))
+	}
+	ts := d.tenantOf(r)
+	if ts.quota > 0 {
+		if ts.inFlight.Load() < ts.classLimit[c] {
+			return nil
+		}
+		d.m.shed.Inc()
+		d.m.classShed[c].Inc()
+		ts.shed.Inc()
+		return d.overloadError(c, ts.name)
 	}
 	limit := d.classLimit[c]
 	if limit >= int64(len(d.reqs)) {
@@ -207,18 +226,19 @@ func (d *Device) admit(r *Request) error {
 	}
 	d.m.shed.Inc()
 	d.m.classShed[c].Inc()
-	return d.overloadError(c)
+	ts.shed.Inc()
+	return d.overloadError(c, "")
 }
 
 // overloadError builds the rejection with a retry-after hint: the
 // latency EWMA approximates how long the pipeline takes to drain one
 // request, i.e. when a token is likely to free up.
-func (d *Device) overloadError(c Class) *OverloadError {
+func (d *Device) overloadError(c Class, tenant string) *OverloadError {
 	ra := time.Duration(d.latEWMA.Load())
 	if ra < minRetryAfter {
 		ra = minRetryAfter
 	}
-	return &OverloadError{Class: c, RetryAfter: ra}
+	return &OverloadError{Class: c, Tenant: tenant, RetryAfter: ra}
 }
 
 // observeLatEWMA folds one completed-request latency into the
@@ -230,36 +250,19 @@ func (d *Device) observeLatEWMA(latNs int64) {
 }
 
 // popSubmission takes the next request off the per-class submission
-// queues: strict priority, except that a lower class owed AgingCredit
-// skipped turns is served first. Worker-only (credits are plain ints).
+// queues through the tenant scheduler: strict priority with the aging
+// credit across classes, weighted deficit round robin between tenants
+// within the chosen class (see tsched.go). Worker-only.
 func (d *Device) popSubmission() (uint32, bool) {
-	// Serve an aged class first: it has been passed over AgingCredit
-	// times while non-empty, so it gets one pop out of order.
-	for c := 1; c < NumClasses; c++ {
-		if d.credits[c] < int64(d.qos.AgingCredit) {
-			continue
-		}
-		if idx, _, ok := d.submission[c].Dequeue(); ok {
-			d.credits[c] = 0
-			d.m.agedPops.Inc()
-			return idx, true
-		}
-		d.credits[c] = 0 // went empty while aging: nothing owed
+	idx, tenant, aged, ok := d.sched.pop()
+	if !ok {
+		return 0, false
 	}
-	for c := 0; c < NumClasses; c++ {
-		idx, _, ok := d.submission[c].Dequeue()
-		if !ok {
-			continue
-		}
-		// Every lower non-empty class just lost a turn; remember it.
-		for l := c + 1; l < NumClasses; l++ {
-			if !d.submission[l].Empty() {
-				d.credits[l]++
-			}
-		}
-		return idx, true
+	if aged {
+		d.m.agedPops.Inc()
 	}
-	return 0, false
+	d.tenant(tenant).queued.Add(-1)
+	return idx, true
 }
 
 // maybeRetune re-derives the inline threshold from the lifecycle span

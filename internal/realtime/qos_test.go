@@ -136,13 +136,13 @@ func TestRetryAfterTracksLatencyEWMA(t *testing.T) {
 	d := Open(Options{NumReqs: 8, Controllers: 1})
 	defer d.Close()
 
-	if ra := d.overloadError(ClassScavenger).RetryAfter; ra != minRetryAfter {
+	if ra := d.overloadError(ClassScavenger, "").RetryAfter; ra != minRetryAfter {
 		t.Errorf("cold retry-after = %v, want floor %v", ra, minRetryAfter)
 	}
 	for i := 0; i < 64; i++ {
 		d.observeLatEWMA(int64(8 * time.Millisecond))
 	}
-	ra := d.overloadError(ClassScavenger).RetryAfter
+	ra := d.overloadError(ClassScavenger, "").RetryAfter
 	if ra < time.Millisecond || ra > 8*time.Millisecond {
 		t.Errorf("warm retry-after = %v, want near the 8ms EWMA", ra)
 	}
@@ -152,10 +152,19 @@ func TestRetryAfterTracksLatencyEWMA(t *testing.T) {
 // per-class queues, the aging credits, and the resolved QoS options.
 func popDevice(credit int) *Device {
 	d := &Device{qos: resolveQoS(QoSOptions{AgingCredit: credit})}
-	slab := rbq.NewSlabForQueues(16, NumClasses, NumClasses+4)
+	slab := rbq.NewSlabForQueues(32, NumClasses, NumClasses+4)
 	for c := range d.submission {
 		d.submission[c] = slab.NewQueue(rbq.Blue)
 	}
+	d.reqs = make([]*Request, 32)
+	for i := range d.reqs {
+		d.reqs[i] = &Request{idx: uint32(i)}
+	}
+	tab := []*tenantState{newDefaultTenant()}
+	d.tenants.Store(&tab)
+	d.sched = newTenantSched(d.submission[:],
+		func(idx uint32) uint32 { return d.reqs[idx].tenant.Load() },
+		d.tenantWeight, int64(d.qos.AgingCredit))
 	return d
 }
 
@@ -208,8 +217,8 @@ func TestPopSubmissionAging(t *testing.T) {
 	if got := d.m.agedPops.Load(); got != 2 {
 		t.Errorf("agedPops = %d, want 2", got)
 	}
-	if d.credits[ClassBackground] != 0 {
-		t.Errorf("background credit = %d after its queue drained, want 0", d.credits[ClassBackground])
+	if d.sched.credits[ClassBackground] != 0 {
+		t.Errorf("background credit = %d after its queue drained, want 0", d.sched.credits[ClassBackground])
 	}
 }
 

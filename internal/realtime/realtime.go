@@ -227,14 +227,26 @@ func defaultControllers() int {
 // count.
 func defaultStagingShards() int { return defaultControllers() }
 
-// Request lifecycle states, held in Request.state.
+// Request lifecycle states, held in the low stateBits of Request.state.
+// The remaining bits carry the owning tenant id while the request is in
+// a non-terminal claimed state (pending/canceled/expired), so a cancel
+// is a single CAS that atomically checks both "still pending" and
+// "still mine" — the mechanism behind Tenant.CancelAll's isolation
+// guarantee. stIdle and stDone are stored unpacked (tenant 0 pattern):
+// an idle or completed slot is not claimable by state word alone.
 const (
 	stIdle     uint32 = iota // allocated, not submitted
 	stPending                // submitted, not yet terminal
 	stCanceled               // Cancel won the race against completion
 	stExpired                // deadline observed before dispatch
 	stDone                   // completion posted
+
+	stateBits = 3
+	stateMask = 1<<stateBits - 1
 )
+
+// packState builds the state word for tenant's claim on a request.
+func packState(tenant, st uint32) uint32 { return tenant<<stateBits | st }
 
 // Request is the realtime mov_req: a copy between two caller-owned byte
 // slices. Populate Src, Dst and (optionally) Cookie and Deadline before
@@ -259,11 +271,18 @@ type Request struct {
 	// retrieved: nil, ErrCanceled, ErrDeadline or ErrNoSlots.
 	Err error
 
+	// tenant is the owning tenant id, stamped by the Submit wrappers
+	// (0 = the device's default namespace) and reset at AllocRequest.
+	// Atomic so a concurrent Cancel may read it race-free.
+	tenant     atomic.Uint32
 	state      atomic.Uint32
 	chunksLeft atomic.Int32
 	submitted  atomic.Int64 // UnixNano
 	completed  atomic.Int64
 }
+
+// word packs st with the request's tenant claim.
+func (r *Request) word(st uint32) uint32 { return packState(r.tenant.Load(), st) }
 
 // Index returns the request's slot index in [0, Options.NumReqs). A
 // slot is exclusive from AllocRequest to FreeRequest, so the index is a
@@ -395,6 +414,9 @@ type StatsSnapshot struct {
 	AgedPops int64
 	// Classes breaks submissions down by priority class.
 	Classes [NumClasses]ClassStats
+	// Tenants breaks submissions down by tenant namespace, default
+	// tenant (id 0) first, then OpenTenant order.
+	Tenants []TenantStats
 	// Queue-depth high watermarks, from rbq's atomic Size.
 	SubmissionHighWater, CompletionHighWater int64
 	// Live queue depths sampled at Stats time (the watermark fields
@@ -454,10 +476,13 @@ type Device struct {
 
 	classLimit    [NumClasses]int64 // admission occupancy thresholds (slots)
 	classInFlight [NumClasses]atomic.Int64
-	credits       [NumClasses]int64 // worker-only aging credits
-	inline        atomic.Int64      // adaptive inline-completion threshold (bytes; 0 = off)
-	dispatchSeq   uint64            // worker-only, drives retune cadence
-	latEWMA       atomic.Int64      // completion-latency EWMA (ns), the retry-after hint
+	inline        atomic.Int64 // adaptive inline-completion threshold (bytes; 0 = off)
+	dispatchSeq   uint64       // worker-only, drives retune cadence
+	latEWMA       atomic.Int64 // completion-latency EWMA (ns), the retry-after hint
+
+	tenants  atomic.Pointer[[]*tenantState] // COW tenant table; [0] = default namespace
+	tenantMu sync.Mutex                     // serializes OpenTenant appends
+	sched    *tenantSched                   // worker-only tenant-aware scheduler (owns aging credits)
 
 	tokens   sync.Pool     // *submitterToken: shard affinity for submitters
 	tokenSeq atomic.Uint32 // round-robin shard assignment for new tokens
@@ -535,6 +560,11 @@ func Open(opts Options) *Device {
 		d.classLimit[c] = limit
 	}
 	d.inline.Store(int64(qos.InlineThreshold))
+	tab := []*tenantState{newDefaultTenant()}
+	d.tenants.Store(&tab)
+	d.sched = newTenantSched(d.submission[:],
+		func(idx uint32) uint32 { return d.reqs[idx].tenant.Load() },
+		d.tenantWeight, int64(qos.AgingCredit))
 	for i := range d.staging {
 		d.staging[i] = slab.NewQueue(rbq.Blue)
 	}
@@ -663,6 +693,7 @@ func (d *Device) AllocRequest() *Request {
 	r.Src, r.Dst, r.Cookie, r.Err = nil, nil, 0, nil
 	r.Class = ClassForeground
 	r.Deadline = time.Time{}
+	r.tenant.Store(0)
 	r.state.Store(stIdle)
 	r.submitted.Store(0)
 	r.completed.Store(0)
@@ -707,7 +738,9 @@ func (d *Device) lcEnd(r *Request) {
 	default:
 		out = lifecycle.OutcomeFailed
 	}
-	d.lc.End(int(r.idx), out, time.Now().UnixNano())
+	// The tenant span set rides the same stamp derivation: per-tenant
+	// stage attribution at zero extra clock reads.
+	d.lc.EndInto(int(r.idx), out, time.Now().UnixNano(), &d.tenantOf(r).spans)
 }
 
 // wake posts the (single-token) completion edge for Poll.
@@ -731,14 +764,19 @@ const flushRetries = 64
 // than drop it.
 func (d *Device) enqueueSubmission(idx uint32) bool {
 	class := ClassForeground
+	var ts *tenantState
 	if r, valid := d.req(idx); valid {
 		class = r.Class
+		ts = d.tenantOf(r)
 	}
 	q := d.submission[class]
 	for attempt := 0; ; attempt++ {
 		forced := d.chaos != nil && d.chaos.FlushEnqueue != nil && d.chaos.FlushEnqueue(idx)
 		if !forced {
 			if _, ok := q.Enqueue(idx); ok {
+				if ts != nil {
+					ts.queued.Add(1) // popSubmission decrements at dispatch
+				}
 				d.m.submissionHW.Observe(d.submissionDepth())
 				d.lcStamp(idx, lifecycle.StageFlushed)
 				return true
@@ -783,7 +821,7 @@ func (d *Device) mustEnqueue(q *rbq.Queue, idx uint32) {
 // contract ("will complete with ErrCanceled") must hold no matter which
 // path posts the completion.
 func (d *Device) finish(r *Request, forced error) {
-	old := r.state.Swap(stDone)
+	old := r.state.Swap(stDone) & stateMask
 	if old == stDone {
 		// Completion already fired. This must never happen; count it
 		// (the chaos suite asserts zero) and bail out rather than
@@ -804,16 +842,19 @@ func (d *Device) finish(r *Request, forced error) {
 	if d.lc.Sampled(int(r.idx)) {
 		d.lc.Transition(int(r.idx), lifecycle.StageCompleted, now)
 	}
+	ts := d.tenantOf(r)
 	if s := r.submitted.Load(); s > 0 {
 		lat := now - s
 		d.m.latency.Observe(lat)
 		d.m.classLatency[r.Class].Observe(lat)
+		ts.latency.Observe(lat)
 		d.observeLatEWMA(lat)
 	}
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrCanceled):
 		d.m.canceled.Inc()
+		ts.canceled.Inc()
 	case errors.Is(err, ErrDeadline):
 		d.m.expired.Inc()
 	case errors.Is(err, ErrOverload):
@@ -824,6 +865,8 @@ func (d *Device) finish(r *Request, forced error) {
 	d.m.completed.Inc()
 	d.m.classCompleted[r.Class].Inc()
 	d.classInFlight[r.Class].Add(-1)
+	ts.completed.Inc()
+	ts.inFlight.Add(-1)
 	if d.chaos != nil && d.chaos.OnFinish != nil {
 		d.chaos.OnFinish(r.idx, err)
 	}
@@ -852,7 +895,7 @@ func (d *Device) stage(sh *rbq.Queue, r *Request) (rbq.Color, bool) {
 	now := time.Now().UnixNano()
 	r.submitted.Store(now)
 	d.lc.Begin(int(r.idx), int(r.Class), int64(len(r.Src)), now)
-	r.state.Store(stPending)
+	r.state.Store(r.word(stPending))
 	if d.chaos != nil && d.chaos.StagingEnqueue != nil && d.chaos.StagingEnqueue(r.idx) {
 		return 0, false // forced slab exhaustion
 	}
@@ -866,14 +909,17 @@ func (d *Device) stage(sh *rbq.Queue, r *Request) (rbq.Color, bool) {
 	return color, true
 }
 
-// accept does the accepted-submission accounting: the global and
-// per-class submitted counters plus the class in-flight token, which
-// finish releases. Every path that will eventually reach finish must
-// come through here exactly once.
+// accept does the accepted-submission accounting: the global, per-class
+// and per-tenant submitted counters plus the class and tenant in-flight
+// tokens, which finish releases. Every path that will eventually reach
+// finish must come through here exactly once.
 func (d *Device) accept(r *Request) {
 	d.m.submitted.Inc()
 	d.m.classSubmitted[r.Class].Inc()
 	d.classInFlight[r.Class].Add(1)
+	ts := d.tenantOf(r)
+	ts.submitted.Inc()
+	ts.inFlight.Add(1)
 }
 
 // unstage resolves a failed staging enqueue: return r to idle, unless a
@@ -882,7 +928,7 @@ func (d *Device) accept(r *Request) {
 // rather than silently un-submitting (the cancel-vs-failed-submit race
 // the chaos suite pins). Reports whether a completion was posted.
 func (d *Device) unstage(r *Request) bool {
-	if !r.state.CompareAndSwap(stPending, stIdle) {
+	if !r.state.CompareAndSwap(r.word(stPending), stIdle) {
 		d.accept(r)
 		d.finish(r, nil)
 		return true
@@ -929,8 +975,17 @@ flush:
 
 // Submit queues an asynchronous copy of r.Src into r.Dst, implementing
 // the Section 4.4 protocol on the submitter's staging shard. It never
-// blocks beyond the bounded flush.
+// blocks beyond the bounded flush. The request is submitted under the
+// device's default tenant namespace; use Tenant.Submit for tenant
+// quotas, weights and attribution.
 func (d *Device) Submit(r *Request) error {
+	r.tenant.Store(0)
+	return d.submit(r)
+}
+
+// submit is the tenant-agnostic Submit body: r.tenant is already
+// stamped by the caller-facing wrapper.
+func (d *Device) submit(r *Request) error {
 	// Submitter gate: the increment precedes the closing check, so
 	// Close's active-wait cannot complete while this call is between
 	// the check and its staging enqueue.
@@ -965,7 +1020,11 @@ func (d *Device) Submit(r *Request) error {
 // partially written). false means the request had already completed —
 // or was never pending — and its result stands.
 func (d *Device) Cancel(r *Request) bool {
-	if r.state.CompareAndSwap(stPending, stCanceled) {
+	// One tenant load builds both sides of the CAS: the claim can only
+	// succeed against the pending word of that same owner, so the
+	// written canceled word always carries a consistent tenant id.
+	ten := r.tenant.Load()
+	if r.state.CompareAndSwap(packState(ten, stPending), packState(ten, stCanceled)) {
 		d.trace(EvCancel, uint64(r.idx), 0)
 		return true
 	}
@@ -1073,9 +1132,9 @@ func (d *Device) dispatch(idx uint32) {
 	}
 	// Observe cancellation and deadline before any byte moves.
 	if !r.Deadline.IsZero() && time.Now().After(r.Deadline) {
-		r.state.CompareAndSwap(stPending, stExpired)
+		r.state.CompareAndSwap(r.word(stPending), r.word(stExpired))
 	}
-	if st := r.state.Load(); st == stCanceled || st == stExpired {
+	if st := r.state.Load() & stateMask; st == stCanceled || st == stExpired {
 		d.finish(r, nil)
 		return
 	}
@@ -1236,7 +1295,7 @@ func (d *Device) runChunk(c chunk) {
 	// A cancel or deadline that won after dispatch stops the
 	// copying; the chunk countdown still runs so the completion
 	// fires exactly once.
-	if r.state.Load() == stPending {
+	if r.state.Load()&stateMask == stPending {
 		copy(r.Dst[c.off:c.end], r.Src[c.off:c.end])
 		d.m.bytesMoved.Add(int64(c.end - c.off))
 	}
@@ -1390,6 +1449,11 @@ func (d *Device) Stats() StatsSnapshot {
 			Latency:    d.m.classLatency[c].Snapshot(),
 		}
 	}
+	tab := *d.tenants.Load()
+	tenants := make([]TenantStats, len(tab))
+	for i, ts := range tab {
+		tenants[i] = ts.snapshot()
+	}
 	return StatsSnapshot{
 		StagingDepths:        staging,
 		SubmissionDepth:      d.submissionDepth(),
@@ -1417,6 +1481,7 @@ func (d *Device) Stats() StatsSnapshot {
 		Retunes:              d.m.retunes.Load(),
 		AgedPops:             d.m.agedPops.Load(),
 		Classes:              classes,
+		Tenants:              tenants,
 		SubmissionHighWater:  d.m.submissionHW.Load(),
 		CompletionHighWater:  d.m.completionHW.Load(),
 		Latency:              d.m.latency.Snapshot(),

@@ -189,6 +189,68 @@ func TestFallbackUnderFillPressure(t *testing.T) {
 	t.Logf("sprinter: %d fast, %d fallback chunks at %.0f MB/s", res.FastChunks, res.SlowChunks, res.ThroughputMBs)
 }
 
+// The never-stall fallback must be invisible to correctness: a run
+// that consumes chunks straight from slow memory produces bit-identical
+// results to a run that prefetched every chunk, and the metrics counter
+// attributes exactly the fallback consumptions.
+func TestFallbackChecksumMatchesPrefetched(t *testing.T) {
+	m, d := setup()
+	met := &Metrics{}
+	var pressured, prefetched Result
+	var want uint64
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		cfg := DefaultConfig()
+		length := int64(8) * cfg.BufBytes
+		base, err := d.AS.Mmap(p, length, hw.NodeSlow, "input")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ = workloads.FillInput(p, d.AS, base, length, 11)
+
+		// Reference: as many buffers as chunks. Priming assigns every
+		// chunk to a fill before the consume loop starts, so the
+		// fallback branch is unreachable — all chunks arrive prefetched.
+		prefetched, err = Run(p, d, workloads.Add, base, length, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Pressured: two buffers against a consumer fast enough that no
+		// fill is complete when the loop first looks — the runtime must
+		// take the slow path instead of stalling.
+		cfg.NumBufs = 2
+		cfg.Metrics = met
+		// Same reducer as the reference kernel: the chunk sums commute,
+		// so the two runs must agree even if the fallback consumes
+		// chunks in a different order than the prefetch pipeline.
+		sprinter := workloads.Kernel{Name: "sprinter", ComputePerByteNS: 0.01, Reduce: workloads.Add.Reduce}
+		pressured, err = Run(p, d, sprinter, base, length, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	m.Eng.Run()
+	if prefetched.SlowChunks != 0 || prefetched.FastChunks != 8 {
+		t.Fatalf("reference run not fully prefetched: fast=%d slow=%d",
+			prefetched.FastChunks, prefetched.SlowChunks)
+	}
+	if pressured.SlowChunks == 0 {
+		t.Fatal("pressured run never took the fallback path")
+	}
+	if s := met.Snapshot(); s.SlowChunks != pressured.SlowChunks {
+		t.Errorf("SlowChunks counter = %d, result says %d fallback chunks",
+			s.SlowChunks, pressured.SlowChunks)
+	}
+	if pressured.Checksum != want || prefetched.Checksum != want {
+		t.Errorf("checksums: prefetched=%#x fallback=%#x want %#x",
+			prefetched.Checksum, pressured.Checksum, want)
+	}
+	if pressured.FastChunks+pressured.SlowChunks != 8 {
+		t.Errorf("pressured chunks = %d+%d, want 8", pressured.FastChunks, pressured.SlowChunks)
+	}
+}
+
 // A fill failure (the prefetch buffer region was unmapped behind the
 // runtime's back) surfaces as an error, not a hang.
 func TestFillFailureSurfaces(t *testing.T) {

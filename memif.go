@@ -23,8 +23,9 @@
 //     virtual time, including the swap daemon and the Linux baseline.
 //   - The realtime device — OpenRealtime, DefaultRealtimeOptions and
 //     the Realtime* types run the interface protocol under real
-//     concurrency, with QoS priority classes, admission control and
-//     adaptive completion.
+//     concurrency, with QoS priority classes, admission control,
+//     adaptive completion, and weighted multi-tenant namespaces
+//     (RealtimeDevice.OpenTenant).
 //   - The streaming runtime — Stream, StreamDirect and the Stream*
 //     types replay the Section 6.6 double-buffered kernels.
 //   - Observability — NewObsHandler and the Obs* helpers expose every
@@ -333,6 +334,40 @@ var (
 func RealtimePollContext(ctx context.Context, d *RealtimeDevice) bool {
 	return d.PollContext(ctx)
 }
+
+// RealtimeTenant is a tenant namespace on a realtime device, opened with
+// RealtimeDevice.OpenTenant: submissions through the handle are admitted
+// against the tenant's own slot quota, scheduled by its
+// deficit-round-robin weight within each priority class, cancelable as a
+// group (CancelAll), and attributed to per-tenant counters, histograms
+// and memif_realtime_tenant_* metric series. The device's own
+// Submit/SubmitBatch remain the default tenant (id 0), so single-tenant
+// code is unaffected.
+type RealtimeTenant = realtime.Tenant
+
+// RealtimeTenantConfig names a tenant and sets its DRR weight and slot
+// quota (OpenTenant validates it; see FuzzTenantConfigValidate for the
+// exact contract).
+type RealtimeTenantConfig = realtime.TenantConfig
+
+// RealtimeTenantStats is one tenant's slice of the device counters
+// (RealtimeTenant.Stats, RealtimeStats.Tenants): submissions,
+// completions, sheds, cancels, in-flight and queue depth, and the
+// tenant's own latency histogram and lifecycle stage spans.
+type RealtimeTenantStats = realtime.TenantStats
+
+// RealtimeMaxTenantWeight bounds RealtimeTenantConfig.Weight.
+const RealtimeMaxTenantWeight = realtime.MaxTenantWeight
+
+// Tenant-namespace errors; match with errors.Is.
+var (
+	// ErrBadTenant rejects an invalid RealtimeTenantConfig (empty or
+	// label-unsafe name, out-of-range weight, non-positive quota).
+	ErrBadTenant = realtime.ErrBadTenant
+	// ErrTenantExists rejects OpenTenant for a name already open on the
+	// device.
+	ErrTenantExists = realtime.ErrTenantExists
+)
 
 // ---------------------------------------------------------------------
 // The streaming runtime: Section 6.6's double-buffered kernels.

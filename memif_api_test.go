@@ -314,3 +314,71 @@ func TestRealtimeFacadeQoS(t *testing.T) {
 		t.Errorf("submit after close: %v, want ErrClosed", err)
 	}
 }
+
+// TestRealtimeFacadeTenants drives the tenant namespace surface through
+// the facade: OpenTenant validation and duplicate rejection, submission
+// and per-tenant stats attribution via the handle, group cancellation,
+// and the tenant slices of the device snapshot.
+func TestRealtimeFacadeTenants(t *testing.T) {
+	ropts := memif.DefaultRealtimeOptions()
+	ropts.NumReqs = 16
+	ropts.Controllers = 1
+	d := memif.OpenRealtime(ropts)
+	defer d.Close()
+
+	// Config validation funnels into ErrBadTenant; duplicates into
+	// ErrTenantExists.
+	if _, err := d.OpenTenant(memif.RealtimeTenantConfig{Name: "", Weight: 1, SlotQuota: 4}); !errors.Is(err, memif.ErrBadTenant) {
+		t.Errorf("empty name: %v, want ErrBadTenant", err)
+	}
+	if _, err := d.OpenTenant(memif.RealtimeTenantConfig{Name: "t", Weight: memif.RealtimeMaxTenantWeight + 1, SlotQuota: 4}); !errors.Is(err, memif.ErrBadTenant) {
+		t.Errorf("oversized weight: %v, want ErrBadTenant", err)
+	}
+	var ta *memif.RealtimeTenant
+	ta, err := d.OpenTenant(memif.RealtimeTenantConfig{Name: "tenant-a", Weight: 2, SlotQuota: 8})
+	if err != nil {
+		t.Fatalf("OpenTenant: %v", err)
+	}
+	if _, err := d.OpenTenant(memif.RealtimeTenantConfig{Name: "tenant-a", Weight: 1, SlotQuota: 4}); !errors.Is(err, memif.ErrTenantExists) {
+		t.Errorf("duplicate name: %v, want ErrTenantExists", err)
+	}
+	if ta.Name() != "tenant-a" || ta.ID() == 0 || ta.Device() != d {
+		t.Fatalf("tenant handle: name=%q id=%d", ta.Name(), ta.ID())
+	}
+
+	// A submission through the handle completes and is attributed to the
+	// tenant's counters, not the default tenant's.
+	payload := make([]byte, 1<<10)
+	r := d.AllocRequest()
+	r.Class = memif.RealtimeForeground
+	r.Src, r.Dst = payload, make([]byte, len(payload))
+	if err := ta.Submit(r); err != nil {
+		t.Fatalf("tenant submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if !memif.RealtimePollContext(ctx, d) {
+		t.Fatal("PollContext returned without a completion")
+	}
+	cancel()
+	if got := d.RetrieveCompleted(); got != r || got.Err != nil {
+		t.Fatalf("retrieved %v err=%v, want the tenant request", got, got.Err)
+	}
+	d.FreeRequest(r)
+	var ts memif.RealtimeTenantStats = ta.Stats()
+	if ts.Submitted != 1 || ts.Completed != 1 {
+		t.Errorf("tenant stats = %+v, want 1 submitted/completed", ts)
+	}
+	if ta.CancelAll() != 0 {
+		t.Error("CancelAll on an idle tenant canceled something")
+	}
+
+	// The device snapshot carries one TenantStats per namespace, default
+	// tenant first.
+	st := d.Stats()
+	if len(st.Tenants) != 2 || st.Tenants[0].ID != 0 || st.Tenants[1].Name != "tenant-a" {
+		t.Fatalf("snapshot tenants = %+v", st.Tenants)
+	}
+	if st.Tenants[0].Completed != 0 {
+		t.Errorf("default tenant absorbed the tenant completion: %+v", st.Tenants[0])
+	}
+}
