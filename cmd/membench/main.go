@@ -28,6 +28,9 @@
 //	inline_small paced small requests with adaptive inline completion on
 //	notify_small the same load with inline completion disabled
 //	             (always-notify) — the adaptive-completion ablation
+//	smallrt      the 8-submitter 4 KB scenario unbatched, park/wake vs
+//	             busy-poll worker (schema v6): the kick-elimination
+//	             story, reported as an off/on pair with the speedup
 package main
 
 import (
@@ -63,6 +66,18 @@ type Report struct {
 	// v5): 1k+ tenant cohort Jain's index, weighted DRR shares, and the
 	// victim-vs-aggressor p99 comparison. See tenants.go.
 	Tenants *TenantsResult `json:"tenants,omitempty"`
+	// SmallRT is the busy-poll ablation (schema v6): the 8-submitter
+	// 4 KB unbatched scenario with the park/wake worker vs the spinning
+	// worker, and the resulting throughput ratio.
+	SmallRT *SmallRTResult `json:"smallrt,omitempty"`
+}
+
+// SmallRTResult is the busy-poll off/on pair over the identical
+// small-request load. Speedup is On.OpsPerSec / Off.OpsPerSec.
+type SmallRTResult struct {
+	Off     WorkloadResult `json:"off"`
+	On      WorkloadResult `json:"on"`
+	Speedup float64        `json:"speedup"`
 }
 
 type WorkloadResult struct {
@@ -100,6 +115,14 @@ type WorkloadResult struct {
 	InlineThresholdBytes int64         `json:"inline_threshold_bytes,omitempty"`
 	AgedPops             int64         `json:"aged_pops,omitempty"`
 	Classes              []ClassResult `json:"classes,omitempty"`
+	// Busy-poll attribution (schema v6): worker wakes and busy-poll
+	// spin/park counts, plus the Poll micro-wait's spin/park split, all
+	// window deltas. BusyPollSpins > 0 identifies a spinning-worker run.
+	WorkerWakes   int64 `json:"worker_wakes,omitempty"`
+	BusyPollSpins int64 `json:"busy_poll_spins,omitempty"`
+	BusyPollParks int64 `json:"busy_poll_parks,omitempty"`
+	PollerSpins   int64 `json:"poller_spins,omitempty"`
+	PollerParks   int64 `json:"poller_parks,omitempty"`
 }
 
 // ClassResult is one priority class's slice of a workload window.
@@ -314,7 +337,7 @@ func main() {
 
 	rep := Report{
 		Benchmark:  "membench",
-		Version:    5,
+		Version:    6,
 		UnixTime:   time.Now().Unix(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
@@ -338,6 +361,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "membench: running tenants    (fairness + isolation)\n")
 	rep.Tenants = runTenants(*quick)
 	reportTenants(rep.Tenants)
+
+	fmt.Fprintf(os.Stderr, "membench: running smallrt    (busy-poll off vs on)\n")
+	rep.SmallRT = runSmallRT(warmup, window)
+	fmt.Fprintf(os.Stderr, "membench:   off %12.0f ops/s  kicks/op %.4f  wakes %d\n",
+		rep.SmallRT.Off.OpsPerSec, rep.SmallRT.Off.KicksPerOp, rep.SmallRT.Off.WorkerWakes)
+	fmt.Fprintf(os.Stderr, "membench:   on  %12.0f ops/s  kicks/op %.4f  spins %d parks %d  (%.2fx)\n",
+		rep.SmallRT.On.OpsPerSec, rep.SmallRT.On.KicksPerOp,
+		rep.SmallRT.On.BusyPollSpins, rep.SmallRT.On.BusyPollParks, rep.SmallRT.Speedup)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -516,6 +547,11 @@ func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
 		InlineCompleted:      s1.InlineCompleted - s0.InlineCompleted,
 		InlineThresholdBytes: s1.InlineThresholdBytes,
 		AgedPops:             s1.AgedPops - s0.AgedPops,
+		WorkerWakes:          s1.WorkerWakes - s0.WorkerWakes,
+		BusyPollSpins:        s1.BusyPollSpins - s0.BusyPollSpins,
+		BusyPollParks:        s1.BusyPollParks - s0.BusyPollParks,
+		PollerSpins:          s1.PollerSpins - s0.PollerSpins,
+		PollerParks:          s1.PollerParks - s0.PollerParks,
 	}
 	if ops > 0 {
 		res.KicksPerOp = float64(kicks) / float64(ops)
@@ -536,6 +572,30 @@ func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
 				MeanNs: clat.Mean(),
 			})
 		}
+	}
+	return res
+}
+
+// runSmallRT runs the busy-poll ablation: the 8-submitter 4 KB scenario
+// unbatched (batch 1 keeps the kick path live, so the elimination is
+// visible) with the park/wake worker and then the identical load with
+// the spinning worker.
+func runSmallRT(warmup, window time.Duration) *SmallRTResult {
+	base := workload{
+		name: "smallrt_parkwake", mode: "closed_loop",
+		submitters: 8, pollers: 2, size: 4 << 10, batch: 1,
+		opts: realtime.Options{NumReqs: 512, Controllers: 4, StagingShards: 4},
+	}
+	busy := base
+	busy.name = "smallrt_busypoll"
+	busy.opts.BusyPoll = true
+
+	res := &SmallRTResult{
+		Off: runWorkload(base, warmup, window),
+		On:  runWorkload(busy, warmup, window),
+	}
+	if res.Off.OpsPerSec > 0 {
+		res.Speedup = res.On.OpsPerSec / res.Off.OpsPerSec
 	}
 	return res
 }
@@ -615,6 +675,44 @@ func validate(rep Report) error {
 		if err := validateTenants(rep); err != nil {
 			return err
 		}
+	}
+	if rep.Version >= 6 {
+		if err := validateSmallRT(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateSmallRT enforces the schema-v6 busy-poll ablation invariants.
+// The mode gates are structural (did the spinning worker actually spin,
+// did the park/wake run actually kick), so they hold on loaded CI
+// machines; the ≥1.3× speedup acceptance gate applies only to full
+// (non-quick) runs on a multi-core host, where the spinning worker has
+// a core to burn — on one CPU the spin phase is cooperative scheduling
+// and the two modes converge (see EXPERIMENTS.md).
+func validateSmallRT(rep Report) error {
+	sr := rep.SmallRT
+	if sr == nil {
+		return fmt.Errorf("version %d report has no smallrt ablation", rep.Version)
+	}
+	if sr.Off.Ops <= 0 || sr.On.Ops <= 0 {
+		return fmt.Errorf("smallrt: ops off=%d on=%d, want both > 0", sr.Off.Ops, sr.On.Ops)
+	}
+	if sr.Off.BusyPollSpins != 0 {
+		return fmt.Errorf("smallrt off: %d busy-poll spins with BusyPoll disabled", sr.Off.BusyPollSpins)
+	}
+	if sr.On.BusyPollSpins <= 0 {
+		return fmt.Errorf("smallrt on: no busy-poll spins — the worker never entered the spin phase")
+	}
+	if sr.Off.Kicks <= 0 {
+		return fmt.Errorf("smallrt off: no kicks — the park/wake baseline is not exercising the kick path")
+	}
+	if sr.Speedup <= 0 {
+		return fmt.Errorf("smallrt: speedup %.3f, want > 0", sr.Speedup)
+	}
+	if !rep.Quick && rep.GoMaxProcs > 1 && sr.Speedup < 1.3 {
+		return fmt.Errorf("smallrt: busy-poll speedup %.3fx < 1.3x acceptance gate", sr.Speedup)
 	}
 	return nil
 }

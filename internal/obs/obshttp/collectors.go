@@ -23,6 +23,10 @@ func RealtimeMetrics(device string, s realtime.StatsSnapshot) []Metric {
 		counter("memif_realtime_failed_total", "Requests failing for other reasons.", lb, s.Failed),
 		counter("memif_realtime_kicks_total", "Kick-start syscall-equivalents issued.", lb, s.Kicks),
 		counter("memif_realtime_worker_wakes_total", "Times the worker slept and was woken.", lb, s.WorkerWakes),
+		counter("memif_realtime_busy_poll_spins_total", "Busy-poll worker spin passes with no work found.", lb, s.BusyPollSpins),
+		counter("memif_realtime_busy_poll_parks_total", "Busy-poll idle budget exhaustions (worker fell back to park/wake).", lb, s.BusyPollParks),
+		counter("memif_realtime_poller_spins_total", "Poll/PollContext micro-waits resolved by spinning (no sleep paid).", lb, s.PollerSpins),
+		counter("memif_realtime_poller_parks_total", "Poll/PollContext blocking sleeps after the spin budget missed.", lb, s.PollerParks),
 		counter("memif_realtime_batches_total", "SubmitBatch calls.", lb, s.Batches),
 		counter("memif_realtime_chunks_total", "Controller work units executed.", lb, s.Chunks),
 		counter("memif_realtime_bytes_moved_total", "Payload bytes actually copied.", lb, s.BytesMoved),
@@ -52,6 +56,11 @@ func RealtimeMetrics(device string, s realtime.StatsSnapshot) []Metric {
 		ms = append(ms, gauge("memif_realtime_ring_depth",
 			"Live per-controller dispatch-ring occupancy at scrape time.",
 			append(append([]Label(nil), lb...), Label{"controller", strconv.Itoa(i)}), d))
+	}
+	for i, d := range s.CompletionDepths {
+		ms = append(ms, gauge("memif_realtime_completion_ring_depth",
+			"Live per-ring completion occupancy at scrape time.",
+			append(append([]Label(nil), lb...), Label{"ring", strconv.Itoa(i)}), d))
 	}
 	for c := range s.Classes {
 		cs := s.Classes[c]

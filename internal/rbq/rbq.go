@@ -222,11 +222,21 @@ func (s *Slab) FreeNodes() int {
 }
 
 // Queue is a red-blue lock-free FIFO on a slab. Create with Slab.NewQueue.
+//
+// head, tail, and size each sit on their own cache line: dequeuers CAS
+// head, enqueuers CAS tail, and both sides RMW size, so co-locating any
+// two would bounce one line between the producer and consumer
+// populations on every operation (classic false sharing on the
+// Michael–Scott hot words).
 type Queue struct {
 	slab *Slab
+	_    [64]byte
 	head atomic.Uint64 // packed {idx, _, tag}: the dummy node
+	_    [64]byte
 	tail atomic.Uint64
+	_    [64]byte
 	size atomic.Int64 // maintained by Enqueue/Dequeue; see Size
+	_    [64]byte
 }
 
 // NewQueue creates an empty queue with the given initial color,

@@ -87,11 +87,15 @@ func (d *Device) submitBatch(reqs []*Request) error {
 // RetrieveCompletedBatch fills buf with completed requests without
 // blocking and returns how many it retrieved (0 when none are pending).
 // One call replaces up to len(buf) Poll/RetrieveCompleted round trips
-// on the completion path.
+// on the completion path. Draining starts at this poller's home
+// completion ring (local-first bias) and round-robins across the rest,
+// so concurrent batch pollers spread over the rings instead of
+// serializing on one head.
 func (d *Device) RetrieveCompletedBatch(buf []*Request) int {
 	n := 0
+	start := d.pollerRing()
 	for n < len(buf) {
-		idx, _, ok := d.completion.Dequeue()
+		idx, ok := d.popCompletion(start)
 		if !ok {
 			break
 		}
@@ -101,7 +105,7 @@ func (d *Device) RetrieveCompletedBatch(buf []*Request) int {
 			n++
 		}
 	}
-	if n > 0 && !d.completion.Empty() {
+	if n > 0 && !d.completionEmpty() {
 		d.wake() // keep concurrent pollers from sleeping past the rest
 	}
 	return n

@@ -943,3 +943,89 @@ func TestChaosTenantCancelStorm(t *testing.T) {
 		t.Errorf("DoubleCompletes = %d, want 0", st.DoubleCompletes)
 	}
 }
+
+// TestChaosBusyPollCancelStormCloseDrain exercises the busy-poll
+// spin→park boundary under fire: a tiny idle budget keeps the worker
+// bouncing between spinning and parking while a cancel storm lands and
+// CloseDrain cuts in mid-spin. The park token must never be lost (the
+// drain completes), completion fires exactly once per request, and no
+// slot vanishes.
+func TestChaosBusyPollCancelStormCloseDrain(t *testing.T) {
+	for iter := 0; iter < 5; iter++ {
+		d := Open(Options{
+			NumReqs:       32,
+			Controllers:   2,
+			ChunkBytes:    1 << 10,
+			StagingShards: 2,
+			BusyPoll:      true,
+			BusyPollIdle:  50 * time.Microsecond, // force frequent spin→park transitions
+			Chaos: &ChaosHooks{
+				BeforeChunkCopy: func(idx uint32, off, end int) { time.Sleep(20 * time.Microsecond) },
+			},
+		})
+
+		const n = 12
+		reqs := make([]*Request, 0, n)
+		for i := 0; i < n; i++ {
+			r := d.AllocRequest()
+			if r == nil {
+				t.Fatal("alloc failed")
+			}
+			src := bytes.Repeat([]byte{byte(i + 1)}, 4<<10) // 4 chunks each
+			r.Src, r.Dst = src, make([]byte, len(src))
+			if err := d.Submit(r); err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			reqs = append(reqs, r)
+			if i%3 == 2 {
+				// Let the worker drain dry and burn through its idle
+				// budget so later submissions land on a parked (or
+				// about-to-park) worker, not just a spinning one.
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		canceled := map[*Request]bool{}
+		for i, r := range reqs {
+			if i%2 == iter%2 {
+				canceled[r] = d.Cancel(r)
+			}
+		}
+		if !d.CloseDrain(5 * time.Second) {
+			t.Fatalf("iter %d: CloseDrain timed out — busy-poll worker lost the drain", iter)
+		}
+		got := drainAll(t, d, n)
+		seen := map[*Request]int{}
+		var held []uint32
+		for _, r := range got {
+			seen[r]++
+			held = append(held, r.idx)
+		}
+		for i, r := range reqs {
+			if seen[r] != 1 {
+				t.Errorf("iter %d: request %d completed %d times, want exactly once", iter, i, seen[r])
+			}
+			switch {
+			case r.Err == nil:
+				if !bytes.Equal(r.Src, r.Dst) {
+					t.Errorf("iter %d: request %d: clean completion with corrupt payload", iter, i)
+				}
+			case errors.Is(r.Err, ErrCanceled):
+				if !canceled[r] {
+					t.Errorf("iter %d: request %d: ErrCanceled without a winning cancel", iter, i)
+				}
+			default:
+				t.Errorf("iter %d: request %d: unexpected error %v", iter, i, r.Err)
+			}
+		}
+		if err := d.AuditSlots(held); err != nil {
+			t.Errorf("iter %d: %v", iter, err)
+		}
+		st := d.Stats()
+		if st.DoubleCompletes != 0 {
+			t.Errorf("iter %d: DoubleCompletes = %d, want 0", iter, st.DoubleCompletes)
+		}
+		if st.BusyPollSpins == 0 {
+			t.Errorf("iter %d: BusyPollSpins = 0 — the storm never exercised the spin phase", iter)
+		}
+	}
+}

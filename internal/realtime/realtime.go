@@ -12,13 +12,35 @@
 //   - the SubmitRequest flush protocol (Section 4.4) decides with one
 //     atomically-observed color whether the caller must kick the worker;
 //   - a worker goroutine plays the kernel thread: woken by the "syscall"
-//     (a channel send), it drains the queues, splits large requests into
-//     chunks, and dispatches them to a pool of transfer goroutines (the
-//     DMA engine's transfer controllers), recoloring the staging queues
-//     blue before sleeping;
-//   - completion notifications are posted from the transfer goroutines —
-//     the interrupt path — without the application holding any lock, and
-//     Poll blocks exactly like poll(2) on the device file.
+//     (a channel send) — or spinning in its place under Options.BusyPoll —
+//     it drains the queues, splits large requests into chunks, and
+//     dispatches them to a pool of transfer goroutines (the DMA engine's
+//     transfer controllers), recoloring the staging queues blue before
+//     sleeping;
+//   - completions are posted from the transfer goroutines — the
+//     interrupt path — without the application holding any lock, onto
+//     min(GOMAXPROCS, Controllers) bounded MPMC completion rings (ring
+//     idx % N), so concurrent finishers and concurrent pollers never
+//     serialize on one queue head; a single buffered notify edge backs
+//     the (rare) parked pollers, and Poll blocks exactly like poll(2)
+//     on the device file — after a bounded spin-before-sleep micro-wait
+//     (when a completer can run concurrently; see spinWait) so a
+//     completion landing within ~1 µs costs no timer or channel round
+//     trip.
+//
+// # Busy-poll worker mode
+//
+// Options.BusyPoll is the io_uring SQPOLL analogue: instead of
+// recoloring the shards blue and parking on the kick channel the moment
+// the pipeline runs dry, the worker keeps spinning (yielding the
+// processor each pass) for Options.BusyPollIdle. While it spins the
+// shards stay red, so the Section 4.4 protocol itself erases the
+// submit-side kick: a submitter observes red, stages its request and
+// returns — no flush, no channel send, no syscall-equivalent at all.
+// Only when the idle budget is exhausted does the worker fall back to
+// the default recolor-blue → refill-check → park sequence, which keeps
+// the park token lossless and the first post-idle submitter's single
+// kick semantics exactly as in park/wake mode.
 //
 // # Sharded staging
 //
@@ -193,10 +215,32 @@ type Options struct {
 	// QoS tunes priority classes, admission control and adaptive
 	// completion; the zero value applies the defaults (see QoSOptions).
 	QoS QoSOptions
+	// BusyPoll spins the dispatch worker instead of parking it the
+	// moment the pipeline runs dry (the io_uring SQPOLL analogue).
+	// While the worker spins the staging shards stay red, so the
+	// submit fast path degenerates to stage-and-return: no flush, no
+	// kick-channel send. Costs up to one core while enabled; see
+	// BusyPollIdle for the bound.
+	BusyPoll bool
+	// BusyPollIdle is how long a busy-polling worker keeps spinning
+	// with no work before falling back to the default recolor-and-park
+	// path (it re-enters the spin on the next kick). 0 means
+	// DefaultBusyPollIdle. Ignored unless BusyPoll is set.
+	BusyPollIdle time.Duration
+	// CompletionRings is the number of MPMC completion rings
+	// completions are spread across (ring = slot index % N). 0 means
+	// min(GOMAXPROCS, Controllers), clamped to [1, NumReqs].
+	CompletionRings int
 	// Chaos installs test-only fault-injection hooks. Leave nil outside
 	// the verification suite.
 	Chaos *ChaosHooks
 }
+
+// DefaultBusyPollIdle is the default spin budget of a busy-polling
+// worker: long enough that request gaps at realistic rates (tens of
+// thousands per second) never let the worker park, short enough that an
+// idle device stops burning a core within a millisecond.
+const DefaultBusyPollIdle = time.Millisecond
 
 // DefaultTraceSampleShift is the default lifecycle sampling rate: one
 // request in 2^7 = 128, cheap enough to leave on under full load (the
@@ -349,25 +393,67 @@ func EventName(k uint32) string {
 }
 
 // metrics is the device's obs instrument set.
+//
+// False-sharing audit (PR 8): the hot counters are grouped by writer
+// population — submitters, the worker, the finishers (controllers plus
+// the worker's inline path), and pollers — with a cache-line pad
+// between groups, so one population's RMW traffic doesn't invalidate
+// another's line. Within a group the writers genuinely share the
+// counter (true sharing, the price of a global count); the per-chunk
+// counters that used to true-share here (chunks, bytesMoved, steals)
+// moved to per-controller ctrCounters blocks instead.
 type metrics struct {
-	submitted, completed       obs.Counter
-	canceled, expired, failed  obs.Counter
-	kicks, wakes               obs.Counter
-	batches                    obs.Counter
-	chunks, bytesMoved         obs.Counter
-	steals, dispatchRetries    obs.Counter
-	enqueueRetries             obs.Counter
-	doubleCompletes            obs.Counter
-	shed, overloaded           obs.Counter
-	inlineCompleted            obs.Counter
-	agedPops, retunes          obs.Counter
-	classSubmitted             [NumClasses]obs.Counter
-	classCompleted             [NumClasses]obs.Counter
-	classShed                  [NumClasses]obs.Counter
-	classLatency               [NumClasses]obs.Histogram
-	submissionHW, completionHW obs.Gauge
-	latency, sizes             obs.Histogram
-	trace                      *obs.Trace
+	// Submitter-side: bumped on Submit/SubmitBatch/admit.
+	submitted, kicks obs.Counter
+	batches, shed    obs.Counter
+	_                [64]byte
+	// Finisher-side: bumped in finish, from whichever controller (or
+	// the worker, inline) retires the request.
+	completed, canceled obs.Counter
+	expired, failed     obs.Counter
+	overloaded          obs.Counter
+	doubleCompletes     obs.Counter
+	_                   [64]byte
+	// Worker-side: bumped only on the dispatch goroutine.
+	wakes, inlineCompleted       obs.Counter
+	agedPops, retunes            obs.Counter
+	dispatchRetries              obs.Counter
+	busyPollSpins, busyPollParks obs.Counter
+	_                            [64]byte
+	// Poller-side: bumped in Poll/PollContext's micro-wait.
+	pollerSpins, pollerParks obs.Counter
+	_                        [64]byte
+	// Cold or mixed-writer instruments.
+	enqueueRetries obs.Counter
+	classSubmitted [NumClasses]obs.Counter
+	classCompleted [NumClasses]obs.Counter
+	classShed      [NumClasses]obs.Counter
+	classLatency   [NumClasses]obs.Histogram
+	submissionHW   obs.Gauge
+	sizes          obs.Histogram
+	_              [64]byte
+	completionHW   obs.Gauge
+	latency        obs.Histogram
+	trace          *obs.Trace
+}
+
+// ctrCounters is one transfer controller's private counter block,
+// padded to a cache line. The old shared chunks/bytesMoved/steals
+// counters were the hottest true sharing in the engine — every
+// controller RMW'd the same three adjacent words once per chunk — so
+// each controller (plus one extra slot for the worker's inline-copy
+// path) now counts privately and Stats sums the blocks.
+type ctrCounters struct {
+	chunks, bytesMoved, steals atomic.Int64
+	_                          [40]byte
+}
+
+// paddedCount is an atomic counter on its own cache line, for arrays
+// of per-class/per-shard counters whose neighbors are written by
+// different goroutine populations.
+type paddedCount struct {
+	n atomic.Int64
+	_ [56]byte
 }
 
 // StatsSnapshot is a point-in-time view of the device counters,
@@ -383,6 +469,16 @@ type StatsSnapshot struct {
 	// Kicks can stay near 1 for a burst). Batches counts SubmitBatch
 	// calls — each costs at most one kick regardless of its length.
 	Kicks, WorkerWakes, Batches int64
+	// BusyPollSpins counts idle passes of a busy-polling worker (each
+	// is one full shard-drain + submission-pop that found nothing,
+	// followed by a yield); BusyPollParks counts the times the spin
+	// budget ran out and the worker fell back to the park path. Both
+	// stay 0 with BusyPoll off.
+	BusyPollSpins, BusyPollParks int64
+	// PollerSpins counts Poll/PollContext calls whose bounded
+	// spin-before-sleep micro-wait observed a completion without
+	// parking; PollerParks counts blocking waits on the notify edge.
+	PollerSpins, PollerParks int64
 	// Chunks counts controller work units; BytesMoved the payload
 	// actually copied (canceled chunks don't count).
 	Chunks, BytesMoved int64
@@ -423,8 +519,11 @@ type StatsSnapshot struct {
 	// above carry the maxima): per-shard staging, submission,
 	// completion, and per-controller dispatch-ring occupancy. Nil ring
 	// depths mean the legacy shared-channel dispatch path.
+	// CompletionDepth sums the per-ring occupancies in
+	// CompletionDepths (one entry per completion ring).
 	StagingDepths                    []int64
 	SubmissionDepth, CompletionDepth int64
+	CompletionDepths                 []int64
 	RingDepths                       []int64
 	// Latency is the submission-to-completion histogram (ns); Sizes the
 	// request payload histogram (bytes).
@@ -472,13 +571,21 @@ type Device struct {
 	freeList   *rbq.Queue
 	staging    []*rbq.Queue           // per-shard red-blue staging queues
 	submission [NumClasses]*rbq.Queue // per-class, popped in priority order
-	completion *rbq.Queue
+	compRings  []*compRing            // per-core completion rings (ring = idx % N)
 
-	classLimit    [NumClasses]int64 // admission occupancy thresholds (slots)
-	classInFlight [NumClasses]atomic.Int64
+	classLimit [NumClasses]int64 // admission occupancy thresholds (slots)
+	// classInFlight is written by submitters (accept) and finishers
+	// (finish) at once; each class sits on its own line so foreground
+	// accounting traffic doesn't drag the scavenger counter's line
+	// around (and vice versa).
+	classInFlight [NumClasses]paddedCount
 	inline        atomic.Int64 // adaptive inline-completion threshold (bytes; 0 = off)
-	dispatchSeq   uint64       // worker-only, drives retune cadence
+	_             [56]byte     // inline is read per dispatch; keep finisher writes below off its line
 	latEWMA       atomic.Int64 // completion-latency EWMA (ns), the retry-after hint
+	_             [56]byte
+	dispatchSeq   uint64 // worker-only, drives retune cadence
+	nextRing      int    // worker-only round-robin cursor over rings
+	_             [48]byte
 
 	tenants  atomic.Pointer[[]*tenantState] // COW tenant table; [0] = default namespace
 	tenantMu sync.Mutex                     // serializes OpenTenant appends
@@ -487,23 +594,40 @@ type Device struct {
 	tokens   sync.Pool     // *submitterToken: shard affinity for submitters
 	tokenSeq atomic.Uint32 // round-robin shard assignment for new tokens
 
+	pollTokens sync.Pool     // *pollerToken: preferred completion ring per poller
+	pollSeq    atomic.Uint32 // round-robin ring assignment for new poller tokens
+
 	kick   chan struct{} // the MOV_ONE "syscall": wake the worker
-	notify chan struct{} // completion edge for Poll
+	notify chan struct{} // completion edge for parked Polls
 	done   chan struct{} // closed at Close: unblocks sleeping Polls
 
-	rings    []*chunkRing  // per-controller chunk rings (nil in legacy mode)
-	work     chan struct{} // work-available edge for parked controllers
-	copyQ    chan chunk    // legacy shared dispatch channel (ablation only)
-	nextRing int           // worker-only round-robin cursor over rings
+	rings []*chunkRing  // per-controller chunk rings (nil in legacy mode)
+	work  chan struct{} // work-available edge for parked controllers
+	copyQ chan chunk    // legacy shared dispatch channel (ablation only)
+
+	// ctr holds the per-controller counter blocks; ctr[Controllers] is
+	// the worker's slot for the inline-completion path. See ctrCounters.
+	ctr []ctrCounters
+
+	busyPollIdle time.Duration // resolved Options.BusyPollIdle
+	pollSpin     bool          // poller micro-wait enabled; see spinWait
 
 	closing atomic.Bool // CloseDrain: reject new submissions
 	closed  atomic.Bool
+	_       [56]byte     // closing/closed are read per submit; active's RMW traffic stays off their line
 	active  atomic.Int64 // Submit calls in flight; Close waits them out
+	_       [56]byte
 	wg      sync.WaitGroup
 	m       metrics
 	lc      *lifecycle.Tracer // nil when lifecycle tracing is disabled
 	chaos   *ChaosHooks
 }
+
+// pollerToken pins a polling goroutine to a preferred completion ring —
+// the local-first bias: each retrieval scans all rings round-robin but
+// starts at its own, so concurrent pollers drain different rings
+// instead of racing CAS-for-CAS on ring 0.
+type pollerToken struct{ ring uint32 }
 
 // Open creates a device and starts its worker and transfer controllers.
 func Open(opts Options) *Device {
@@ -525,26 +649,53 @@ func Open(opts Options) *Device {
 	} else if chunkBytes < 0 {
 		chunkBytes = 0 // disabled
 	}
+	if opts.BusyPollIdle <= 0 {
+		opts.BusyPollIdle = DefaultBusyPollIdle
+	}
+	nCompRings := opts.CompletionRings
+	if nCompRings <= 0 {
+		nCompRings = runtime.GOMAXPROCS(0)
+		if nCompRings > opts.Controllers {
+			nCompRings = opts.Controllers
+		}
+	}
+	if nCompRings < 1 {
+		nCompRings = 1
+	}
+	if nCompRings > opts.NumReqs {
+		nCompRings = opts.NumReqs
+	}
+	opts.CompletionRings = nCompRings
 	qos := resolveQoS(opts.QoS)
-	// free + completion + one submission queue per class + one dummy per
-	// staging shard; slack scales with the queue count since every queue
-	// can sit in a transient dummy-recycling window at once.
+	// free + one submission queue per class + one dummy per staging
+	// shard (completions live on the MPMC rings, not the slab); slack
+	// scales with the queue count since every queue can sit in a
+	// transient dummy-recycling window at once.
 	shards := opts.StagingShards
-	numQueues := 2 + NumClasses + shards
+	numQueues := 1 + NumClasses + shards
 	slab := rbq.NewSlabForQueues(opts.NumReqs, numQueues, 5+numQueues)
 	d := &Device{
-		opts:       opts,
-		chunkBytes: chunkBytes,
-		qos:        qos,
-		reqs:       make([]*Request, opts.NumReqs),
-		slab:       slab,
-		freeList:   slab.NewQueue(rbq.Blue),
-		staging:    make([]*rbq.Queue, shards),
-		completion: slab.NewQueue(rbq.Blue),
-		kick:       make(chan struct{}, 1),
-		notify:     make(chan struct{}, 1),
-		done:       make(chan struct{}),
-		chaos:      opts.Chaos,
+		opts:         opts,
+		chunkBytes:   chunkBytes,
+		qos:          qos,
+		reqs:         make([]*Request, opts.NumReqs),
+		slab:         slab,
+		freeList:     slab.NewQueue(rbq.Blue),
+		staging:      make([]*rbq.Queue, shards),
+		compRings:    make([]*compRing, nCompRings),
+		ctr:          make([]ctrCounters, opts.Controllers+1),
+		busyPollIdle: opts.BusyPollIdle,
+		pollSpin:     opts.BusyPoll || runtime.GOMAXPROCS(0) > 1,
+		kick:         make(chan struct{}, 1),
+		notify:       make(chan struct{}, 1),
+		done:         make(chan struct{}),
+		chaos:        opts.Chaos,
+	}
+	// Size each ring for every slot mapped to it, so a push can never
+	// find it full (a slot has at most one outstanding completion).
+	perRing := (opts.NumReqs + nCompRings - 1) / nCompRings
+	for i := range d.compRings {
+		d.compRings[i] = newCompRing(perRing)
 	}
 	for c := range d.submission {
 		d.submission[c] = slab.NewQueue(rbq.Blue)
@@ -570,6 +721,9 @@ func Open(opts Options) *Device {
 	}
 	d.tokens.New = func() any {
 		return &submitterToken{shard: d.tokenSeq.Add(1) % uint32(shards)}
+	}
+	d.pollTokens.New = func() any {
+		return &pollerToken{ring: d.pollSeq.Add(1) % uint32(nCompRings)}
 	}
 	if opts.LegacyCopyQueue {
 		d.copyQ = make(chan chunk)
@@ -743,12 +897,69 @@ func (d *Device) lcEnd(r *Request) {
 	d.lc.EndInto(int(r.idx), out, time.Now().UnixNano(), &d.tenantOf(r).spans)
 }
 
-// wake posts the (single-token) completion edge for Poll.
+// wake posts the (single-token) completion edge for parked Polls.
 func (d *Device) wake() {
 	select {
 	case d.notify <- struct{}{}:
 	default:
 	}
+}
+
+// pushCompletion posts one completed request index onto its completion
+// ring. The rings are sized so the push cannot fail (one outstanding
+// completion per slot, every slot's ring fits all of its slots); the
+// backoff loop is defense in depth, not a code path.
+func (d *Device) pushCompletion(idx uint32) {
+	cr := d.compRings[int(idx)%len(d.compRings)]
+	for attempt := 0; !cr.tryPush(idx); attempt++ {
+		backoff(attempt)
+	}
+}
+
+// popCompletion scans the completion rings round-robin from start and
+// pops the first pending completion it finds.
+func (d *Device) popCompletion(start int) (uint32, bool) {
+	n := len(d.compRings)
+	for i := 0; i < n; i++ {
+		if idx, ok := d.compRings[(start+i)%n].tryPop(); ok {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// pollerRing picks the calling goroutine's preferred starting ring for
+// the local-first drain bias. sync.Pool's per-P caches keep a repeat
+// poller on the same ring and spread concurrent pollers out, exactly
+// like the submitter shard tokens.
+func (d *Device) pollerRing() int {
+	if len(d.compRings) == 1 {
+		return 0
+	}
+	t := d.pollTokens.Get().(*pollerToken)
+	ring := int(t.ring)
+	d.pollTokens.Put(t)
+	return ring
+}
+
+// completionEmpty reports whether every completion ring is empty (racy
+// snapshot, same contract the old single queue's Empty had).
+func (d *Device) completionEmpty() bool {
+	for _, cr := range d.compRings {
+		if !cr.empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// completionDepth sums the per-ring occupancies.
+func (d *Device) completionDepth() int64 {
+	var n int64
+	for _, cr := range d.compRings {
+		n += cr.size()
+	}
+	return n
 }
 
 // flushRetries bounds the transient-slab-exhaustion retry loop in the
@@ -864,15 +1075,15 @@ func (d *Device) finish(r *Request, forced error) {
 	}
 	d.m.completed.Inc()
 	d.m.classCompleted[r.Class].Inc()
-	d.classInFlight[r.Class].Add(-1)
+	d.classInFlight[r.Class].n.Add(-1)
 	ts.completed.Inc()
 	ts.inFlight.Add(-1)
 	if d.chaos != nil && d.chaos.OnFinish != nil {
 		d.chaos.OnFinish(r.idx, err)
 	}
 	d.trace(EvComplete, uint64(r.idx), uint64(len(r.Src)))
-	d.mustEnqueue(d.completion, r.idx)
-	d.m.completionHW.Observe(int64(d.completion.Size()))
+	d.pushCompletion(r.idx)
+	d.m.completionHW.Observe(d.completionDepth())
 	d.wake()
 }
 
@@ -916,7 +1127,7 @@ func (d *Device) stage(sh *rbq.Queue, r *Request) (rbq.Color, bool) {
 func (d *Device) accept(r *Request) {
 	d.m.submitted.Inc()
 	d.m.classSubmitted[r.Class].Inc()
-	d.classInFlight[r.Class].Add(1)
+	d.classInFlight[r.Class].n.Add(1)
 	ts := d.tenantOf(r)
 	ts.submitted.Inc()
 	ts.inFlight.Add(1)
@@ -1031,9 +1242,15 @@ func (d *Device) Cancel(r *Request) bool {
 	return false
 }
 
+// busyPollRecheckEvery is how many idle spin passes a busy-polling
+// worker makes between clock reads: the idle budget is enforced with
+// ~1/64 the time.Now cost of checking every pass.
+const busyPollRecheckEvery = 64
+
 // worker is the kernel thread: drain the staging shards, chunk and
-// dispatch submissions to the controllers, recolor the shards blue and
-// sleep when idle.
+// dispatch submissions to the controllers, then — in busy-poll mode —
+// keep spinning through the idle budget, or recolor the shards blue
+// and sleep.
 func (d *Device) worker() {
 	defer func() {
 		if d.rings != nil {
@@ -1043,6 +1260,9 @@ func (d *Device) worker() {
 		}
 		d.wg.Done()
 	}()
+	busy := d.opts.BusyPoll
+	var idleSince time.Time // zero while working (or before the first budget clock read)
+	idleSpins := 0
 	for {
 		// Drain every shard round-robin: one element per shard per
 		// pass, so no shard starves behind a full neighbor.
@@ -1065,8 +1285,39 @@ func (d *Device) worker() {
 			}
 		}
 		if idx, ok := d.popSubmission(); ok {
+			idleSpins, idleSince = 0, time.Time{}
 			d.dispatch(idx)
 			continue
+		}
+		// Busy-poll spin phase: the pipeline is dry but the idle budget
+		// is not. The shards stay red, so submitters keep hitting the
+		// stage-and-return fast path (no flush, no kick) and the drain
+		// loop above picks their work up on the next pass. Yield each
+		// pass — on a loaded box the spinning worker must not starve
+		// the very submitters it is polling for — and read the clock
+		// only every busyPollRecheckEvery passes.
+		if busy && !d.closed.Load() {
+			exhausted := false
+			d.m.busyPollSpins.Inc()
+			idleSpins++
+			if idleSpins >= busyPollRecheckEvery {
+				idleSpins = 0
+				now := time.Now()
+				if idleSince.IsZero() {
+					idleSince = now
+				} else if now.Sub(idleSince) >= d.busyPollIdle {
+					idleSince = time.Time{}
+					exhausted = true
+				}
+			}
+			if !exhausted {
+				runtime.Gosched()
+				continue
+			}
+			// Budget spent: fall through to the default recolor-and-park
+			// sequence, whose refill check keeps the park token lossless
+			// exactly as in park/wake mode.
+			d.m.busyPollParks.Inc()
 		}
 		// Before sleeping, recolor each shard blue independently; a
 		// shard that refilled under us refuses the recolor and sends
@@ -1105,6 +1356,7 @@ func (d *Device) worker() {
 		}
 		<-d.kick
 		d.m.wakes.Inc()
+		idleSpins, idleSince = 0, time.Time{}
 		d.trace(EvWake, 0, 0)
 	}
 }
@@ -1154,7 +1406,7 @@ func (d *Device) dispatch(idx uint32) {
 	if nChunks == 1 && d.rings != nil {
 		if th := d.inline.Load(); th > 0 && int64(n) <= th {
 			d.m.inlineCompleted.Inc()
-			d.runChunk(chunk{idx: idx, off: 0, end: n})
+			d.runChunk(chunk{idx: idx, off: 0, end: n}, len(d.ctr)-1)
 			return
 		}
 	}
@@ -1217,7 +1469,7 @@ func (d *Device) controller(id int) {
 	defer d.wg.Done()
 	if d.rings == nil {
 		for c := range d.copyQ {
-			d.runChunk(c)
+			d.runChunk(c, id)
 		}
 		return
 	}
@@ -1230,7 +1482,7 @@ func (d *Device) controller(id int) {
 		if !ok {
 			for i := 1; i < n && !ok; i++ {
 				if c, ok = d.rings[(id+i)%n].tryPop(); ok {
-					d.m.steals.Inc()
+					d.ctr[id].steals.Add(1)
 					stolen = true
 				}
 			}
@@ -1244,7 +1496,7 @@ func (d *Device) controller(id int) {
 				}
 				d.lc.ObserveQueueWait(class, time.Now().UnixNano()-c.nano, stolen)
 			}
-			d.runChunk(c)
+			d.runChunk(c, id)
 			continue
 		}
 		// Nothing anywhere: spin briefly (work often lands within a
@@ -1269,15 +1521,17 @@ func (d *Device) controller(id int) {
 				if !ok {
 					return
 				}
-				d.runChunk(c)
+				d.runChunk(c, id)
 			}
 		}
 	}
 }
 
 // runChunk copies one chunk (unless its request is already terminal)
-// and fires the completion when it was the request's last chunk.
-func (d *Device) runChunk(c chunk) {
+// and fires the completion when it was the request's last chunk. slot
+// selects the caller's private counter block: the controller id, or the
+// worker's extra slot on the inline path.
+func (d *Device) runChunk(c chunk, slot int) {
 	r, ok := d.req(c.idx)
 	if !ok {
 		return
@@ -1297,9 +1551,9 @@ func (d *Device) runChunk(c chunk) {
 	// fires exactly once.
 	if r.state.Load()&stateMask == stPending {
 		copy(r.Dst[c.off:c.end], r.Src[c.off:c.end])
-		d.m.bytesMoved.Add(int64(c.end - c.off))
+		d.ctr[slot].bytesMoved.Add(int64(c.end - c.off))
 	}
-	d.m.chunks.Inc()
+	d.ctr[slot].chunks.Add(1)
 	d.trace(EvChunk, uint64(c.idx), uint64(c.end-c.off))
 	if r.chunksLeft.Add(-1) == 0 {
 		d.lcStamp(c.idx, lifecycle.StageCopyEnd)
@@ -1308,9 +1562,10 @@ func (d *Device) runChunk(c chunk) {
 }
 
 // RetrieveCompleted pops one completion notification without blocking;
-// nil when none is pending.
+// nil when none is pending. The scan starts at the caller's preferred
+// ring (local-first bias) and wraps round-robin across the rest.
 func (d *Device) RetrieveCompleted() *Request {
-	idx, _, ok := d.completion.Dequeue()
+	idx, ok := d.popCompletion(d.pollerRing())
 	if !ok {
 		return nil
 	}
@@ -1319,7 +1574,7 @@ func (d *Device) RetrieveCompleted() *Request {
 		return nil
 	}
 	d.lcEnd(r)
-	if !d.completion.Empty() {
+	if !d.completionEmpty() {
 		d.wake() // keep concurrent pollers from sleeping past pending completions
 	}
 	return r
@@ -1329,24 +1584,70 @@ func (d *Device) RetrieveCompleted() *Request {
 // token when it is so concurrent pollers can't be starved by the single
 // buffered edge.
 func (d *Device) ready() bool {
-	if d.completion.Empty() {
+	if d.completionEmpty() {
 		return false
 	}
 	d.wake()
 	return true
 }
 
+// pollSpinBudget bounds the spin-before-sleep micro-wait in
+// Poll/PollContext: enough yields that a completion landing within a
+// few microseconds is caught without a timer or channel round trip,
+// few enough (and all below backoff's sleep threshold) that a poller
+// headed for a real wait gets there quickly.
+const pollSpinBudget = 128
+
+// spinWait is the poll-side micro-wait: spin through the shared
+// backoff discipline watching for a completion, true when one arrived
+// within the budget.
+//
+// Spinning only pays when a completer can make progress while this
+// poller burns cycles: a busy-poll worker never sleeps, and on
+// GOMAXPROCS > 1 the worker/controllers run on other Ps. On a
+// single-P park/wake device the yields are pure overhead — each
+// backoff pass is a real context switch that delays the controllers
+// the poller is waiting on (measured: ~3× overload throughput loss at
+// GOMAXPROCS=1) — so there the poller goes straight to its timed
+// sleep, which is itself the yield that lets copies proceed.
+func (d *Device) spinWait() bool {
+	if !d.completionEmpty() {
+		return true
+	}
+	if !d.pollSpin {
+		return false
+	}
+	for attempt := 0; attempt < pollSpinBudget; attempt++ {
+		if d.closed.Load() {
+			return !d.completionEmpty()
+		}
+		backoff(attempt)
+		if !d.completionEmpty() {
+			d.m.pollerSpins.Inc()
+			return true
+		}
+	}
+	return false
+}
+
 // Poll blocks until a completion notification is pending or the timeout
 // expires (timeout <= 0 waits forever). It reports whether a
 // notification is available. Any number of goroutines may Poll the same
 // device: a retired wakeup is re-armed whenever completions remain, so
-// no poller sleeps past a retrievable completion.
+// no poller sleeps past a retrievable completion. A bounded micro-wait
+// runs before any blocking, so a completion landing within ~1 µs costs
+// no timer or notify round trip.
 func (d *Device) Poll(timeout time.Duration) bool {
+	if d.spinWait() {
+		d.wake()
+		return true
+	}
 	if timeout <= 0 {
-		for d.completion.Empty() {
+		for d.completionEmpty() {
 			if d.closed.Load() {
 				return d.ready()
 			}
+			d.m.pollerParks.Inc()
 			select {
 			case <-d.notify:
 			case <-d.done:
@@ -1371,7 +1672,7 @@ func (d *Device) Poll(timeout time.Duration) bool {
 			timer.Stop()
 		}
 	}()
-	for d.completion.Empty() {
+	for d.completionEmpty() {
 		if d.closed.Load() {
 			return d.ready()
 		}
@@ -1387,6 +1688,7 @@ func (d *Device) Poll(timeout time.Duration) bool {
 		} else {
 			timer.Reset(remain)
 		}
+		d.m.pollerParks.Inc()
 		select {
 		case <-d.notify:
 			if !timer.Stop() {
@@ -1408,10 +1710,15 @@ func (d *Device) Poll(timeout time.Duration) bool {
 // loop. Like Poll, any number of goroutines may PollContext the same
 // device concurrently.
 func (d *Device) PollContext(ctx context.Context) bool {
-	for d.completion.Empty() {
+	if d.spinWait() {
+		d.wake()
+		return true
+	}
+	for d.completionEmpty() {
 		if d.closed.Load() || ctx.Err() != nil {
 			return d.ready()
 		}
+		d.m.pollerParks.Inc()
 		select {
 		case <-d.notify:
 		case <-d.done:
@@ -1444,7 +1751,7 @@ func (d *Device) Stats() StatsSnapshot {
 			Submitted:  d.m.classSubmitted[c].Load(),
 			Completed:  d.m.classCompleted[c].Load(),
 			Shed:       d.m.classShed[c].Load(),
-			InFlight:   d.classInFlight[c].Load(),
+			InFlight:   d.classInFlight[c].n.Load(),
 			QueueDepth: int64(d.submission[c].Size()),
 			Latency:    d.m.classLatency[c].Snapshot(),
 		}
@@ -1454,10 +1761,23 @@ func (d *Device) Stats() StatsSnapshot {
 	for i, ts := range tab {
 		tenants[i] = ts.snapshot()
 	}
+	var chunks, bytesMoved, steals int64
+	for i := range d.ctr {
+		chunks += d.ctr[i].chunks.Load()
+		bytesMoved += d.ctr[i].bytesMoved.Load()
+		steals += d.ctr[i].steals.Load()
+	}
+	compDepths := make([]int64, len(d.compRings))
+	var compDepth int64
+	for i, cr := range d.compRings {
+		compDepths[i] = cr.size()
+		compDepth += compDepths[i]
+	}
 	return StatsSnapshot{
 		StagingDepths:        staging,
 		SubmissionDepth:      d.submissionDepth(),
-		CompletionDepth:      int64(d.completion.Size()),
+		CompletionDepth:      compDepth,
+		CompletionDepths:     compDepths,
 		RingDepths:           ringDepths,
 		Lifecycle:            d.lc.Snapshot(),
 		Submitted:            d.m.submitted.Load(),
@@ -1467,10 +1787,14 @@ func (d *Device) Stats() StatsSnapshot {
 		Failed:               d.m.failed.Load(),
 		Kicks:                d.m.kicks.Load(),
 		WorkerWakes:          d.m.wakes.Load(),
+		BusyPollSpins:        d.m.busyPollSpins.Load(),
+		BusyPollParks:        d.m.busyPollParks.Load(),
+		PollerSpins:          d.m.pollerSpins.Load(),
+		PollerParks:          d.m.pollerParks.Load(),
 		Batches:              d.m.batches.Load(),
-		Chunks:               d.m.chunks.Load(),
-		BytesMoved:           d.m.bytesMoved.Load(),
-		Steals:               d.m.steals.Load(),
+		Chunks:               chunks,
+		BytesMoved:           bytesMoved,
+		Steals:               steals,
 		DispatchRetries:      d.m.dispatchRetries.Load(),
 		EnqueueRetries:       d.m.enqueueRetries.Load(),
 		DoubleCompletes:      d.m.doubleCompletes.Load(),
@@ -1514,7 +1838,6 @@ func (d *Device) AuditSlots(held []uint32) error {
 		q    *rbq.Queue
 	}{
 		{"free", d.freeList},
-		{"completion", d.completion},
 	}
 	for c, q := range d.submission {
 		queues = append(queues, struct {
@@ -1531,6 +1854,13 @@ func (d *Device) AuditSlots(held []uint32) error {
 	for _, qi := range queues {
 		for _, idx := range qi.q.Snapshot() {
 			if err := claim(idx, qi.name); err != nil {
+				return err
+			}
+		}
+	}
+	for i, cr := range d.compRings {
+		for _, idx := range cr.snapshot() {
+			if err := claim(idx, fmt.Sprintf("completion[%d]", i)); err != nil {
 				return err
 			}
 		}
@@ -1555,4 +1885,10 @@ func (d *Device) Kicks() int64 { return d.m.kicks.Load() }
 func (d *Device) Completed() int64 { return d.m.completed.Load() }
 
 // BytesMoved reports the total payload moved.
-func (d *Device) BytesMoved() int64 { return d.m.bytesMoved.Load() }
+func (d *Device) BytesMoved() int64 {
+	var n int64
+	for i := range d.ctr {
+		n += d.ctr[i].bytesMoved.Load()
+	}
+	return n
+}

@@ -90,6 +90,128 @@ func (r *chunkRing) tryPop() (chunk, bool) {
 	}
 }
 
+// compRing is a bounded lock-free MPMC ring (the same Vyukov sequence
+// protocol as chunkRing) holding completed request indices. The device
+// keeps min(GOMAXPROCS, Controllers) of them and routes each completion
+// to ring idx % N, so finishers on different controllers publish to
+// different rings and concurrent pollers never serialize on one
+// Michael–Scott head the way the old single completion queue forced
+// them to. Producers are the finishers (controllers + the worker's
+// inline path); consumers are RetrieveCompleted/RetrieveCompletedBatch
+// callers, any number of them.
+//
+// Each ring is sized for every slot index mapped to it (ceil(NumReqs/N)
+// rounded up to a power of two): a slot has at most one outstanding
+// completion — the next submission of that slot requires AllocRequest,
+// which requires the previous completion to have been retrieved — so a
+// correctly sized ring can never refuse a push.
+type compRing struct {
+	mask  uint64
+	slots []compSlot
+	// enq and deq sit on separate cache lines so finisher CAS traffic
+	// does not invalidate every poller's line and vice versa.
+	_   [64]byte
+	enq atomic.Uint64
+	_   [64]byte
+	deq atomic.Uint64
+}
+
+type compSlot struct {
+	seq atomic.Uint64
+	idx uint32
+}
+
+// newCompRing returns a completion ring with capacity rounded up to a
+// power of two, minimum 2.
+func newCompRing(depth int) *compRing {
+	cap := 2
+	for cap < depth {
+		cap <<= 1
+	}
+	r := &compRing{mask: uint64(cap - 1), slots: make([]compSlot, cap)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// tryPush appends idx; false when the ring is full (impossible on a
+// correctly sized device ring — see the type comment — but the caller
+// still backs off rather than trusting that).
+func (r *compRing) tryPush(idx uint32) bool {
+	for {
+		pos := r.enq.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.idx = idx
+				s.seq.Store(pos + 1)
+				return true
+			}
+		case seq < pos:
+			return false // full: the slot has not been consumed yet
+		}
+		// seq > pos: lost a race with another producer; reload and retry.
+	}
+}
+
+// tryPop removes the oldest completion; false when the ring is empty.
+func (r *compRing) tryPop() (uint32, bool) {
+	for {
+		pos := r.deq.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				idx := s.idx
+				s.seq.Store(pos + r.mask + 1)
+				return idx, true
+			}
+		case seq < pos+1:
+			return 0, false // empty: the slot has not been produced yet
+		}
+		// seq > pos+1: lost a race with another consumer; retry.
+	}
+}
+
+// size reports the current occupancy (racy snapshot, clamped to
+// [0, cap] so a torn read can never look absurd).
+func (r *compRing) size() int64 {
+	e, d := r.enq.Load(), r.deq.Load()
+	if e <= d {
+		return 0
+	}
+	n := int64(e - d)
+	if max := int64(len(r.slots)); n > max {
+		n = max
+	}
+	return n
+}
+
+// empty reports whether the ring currently holds no completions (racy
+// snapshot — the atomically coupled answer is tryPop's).
+func (r *compRing) empty() bool {
+	pos := r.deq.Load()
+	return r.slots[pos&r.mask].seq.Load() < pos+1
+}
+
+// snapshot walks the occupied slots in FIFO order. Quiescent use only
+// (AuditSlots, tests) — under concurrent mutation the walk may
+// duplicate or miss indices.
+func (r *compRing) snapshot() []uint32 {
+	var out []uint32
+	for pos := r.deq.Load(); pos < r.enq.Load(); pos++ {
+		s := &r.slots[pos&r.mask]
+		if s.seq.Load() == pos+1 {
+			out = append(out, s.idx)
+		}
+	}
+	return out
+}
+
 // size reports the current occupancy (racy snapshot for the live-depth
 // stats; clamped to [0, cap] so a torn read can never look absurd).
 func (r *chunkRing) size() int64 {

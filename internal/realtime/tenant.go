@@ -109,8 +109,15 @@ type tenantState struct {
 	quota      int64 // 0 on the default tenant: global admission applies
 	classLimit [NumClasses]int64
 
+	// inFlight is RMW'd by submitters (accept) and finishers (finish);
+	// queued by submitters (flush) and the worker (dispatch). Padding
+	// keeps each on its own cache line so the worker's queued decrements
+	// don't invalidate the submitters' inFlight line and vice versa.
+	_        [64]byte
 	inFlight atomic.Int64 // accepted, not yet terminal
+	_        [56]byte
 	queued   atomic.Int64 // flushed to submission, not yet dispatched
+	_        [56]byte
 
 	submitted, completed obs.Counter
 	shed, canceled       obs.Counter

@@ -30,6 +30,13 @@ package realtime
 import "memif/internal/rbq"
 
 // tenantSched arbitrates the per-class submission queues across tenants.
+//
+// False-sharing audit note (PR 8): everything below — credits, drrClass
+// maps/slices, drrBucket deficits — is touched by exactly one goroutine,
+// the dispatch worker. Single-writer-single-reader state needs no
+// cache-line padding; the lines live dirty in the worker's L1 and no
+// other core ever requests them. Only the shared rbq queues it drains
+// carry cross-core traffic, and those are padded in rbq.Queue itself.
 type tenantSched struct {
 	queues   []*rbq.Queue              // per-class submission queues (shared, lock-free)
 	tenantOf func(idx uint32) uint32   // slot index -> owning tenant id

@@ -222,9 +222,11 @@ func NewSwapDaemon(app *Device, opts SwapOptions) *SwapDaemon {
 // whole batch), chunked multi-controller transfers fed through
 // per-controller rings with work stealing, cancellation and deadlines,
 // QoS priority classes with admission control and adaptive
-// poll-vs-notify completion, and a built-in metrics layer
-// (Device.Stats). See package memif/internal/realtime for the full
-// story.
+// poll-vs-notify completion, per-core completion rings drained with a
+// local-first bias, an opt-in busy-poll worker mode
+// (RealtimeOptions.BusyPoll) for latency-critical deployments, and a
+// built-in metrics layer (Device.Stats). See package
+// memif/internal/realtime for the full story.
 type RealtimeDevice = realtime.Device
 
 // RealtimeRequest is a realtime mov_req: an async copy between two
@@ -234,7 +236,11 @@ type RealtimeRequest = realtime.Request
 
 // RealtimeOptions sizes a realtime device: request slots, transfer
 // controllers, staging shards, dispatch-ring depth, the chunking
-// threshold, tracing, and the QoS knobs. Construct it with
+// threshold, tracing, the QoS knobs, and the busy-poll worker mode
+// (BusyPoll spins the dispatch worker instead of parking it,
+// eliminating the kick on the submit fast path; BusyPollIdle bounds
+// the spin before it falls back to park/wake; CompletionRings
+// overrides the per-core completion-ring count). Construct it with
 // DefaultRealtimeOptions and override fields.
 type RealtimeOptions = realtime.Options
 
@@ -247,6 +253,11 @@ func DefaultRealtimeOptions() RealtimeOptions { return realtime.DefaultOptions()
 
 // OpenRealtime starts a realtime device.
 func OpenRealtime(opts RealtimeOptions) *RealtimeDevice { return realtime.Open(opts) }
+
+// RealtimeDefaultBusyPollIdle is the spin budget a busy-polling worker
+// burns on an empty pipeline before falling back to park/wake, used
+// when RealtimeOptions.BusyPollIdle is zero.
+const RealtimeDefaultBusyPollIdle = realtime.DefaultBusyPollIdle
 
 // RealtimeClass is a realtime request's priority class: admission,
 // dispatch order and shedding key off it. The zero value is
