@@ -1,0 +1,233 @@
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"memif/internal/obs/flight"
+	"memif/internal/realtime"
+)
+
+// The deterministic flight probe: instead of hoping a natural outlier
+// shows up inside a benchmark window, warm the adaptive threshold with
+// a fleet of fast requests, then inject exactly one request whose copy
+// is chaos-delayed far past any plausible threshold. The recorder must
+// breach on it, capture it with a complete seven-stage vector, and —
+// with the watchdog off — capture nothing it didn't breach on. This is
+// the CI acceptance gate for retroactive tail capture.
+
+// FlightSummary is one workload's flight-recorder footprint in the
+// report: whole-run counter totals plus what the ring still holds.
+type FlightSummary struct {
+	RingDepth int   `json:"ring_depth"`
+	Breaches  int64 `json:"breaches"`
+	Stalls    int64 `json:"stalls"`
+	Captured  int64 `json:"captured"`
+	// LatencyOutliers is how many breach records the ring retains;
+	// CompleteVectors how many of those carry all seven stage stamps
+	// (they must all). MaxLatencyNs is the worst retained outlier.
+	LatencyOutliers int   `json:"latency_outliers"`
+	CompleteVectors int   `json:"complete_vectors"`
+	MaxLatencyNs    int64 `json:"max_latency_ns,omitempty"`
+	// SLORequests/SLOGood are the foreground-class objective totals.
+	SLORequests int64 `json:"slo_requests"`
+	SLOGood     int64 `json:"slo_good"`
+}
+
+// flightSummary condenses a snapshot into the report row; nil when the
+// recorder was disarmed.
+func flightSummary(fs flight.Snapshot) *FlightSummary {
+	if !fs.Enabled {
+		return nil
+	}
+	s := &FlightSummary{
+		RingDepth: fs.RingDepth,
+		Breaches:  fs.Breaches,
+		Stalls:    fs.Stalls,
+		Captured:  fs.Captured,
+	}
+	for _, o := range fs.Outliers {
+		if o.Kind != flight.KindLatency {
+			continue
+		}
+		s.LatencyOutliers++
+		complete := true
+		for _, ts := range o.TS {
+			if ts == 0 {
+				complete = false
+			}
+		}
+		if complete {
+			s.CompleteVectors++
+		}
+		if o.LatencyNs > s.MaxLatencyNs {
+			s.MaxLatencyNs = o.LatencyNs
+		}
+	}
+	for _, cs := range fs.SLO.Classes {
+		if cs.Class == int(realtime.ClassForeground) {
+			s.SLORequests, s.SLOGood = cs.Total, cs.Good
+		}
+	}
+	return s
+}
+
+// FlightProbeResult is the deterministic probe's report section.
+type FlightProbeResult struct {
+	WarmupRequests  int   `json:"warmup_requests"`
+	InjectedDelayNs int64 `json:"injected_delay_ns"`
+	Breaches        int64 `json:"breaches"`
+	Captured        int64 `json:"captured"`
+	// ThresholdNs is the adaptive threshold the delayed request was
+	// judged against; OutlierLatencyNs its measured latency; both from
+	// the captured record. CompleteVector reports all seven stage
+	// stamps present on it.
+	ThresholdNs      int64 `json:"threshold_ns"`
+	OutlierLatencyNs int64 `json:"outlier_latency_ns"`
+	CompleteVector   bool  `json:"complete_vector"`
+	SLORequests      int64 `json:"slo_requests"`
+	SLOGood          int64 `json:"slo_good"`
+}
+
+// runFlightProbe drives the deterministic scenario on a small device:
+// sequential 4 KB requests past the recorder's warmup, then one
+// request delayed 10 ms in BeforeChunkCopy — orders of magnitude past
+// the threshold the warmup trained, on any host.
+func runFlightProbe() *FlightProbeResult {
+	const warmupReqs = 96
+	const delay = 10 * time.Millisecond
+	var delayArmed atomic.Bool
+	d := realtime.Open(realtime.Options{
+		NumReqs: 64, Controllers: 2, StagingShards: 2,
+		// Watchdog off: with no stall records, captured == breaches is
+		// an exact accounting check.
+		Flight: flight.Options{Watchdog: flight.WatchdogOptions{Disable: true}},
+		Chaos: &realtime.ChaosHooks{
+			BeforeChunkCopy: func(idx uint32, off, end int) {
+				if delayArmed.Load() {
+					time.Sleep(delay)
+				}
+			},
+		},
+	})
+	defer d.Close()
+
+	src := make([]byte, 4<<10)
+	dst := make([]byte, 4<<10)
+	do := func() {
+		var r *realtime.Request
+		for r == nil {
+			r = d.AllocRequest()
+		}
+		r.Src, r.Dst = src, dst
+		if err := d.Submit(r); err != nil {
+			panic(fmt.Sprintf("flight probe submit: %v", err))
+		}
+		for {
+			if got := d.RetrieveCompleted(); got != nil {
+				d.FreeRequest(got)
+				return
+			}
+			d.Poll(time.Millisecond)
+		}
+	}
+	for i := 0; i < warmupReqs; i++ {
+		do()
+	}
+	delayArmed.Store(true)
+	do()
+	delayArmed.Store(false)
+
+	fs := d.FlightSnapshot()
+	res := &FlightProbeResult{
+		WarmupRequests:  warmupReqs,
+		InjectedDelayNs: int64(delay),
+		Breaches:        fs.Breaches,
+		Captured:        fs.Captured,
+	}
+	for _, o := range fs.Outliers {
+		// The delayed request is the record at or past the injected
+		// delay; warmup jitter can legitimately add smaller breaches.
+		if o.Kind != flight.KindLatency || o.LatencyNs < int64(delay) {
+			continue
+		}
+		res.ThresholdNs = o.ThresholdNs
+		res.OutlierLatencyNs = o.LatencyNs
+		res.CompleteVector = true
+		for _, ts := range o.TS {
+			if ts == 0 {
+				res.CompleteVector = false
+			}
+		}
+	}
+	for _, cs := range fs.SLO.Classes {
+		if cs.Class == int(realtime.ClassForeground) {
+			res.SLORequests, res.SLOGood = cs.Total, cs.Good
+		}
+	}
+	return res
+}
+
+// validateFlight enforces the schema-v7 invariants: the deterministic
+// probe must have caught its injected outlier, and every workload's
+// retained breach records must carry complete stage vectors — with the
+// overload workload's deep ring additionally required to retain every
+// breach of the run (modulo records a stall snapshot overwrote).
+func validateFlight(rep Report) error {
+	p := rep.Flight
+	if p == nil {
+		return fmt.Errorf("version %d report has no flight probe", rep.Version)
+	}
+	if p.Breaches < 1 {
+		return fmt.Errorf("flight probe: no breaches — the injected %s delay went uncaptured",
+			time.Duration(p.InjectedDelayNs))
+	}
+	if p.Captured != p.Breaches {
+		return fmt.Errorf("flight probe: captured %d != breaches %d (watchdog off: must match exactly)",
+			p.Captured, p.Breaches)
+	}
+	if p.OutlierLatencyNs < p.InjectedDelayNs {
+		return fmt.Errorf("flight probe: no retained outlier at or past the injected delay (worst %s < %s)",
+			time.Duration(p.OutlierLatencyNs), time.Duration(p.InjectedDelayNs))
+	}
+	if p.ThresholdNs <= 0 || p.ThresholdNs >= p.OutlierLatencyNs {
+		return fmt.Errorf("flight probe: threshold %d not in (0, %d)", p.ThresholdNs, p.OutlierLatencyNs)
+	}
+	if !p.CompleteVector {
+		return fmt.Errorf("flight probe: captured outlier is missing stage stamps")
+	}
+	if p.SLORequests < int64(p.WarmupRequests) {
+		return fmt.Errorf("flight probe: SLO tracked %d requests, want >= %d warmup",
+			p.SLORequests, p.WarmupRequests)
+	}
+	for _, w := range rep.Workloads {
+		f := w.Flight
+		if f == nil {
+			return fmt.Errorf("workload %s: no flight summary — the recorder was not armed", w.Name)
+		}
+		if f.CompleteVectors != f.LatencyOutliers {
+			return fmt.Errorf("workload %s: %d of %d retained outliers have incomplete stage vectors",
+				w.Name, f.LatencyOutliers-f.CompleteVectors, f.LatencyOutliers)
+		}
+		if f.SLORequests <= 0 {
+			return fmt.Errorf("workload %s: SLO tracker saw no requests", w.Name)
+		}
+		if w.Name == "overload" {
+			// The tail-forensics acceptance gate: the 8192-deep ring
+			// must still hold every breach of the run. Stall and event
+			// records share the ring, so each may displace at most one
+			// breach record.
+			if f.Breaches > int64(f.RingDepth) {
+				return fmt.Errorf("overload: %d breaches overflow the %d-deep ring — gate unverifiable",
+					f.Breaches, f.RingDepth)
+			}
+			lost := f.Breaches - int64(f.LatencyOutliers)
+			if lost < 0 || lost > f.Stalls+(f.Captured-f.Breaches-f.Stalls) {
+				return fmt.Errorf("overload: ring retains %d of %d breaches with only %d stall/event records",
+					f.LatencyOutliers, f.Breaches, f.Captured-f.Breaches)
+			}
+		}
+	}
+	return nil
+}

@@ -31,6 +31,10 @@
 //	smallrt      the 8-submitter 4 KB scenario unbatched, park/wake vs
 //	             busy-poll worker (schema v6): the kick-elimination
 //	             story, reported as an off/on pair with the speedup
+//	flight       deterministic outlier probe (schema v7): warm the
+//	             adaptive threshold with fast requests, inject one
+//	             chaos-delayed request, and verify the flight recorder
+//	             captured it with a complete stage vector
 package main
 
 import (
@@ -44,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memif/internal/obs/flight"
 	"memif/internal/obs/lifecycle"
 	"memif/internal/obs/obshttp"
 	"memif/internal/realtime"
@@ -70,6 +75,11 @@ type Report struct {
 	// 4 KB unbatched scenario with the park/wake worker vs the spinning
 	// worker, and the resulting throughput ratio.
 	SmallRT *SmallRTResult `json:"smallrt,omitempty"`
+	// Flight is the deterministic outlier probe (schema v7): a known
+	// chaos-delayed request must breach the adaptive threshold and
+	// come back out of the flight ring with a complete stage vector.
+	// See flight.go.
+	Flight *FlightProbeResult `json:"flight,omitempty"`
 }
 
 // SmallRTResult is the busy-poll off/on pair over the identical
@@ -91,8 +101,12 @@ type WorkloadResult struct {
 	Ops        int64   `json:"ops"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
 	GBPerSec   float64 `json:"gb_per_sec"`
+	// P50/P99/P999 are interpolated within histogram buckets (schema
+	// v7, obs.Quantiles): smooth estimates rather than power-of-two
+	// upper bounds.
 	P50Ns      int64   `json:"p50_ns"`
 	P99Ns      int64   `json:"p99_ns"`
+	P999Ns     int64   `json:"p999_ns"`
 	MeanNs     float64 `json:"mean_ns"`
 	Kicks      int64   `json:"kicks"`
 	KicksPerOp float64 `json:"kicks_per_op"`
@@ -123,6 +137,11 @@ type WorkloadResult struct {
 	BusyPollParks int64 `json:"busy_poll_parks,omitempty"`
 	PollerSpins   int64 `json:"poller_spins,omitempty"`
 	PollerParks   int64 `json:"poller_parks,omitempty"`
+	// Flight is the workload's flight-recorder summary (schema v7),
+	// snapshotted after teardown so the counts are quiescent. The
+	// counters cover the whole run including warmup, not just the
+	// measure window — outlier capture has no window delta.
+	Flight *FlightSummary `json:"flight,omitempty"`
 }
 
 // ClassResult is one priority class's slice of a workload window.
@@ -132,6 +151,7 @@ type ClassResult struct {
 	Shed   int64   `json:"shed"` // admission rejections
 	P50Ns  int64   `json:"p50_ns"`
 	P99Ns  int64   `json:"p99_ns"`
+	P999Ns int64   `json:"p999_ns"`
 	MeanNs float64 `json:"mean_ns"`
 }
 
@@ -143,6 +163,7 @@ type StageLatency struct {
 	Count  int64   `json:"count"`
 	P50Ns  float64 `json:"p50_ns"`
 	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
 	MeanNs float64 `json:"mean_ns"`
 }
 
@@ -156,11 +177,13 @@ func stageBreakdown(spans lifecycle.SpanSnapshot) []StageLatency {
 		if h.Count == 0 {
 			continue
 		}
+		q := h.Quantiles(0.50, 0.99, 0.999)
 		out = append(out, StageLatency{
 			Stage:  name,
 			Count:  h.Count,
-			P50Ns:  h.QuantileInterp(0.50),
-			P99Ns:  h.QuantileInterp(0.99),
+			P50Ns:  q[0],
+			P99Ns:  q[1],
+			P999Ns: q[2],
 			MeanNs: h.Mean(),
 		})
 	}
@@ -258,7 +281,12 @@ func workloads(quick bool) []workload {
 				{class: realtime.ClassScavenger, submitters: 4, size: 1 << 20, batch: 4},
 			},
 			opts: realtime.Options{NumReqs: 64, Controllers: 2, StagingShards: 2,
-				ChunkBytes: 256 << 10, TraceSampleShift: 3},
+				ChunkBytes: 256 << 10, TraceSampleShift: 3,
+				// A deep outlier ring: every breaching foreground request
+				// of the run must still be present at the end (validated
+				// against the breach counter — the tail-forensics
+				// acceptance gate).
+				Flight: flight.Options{RingDepth: 8192}},
 		},
 		{
 			// Adaptive completion on: small paced requests, worker copies
@@ -322,6 +350,13 @@ func main() {
 			}
 			return d.Stats().Lifecycle.Captured
 		})
+		h.RegisterOutliers("membench", func() flight.Snapshot {
+			d := liveDevice.Load()
+			if d == nil {
+				return flight.Snapshot{}
+			}
+			return d.FlightSnapshot()
+		})
 		go func() {
 			fmt.Fprintf(os.Stderr, "membench: serving observability on %s\n", *httpAddr)
 			if err := http.ListenAndServe(*httpAddr, h); err != nil {
@@ -337,7 +372,7 @@ func main() {
 
 	rep := Report{
 		Benchmark:  "membench",
-		Version:    6,
+		Version:    7,
 		UnixTime:   time.Now().Unix(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
@@ -369,6 +404,12 @@ func main() {
 	fmt.Fprintf(os.Stderr, "membench:   on  %12.0f ops/s  kicks/op %.4f  spins %d parks %d  (%.2fx)\n",
 		rep.SmallRT.On.OpsPerSec, rep.SmallRT.On.KicksPerOp,
 		rep.SmallRT.On.BusyPollSpins, rep.SmallRT.On.BusyPollParks, rep.SmallRT.Speedup)
+
+	fmt.Fprintf(os.Stderr, "membench: running flight     (deterministic outlier probe)\n")
+	rep.Flight = runFlightProbe()
+	fmt.Fprintf(os.Stderr, "membench:   breaches %d captured %d  threshold %s  outlier %s  complete_vector %v\n",
+		rep.Flight.Breaches, rep.Flight.Captured, time.Duration(rep.Flight.ThresholdNs),
+		time.Duration(rep.Flight.OutlierLatencyNs), rep.Flight.CompleteVector)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -520,9 +561,14 @@ func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
 	stop.Store(true)
 	wg.Wait()
 	pwg.Wait()
+	// Quiescent flight snapshot: every request is retrieved, so the
+	// breach counter and the ring contents are settled (the watchdog
+	// may still tick until Close, but stall records are counted apart).
+	fsnap := d.FlightSnapshot()
 	d.Close()
 
 	lat := s1.Latency.Delta(s0.Latency)
+	latQ := lat.Quantiles(0.50, 0.99, 0.999)
 	ops := s1.Completed - s0.Completed
 	kicks := s1.Kicks - s0.Kicks
 	res := WorkloadResult{
@@ -536,8 +582,9 @@ func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
 		Ops:                  ops,
 		OpsPerSec:            float64(ops) / elapsed.Seconds(),
 		GBPerSec:             float64(s1.BytesMoved-s0.BytesMoved) / elapsed.Seconds() / 1e9,
-		P50Ns:                lat.Quantile(0.50),
-		P99Ns:                lat.Quantile(0.99),
+		P50Ns:                int64(latQ[0]),
+		P99Ns:                int64(latQ[1]),
+		P999Ns:               int64(latQ[2]),
 		MeanNs:               lat.Mean(),
 		Kicks:                kicks,
 		Steals:               s1.Steals - s0.Steals,
@@ -552,6 +599,7 @@ func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
 		BusyPollParks:        s1.BusyPollParks - s0.BusyPollParks,
 		PollerSpins:          s1.PollerSpins - s0.PollerSpins,
 		PollerParks:          s1.PollerParks - s0.PollerParks,
+		Flight:               flightSummary(fsnap),
 	}
 	if ops > 0 {
 		res.KicksPerOp = float64(kicks) / float64(ops)
@@ -563,12 +611,14 @@ func runWorkload(wl workload, warmup, window time.Duration) WorkloadResult {
 				continue // class idle in this workload
 			}
 			clat := c1.Latency.Delta(c0.Latency)
+			cq := clat.Quantiles(0.50, 0.99, 0.999)
 			res.Classes = append(res.Classes, ClassResult{
 				Class:  realtime.ClassName(c),
 				Ops:    c1.Completed - c0.Completed,
 				Shed:   c1.Shed - c0.Shed,
-				P50Ns:  clat.Quantile(0.50),
-				P99Ns:  clat.Quantile(0.99),
+				P50Ns:  int64(cq[0]),
+				P99Ns:  int64(cq[1]),
+				P999Ns: int64(cq[2]),
 				MeanNs: clat.Mean(),
 			})
 		}
@@ -678,6 +728,11 @@ func validate(rep Report) error {
 	}
 	if rep.Version >= 6 {
 		if err := validateSmallRT(rep); err != nil {
+			return err
+		}
+	}
+	if rep.Version >= 7 {
+		if err := validateFlight(rep); err != nil {
 			return err
 		}
 	}

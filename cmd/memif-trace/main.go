@@ -10,8 +10,10 @@
 //	memif-trace [-reqs N] [-pages N] [-op migrate|replicate] [-race detect|recover|prevent] [-v]
 //	memif-trace -rt [-reqs N] [-rt-bytes N] [-rt-controllers N] [-rt-chunk N] [-rt-trace N]
 //	memif-trace -serve :9090 [-serve-for 30s] [-reqs N] [-rt-bytes N]
+//	memif-trace -outliers http://host:9090/debug/outliers [-top K]
 //	memif-trace -check-metrics metrics.txt
 //	memif-trace -check-trace trace.json
+//	memif-trace -check-outliers outliers.json
 //
 // With -serve the tool exercises all three instrumented subsystems (a
 // realtime burst with full lifecycle capture, a swap-out scenario, a
@@ -60,8 +62,25 @@ func main() {
 	serveFor := flag.Duration("serve-for", 0, "with -serve: shut down after this long (0 = forever)")
 	checkMetricsPath := flag.String("check-metrics", "", "validate a scraped /metrics file and exit")
 	checkTracePath := flag.String("check-trace", "", "validate a downloaded /trace file and exit")
+	outliersFrom := flag.String("outliers", "", "render a /debug/outliers URL or saved file as a top-K table and exit")
+	topK := flag.Int("top", 10, "with -outliers: how many outliers to show")
+	checkOutliersPath := flag.String("check-outliers", "", "validate a downloaded /debug/outliers file and exit")
 	flag.Parse()
 
+	if *outliersFrom != "" {
+		if err := showOutliers(*outliersFrom, *topK); err != nil {
+			fmt.Fprintf(os.Stderr, "memif-trace: outliers %s: %v\n", *outliersFrom, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *checkOutliersPath != "" {
+		if err := checkOutliers(*checkOutliersPath); err != nil {
+			fmt.Fprintf(os.Stderr, "memif-trace: check-outliers %s: %v\n", *checkOutliersPath, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *checkMetricsPath != "" || *checkTracePath != "" {
 		if *checkMetricsPath != "" {
 			if err := checkMetrics(*checkMetricsPath); err != nil {

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"memif/internal/obs/flight"
+	"memif/internal/obs/lifecycle"
+	"memif/internal/obs/obshttp"
+)
+
+// The -outliers mode: fetch a /debug/outliers document (URL or a saved
+// file) and print the top-K captured tail requests as a table with
+// per-stage attribution — which pipeline edge ate the latency — plus a
+// one-line summary of stall and domain-event records per source.
+
+// stageEdge is one attributable edge of the seven-stage stamp vector.
+type stageEdge struct {
+	name     string
+	from, to lifecycle.Stage
+}
+
+// outlierEdges attributes the full submit→retrieved window; unlike the
+// histogram spans it includes the dispatch→copy-start and
+// copy-end→completion gaps so the columns sum to the total latency.
+var outlierEdges = []stageEdge{
+	{"staging_wait", lifecycle.StageSubmit, lifecycle.StageFlushed},
+	{"dispatch_wait", lifecycle.StageFlushed, lifecycle.StageDispatched},
+	{"chunk_queue", lifecycle.StageDispatched, lifecycle.StageCopyStart},
+	{"copy", lifecycle.StageCopyStart, lifecycle.StageCopyEnd},
+	{"post", lifecycle.StageCopyEnd, lifecycle.StageCompleted},
+	{"completion_dwell", lifecycle.StageCompleted, lifecycle.StageRetrieved},
+}
+
+// edgeDurations extracts each edge's duration from a stamp vector;
+// edges with a missing endpoint come back -1 (rendered as "-").
+func edgeDurations(ts [lifecycle.NumStages]int64) []int64 {
+	out := make([]int64, len(outlierEdges))
+	for i, e := range outlierEdges {
+		if ts[e.from] == 0 || ts[e.to] == 0 {
+			out[i] = -1
+			continue
+		}
+		d := ts[e.to] - ts[e.from]
+		if d < 0 {
+			d = 0
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// fetchOutliers loads the outlier document from an http(s) URL or a
+// local file path.
+func fetchOutliers(from string) ([]obshttp.OutlierReport, error) {
+	var body []byte
+	if strings.HasPrefix(from, "http://") || strings.HasPrefix(from, "https://") {
+		resp, err := http.Get(from)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: %s", from, resp.Status)
+		}
+		if body, err = io.ReadAll(resp.Body); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if body, err = os.ReadFile(from); err != nil {
+			return nil, err
+		}
+	}
+	var reports []obshttp.OutlierReport
+	if err := json.Unmarshal(body, &reports); err != nil {
+		return nil, fmt.Errorf("not a /debug/outliers document: %w", err)
+	}
+	return reports, nil
+}
+
+// sourcedOutlier pairs a record with the recorder it came from.
+type sourcedOutlier struct {
+	source string
+	o      flight.Outlier
+}
+
+// showOutliers renders the top-K latency outliers across every source.
+func showOutliers(from string, topK int) error {
+	reports, err := fetchOutliers(from)
+	if err != nil {
+		return err
+	}
+	var rows []sourcedOutlier
+	for _, rep := range reports {
+		fs := rep.Flight
+		armed := "armed"
+		if !fs.Enabled {
+			armed = "disarmed"
+		}
+		fmt.Printf("source %-10s %s  ring %d  breaches %d  stalls %d  events %d  captured %d\n",
+			rep.Source, armed, fs.RingDepth, fs.Breaches, fs.Stalls, fs.Events, fs.Captured)
+		for _, o := range fs.Outliers {
+			switch o.Kind {
+			case flight.KindLatency:
+				rows = append(rows, sourcedOutlier{rep.Source, o})
+			case flight.KindStall, flight.KindEvent:
+				fmt.Printf("  %-8s %-18s at %12dns  depth %d  inflight %v\n",
+					o.Kind, o.Reason, o.Nano, o.Ambient.SubmissionDepth, o.Ambient.ClassInFlight)
+			}
+		}
+	}
+	if len(rows) == 0 {
+		fmt.Println("\nno latency outliers captured")
+		return nil
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].o.LatencyNs > rows[j].o.LatencyNs })
+	total := len(rows)
+	if len(rows) > topK {
+		rows = rows[:topK]
+	}
+
+	fmt.Printf("\ntop %d latency outliers (of %d retained), worst first:\n\n", len(rows), total)
+	fmt.Printf("%-10s %5s %6s %7s %10s %12s %12s  %-22s", "source", "seq", "class", "tenant", "bytes", "latency", "threshold", "dominant stage")
+	for _, e := range outlierEdges {
+		fmt.Printf(" %13s", e.name)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		o := r.o
+		durs := edgeDurations(o.TS)
+		domIdx, domDur := -1, int64(-1)
+		for i, d := range durs {
+			if d > domDur {
+				domIdx, domDur = i, d
+			}
+		}
+		dom := "-"
+		if domIdx >= 0 && domDur >= 0 && o.LatencyNs > 0 {
+			dom = fmt.Sprintf("%s (%2.0f%%)", outlierEdges[domIdx].name,
+				100*float64(domDur)/float64(o.LatencyNs))
+		}
+		fmt.Printf("%-10s %5d %6d %7d %10d %12v %12v  %-22s",
+			r.source, o.Seq, o.Class, o.Tenant, o.Bytes,
+			time.Duration(o.LatencyNs), time.Duration(o.ThresholdNs), dom)
+		for _, d := range durs {
+			if d < 0 {
+				fmt.Printf(" %13s", "-")
+			} else {
+				fmt.Printf(" %13v", time.Duration(d))
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// checkOutliers validates a saved /debug/outliers document for CI: at
+// least one armed source, every retained latency record internally
+// consistent (breach above its threshold, complete monotone stamp
+// vector), and any source that counted breaches must retain evidence.
+func checkOutliers(path string) error {
+	reports, err := fetchOutliers(path)
+	if err != nil {
+		return err
+	}
+	if len(reports) == 0 {
+		return fmt.Errorf("document lists no flight sources")
+	}
+	armed, latRecords := 0, 0
+	for _, rep := range reports {
+		fs := rep.Flight
+		if !fs.Enabled {
+			continue
+		}
+		armed++
+		if fs.Captured != fs.Breaches+fs.Stalls+fs.Events {
+			return fmt.Errorf("source %s: captured %d != breaches %d + stalls %d + events %d",
+				rep.Source, fs.Captured, fs.Breaches, fs.Stalls, fs.Events)
+		}
+		retained := int64(0)
+		for _, o := range fs.Outliers {
+			if o.Kind != flight.KindLatency {
+				continue
+			}
+			latRecords++
+			retained++
+			if o.LatencyNs <= o.ThresholdNs {
+				return fmt.Errorf("source %s seq %d: latency %d within threshold %d — not a breach",
+					rep.Source, o.Seq, o.LatencyNs, o.ThresholdNs)
+			}
+			prev := int64(0)
+			for st, ts := range o.TS {
+				if ts == 0 {
+					return fmt.Errorf("source %s seq %d: missing stage %s stamp",
+						rep.Source, o.Seq, lifecycle.Stage(st))
+				}
+				if ts < prev {
+					return fmt.Errorf("source %s seq %d: stage %s stamp %d before %d",
+						rep.Source, o.Seq, lifecycle.Stage(st), ts, prev)
+				}
+				prev = ts
+			}
+		}
+		if fs.Breaches > 0 && retained == 0 {
+			return fmt.Errorf("source %s: %d breaches counted but no latency records retained",
+				rep.Source, fs.Breaches)
+		}
+	}
+	if armed == 0 {
+		return fmt.Errorf("no armed flight source in document")
+	}
+	if latRecords == 0 {
+		return fmt.Errorf("no latency outliers retained by any source")
+	}
+	fmt.Printf("memif-trace: %s holds %d consistent latency outliers across %d armed sources\n",
+		path, latRecords, armed)
+	return nil
+}

@@ -8,11 +8,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"memif/internal/core"
 	"memif/internal/hw"
 	"memif/internal/machine"
+	"memif/internal/obs/flight"
 	"memif/internal/obs/lifecycle"
 	"memif/internal/obs/obshttp"
 	"memif/internal/realtime"
@@ -31,8 +33,26 @@ import (
 // zero serves until killed.
 func runServe(addr string, serveFor time.Duration, reqs, bytesPer int) {
 	// Realtime: a burst of real copies with every lifecycle captured.
+	// The chaos hook injects a delay into a few designated requests
+	// after the burst so the flight recorder always holds outliers.
+	var delayCopies atomic.Bool
 	opts := realtime.DefaultOptions()
 	opts.TraceFullCapture = true
+	// The warmup burst below is only `reqs` (default 8) requests; the
+	// recorder's default warmup gate (16) would leave the foreground
+	// lane cold and the provoked stragglers breach-proof. Serve mode is
+	// a smoke demo, so warm the lane on half the burst.
+	opts.Flight.Warmup = int64(reqs) / 2
+	if opts.Flight.Warmup < 1 {
+		opts.Flight.Warmup = 1
+	}
+	opts.Chaos = &realtime.ChaosHooks{
+		BeforeChunkCopy: func(idx uint32, off, end int) {
+			if delayCopies.Load() {
+				time.Sleep(25 * time.Millisecond)
+			}
+		},
+	}
 	d := realtime.Open(opts)
 	src := make([]byte, bytesPer)
 	dsts := make([][]byte, reqs)
@@ -60,6 +80,32 @@ func runServe(addr string, serveFor time.Duration, reqs, bytesPer int) {
 	}
 	defer d.Close()
 
+	// The burst above trained the flight recorder's adaptive
+	// threshold; a few chaos-delayed stragglers now breach it far past
+	// any plausible EWMA, so /debug/outliers always has forensic
+	// records to show.
+	delayCopies.Store(true)
+	dst := make([]byte, bytesPer)
+	for i := 0; i < 4; i++ {
+		r := d.AllocRequest()
+		if r == nil {
+			break
+		}
+		r.Src, r.Dst = src, dst
+		if err := d.Submit(r); err != nil {
+			fmt.Fprintf(os.Stderr, "memif-trace: outlier submit: %v\n", err)
+			os.Exit(1)
+		}
+		for {
+			if got := d.RetrieveCompleted(); got != nil {
+				d.FreeRequest(got)
+				break
+			}
+			d.Poll(time.Second)
+		}
+	}
+	delayCopies.Store(false)
+
 	swSnap, stSnap := runSimScenario()
 
 	h := obshttp.NewHandler()
@@ -69,9 +115,11 @@ func runServe(addr string, serveFor time.Duration, reqs, bytesPer int) {
 	h.RegisterTrace("realtime", func() []lifecycle.Lifecycle {
 		return d.Stats().Lifecycle.Captured
 	})
+	h.RegisterOutliers("realtime", d.FlightSnapshot)
+	h.RegisterOutliers("swapd", func() flight.Snapshot { return swSnap.Flight })
 
 	srv := &http.Server{Addr: addr, Handler: h}
-	fmt.Fprintf(os.Stderr, "memif-trace: serving http://%s/{metrics,trace,debug/pprof/}\n", addr)
+	fmt.Fprintf(os.Stderr, "memif-trace: serving http://%s/{metrics,trace,debug/outliers,debug/pprof/}\n", addr)
 	if serveFor > 0 {
 		go func() {
 			time.Sleep(serveFor)

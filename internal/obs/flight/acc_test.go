@@ -1,0 +1,129 @@
+package flight
+
+import "testing"
+
+// Feeding homogeneous batches through an Acc must land on exactly the
+// same lane state, breach decisions, and SLO counters as per-request
+// Observe calls: the batch-mean fold is the same fixed point when every
+// latency in the batch is equal.
+func TestAccMatchesObserve(t *testing.T) {
+	opts := Options{
+		ThresholdFloorNs: 1, ThresholdMult: 4, EWMAShift: 3, Warmup: 4,
+		SLO: SLOOptions{ClassObjectiveNs: [MaxClasses]int64{0: 10_000}},
+	}
+	direct := New(opts)
+	batched := New(opts)
+
+	// Batches of equal latencies, climbing so later ones breach.
+	batches := [][]int64{
+		{1_000, 1_000, 1_000, 1_000},
+		{2_000, 2_000},
+		{100_000}, // breach: far past 4x the trained EWMA
+		{3_000, 3_000, 3_000},
+	}
+	// Per-observation thresholds legitimately differ inside a batch (the
+	// accumulator freezes the lane's threshold at first touch; direct
+	// Observe re-derives it every call), so the equivalence claim is on
+	// the folded end state, not on intermediate readings.
+	for _, lats := range batches {
+		var acc Acc
+		acc.Init(batched)
+		for _, lat := range lats {
+			direct.Observe(0, 0, lat, true)
+			acc.Observe(0, 0, lat, true)
+		}
+		acc.Flush()
+	}
+
+	ds, bs := direct.Snapshot(), batched.Snapshot()
+	if ds.Breaches != bs.Breaches || ds.Breaches == 0 {
+		t.Fatalf("breaches: direct %d vs batched %d", ds.Breaches, bs.Breaches)
+	}
+	if len(ds.Thresholds) != 1 || len(bs.Thresholds) != 1 {
+		t.Fatalf("lane counts: direct %d vs batched %d", len(ds.Thresholds), len(bs.Thresholds))
+	}
+	if ds.Thresholds[0] != bs.Thresholds[0] {
+		t.Fatalf("lane state diverged:\n direct  %+v\n batched %+v",
+			ds.Thresholds[0], bs.Thresholds[0])
+	}
+	dc, bc := ds.SLO.Classes[0], bs.SLO.Classes[0]
+	if dc.Good != bc.Good || dc.Total != bc.Total || dc.Good == 0 {
+		t.Fatalf("SLO diverged: direct %d/%d vs batched %d/%d",
+			dc.Good, dc.Total, bc.Good, bc.Total)
+	}
+}
+
+// A batch touching more distinct lanes than the accumulator holds must
+// spill to the unbatched path without losing any accounting.
+func TestAccSpillPastLaneCapacity(t *testing.T) {
+	opts := Options{ThresholdFloorNs: 1, Warmup: 1, Classes: 2}
+	r := New(opts)
+	r.EnsureTenants(4)
+
+	var acc Acc
+	acc.Init(r)
+	// 2 classes x 4 tenants = 8 lanes, double the accumulator's 4.
+	for class := 0; class < 2; class++ {
+		for tenant := 0; tenant < 4; tenant++ {
+			acc.Observe(class, tenant, 5_000, true)
+		}
+	}
+	acc.Flush()
+
+	s := r.Snapshot()
+	if len(s.Thresholds) != 8 {
+		t.Fatalf("trained %d lanes, want 8: %+v", len(s.Thresholds), s.Thresholds)
+	}
+	for _, th := range s.Thresholds {
+		if th.Count != 1 || th.EWMANs != 5_000 {
+			t.Fatalf("lane (%d,%d): count %d ewma %d, want 1 / 5000",
+				th.Class, th.Tenant, th.Count, th.EWMANs)
+		}
+	}
+}
+
+// The breach counter must advance at Observe time, not at Flush: the
+// capture that follows a breach decision bumps Captured immediately, and
+// Captured == Breaches + Stalls + Events has to hold at every instant.
+func TestAccBreachCountsBeforeFlush(t *testing.T) {
+	r := New(Options{ThresholdFloorNs: 1, Warmup: 1})
+	r.Observe(0, 0, 1_000, true) // warm + train
+
+	var acc Acc
+	acc.Init(r)
+	if _, breach := acc.Observe(0, 0, 1_000_000, true); !breach {
+		t.Fatal("1000x latency not flagged through the accumulator")
+	}
+	if got := r.Snapshot().Breaches; got != 1 {
+		t.Fatalf("breaches = %d before Flush, want 1", got)
+	}
+	acc.Flush()
+	if got := r.Snapshot().Breaches; got != 1 {
+		t.Fatalf("breaches = %d after Flush, want 1", got)
+	}
+}
+
+// Every Acc method must be safe against a nil (disarmed) recorder and
+// against reuse after Flush.
+func TestAccNilAndReuse(t *testing.T) {
+	var acc Acc
+	acc.Init(nil)
+	if thr, breach := acc.Observe(0, 0, 1e9, true); thr != 0 || breach {
+		t.Fatalf("nil-recorder Observe = (%d, %v), want (0, false)", thr, breach)
+	}
+	acc.Flush()
+
+	r := New(Options{ThresholdFloorNs: 1, Warmup: 1})
+	acc.Init(r)
+	for i := 0; i < 3; i++ {
+		acc.Observe(0, 0, 2_000, true)
+	}
+	acc.Flush()
+	acc.Init(r) // new batch on the same accumulator
+	acc.Observe(0, 0, 2_000, true)
+	acc.Flush()
+	s := r.Snapshot()
+	if len(s.Thresholds) != 1 || s.Thresholds[0].Count != 4 {
+		t.Fatalf("reused accumulator lost observations: %+v", s.Thresholds)
+	}
+}

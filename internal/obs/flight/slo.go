@@ -1,0 +1,162 @@
+package flight
+
+// SLO burn-rate windows. Each window keeps a small ring of cumulative
+// good/total snapshots spaced window/windowEntries apart; once the
+// ring has wrapped, its oldest entry is one full window old, and the
+// burn over the window is the delta between now and that entry.
+// Before the ring fills, the delta spans the available history — a
+// freshly started device reports burn over "since start", converging
+// to the true window as history accumulates.
+//
+// Memory is fixed: windowEntries snapshots per window, each carrying
+// the per-class counters plus the first maxWindowTenants tenants.
+// Tenants beyond the cap fall back to cumulative burn in the snapshot
+// (TenantSLO.Windowed false) — with a thousand tenants the windowed
+// history would dominate the recorder's footprint for series nobody
+// alerts on individually.
+
+const (
+	// windowEntries is the per-window history ring size; burn
+	// granularity is window/windowEntries.
+	windowEntries = 64
+	// maxWindowTenants caps per-tenant windowed history.
+	maxWindowTenants = 32
+)
+
+type sloEntry struct {
+	nano       int64
+	classGood  [MaxClasses]int64
+	classTotal [MaxClasses]int64
+	tenGood    [maxWindowTenants]int64
+	tenTotal   [maxWindowTenants]int64
+}
+
+type wring struct {
+	windowNs int64
+	interval int64 // windowNs / windowEntries
+	last     int64 // nano of the newest entry
+	n        int   // entries ever written; index n%windowEntries is next
+	entries  [windowEntries]sloEntry
+}
+
+func newWring(windowNs int64) *wring {
+	if windowNs <= 0 {
+		windowNs = 1
+	}
+	iv := windowNs / windowEntries
+	if iv <= 0 {
+		iv = 1
+	}
+	return &wring{windowNs: windowNs, interval: iv}
+}
+
+// oldest returns the oldest retained entry, or nil before the first
+// tick. Callers hold winMu.
+func (w *wring) oldest() *sloEntry {
+	if w.n == 0 {
+		return nil
+	}
+	if w.n <= windowEntries {
+		return &w.entries[0]
+	}
+	return &w.entries[w.n%windowEntries]
+}
+
+// ProbeState is what the owner's monitor loop feeds the watchdog each
+// tick: cheap cumulative counters and live depths, no locks taken.
+type ProbeState struct {
+	// QueuedWork reports whether any staging or submission queue held
+	// work at probe time.
+	QueuedWork bool
+	// DispatchProgress is a cumulative dispatch counter; the watchdog
+	// compares ticks, so any monotone counter works.
+	DispatchProgress int64
+	// CompletionDepth and CompletionCap describe the fullest
+	// completion ring.
+	CompletionDepth, CompletionCap int64
+	// RetrieveProgress is a cumulative retrieval counter.
+	RetrieveProgress int64
+}
+
+// Watchdog turns a stream of ProbeStates into typed stall reports.
+// It is single-threaded by contract — only the owner's monitor loop
+// calls Tick — and latches each condition so a wedged device reports
+// once per episode, not once per tick.
+type Watchdog struct {
+	opts WatchdogOptions
+
+	lastDispatch int64
+	lastRetrieve int64
+	stallTicks   int
+	backlogTicks int
+	starveTicks  int
+	stallLatch   bool
+	backlogLatch bool
+	starveLatch  bool
+	fired        []Reason
+}
+
+// NewWatchdog builds a Watchdog, or nil when disabled.
+func NewWatchdog(opts WatchdogOptions) *Watchdog {
+	if opts.Disable {
+		return nil
+	}
+	if opts.HighWaterFraction <= 0 || opts.HighWaterFraction > 1 {
+		opts.HighWaterFraction = 0.75
+	}
+	if opts.StallTicks <= 0 {
+		opts.StallTicks = 3
+	}
+	return &Watchdog{opts: opts, fired: make([]Reason, 0, 3)}
+}
+
+// Tick evaluates one probe and returns the reasons that newly fired
+// this tick (the returned slice is reused across calls — consume it
+// before the next Tick). Nil-safe.
+func (w *Watchdog) Tick(p ProbeState) []Reason {
+	if w == nil {
+		return nil
+	}
+	w.fired = w.fired[:0]
+
+	// Worker stall: queued work, zero dispatch progress.
+	if p.QueuedWork && p.DispatchProgress == w.lastDispatch {
+		w.stallTicks++
+		if w.stallTicks >= w.opts.StallTicks && !w.stallLatch {
+			w.stallLatch = true
+			w.fired = append(w.fired, ReasonWorkerStall)
+		}
+	} else {
+		w.stallTicks = 0
+		w.stallLatch = false
+	}
+	w.lastDispatch = p.DispatchProgress
+
+	// Completion backlog: a ring above high water.
+	if p.CompletionCap > 0 &&
+		float64(p.CompletionDepth) >= w.opts.HighWaterFraction*float64(p.CompletionCap) {
+		w.backlogTicks++
+		if w.backlogTicks >= w.opts.StallTicks && !w.backlogLatch {
+			w.backlogLatch = true
+			w.fired = append(w.fired, ReasonCompletionBacklog)
+		}
+	} else {
+		w.backlogTicks = 0
+		w.backlogLatch = false
+	}
+
+	// Poller starvation: completions waiting, nobody retrieving.
+	if p.CompletionDepth > 0 && p.RetrieveProgress == w.lastRetrieve {
+		w.starveTicks++
+		if w.starveTicks >= w.opts.StallTicks && !w.starveLatch {
+			w.starveLatch = true
+			w.fired = append(w.fired, ReasonPollerStarvation)
+		}
+	} else {
+		w.starveTicks = 0
+		w.starveLatch = false
+	}
+	w.lastRetrieve = p.RetrieveProgress
+
+	return w.fired
+}

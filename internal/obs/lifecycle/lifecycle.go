@@ -9,9 +9,9 @@
 //
 // Records are preallocated per request slot and indexed by the slot
 // number, so tracing allocates nothing after construction. Every
-// transition on a sampled request is one atomic store of a nanosecond
-// stamp; on an unsampled request the instrumentation site pays one
-// atomic load (the sampled check) and nothing else. The sampling
+// transition on an active request is one atomic store of a nanosecond
+// stamp; on an inactive request the instrumentation site pays one
+// atomic load (the active check) and nothing else. The sampling
 // decision itself is a slot-local counter increment and a mask test,
 // taken once per request at Begin — no tracer-global contended write
 // on the unsampled path. All of the expensive work — computing span
@@ -26,6 +26,14 @@
 // histograms and, once complete, are copied into a fixed-depth capture
 // ring from which ChromeTraceJSON renders a Chrome trace_event timeline
 // (chrome://tracing, Perfetto).
+//
+// The flight recorder's retroactive outlier capture deliberately does
+// NOT ride on the Tracer: stamping every request through these records
+// costs an atomic store per stage per request, which breaks the
+// recorder's <2% overhead budget. The realtime device instead keeps its
+// armed-mode stamps in plain per-Request fields ordered by the
+// pipeline's own queue handoffs (see the device's lcEnd), while the
+// Tracer stays the sampled, full-fidelity instrument.
 //
 // Subsystems whose request records carry their own stage timestamps
 // (the simulated core device under swapd and streamrt) skip the Tracer
@@ -248,26 +256,43 @@ func (s SpanSnapshot) Delta(prev SpanSnapshot) SpanSnapshot {
 	return out
 }
 
+// Request-path flags recorded on a lifecycle — how the request was
+// served, for outlier forensics ("slow because it was NOT inlined and
+// its chunks sat un-stolen").
+const (
+	// FlagInline: the worker copied the request inline instead of
+	// dispatching chunks to the controllers.
+	FlagInline uint32 = 1 << 0
+	// FlagStolen: at least one chunk was stolen by a non-owning
+	// controller.
+	FlagStolen uint32 = 1 << 1
+)
+
 // Lifecycle is one completed, captured request lifecycle: the slot it
-// ran in, a global order stamp, the payload size, the priority class
-// (0 on pipelines without classes), the outcome, and the raw stage
-// timestamps (0 = stage never reached).
+// ran in, a global order stamp (0 when the lifecycle was unsampled),
+// the payload size, the priority class (0 on pipelines without
+// classes), the outcome, the path flags, and the raw stage timestamps
+// (0 = stage never reached).
 type Lifecycle struct {
 	Seq     uint64
 	Slot    int
 	Class   int
 	Bytes   int64
 	Outcome Outcome
+	Flags   uint32
 	TS      [NumStages]int64
 }
 
-// record is the preallocated per-slot state. active doubles as the
-// sampled flag: transitions on an unsampled request read it and stop.
-// count drives the sampling decision slot-locally, so an unsampled
-// Begin never touches a cacheline shared across submitters.
+// record is the preallocated per-slot state. active gates stamping
+// (sampled lifecycles only); sampled additionally gates the histogram
+// and capture-ring work at End. count drives the sampling decision
+// slot-locally, so an unsampled Begin never touches a cacheline shared
+// across submitters.
 type record struct {
 	count   atomic.Uint64
 	active  atomic.Uint32
+	sampled atomic.Uint32
+	flags   atomic.Uint32
 	class   atomic.Uint32
 	bytes   atomic.Int64
 	seq     atomic.Uint64
@@ -285,6 +310,7 @@ type captureSlot struct {
 	class   atomic.Uint32
 	bytes   atomic.Int64
 	outcome atomic.Uint32
+	flags   atomic.Uint32
 	ts      [NumStages]atomic.Int64
 }
 
@@ -362,7 +388,8 @@ func (t *Tracer) Begin(slot, class int, bytes, nano int64) bool {
 	}
 	r := &t.recs[slot]
 	c := r.count.Add(1)
-	if (c-1)&t.mask != 0 {
+	sampled := (c-1)&t.mask == 0
+	if !sampled {
 		if r.active.Load() != 0 {
 			r.active.Store(0) // clear a lifecycle left open by a failed submit
 		}
@@ -374,24 +401,69 @@ func (t *Tracer) Begin(slot, class int, bytes, nano int64) bool {
 	r.ts[StageSubmit].Store(nano)
 	r.class.Store(uint32(class))
 	r.bytes.Store(bytes)
-	r.seq.Store(t.seq.Add(1))
+	r.flags.Store(0)
 	r.outcome.Store(uint32(OutcomeOK))
-	r.active.Store(1)
+	// The global order stamp is taken only for sampled lifecycles
+	// (1 in 2^shift), where its contended-RMW cost vanishes.
+	r.seq.Store(t.seq.Add(1))
+	r.sampled.Store(1)
 	t.begun.Inc()
+	r.active.Store(1)
 	return true
 }
 
-// Sampled reports whether the lifecycle currently open on slot is
-// sampled — the one-atomic-load check instrumentation sites use before
-// reading a clock.
-func (t *Tracer) Sampled(slot int) bool {
+// Active reports whether slot has an open lifecycle being stamped —
+// the one-atomic-load check stamping sites use before reading a clock.
+func (t *Tracer) Active(slot int) bool {
 	return t != nil && slot < len(t.recs) && t.recs[slot].active.Load() != 0
 }
 
+// Sampled reports whether the lifecycle currently open on slot is
+// sampled — the check sites feeding histograms (and other per-sample
+// costs, like a chunk push timestamp) use. Implies Active.
+func (t *Tracer) Sampled(slot int) bool {
+	if t == nil || slot >= len(t.recs) {
+		return false
+	}
+	r := &t.recs[slot]
+	return r.active.Load() != 0 && r.sampled.Load() != 0
+}
+
+// StampPending reports whether slot's open lifecycle still lacks a
+// stamp for stage — lets a caller that already paid a clock read for
+// an earlier stamp skip re-reading for a stage stamped by a peer.
+func (t *Tracer) StampPending(slot int, st Stage) bool {
+	if t == nil || slot >= len(t.recs) {
+		return false
+	}
+	r := &t.recs[slot]
+	return r.active.Load() != 0 && r.ts[st].Load() == 0
+}
+
+// SetFlag ORs a Flag* bit into slot's open lifecycle. Go 1.22 has no
+// atomic Or, so this is a CAS loop — uncontended in practice (the
+// writers of distinct flags run on different goroutines but rarely on
+// the same request at the same instant).
+func (t *Tracer) SetFlag(slot int, flag uint32) {
+	if t == nil || slot >= len(t.recs) {
+		return
+	}
+	r := &t.recs[slot]
+	if r.active.Load() == 0 {
+		return
+	}
+	for {
+		old := r.flags.Load()
+		if old&flag == flag || r.flags.CompareAndSwap(old, old|flag) {
+			return
+		}
+	}
+}
+
 // Transition stamps stage with nano on slot's open lifecycle: one
-// atomic store. No-op when the lifecycle is unsampled (one atomic load).
+// atomic store. No-op when the lifecycle is inactive (one atomic load).
 func (t *Tracer) Transition(slot int, st Stage, nano int64) {
-	if !t.Sampled(slot) {
+	if !t.Active(slot) {
 		return
 	}
 	t.recs[slot].ts[st].Store(nano)
@@ -401,7 +473,7 @@ func (t *Tracer) Transition(slot int, st Stage, nano int64) {
 // reached concurrently by several goroutines where the earliest wins
 // (StageCopyStart across parallel chunk copies).
 func (t *Tracer) TransitionFirst(slot int, st Stage, nano int64) {
-	if !t.Sampled(slot) {
+	if !t.Active(slot) {
 		return
 	}
 	t.recs[slot].ts[st].CompareAndSwap(0, nano)
@@ -430,11 +502,18 @@ func (t *Tracer) ObserveQueueWait(class int, d int64, stolen bool) {
 // submissions that failed back to the caller (the request never entered
 // the pipeline).
 func (t *Tracer) Abort(slot int) {
-	if !t.Sampled(slot) {
+	if t == nil || slot >= len(t.recs) {
 		return
 	}
-	t.recs[slot].active.Store(0)
-	t.aborted.Inc()
+	r := &t.recs[slot]
+	if r.active.Load() == 0 {
+		return
+	}
+	sampled := r.sampled.Load() != 0
+	r.active.Store(0)
+	if sampled {
+		t.aborted.Inc()
+	}
 }
 
 // End closes slot's open lifecycle: stamps StageRetrieved with nano,
@@ -449,35 +528,48 @@ func (t *Tracer) End(slot int, outcome Outcome, nano int64) {
 // are also observed into extra (when non-nil), so a caller can attribute
 // the same lifecycle to a second dimension — the realtime device uses it
 // for per-tenant stage latencies — without stamping or deriving twice.
-func (t *Tracer) EndInto(slot int, outcome Outcome, nano int64, extra *SpanSet) {
-	if !t.Sampled(slot) {
-		return
+//
+// It returns the closed lifecycle (complete stamp vector, flags,
+// outcome) and whether one was open, so the caller can feed the same
+// sampled lifecycle to the flight recorder's breach check without
+// re-deriving the stamps.
+func (t *Tracer) EndInto(slot int, outcome Outcome, nano int64, extra *SpanSet) (Lifecycle, bool) {
+	if t == nil || slot >= len(t.recs) {
+		return Lifecycle{}, false
 	}
 	r := &t.recs[slot]
+	if r.active.Load() == 0 {
+		return Lifecycle{}, false
+	}
 	r.ts[StageRetrieved].Store(nano)
 	r.outcome.Store(uint32(outcome))
 	var ts [NumStages]int64
 	for i := range ts {
 		ts[i] = r.ts[i].Load()
 	}
-	t.spans.ObserveStamps(&ts)
-	if extra != nil {
-		extra.ObserveStamps(&ts)
-	}
 	class := int(r.class.Load())
-	if class < len(t.classSpans) {
-		t.classSpans[class].ObserveStamps(&ts)
-	}
-	t.pushCapture(Lifecycle{
+	lc := Lifecycle{
 		Seq:     r.seq.Load(),
 		Slot:    slot,
 		Class:   class,
 		Bytes:   r.bytes.Load(),
 		Outcome: outcome,
+		Flags:   r.flags.Load(),
 		TS:      ts,
-	})
+	}
+	if r.sampled.Load() != 0 {
+		t.spans.ObserveStamps(&ts)
+		if extra != nil {
+			extra.ObserveStamps(&ts)
+		}
+		if class < len(t.classSpans) {
+			t.classSpans[class].ObserveStamps(&ts)
+		}
+		t.pushCapture(lc)
+		t.ended.Inc()
+	}
 	r.active.Store(0)
-	t.ended.Inc()
+	return lc, true
 }
 
 func (t *Tracer) pushCapture(lc Lifecycle) {
@@ -487,6 +579,7 @@ func (t *Tracer) pushCapture(lc Lifecycle) {
 	s.class.Store(uint32(lc.Class))
 	s.bytes.Store(lc.Bytes)
 	s.outcome.Store(uint32(lc.Outcome))
+	s.flags.Store(lc.Flags)
 	for i := range lc.TS {
 		s.ts[i].Store(lc.TS[i])
 	}
@@ -526,6 +619,7 @@ func (t *Tracer) Snapshot() Snapshot {
 			Class:   int(cs.class.Load()),
 			Bytes:   cs.bytes.Load(),
 			Outcome: Outcome(cs.outcome.Load()),
+			Flags:   cs.flags.Load(),
 		}
 		for j := range lc.TS {
 			lc.TS[j] = cs.ts[j].Load()

@@ -2,8 +2,10 @@ package obshttp
 
 import (
 	"strconv"
+	"time"
 
 	"memif/internal/obs"
+	"memif/internal/obs/flight"
 	"memif/internal/realtime"
 	"memif/internal/streamrt"
 	"memif/internal/swapd"
@@ -107,7 +109,81 @@ func RealtimeMetrics(device string, s realtime.StatsSnapshot) []Metric {
 				"Per-stage latency attribution of sampled requests by priority class (ns).", clb, sp)...)
 		}
 	}
+	if s.Flight.Enabled {
+		tenantName := func(t int) string {
+			if t >= 0 && t < len(s.Tenants) {
+				return s.Tenants[t].Name
+			}
+			return strconv.Itoa(t)
+		}
+		ms = append(ms, flightMetrics("memif_realtime", lb, s.Flight, realtime.ClassName, tenantName)...)
+	}
 	return ms
+}
+
+// flightMetrics renders one subsystem's flight-recorder snapshot as the
+// {prefix}_flight_* and {prefix}_slo_* series. className and tenantName
+// map the recorder's numeric lanes onto the subsystem's label
+// vocabulary.
+func flightMetrics(prefix string, lb []Label, fs flight.Snapshot, className func(int) string, tenantName func(int) string) []Metric {
+	if !fs.Enabled {
+		return nil
+	}
+	ms := []Metric{
+		counter(prefix+"_flight_breaches_total", "Completed requests whose latency breached the adaptive outlier threshold.", lb, fs.Breaches),
+		counter(prefix+"_flight_stall_events_total", "Watchdog stall reports (worker stall, completion backlog, poller starvation).", lb, fs.Stalls),
+		counter(prefix+"_flight_domain_events_total", "Domain events captured into the flight ring (txn aborts, promotion lag).", lb, fs.Events),
+		counter(prefix+"_flight_captured_total", "Records pushed into the outlier ring, all kinds (full records at /debug/outliers).", lb, fs.Captured),
+	}
+	for _, lt := range fs.Thresholds {
+		if lt.Tenant != 0 {
+			continue // per-tenant lanes stay in /debug/outliers; /metrics keeps a bounded series set
+		}
+		clb := append(append([]Label(nil), lb...), Label{"class", className(lt.Class)})
+		ms = append(ms,
+			gauge(prefix+"_flight_threshold_ns", "Adaptive outlier threshold in force: max(floor, mult × EWMA) on the tenant-0 lane.", clb, lt.ThresholdNs),
+			gauge(prefix+"_flight_latency_ewma_ns", "Lane latency EWMA behind the adaptive threshold (tenant-0 lane).", clb, lt.EWMANs),
+		)
+	}
+	slo := fs.SLO
+	if !slo.Enabled {
+		return ms
+	}
+	for _, cs := range slo.Classes {
+		clb := append(append([]Label(nil), lb...), Label{"class", className(cs.Class)})
+		ms = append(ms,
+			gauge(prefix+"_slo_objective_ns", "Per-class latency objective (ns).", clb, cs.ObjectiveNs),
+			counter(prefix+"_slo_good_total", "OK completions within the class objective.", clb, cs.Good),
+			counter(prefix+"_slo_requests_total", "OK completions measured against the class objective.", clb, cs.Total),
+		)
+		for _, b := range cs.Burn {
+			wlb := append(append([]Label(nil), clb...), Label{"window", windowName(b.WindowNs)})
+			ms = append(ms, gaugeF(prefix+"_slo_burn_rate",
+				"Error-budget burn rate over the window (1.0 = bad-request fraction exactly consumes the budget).", wlb, b.Burn))
+		}
+	}
+	for _, ts := range slo.Tenants {
+		tlb := append(append([]Label(nil), lb...), Label{"tenant", tenantName(ts.Tenant)})
+		ms = append(ms,
+			counter(prefix+"_slo_tenant_good_total", "OK completions within the tenant's class objectives.", tlb, ts.Good),
+			counter(prefix+"_slo_tenant_requests_total", "OK completions measured for the tenant.", tlb, ts.Total),
+		)
+		for _, b := range ts.Burn {
+			wlb := append(append([]Label(nil), tlb...), Label{"window", windowName(b.WindowNs)})
+			ms = append(ms, gaugeF(prefix+"_slo_tenant_burn_rate",
+				"Per-tenant error-budget burn rate over the window (window=\"total\" = cumulative, beyond the windowed-tenant cap).", wlb, b.Burn))
+		}
+	}
+	return ms
+}
+
+// windowName renders a burn window for the window label; 0 is the
+// cumulative fallback for tenants beyond the windowed-history cap.
+func windowName(ns int64) string {
+	if ns <= 0 {
+		return "total"
+	}
+	return time.Duration(ns).String()
 }
 
 // RealtimeCollector wraps a live device's Stats method as a Collector.
@@ -136,8 +212,22 @@ func SwapdMetrics(device string, s swapd.MetricsSnapshot) []Metric {
 		hist("memif_swapd_eviction_latency_ns", "Submission-to-completion latency of successful migrations (virtual ns).", lb, s.Latency),
 		hist("memif_swapd_eviction_bytes", "Per-migration payload size (bytes).", lb, s.Sizes),
 	}
-	return append(ms, SpanMetrics("memif_swapd_stage_latency_ns",
+	ms = append(ms, SpanMetrics("memif_swapd_stage_latency_ns",
 		"Per-stage latency attribution of evictions (virtual ns).", lb, s.Stages)...)
+	if s.Flight.Enabled {
+		ms = append(ms, flightMetrics("memif_swapd", lb, s.Flight, swapdLane, strconv.Itoa)...)
+	}
+	return ms
+}
+
+// swapdLane names the swap daemon's flight-recorder class lanes: the
+// QoS classes its migrations ride, plus the borrowed promotion-lag
+// lane one past them.
+func swapdLane(c int) string {
+	if c == 3 {
+		return "promotion_lag"
+	}
+	return realtime.ClassName(c)
 }
 
 // SwapdCollector wraps a live daemon's Metrics method as a Collector.
@@ -178,6 +268,10 @@ func counter(name, help string, lb []Label, v int64) Metric {
 
 func gauge(name, help string, lb []Label, v int64) Metric {
 	return Metric{Name: name, Help: help, Type: TypeGauge, Labels: lb, Value: float64(v)}
+}
+
+func gaugeF(name, help string, lb []Label, v float64) Metric {
+	return Metric{Name: name, Help: help, Type: TypeGauge, Labels: lb, Value: v}
 }
 
 func hist(name, help string, lb []Label, h obs.HistogramSnapshot) Metric {

@@ -4,9 +4,12 @@
 // trace_event JSON, and serves both — plus the Go runtime profiles —
 // from one http.Handler:
 //
-//	/metrics        Prometheus text format (scrapable)
-//	/trace          Chrome trace_event JSON (chrome://tracing, Perfetto)
-//	/debug/pprof/*  the standard Go profiles
+//	/metrics               Prometheus text format (scrapable)
+//	/trace                 Chrome trace_event JSON (chrome://tracing, Perfetto)
+//	/debug/outliers        flight-recorder snapshots as JSON (captured
+//	                       outliers, stall reports, thresholds, SLO burn)
+//	/debug/outliers/trace  the captured outliers as Chrome trace JSON
+//	/debug/pprof/*         the standard Go profiles
 //
 // The package deliberately pulls, never pushes: collectors are closures
 // that snapshot a subsystem when a scrape arrives, so an idle handler
@@ -19,6 +22,7 @@
 package obshttp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -29,6 +33,7 @@ import (
 	"sync"
 
 	"memif/internal/obs"
+	"memif/internal/obs/flight"
 	"memif/internal/obs/lifecycle"
 )
 
@@ -78,13 +83,21 @@ type TraceSource struct {
 	Snapshot func() []lifecycle.Lifecycle
 }
 
-// Handler serves /metrics, /trace and /debug/pprof/* for a set of
-// registered collectors and trace sources. The zero value is usable;
-// registration is safe concurrently with serving.
+// OutlierSource produces one subsystem's flight-recorder snapshot at
+// /debug/outliers render time.
+type OutlierSource struct {
+	Source   string
+	Snapshot func() flight.Snapshot
+}
+
+// Handler serves /metrics, /trace, /debug/outliers and /debug/pprof/*
+// for a set of registered collectors and sources. The zero value is
+// usable; registration is safe concurrently with serving.
 type Handler struct {
 	mu         sync.RWMutex
 	collectors []Collector
 	traces     []TraceSource
+	outliers   []OutlierSource
 }
 
 // NewHandler returns an empty Handler.
@@ -102,6 +115,15 @@ func (h *Handler) Register(c Collector) {
 func (h *Handler) RegisterTrace(process string, fn func() []lifecycle.Lifecycle) {
 	h.mu.Lock()
 	h.traces = append(h.traces, TraceSource{Process: process, Snapshot: fn})
+	h.mu.Unlock()
+}
+
+// RegisterOutliers adds a flight-recorder source, one entry in the
+// /debug/outliers document (and one Chrome process row in
+// /debug/outliers/trace) per source.
+func (h *Handler) RegisterOutliers(source string, fn func() flight.Snapshot) {
+	h.mu.Lock()
+	h.outliers = append(h.outliers, OutlierSource{Source: source, Snapshot: fn})
 	h.mu.Unlock()
 }
 
@@ -138,7 +160,71 @@ func (h *Handler) TraceJSON() ([]byte, error) {
 	return lifecycle.ChromeTraceGroupsJSON(groups)
 }
 
-// ServeHTTP routes /metrics, /trace and /debug/pprof/*.
+// OutlierReport is one source's entry in the /debug/outliers document.
+type OutlierReport struct {
+	Source string          `json:"source"`
+	Flight flight.Snapshot `json:"flight"`
+}
+
+// OutlierReports snapshots every registered flight recorder.
+func (h *Handler) OutlierReports() []OutlierReport {
+	h.mu.RLock()
+	srcs := h.outliers
+	h.mu.RUnlock()
+	out := make([]OutlierReport, 0, len(srcs))
+	for _, s := range srcs {
+		out = append(out, OutlierReport{Source: s.Source, Flight: s.Snapshot()})
+	}
+	return out
+}
+
+// OutliersJSON renders every registered flight recorder's snapshot as
+// one JSON document — the /debug/outliers body.
+func (h *Handler) OutliersJSON() ([]byte, error) {
+	return json.MarshalIndent(h.OutlierReports(), "", "  ")
+}
+
+// OutliersTraceJSON renders the captured latency outliers of every
+// flight source as Chrome trace_event JSON: each breaching request's
+// stamp vector becomes a span row, so the tail can be eyeballed on the
+// same timeline view as the sampled /trace export. Stall and event
+// records carry no stamp vector and are skipped.
+func (h *Handler) OutliersTraceJSON() ([]byte, error) {
+	h.mu.RLock()
+	srcs := h.outliers
+	h.mu.RUnlock()
+	groups := make([]lifecycle.TraceGroup, 0, len(srcs))
+	for _, s := range srcs {
+		groups = append(groups, lifecycle.TraceGroup{
+			Process:    s.Source + " outliers",
+			Lifecycles: outlierLifecycles(s.Snapshot()),
+		})
+	}
+	return lifecycle.ChromeTraceGroupsJSON(groups)
+}
+
+// outlierLifecycles converts captured latency outliers back into the
+// lifecycle shape the Chrome exporter renders.
+func outlierLifecycles(s flight.Snapshot) []lifecycle.Lifecycle {
+	var out []lifecycle.Lifecycle
+	for _, o := range s.Outliers {
+		if o.Kind != flight.KindLatency || o.TS[lifecycle.StageSubmit] == 0 {
+			continue
+		}
+		out = append(out, lifecycle.Lifecycle{
+			Seq:     o.Seq,
+			Slot:    int(o.Slot),
+			Class:   int(o.Class),
+			Bytes:   o.Bytes,
+			Outcome: lifecycle.Outcome(o.Outcome),
+			Flags:   o.Flags,
+			TS:      o.TS,
+		})
+	}
+	return out
+}
+
+// ServeHTTP routes /metrics, /trace, /debug/outliers and /debug/pprof/*.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch p := r.URL.Path; {
 	case p == "/metrics":
@@ -146,6 +232,22 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Write(h.MetricsText())
 	case p == "/trace":
 		body, err := h.TraceJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	case p == "/debug/outliers":
+		body, err := h.OutliersJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	case p == "/debug/outliers/trace":
+		body, err := h.OutliersTraceJSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -167,7 +269,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	case p == "/" || p == "":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "memif observability endpoints:\n  /metrics\n  /trace\n  /debug/pprof/\n")
+		io.WriteString(w, "memif observability endpoints:\n  /metrics\n  /trace\n  /debug/outliers\n  /debug/outliers/trace\n  /debug/pprof/\n")
 	default:
 		http.NotFound(w, r)
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"memif/internal/obs"
+	"memif/internal/obs/flight"
 	"memif/internal/obs/lifecycle"
 	"memif/internal/realtime"
 	"memif/internal/streamrt"
@@ -220,6 +221,13 @@ func TestAllSubsystemConverters(t *testing.T) {
 		Sizes:        sampleHistogram(1 << 20),
 		PromotionLag: sampleHistogram(2_000_000),
 		Stages:       spans.Snapshot(),
+		Flight: flight.Snapshot{
+			Enabled: true, RingDepth: 512, Breaches: 2, Events: 3, Captured: 5,
+			Thresholds: []flight.LaneThreshold{
+				{Class: 2, EWMANs: 1_500_000, ThresholdNs: 6_000_000, Count: 16},
+				{Class: 3, EWMANs: 2_000_000, ThresholdNs: 8_000_000, Count: 7},
+			},
+		},
 	}
 	st := streamrt.MetricsSnapshot{
 		FastChunks: 12, SlowChunks: 4, BytesPrefetched: 6 << 20,
@@ -243,6 +251,11 @@ func TestAllSubsystemConverters(t *testing.T) {
 		`memif_swapd_promotion_lag_ns_count{device="swapd0"} 1`,
 		`memif_swapd_evictions_total{device="swapd0"} 16`,
 		`memif_swapd_stage_latency_ns_count{device="swapd0",stage="copy"} 16`,
+		`memif_swapd_flight_breaches_total{device="swapd0"} 2`,
+		`memif_swapd_flight_domain_events_total{device="swapd0"} 3`,
+		`memif_swapd_flight_captured_total{device="swapd0"} 5`,
+		`memif_swapd_flight_threshold_ns{device="swapd0",class="scavenger"} 6000000`,
+		`memif_swapd_flight_threshold_ns{device="swapd0",class="promotion_lag"} 8000000`,
 		"memif_stream_fast_chunks_total 12",
 		`memif_stream_stage_latency_ns_count{stage="staging_wait"} 16`,
 	} {

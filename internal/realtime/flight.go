@@ -1,0 +1,114 @@
+package realtime
+
+import (
+	"time"
+
+	"memif/internal/obs/flight"
+)
+
+// Flight-recorder plumbing for the realtime device: the monitor
+// goroutine that drives SLO window ticks and the stall watchdog, and
+// the ambient-state assembler the outlier capture paths share. The
+// recorder itself lives in internal/obs/flight; everything here is the
+// device-specific probe.
+
+// flightTickInterval is the monitor cadence: fast enough that a 1s SLO
+// window keeps fine-grained burn history and a wedged worker is
+// reported within ~30ms (3 ticks at the default StallTicks), slow
+// enough that an idle device's monitor load is unmeasurable.
+const flightTickInterval = 10 * time.Millisecond
+
+// monitor is the flight recorder's heartbeat goroutine: every tick it
+// advances the SLO burn-rate windows and feeds the watchdog a progress
+// probe; findings are captured into the outlier ring as typed stall
+// records. Exits when frStop closes (Close waits for it).
+func (d *Device) monitor() {
+	defer d.frWg.Done()
+	ticker := time.NewTicker(flightTickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.frStop:
+			return
+		case <-ticker.C:
+		}
+		nano := time.Now().UnixNano()
+		d.fr.Tick(nano)
+		if d.frWatch == nil {
+			continue
+		}
+		depth, cap := d.fullestCompletionRing()
+		p := flight.ProbeState{
+			QueuedWork:       d.queuedWork(),
+			DispatchProgress: d.m.dispatched.Load(),
+			CompletionDepth:  depth,
+			CompletionCap:    cap,
+			RetrieveProgress: d.m.retrieved.Load(),
+		}
+		for _, reason := range d.frWatch.Tick(p) {
+			d.fr.CaptureStall(reason, nano, d.ambient())
+		}
+	}
+}
+
+// FlightSnapshot returns the flight recorder's state alone — captured
+// outliers, stall reports, lane thresholds and SLO burn rates — without
+// the full Stats assembly. Snapshot.Enabled is false when the recorder
+// is disarmed.
+func (d *Device) FlightSnapshot() flight.Snapshot { return d.fr.Snapshot() }
+
+// queuedWork reports whether any staging shard or submission queue held
+// work at probe time (racy snapshot — the watchdog needs consecutive
+// bad ticks anyway).
+func (d *Device) queuedWork() bool {
+	for _, sh := range d.staging {
+		if !sh.Empty() {
+			return true
+		}
+	}
+	for _, q := range d.submission {
+		if !q.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// fullestCompletionRing returns the deepest completion ring's occupancy
+// and the per-ring capacity — the backlog probe watches the worst ring,
+// since slot→ring mapping is static and one starved poller wedges one
+// ring, not the average.
+func (d *Device) fullestCompletionRing() (depth, cap int64) {
+	for _, cr := range d.compRings {
+		if s := cr.size(); s > depth {
+			depth = s
+		}
+	}
+	return depth, d.compCap / int64(len(d.compRings))
+}
+
+// ambient assembles the congestion picture stored alongside an outlier:
+// live queue depths and per-class in-flight counts, all racy snapshots
+// of already-atomic state.
+func (d *Device) ambient() flight.Ambient {
+	amb := flight.Ambient{
+		SubmissionDepth: d.submissionDepth(),
+		CompletionDepth: d.completionDepth(),
+	}
+	var staging int64
+	for _, sh := range d.staging {
+		staging += int64(sh.Size())
+	}
+	amb.StagingDepth = staging
+	if d.rings != nil {
+		var rd int64
+		for _, cr := range d.rings {
+			rd += cr.size()
+		}
+		amb.RingDepth = rd
+	}
+	for c := 0; c < NumClasses; c++ {
+		amb.ClassInFlight[c] = d.classInFlight[c].n.Load()
+	}
+	return amb
+}

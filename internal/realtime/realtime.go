@@ -121,6 +121,7 @@ import (
 	"time"
 
 	"memif/internal/obs"
+	"memif/internal/obs/flight"
 	"memif/internal/obs/lifecycle"
 	"memif/internal/rbq"
 )
@@ -231,6 +232,16 @@ type Options struct {
 	// completions are spread across (ring = slot index % N). 0 means
 	// min(GOMAXPROCS, Controllers), clamped to [1, NumReqs].
 	CompletionRings int
+	// Flight configures the always-on flight recorder: retroactive
+	// outlier capture (every request's stage stamps kept, breaching
+	// requests snapshotted into a bounded ring), the stall watchdog,
+	// and per-class/per-tenant SLO burn rates. The zero value arms it
+	// with defaults; set Flight.Disable to fall back to pure
+	// 1-in-2^TraceSampleShift lifecycle sampling. The recorder is
+	// independent of the tracer: armed stage stamps live in plain
+	// Request fields and a breach synthesizes its vector from them, so
+	// capture has no sampling holes even with the tracer off.
+	Flight flight.Options
 	// Chaos installs test-only fault-injection hooks. Leave nil outside
 	// the verification suite.
 	Chaos *ChaosHooks
@@ -323,6 +334,20 @@ type Request struct {
 	chunksLeft atomic.Int32
 	submitted  atomic.Int64 // UnixNano
 	completed  atomic.Int64
+
+	// Flight-recorder stage stamps, written only with the recorder
+	// armed (d.frArmed) and read solely on the retrieval path when a
+	// breach synthesizes its stamp vector (lcEnd). flushedNs and
+	// dispatchedNs each have one writer per lifecycle whose write is
+	// ordered before the reader by the pipeline's queue handoffs, so
+	// they are plain fields — no atomic store on the per-request hot
+	// path. copyStartNs is contended by parallel chunk controllers
+	// (first fresh stamp wins) and stays atomic. None are cleared on
+	// slot reuse: a stale value is older than the new submitted stamp,
+	// and every reader discards stamps below it.
+	flushedNs    int64
+	dispatchedNs int64
+	copyStartNs  atomic.Int64
 }
 
 // word packs st with the request's tenant claim.
@@ -419,9 +444,12 @@ type metrics struct {
 	agedPops, retunes            obs.Counter
 	dispatchRetries              obs.Counter
 	busyPollSpins, busyPollParks obs.Counter
+	dispatched                   obs.Counter
 	_                            [64]byte
-	// Poller-side: bumped in Poll/PollContext's micro-wait.
+	// Poller-side: bumped in Poll/PollContext's micro-wait and on the
+	// retrieval paths (the watchdog's progress probe).
 	pollerSpins, pollerParks obs.Counter
+	retrieved                obs.Counter
 	_                        [64]byte
 	// Cold or mixed-writer instruments.
 	enqueueRetries obs.Counter
@@ -533,6 +561,11 @@ type StatsSnapshot struct {
 	// delay, copy, completion dwell) and the captured complete
 	// lifecycles. Enabled is false when Options.TraceSampleShift < 0.
 	Lifecycle lifecycle.Snapshot
+	// Flight is the flight-recorder snapshot: captured outliers and
+	// stall reports, adaptive per-lane thresholds, and SLO burn rates.
+	// Flight.Enabled is false when Options.Flight.Disable is set (or
+	// lifecycle tracing is off entirely).
+	Flight flight.Snapshot
 	// Trace holds the retained ring-buffer events (nil unless
 	// Options.TraceDepth > 0). Render with obs.FormatEvents(…, EventName).
 	Trace []obs.Event
@@ -621,6 +654,20 @@ type Device struct {
 	m       metrics
 	lc      *lifecycle.Tracer // nil when lifecycle tracing is disabled
 	chaos   *ChaosHooks
+
+	// Flight recorder (nil fields when Options.Flight.Disable). fr and
+	// frWatch are the recorder and its watchdog; the monitor goroutine
+	// (flight.go) drives both and exits when frStop closes.
+	fr      *flight.Recorder
+	frWatch *flight.Watchdog
+	frStop  chan struct{}
+	frWg    sync.WaitGroup
+	// frArmed mirrors fr != nil as a plain bool the per-request paths
+	// branch on: with the recorder armed, every request carries the
+	// cheap plain-field stage stamps lcEnd synthesizes breach vectors
+	// from (see Request.flushedNs).
+	frArmed bool
+	compCap int64 // summed completion-ring capacity (watchdog high water)
 }
 
 // pollerToken pins a polling goroutine to a preferred completion ring —
@@ -697,6 +744,7 @@ func Open(opts Options) *Device {
 	for i := range d.compRings {
 		d.compRings[i] = newCompRing(perRing)
 	}
+	d.compCap = int64(perRing) * int64(nCompRings)
 	for c := range d.submission {
 		d.submission[c] = slab.NewQueue(rbq.Blue)
 	}
@@ -742,6 +790,26 @@ func Open(opts Options) *Device {
 		lcShift = DefaultTraceSampleShift
 	}
 	d.lc = lifecycle.New(opts.NumReqs, lcShift, opts.TraceCaptureDepth, NumClasses)
+	if !opts.Flight.Disable {
+		fo := opts.Flight
+		if fo.Classes <= 0 || fo.Classes > flight.MaxClasses {
+			fo.Classes = NumClasses
+		}
+		d.fr = flight.New(fo)
+	}
+	if d.fr != nil {
+		// Retroactive capture needs stage stamps for every request, not
+		// 1/128 — but not through the tracer's atomic records, whose
+		// per-stage stores cost more than the recorder's whole overhead
+		// budget. Armed stamps live in plain Request fields instead
+		// (amortized clock, one writer per handoff stage); the tracer
+		// stays the sampled full-fidelity instrument.
+		d.frArmed = true
+		d.frWatch = flight.NewWatchdog(opts.Flight.Watchdog)
+		d.frStop = make(chan struct{})
+		d.frWg.Add(1)
+		go d.monitor()
+	}
 	for i := range d.reqs {
 		d.reqs[i] = &Request{idx: uint32(i)}
 		if _, ok := d.freeList.Enqueue(uint32(i)); !ok {
@@ -787,6 +855,10 @@ func (d *Device) Close() {
 	}
 	if d.closed.Swap(true) {
 		return
+	}
+	if d.frStop != nil {
+		close(d.frStop)
+		d.frWg.Wait()
 	}
 	select {
 	case d.kick <- struct{}{}:
@@ -866,35 +938,152 @@ func (d *Device) trace(kind uint32, a, b uint64) {
 	}
 }
 
-// lcStamp timestamps one lifecycle stage for idx. The unsampled (and
-// disabled) fast path is a single atomic load — the clock is only read
-// for the one request in 2^TraceSampleShift actually being traced.
+// lcStamp timestamps one lifecycle stage for idx. The inactive fast
+// path is a single atomic load — the clock is only read for the one
+// request in 2^TraceSampleShift actually being traced.
 func (d *Device) lcStamp(idx uint32, st lifecycle.Stage) {
-	if d.lc.Sampled(int(idx)) {
+	if d.lc.Active(int(idx)) {
 		d.lc.Transition(int(idx), st, time.Now().UnixNano())
 	}
 }
 
-// lcEnd closes idx's lifecycle on the retrieval path, classifying the
-// outcome from the request error.
-func (d *Device) lcEnd(r *Request) {
-	if !d.lc.Sampled(int(r.idx)) {
+// lcOutcome classifies a retrieved request's error for the tracer and
+// the outlier record.
+func lcOutcome(err error) lifecycle.Outcome {
+	switch {
+	case err == nil:
+		return lifecycle.OutcomeOK
+	case errors.Is(err, ErrCanceled):
+		return lifecycle.OutcomeCanceled
+	case errors.Is(err, ErrDeadline):
+		return lifecycle.OutcomeExpired
+	default:
+		return lifecycle.OutcomeFailed
+	}
+}
+
+// lcEnd closes r's lifecycle on the retrieval path and — with the
+// flight recorder armed — runs the breach check through the caller's
+// batch accumulator: the completed latency trains the lane EWMA and SLO
+// counters (folded once per batch by acc.Flush), and a breach copies a
+// full seven-stage stamp vector plus the ambient congestion picture
+// into the outlier ring. No sampling holes: every retrieved request
+// takes the breach check.
+//
+// Sampled lifecycles (1 in 2^shift) close through the tracer with a
+// fresh clock read and capture their genuine stamp vector. Every other
+// request pays only plain loads: its vector is synthesized on breach
+// from the armed stamps (Request.flushedNs et al.) with nano — the
+// caller's batch-amortized retrieve timestamp (0 = read here) — as the
+// retrieved stage. Stamps below the submitted stamp are a previous
+// occupant's and are discarded; the worker's pass-amortized clock makes
+// intra-pipeline stamps at most a few microseconds stale, invisible at
+// the millisecond scale that defines a breach. A missing copy-start
+// stamp means the worker copied inline at dispatch, so the dispatch
+// stamp is the exact copy-start time and the record is flagged inline.
+func (d *Device) lcEnd(r *Request, nano int64, acc *flight.Acc) {
+	if d.lc.Active(int(r.idx)) {
+		out := lcOutcome(r.Err)
+		// The tenant span set rides the same stamp derivation:
+		// per-tenant stage attribution at zero extra clock reads.
+		lc, ok := d.lc.EndInto(int(r.idx), out, time.Now().UnixNano(), &d.tenantOf(r).spans)
+		if !ok || d.fr == nil {
+			return
+		}
+		lat := lc.TS[lifecycle.StageRetrieved] - lc.TS[lifecycle.StageSubmit]
+		tenant := int(r.tenant.Load())
+		thr, breach := acc.Observe(lc.Class, tenant, lat, out == lifecycle.OutcomeOK)
+		if !breach {
+			return
+		}
+		o := flight.Outlier{
+			Kind:        flight.KindLatency,
+			Nano:        lc.TS[lifecycle.StageRetrieved],
+			Slot:        int32(lc.Slot),
+			Class:       int32(lc.Class),
+			Tenant:      uint32(tenant),
+			Bytes:       lc.Bytes,
+			Outcome:     int32(lc.Outcome),
+			Flags:       lc.Flags,
+			LatencyNs:   lat,
+			ThresholdNs: thr,
+			TS:          lc.TS,
+			Ambient:     d.ambient(),
+		}
+		d.fr.Capture(&o)
 		return
 	}
-	var out lifecycle.Outcome
-	switch {
-	case r.Err == nil:
-		out = lifecycle.OutcomeOK
-	case errors.Is(r.Err, ErrCanceled):
-		out = lifecycle.OutcomeCanceled
-	case errors.Is(r.Err, ErrDeadline):
-		out = lifecycle.OutcomeExpired
-	default:
-		out = lifecycle.OutcomeFailed
+	if d.fr == nil {
+		return
 	}
-	// The tenant span set rides the same stamp derivation: per-tenant
-	// stage attribution at zero extra clock reads.
-	d.lc.EndInto(int(r.idx), out, time.Now().UnixNano(), &d.tenantOf(r).spans)
+	if nano == 0 {
+		nano = time.Now().UnixNano()
+	}
+	sub := r.submitted.Load()
+	if sub == 0 {
+		// Shed before staging (admission or slot exhaustion): there is
+		// no pipeline latency to attribute, and nano-sub would read as
+		// an epoch-sized breach with an empty stamp vector.
+		return
+	}
+	lat := nano - sub
+	tenant := int(r.tenant.Load())
+	thr, breach := acc.Observe(int(r.Class), tenant, lat, r.Err == nil)
+	if !breach {
+		return
+	}
+	// Synthesize the stamp vector (breaches only — the hot path never
+	// runs this). Clamps keep it monotone: amortized clocks can lag a
+	// fresher upstream stamp by microseconds, and stale stamps from the
+	// slot's previous life fall below the submitted stamp.
+	comp := r.completed.Load()
+	disp := r.dispatchedNs
+	if disp < sub {
+		disp = sub
+	}
+	var flags uint32
+	cs := r.copyStartNs.Load()
+	if cs < sub {
+		cs = disp
+		flags |= lifecycle.FlagInline
+	} else if cs < disp {
+		cs = disp
+	}
+	if comp < cs {
+		comp = cs
+	}
+	fl := r.flushedNs
+	if fl < sub {
+		fl = sub
+	} else if fl > disp {
+		fl = disp
+	}
+	if nano < comp {
+		nano = comp
+	}
+	o := flight.Outlier{
+		Kind:        flight.KindLatency,
+		Nano:        nano,
+		Slot:        int32(r.idx),
+		Class:       int32(r.Class),
+		Tenant:      uint32(tenant),
+		Bytes:       int64(len(r.Src)),
+		Outcome:     int32(lcOutcome(r.Err)),
+		Flags:       flags,
+		LatencyNs:   lat,
+		ThresholdNs: thr,
+		TS: [lifecycle.NumStages]int64{
+			lifecycle.StageSubmit:     sub,
+			lifecycle.StageFlushed:    fl,
+			lifecycle.StageDispatched: disp,
+			lifecycle.StageCopyStart:  cs,
+			lifecycle.StageCopyEnd:    comp,
+			lifecycle.StageCompleted:  comp,
+			lifecycle.StageRetrieved:  nano,
+		},
+		Ambient: d.ambient(),
+	}
+	d.fr.Capture(&o)
 }
 
 // wake posts the (single-token) completion edge for parked Polls.
@@ -972,13 +1161,20 @@ const flushRetries = 64
 // enqueueSubmission moves one request index onto its class's submission
 // queue, retrying briefly across transient slab exhaustion. false means
 // the retry budget ran out and the caller must fail the request rather
-// than drop it.
-func (d *Device) enqueueSubmission(idx uint32) bool {
+// than drop it. nano stamps StageFlushed when nonzero — flush loops
+// read the clock once per pass instead of once per request.
+func (d *Device) enqueueSubmission(idx uint32, nano int64) bool {
 	class := ClassForeground
 	var ts *tenantState
 	if r, valid := d.req(idx); valid {
 		class = r.Class
 		ts = d.tenantOf(r)
+		if nano != 0 {
+			// Armed flight stamp, drain-pass amortized. Plain field:
+			// written before the enqueue publishes idx, so the
+			// retrieval-side reader is ordered behind it.
+			r.flushedNs = nano
+		}
 	}
 	q := d.submission[class]
 	for attempt := 0; ; attempt++ {
@@ -1031,7 +1227,12 @@ func (d *Device) mustEnqueue(q *rbq.Queue, idx uint32) {
 // that already claimed the request wins over it, because Cancel's
 // contract ("will complete with ErrCanceled") must hold no matter which
 // path posts the completion.
-func (d *Device) finish(r *Request, forced error) {
+func (d *Device) finish(r *Request, forced error) { d.finishAt(r, forced, 0) }
+
+// finishAt is finish with a caller-supplied completion timestamp (0 =
+// read the clock here): the copy path's last chunk already read the
+// clock for its CopyEnd stamp and hands the same value down.
+func (d *Device) finishAt(r *Request, forced error, now int64) {
 	old := r.state.Swap(stDone) & stateMask
 	if old == stDone {
 		// Completion already fired. This must never happen; count it
@@ -1048,9 +1249,11 @@ func (d *Device) finish(r *Request, forced error) {
 		err = ErrDeadline
 	}
 	r.Err = err
-	now := time.Now().UnixNano()
+	if now == 0 {
+		now = time.Now().UnixNano()
+	}
 	r.completed.Store(now)
-	if d.lc.Sampled(int(r.idx)) {
+	if d.lc.Active(int(r.idx)) {
 		d.lc.Transition(int(r.idx), lifecycle.StageCompleted, now)
 	}
 	ts := d.tenantOf(r)
@@ -1154,13 +1357,20 @@ func (d *Device) unstage(r *Request) bool {
 // shard: drain it into the submission queue, recolor it red, and kick
 // the worker if nobody else already has. traceIdx labels the kick event.
 func (d *Device) flushShard(sh *rbq.Queue, traceIdx uint32) {
+	// One clock read covers every armed flight stamp in this drain;
+	// the tracer's per-request lazy read still fires solely for sampled
+	// requests.
+	var flushNano int64
+	if d.frArmed {
+		flushNano = time.Now().UnixNano()
+	}
 flush:
 	for {
 		idx, _, ok := sh.Dequeue()
 		if !ok {
 			break
 		}
-		if !d.enqueueSubmission(idx) {
+		if !d.enqueueSubmission(idx, flushNano) {
 			// The slot must not vanish: complete it with an error so
 			// the owner gets it back through the normal path.
 			if fr, valid := d.req(idx); valid {
@@ -1251,6 +1461,13 @@ const busyPollRecheckEvery = 64
 // dispatch submissions to the controllers, then — in busy-poll mode —
 // keep spinning through the idle budget, or recolor the shards blue
 // and sleep.
+// workerClockEvery bounds how many armed flight stamps reuse one
+// worker/controller clock read: staleness stays under ~16 op-times
+// (microseconds) while the per-request clock cost drops to ~1/16 of a
+// time.Now (which at ~60ns would alone consume the recorder's whole
+// overhead budget).
+const workerClockEvery = 16
+
 func (d *Device) worker() {
 	defer func() {
 		if d.rings != nil {
@@ -1263,18 +1480,37 @@ func (d *Device) worker() {
 	busy := d.opts.BusyPoll
 	var idleSince time.Time // zero while working (or before the first budget clock read)
 	idleSpins := 0
+	// wNano is the worker's amortized clock for armed flight stamps:
+	// refreshed once per drain pass and at least every
+	// workerClockEvery dispatches, never per request. The stamps it
+	// feeds only ever surface in breach records, where millisecond
+	// latencies dwarf the microseconds of pass-level staleness; the
+	// sampled 1/2^shift lifecycles read fresh clocks as always.
+	var wNano int64
+	sinceClock := 0
 	for {
 		// Drain every shard round-robin: one element per shard per
-		// pass, so no shard starves behind a full neighbor.
+		// pass, so no shard starves behind a full neighbor. Armed
+		// Flushed stamps share the worker's amortized clock — under
+		// load a pass often moves a single element before the next
+		// dispatch, so a per-pass read would degenerate to per-request.
 		for {
 			moved := false
+			var drainNano int64
 			for _, sh := range d.staging {
 				idx, _, ok := sh.Dequeue()
 				if !ok {
 					continue
 				}
 				moved = true
-				if !d.enqueueSubmission(idx) {
+				if d.frArmed {
+					if sinceClock >= workerClockEvery || wNano == 0 {
+						wNano, sinceClock = time.Now().UnixNano(), 0
+					}
+					sinceClock++
+					drainNano = wNano
+				}
+				if !d.enqueueSubmission(idx, drainNano) {
 					if r, valid := d.req(idx); valid {
 						d.finish(r, ErrNoSlots)
 					}
@@ -1286,7 +1522,13 @@ func (d *Device) worker() {
 		}
 		if idx, ok := d.popSubmission(); ok {
 			idleSpins, idleSince = 0, time.Time{}
-			d.dispatch(idx)
+			if d.frArmed {
+				if sinceClock >= workerClockEvery || wNano == 0 {
+					wNano, sinceClock = time.Now().UnixNano(), 0
+				}
+				sinceClock++
+			}
+			d.dispatch(idx, wNano)
 			continue
 		}
 		// Busy-poll spin phase: the pipeline is dry but the idle budget
@@ -1365,20 +1607,28 @@ func (d *Device) worker() {
 // or, when the request is small enough for the adaptive inline
 // threshold, copies it right here on the worker (the poll path: no ring
 // push, no controller wakeup, no notify hop for the copy itself).
-func (d *Device) dispatch(idx uint32) {
+func (d *Device) dispatch(idx uint32, wNano int64) {
 	r, ok := d.req(idx)
 	if !ok {
 		return
 	}
 	d.maybeRetune()
+	d.m.dispatched.Inc()
 	if d.chaos != nil && d.chaos.BeforeDispatch != nil {
 		d.chaos.BeforeDispatch(idx)
 	}
-	// One clock read serves both the dispatch stamp and — when the
-	// rings are on — every chunk's push stamp below; the gap between
-	// them is a few branches.
+	if d.frArmed {
+		// Armed flight stamp from the worker's amortized clock; plain
+		// field, written before any handoff publishes idx onward. The
+		// inline path below copies right here, so on breach a missing
+		// copy-start stamp resolves to exactly this value.
+		r.dispatchedNs = wNano
+	}
+	// Sampled lifecycles get a fresh clock read: it serves the dispatch
+	// stamp, the inline path's CopyStart pre-stamp, and every chunk's
+	// push stamp below; the gap between them is a few branches.
 	var dispatchNano int64
-	if d.lc.Sampled(int(idx)) {
+	if d.lc.Active(int(idx)) {
 		dispatchNano = time.Now().UnixNano()
 		d.lc.Transition(int(idx), lifecycle.StageDispatched, dispatchNano)
 	}
@@ -1406,15 +1656,29 @@ func (d *Device) dispatch(idx uint32) {
 	if nChunks == 1 && d.rings != nil {
 		if th := d.inline.Load(); th > 0 && int64(n) <= th {
 			d.m.inlineCompleted.Inc()
-			d.runChunk(chunk{idx: idx, off: 0, end: n}, len(d.ctr)-1)
+			if dispatchNano != 0 {
+				// The copy starts right here on the worker: reuse the
+				// sampled dispatch clock read for the CopyStart stamp
+				// (runChunk's StampPending guard skips its own) and flag
+				// the lifecycle so a slow inline request is legible as
+				// one. The armed path stores nothing — a breach record
+				// infers inline from the missing copy-start stamp.
+				d.lc.SetFlag(int(idx), lifecycle.FlagInline)
+				d.lc.TransitionFirst(int(idx), lifecycle.StageCopyStart, dispatchNano)
+			}
+			d.runChunk(chunk{idx: idx, off: 0, end: n}, len(d.ctr)-1, 0)
 			return
 		}
 	}
 	// One ring-push stamp serves every chunk of a sampled request: the
 	// pushes below are a tight loop, and the per-chunk ring wait is
-	// measured against it on the consumer side (zero = unsampled).
+	// measured against it on the consumer side (zero = unsampled —
+	// deliberately 1/2^shift even with the flight recorder armed, so
+	// controllers don't pay a clock read plus a histogram push per
+	// chunk for every request; the armed path needs stage stamps, not
+	// ring-wait spans).
 	var pushNano int64
-	if d.rings != nil {
+	if d.rings != nil && d.lc.Sampled(int(idx)) {
 		pushNano = dispatchNano
 	}
 	for i := 0; i < nChunks; i++ {
@@ -1469,13 +1733,24 @@ func (d *Device) controller(id int) {
 	defer d.wg.Done()
 	if d.rings == nil {
 		for c := range d.copyQ {
-			d.runChunk(c, id)
+			// Legacy ablation path: per-chunk channel handoffs dwarf a
+			// clock read, so the armed copy-start stamp is simply fresh.
+			var csNano int64
+			if d.frArmed {
+				csNano = time.Now().UnixNano()
+			}
+			d.runChunk(c, id, csNano)
 		}
 		return
 	}
 	own := d.rings[id]
 	n := len(d.rings)
 	spins := 0
+	// csNano is this controller's amortized clock for armed copy-start
+	// stamps, refreshed every workerClockEvery chunks (see wNano in the
+	// worker for the staleness argument).
+	var csNano int64
+	sinceClock := 0
 	for {
 		c, ok := own.tryPop()
 		stolen := false
@@ -1489,6 +1764,9 @@ func (d *Device) controller(id int) {
 		}
 		if ok {
 			spins = 0
+			if stolen {
+				d.lc.SetFlag(int(c.idx), lifecycle.FlagStolen)
+			}
 			if c.nano != 0 {
 				class := 0
 				if r, valid := d.req(c.idx); valid {
@@ -1496,7 +1774,15 @@ func (d *Device) controller(id int) {
 				}
 				d.lc.ObserveQueueWait(class, time.Now().UnixNano()-c.nano, stolen)
 			}
-			d.runChunk(c, id)
+			if d.frArmed {
+				if sinceClock >= workerClockEvery || csNano == 0 {
+					csNano, sinceClock = time.Now().UnixNano(), 0
+				}
+				sinceClock++
+				d.runChunk(c, id, csNano)
+				continue
+			}
+			d.runChunk(c, id, 0)
 			continue
 		}
 		// Nothing anywhere: spin briefly (work often lands within a
@@ -1521,7 +1807,7 @@ func (d *Device) controller(id int) {
 				if !ok {
 					return
 				}
-				d.runChunk(c, id)
+				d.runChunk(c, id, csNano)
 			}
 		}
 	}
@@ -1530,8 +1816,11 @@ func (d *Device) controller(id int) {
 // runChunk copies one chunk (unless its request is already terminal)
 // and fires the completion when it was the request's last chunk. slot
 // selects the caller's private counter block: the controller id, or the
-// worker's extra slot on the inline path.
-func (d *Device) runChunk(c chunk, slot int) {
+// worker's extra slot on the inline path. csNano is the caller's
+// amortized clock for the armed flight copy-start stamp (0 on the
+// inline path, whose breach records resolve copy-start to the dispatch
+// stamp — the exact moment the worker's copy began).
+func (d *Device) runChunk(c chunk, slot int, csNano int64) {
 	r, ok := d.req(c.idx)
 	if !ok {
 		return
@@ -1539,11 +1828,23 @@ func (d *Device) runChunk(c chunk, slot int) {
 	if d.chaos != nil && d.chaos.BeforeChunkCopy != nil {
 		d.chaos.BeforeChunkCopy(c.idx, c.off, c.end)
 	}
-	// The copy window opens at the first chunk to reach any controller
-	// (first stamp wins) and closes when the finisher retires the last
-	// one — a canceled request still gets the stamps, bounding the time
-	// its chunks occupied controllers.
-	if d.lc.Sampled(int(c.idx)) {
+	if csNano != 0 {
+		// Armed copy-start: the first fresh stamp wins; a value below
+		// the submitted stamp is a leftover from the slot's previous
+		// life and loses to this chunk's stamp. A failed CAS means a
+		// parallel chunk of the same request won the race.
+		if cs := r.copyStartNs.Load(); cs < r.submitted.Load() {
+			r.copyStartNs.CompareAndSwap(cs, csNano)
+		}
+	}
+	// The sampled copy window opens at the first chunk to reach any
+	// controller (first stamp wins) and closes when the finisher
+	// retires the last one — a canceled request still gets the stamps,
+	// bounding the time its chunks occupied controllers. StampPending
+	// folds the active check and the already-stamped check into one
+	// load, so the inline path's pre-stamp and every chunk after the
+	// first skip the clock.
+	if d.lc.StampPending(int(c.idx), lifecycle.StageCopyStart) {
 		d.lc.TransitionFirst(int(c.idx), lifecycle.StageCopyStart, time.Now().UnixNano())
 	}
 	// A cancel or deadline that won after dispatch stops the
@@ -1556,7 +1857,14 @@ func (d *Device) runChunk(c chunk, slot int) {
 	d.ctr[slot].chunks.Add(1)
 	d.trace(EvChunk, uint64(c.idx), uint64(c.end-c.off))
 	if r.chunksLeft.Add(-1) == 0 {
-		d.lcStamp(c.idx, lifecycle.StageCopyEnd)
+		// One clock read serves the CopyEnd stamp and the completion
+		// timestamp in finishAt.
+		if d.lc.Active(int(c.idx)) {
+			now := time.Now().UnixNano()
+			d.lc.Transition(int(c.idx), lifecycle.StageCopyEnd, now)
+			d.finishAt(r, nil, now)
+			return
+		}
 		d.finish(r, nil)
 	}
 }
@@ -1573,7 +1881,14 @@ func (d *Device) RetrieveCompleted() *Request {
 	if !valid {
 		return nil
 	}
-	d.lcEnd(r)
+	d.m.retrieved.Inc()
+	// Single-completion retrieve: the accumulator holds one request's
+	// worth of lane accounting, flushed immediately (same cost shape as
+	// the unbatched recorder path). lcEnd reads its own clock lazily.
+	var acc flight.Acc
+	acc.Init(d.fr)
+	d.lcEnd(r, 0, &acc)
+	acc.Flush()
 	if !d.completionEmpty() {
 		d.wake() // keep concurrent pollers from sleeping past pending completions
 	}
@@ -1780,6 +2095,7 @@ func (d *Device) Stats() StatsSnapshot {
 		CompletionDepths:     compDepths,
 		RingDepths:           ringDepths,
 		Lifecycle:            d.lc.Snapshot(),
+		Flight:               d.fr.Snapshot(),
 		Submitted:            d.m.submitted.Load(),
 		Completed:            d.m.completed.Load(),
 		Canceled:             d.m.canceled.Load(),

@@ -180,6 +180,10 @@ func (d *Device) OpenTenant(cfg TenantConfig) (*Tenant, error) {
 	copy(tab, old)
 	tab[len(old)] = ts
 	d.tenants.Store(&tab)
+	// Grow the flight recorder's lane table in lockstep so the new
+	// tenant's completions train their own EWMA/SLO lanes from request
+	// one instead of folding into tenant 0.
+	d.fr.EnsureTenants(len(tab))
 	return &Tenant{d: d, id: ts.id}, nil
 }
 

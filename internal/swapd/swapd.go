@@ -32,6 +32,7 @@ import (
 	"memif/internal/core"
 	"memif/internal/hw"
 	"memif/internal/obs"
+	"memif/internal/obs/flight"
 	"memif/internal/obs/lifecycle"
 	"memif/internal/sim"
 	"memif/internal/uapi"
@@ -72,6 +73,15 @@ type Options struct {
 	// PromoteClass and DemoteClass are the QoS classes tiering transfers
 	// ride (promotions default to background, demotions to scavenger).
 	PromoteClass, DemoteClass uapi.Class
+
+	// Flight configures the daemon's flight recorder. The zero value
+	// arms it: slow migrations and slow promotions breach adaptive
+	// per-class thresholds and capture full stage vectors, and txn
+	// aborts land as domain events, all in virtual time. The SLO
+	// tracker and the stall watchdog are forced off regardless — burn
+	// windows and wall-clock tick cadences are meaningless under the
+	// simulated clock. Set Flight.Disable to opt out entirely.
+	Flight flight.Options
 }
 
 // DefaultOptions returns watermarks suited to the 6 MB MSMC node.
@@ -149,6 +159,10 @@ type MetricsSnapshot struct {
 	// Stages attributes migration latency per pipeline stage (staging
 	// wait, dispatch wait, copy, completion dwell), in virtual ns.
 	Stages lifecycle.SpanSnapshot
+	// Flight is the daemon's flight-recorder state: captured slow
+	// migrations (full stage vectors), promotion-lag breaches on the
+	// borrowed lane 3, and txn-abort events. All timestamps virtual.
+	Flight flight.Snapshot
 }
 
 // Daemon is the tiering engine.
@@ -170,7 +184,8 @@ type Daemon struct {
 	demotionLog  []int64 // bases in demotion-submit order (replay assertions)
 	scanCursor   int
 
-	m metrics
+	m  metrics
+	fr *flight.Recorder // nil when Options.Flight.Disable
 }
 
 // New starts a daemon for the address space behind dev's machine. It
@@ -201,6 +216,19 @@ func New(app *core.Device, opts Options) *Daemon {
 		dev:     core.Open(app.M, app.AS, devOpts),
 		opts:    opts,
 		regions: make(map[int64]*region),
+	}
+	if !opts.Flight.Disable {
+		fo := opts.Flight
+		// The daemon lives on the simulated clock: SLO burn windows
+		// and the watchdog's wall-tick cadence don't apply. Outlier
+		// capture and the adaptive thresholds work fine on virtual ns.
+		fo.SLO.Disable = true
+		fo.Watchdog.Disable = true
+		if fo.Classes <= 0 || fo.Classes > flight.MaxClasses {
+			// Lane 3 (one past the QoS classes) carries promotion lag.
+			fo.Classes = flight.MaxClasses
+		}
+		d.fr = flight.New(fo)
 	}
 	app.M.Eng.Spawn("kswapd-fast", d.run)
 	return d
@@ -283,8 +311,13 @@ func (d *Daemon) Metrics() MetricsSnapshot {
 		Sizes:             d.m.sizes.Snapshot(),
 		PromotionLag:      d.m.promoLag.Snapshot(),
 		Stages:            d.m.stages.Snapshot(),
+		Flight:            d.fr.Snapshot(),
 	}
 }
+
+// FlightSnapshot returns the daemon's flight-recorder state alone.
+// Snapshot.Enabled is false when Options.Flight.Disable was set.
+func (d *Daemon) FlightSnapshot() flight.Snapshot { return d.fr.Snapshot() }
 
 // Outstanding reports how many tiering migrations are in flight.
 func (d *Daemon) Outstanding() int {
@@ -559,14 +592,17 @@ func (d *Daemon) handleCompletion(p *sim.Proc, got *uapi.MovReq) {
 	if r != nil {
 		hotSince = r.hotSince
 	}
+	inflight := int64(d.outstanding)
 	d.mu.Unlock()
 
 	if got.Status == uapi.StatusDone {
+		var lag int64
 		if promoted {
 			d.m.promotions.Inc()
 			d.m.bytesPromoted.Add(got.Length)
 			if hotSince > 0 {
-				d.m.promoLag.Observe(int64(got.Completed - hotSince))
+				lag = int64(got.Completed - hotSince)
+				d.m.promoLag.Observe(lag)
 			}
 		} else {
 			d.m.demotions.Inc()
@@ -582,11 +618,20 @@ func (d *Daemon) handleCompletion(p *sim.Proc, got *uapi.MovReq) {
 			int64(got.Dispatched), int64(got.CopyStart), int64(got.Completed),
 			int64(got.Completed), int64(got.Retrieved))
 		d.m.stages.ObserveStamps(&ts)
+		d.observeFlight(got, &ts, lag, inflight)
 	} else {
 		// A racing write aborted the commit (txn-dirty) or another mover
 		// holds the claim (busy): the region is hot — bump its recency
 		// so cold candidates go first on retry.
 		d.m.aborts.Inc()
+		d.fr.CaptureEvent(&flight.Outlier{
+			Reason:  flight.ReasonTxnAbort,
+			Nano:    int64(p.Now()),
+			Slot:    -1,
+			Class:   int32(got.Class),
+			Bytes:   got.Length,
+			Ambient: flight.Ambient{SubmissionDepth: inflight},
+		})
 		if r != nil {
 			d.mu.Lock()
 			r.lastTouch = p.Now()
@@ -594,6 +639,54 @@ func (d *Daemon) handleCompletion(p *sim.Proc, got *uapi.MovReq) {
 		}
 	}
 	d.dev.FreeRequest(p, got)
+}
+
+// promotionLagLane is the flight-recorder class lane carrying the
+// region-hot-to-promotion-committed latency, one past the QoS classes
+// so migration latency and promotion lag train separate thresholds.
+const promotionLagLane = 3
+
+// observeFlight feeds one successful migration to the flight recorder:
+// the submission-to-completion latency trains the per-class lane and a
+// breach captures the full stage vector; a promotion additionally
+// trains the promotion-lag lane, whose breaches carry
+// ReasonPromotionLag. All timestamps virtual ns. No-op when disarmed.
+func (d *Daemon) observeFlight(got *uapi.MovReq, ts *[lifecycle.NumStages]int64, lag, inflight int64) {
+	if d.fr == nil {
+		return
+	}
+	// The daemon's congestion picture is its in-flight migration count;
+	// the queue-depth slots of Ambient don't apply to the sim device.
+	amb := flight.Ambient{SubmissionDepth: inflight}
+	lat := int64(got.Completed - got.Submitted)
+	if thr, breach := d.fr.Observe(int(got.Class), 0, lat, true); breach {
+		d.fr.Capture(&flight.Outlier{
+			Nano:        int64(got.Completed),
+			Slot:        -1,
+			Class:       int32(got.Class),
+			Bytes:       got.Length,
+			LatencyNs:   lat,
+			ThresholdNs: thr,
+			TS:          *ts,
+			Ambient:     amb,
+		})
+	}
+	if lag <= 0 {
+		return
+	}
+	if thr, breach := d.fr.Observe(promotionLagLane, 0, lag, true); breach {
+		d.fr.Capture(&flight.Outlier{
+			Reason:      flight.ReasonPromotionLag,
+			Nano:        int64(got.Completed),
+			Slot:        -1,
+			Class:       promotionLagLane,
+			Bytes:       got.Length,
+			LatencyNs:   lag,
+			ThresholdNs: thr,
+			TS:          *ts,
+			Ambient:     amb,
+		})
+	}
 }
 
 // drain retrieves finished migrations. With block set it waits until no

@@ -29,7 +29,10 @@
 //   - The streaming runtime — Stream, StreamDirect and the Stream*
 //     types replay the Section 6.6 double-buffered kernels.
 //   - Observability — NewObsHandler and the Obs* helpers expose every
-//     subsystem's metrics and traces over HTTP.
+//     subsystem's metrics and traces over HTTP, and the Flight* types
+//     configure the always-on flight recorder behind /debug/outliers:
+//     retroactive tail-latency capture, a stall watchdog, and SLO burn
+//     rates.
 //
 // A fifth, clearly marked low-level block at the bottom exports the
 // building blocks (the red-blue queue, the raw mov_req layout) for
@@ -85,6 +88,7 @@ import (
 	"memif/internal/hw"
 	"memif/internal/linuxmig"
 	"memif/internal/machine"
+	"memif/internal/obs/flight"
 	"memif/internal/obs/lifecycle"
 	"memif/internal/obs/obshttp"
 	"memif/internal/rbq"
@@ -489,6 +493,52 @@ func StreamObsMetrics(device string, s StreamMetricsSnapshot) []ObsMetric {
 // ParseExposition validates Prometheus text-format exposition — the
 // check CI runs against a scraped /metrics body.
 func ParseExposition(data []byte) error { return obshttp.ParseExposition(data) }
+
+// FlightOptions arms a subsystem's always-on flight recorder
+// (RealtimeOptions.Flight, SwapOptions.Flight). The zero value arms
+// with defaults — adaptive per-(class,tenant) outlier thresholds
+// (EWMA×multiplier with a floor), a bounded lock-free outlier ring, a
+// stall watchdog, and per-class/per-tenant SLO burn tracking; set
+// Disable to opt out. Every completion is compared against its lane's
+// threshold retroactively: breaching requests land in the ring with
+// their full seven-stage stamp vector and the ambient queue depths,
+// so the forensics for a tail excursion are already captured when it
+// is noticed. The swap daemon runs the recorder on virtual time and
+// forces the SLO tracker and watchdog off.
+type FlightOptions = flight.Options
+
+// FlightSLOOptions sets latency objectives (per class, with per-tenant
+// tracking) and the error-budget fraction behind the
+// memif_realtime_slo_* burn-rate series (FlightOptions.SLO).
+type FlightSLOOptions = flight.SLOOptions
+
+// FlightWatchdogOptions tunes the stall watchdog: worker
+// no-dispatch-progress detection, completion-ring high-water probing
+// and poller-starvation tracking (FlightOptions.Watchdog).
+type FlightWatchdogOptions = flight.WatchdogOptions
+
+// FlightSnapshot is a point-in-time copy of a flight recorder
+// (RealtimeDevice.FlightSnapshot, SwapDaemon.FlightSnapshot): breach /
+// stall / event counters, the retained outlier records, active lane
+// thresholds and SLO state. It is what /debug/outliers serves per
+// source (ObsHandler.RegisterOutliers).
+type FlightSnapshot = flight.Snapshot
+
+// FlightOutlier is one captured record: a breaching request's
+// identity, stamp vector, the threshold it breached and the ambient
+// device state — or a typed stall / domain event.
+type FlightOutlier = flight.Outlier
+
+// The kinds of captured flight records.
+const (
+	FlightKindLatency = flight.KindLatency
+	FlightKindStall   = flight.KindStall
+	FlightKindEvent   = flight.KindEvent
+)
+
+// ObsOutlierReport pairs a registered flight source with its snapshot;
+// /debug/outliers serves the JSON array of these.
+type ObsOutlierReport = obshttp.OutlierReport
 
 // ---------------------------------------------------------------------
 // Low-level building blocks. Applications should not need anything

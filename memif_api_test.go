@@ -382,3 +382,68 @@ func TestRealtimeFacadeTenants(t *testing.T) {
 		t.Errorf("default tenant absorbed the tenant completion: %+v", st.Tenants[0])
 	}
 }
+
+// TestRealtimeFacadeFlight drives the flight-recorder surface through
+// the facade: an aggressively-thresholded device captures outliers from
+// an ordinary burst, the snapshot types line up, and the handler serves
+// them as /debug/outliers reports.
+func TestRealtimeFacadeFlight(t *testing.T) {
+	ropts := memif.DefaultRealtimeOptions()
+	var fo memif.FlightOptions
+	fo.ThresholdFloorNs = 1
+	fo.ThresholdMult = 1
+	fo.Warmup = 1
+	fo.Watchdog = memif.FlightWatchdogOptions{Disable: true}
+	fo.SLO = memif.FlightSLOOptions{}
+	ropts.Flight = fo
+	d := memif.OpenRealtime(ropts)
+	defer d.Close()
+
+	payload := make([]byte, 4<<10)
+	for i := 0; i < 64; i++ {
+		r := d.AllocRequest()
+		if r == nil {
+			t.Fatal("out of request slots")
+		}
+		r.Src, r.Dst = payload, make([]byte, len(payload))
+		if err := d.Submit(r); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		for {
+			if got := d.RetrieveCompleted(); got != nil {
+				d.FreeRequest(got)
+				break
+			}
+			d.Poll(time.Second)
+		}
+	}
+
+	var fs memif.FlightSnapshot = d.FlightSnapshot()
+	if !fs.Enabled {
+		t.Fatal("flight snapshot not enabled")
+	}
+	if fs.Breaches == 0 || fs.Captured != fs.Breaches {
+		t.Fatalf("breaches %d captured %d, want a fully-captured nonzero count", fs.Breaches, fs.Captured)
+	}
+	var worst memif.FlightOutlier
+	for _, o := range fs.Outliers {
+		switch o.Kind {
+		case memif.FlightKindLatency:
+			if o.LatencyNs > worst.LatencyNs {
+				worst = o
+			}
+		case memif.FlightKindStall, memif.FlightKindEvent:
+			t.Fatalf("watchdog-off burst captured a non-latency record: %+v", o)
+		}
+	}
+	if worst.LatencyNs <= worst.ThresholdNs {
+		t.Fatalf("worst outlier %+v not past its threshold", worst)
+	}
+
+	h := memif.NewObsHandler()
+	h.RegisterOutliers("realtime", d.FlightSnapshot)
+	var reports []memif.ObsOutlierReport = h.OutlierReports()
+	if len(reports) != 1 || reports[0].Source != "realtime" || !reports[0].Flight.Enabled {
+		t.Fatalf("outlier reports = %+v, want one armed realtime source", reports)
+	}
+}
