@@ -35,6 +35,11 @@
 //	             adaptive threshold with fast requests, inject one
 //	             chaos-delayed request, and verify the flight recorder
 //	             captured it with a complete stage vector
+//	streams      multi-stream ingest (schema v8, virtual time): four
+//	             GB-scale producers multiplexed over one stream engine's
+//	             pinned buffer ring while a foreground prober holds its
+//	             uncontended p99 bucket; checksums are gated against an
+//	             independent direct pass
 package main
 
 import (
@@ -80,6 +85,11 @@ type Report struct {
 	// come back out of the flight ring with a complete stage vector.
 	// See flight.go.
 	Flight *FlightProbeResult `json:"flight,omitempty"`
+	// Streams is the multi-stream ingest scenario (schema v8): four
+	// GB-scale producers over one engine's pinned buffer ring, with
+	// checksum, never-stall, O(ring)-mmap, batching, foreground-p99 and
+	// flight-forensics gates. See streams.go.
+	Streams *StreamsResult `json:"streams,omitempty"`
 }
 
 // SmallRTResult is the busy-poll off/on pair over the identical
@@ -372,7 +382,7 @@ func main() {
 
 	rep := Report{
 		Benchmark:  "membench",
-		Version:    7,
+		Version:    8,
 		UnixTime:   time.Now().Unix(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
@@ -404,6 +414,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "membench:   on  %12.0f ops/s  kicks/op %.4f  spins %d parks %d  (%.2fx)\n",
 		rep.SmallRT.On.OpsPerSec, rep.SmallRT.On.KicksPerOp,
 		rep.SmallRT.On.BusyPollSpins, rep.SmallRT.On.BusyPollParks, rep.SmallRT.Speedup)
+
+	fmt.Fprintf(os.Stderr, "membench: running streams    (multi-stream ingest, virtual time)\n")
+	rep.Streams = runStreams(*quick)
+	reportStreams(rep.Streams)
 
 	fmt.Fprintf(os.Stderr, "membench: running flight     (deterministic outlier probe)\n")
 	rep.Flight = runFlightProbe()
@@ -733,6 +747,11 @@ func validate(rep Report) error {
 	}
 	if rep.Version >= 7 {
 		if err := validateFlight(rep); err != nil {
+			return err
+		}
+	}
+	if rep.Version >= 8 {
+		if err := validateStreams(rep); err != nil {
 			return err
 		}
 	}

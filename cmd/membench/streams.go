@@ -1,0 +1,346 @@
+// The streams workload exercises the multi-stream engine
+// (internal/streamrt) end to end on the simulated KeyStone II machine:
+// four GB-scale producer streams ingest disjoint slow-tier ranges
+// through one engine's pinned eight-buffer ring while a paced
+// foreground prober ping-pongs one page through a second device on the
+// same machine — the same shared-DMA contention shape as the tiering
+// scenario. The gates are structural and deterministic (virtual time):
+// every stream's checksum must match an independent RunDirect pass over
+// the same bytes, the engine must never stall (the never-stall fallback
+// covers slow fills), the buffer ring must be mapped O(ring) — not
+// O(chunks) — fills must coalesce into fewer SubmitBatch flushes than
+// fills, foreground p99 must hold within one log2 bucket of its
+// uncontended baseline, and the flight recorder must have captured slow
+// fills with complete stage vectors.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"memif/internal/core"
+	"memif/internal/hw"
+	"memif/internal/machine"
+	"memif/internal/obs"
+	"memif/internal/obs/flight"
+	"memif/internal/sim"
+	"memif/internal/streamrt"
+	"memif/internal/uapi"
+	wload "memif/internal/workloads"
+)
+
+// StreamsResult is the streams section of the report (schema v8). All
+// latencies are virtual (simulated) nanoseconds.
+type StreamsResult struct {
+	Streams        int   `json:"streams"`
+	BytesPerStream int64 `json:"bytes_per_stream"`
+	TotalBytes     int64 `json:"total_bytes"`
+	RingBufs       int   `json:"ring_bufs"`
+	BufBytes       int64 `json:"buf_bytes"`
+	VirtNs         int64 `json:"virt_ns"`
+
+	// BufMmaps counts mmap calls the engine made for its ring; the
+	// validate() gate pins it to RingBufs (pinned, recycled buffers —
+	// never a per-chunk carve/teardown).
+	BufMmaps int64 `json:"buf_mmaps"`
+	// Fills counts fill grants, FillBatches the SubmitBatch flushes
+	// that carried them; Fills > FillBatches proves coalescing.
+	Fills       int64 `json:"fills"`
+	FillBatches int64 `json:"fill_batches"`
+
+	FastChunks int64 `json:"fast_chunks"`
+	SlowChunks int64 `json:"slow_chunks"`
+	Stalls     int64 `json:"stalls"`
+
+	// ChecksumsOK reports every stream's kernel checksum matched an
+	// independent RunDirect pass over the same range.
+	ChecksumsOK bool `json:"checksums_ok"`
+	// ThroughputMBs is aggregate ingest throughput over the storm
+	// window, in virtual MB/s.
+	ThroughputMBs float64 `json:"throughput_mbs"`
+
+	// Foreground probe latency on the sibling device, uncontended vs.
+	// during the ingest storm; the gate allows one log2 bucket of drift.
+	FgBaselineOps   int64 `json:"fg_baseline_ops"`
+	FgStormOps      int64 `json:"fg_storm_ops"`
+	FgP99BaselineNs int64 `json:"fg_p99_baseline_ns"`
+	FgP99StormNs    int64 `json:"fg_p99_storm_ns"`
+
+	// Flight-recorder forensics: slow fills must have been captured
+	// with all seven stage stamps present and monotone.
+	FlightBreaches        int64 `json:"flight_breaches"`
+	FlightCaptured        int64 `json:"flight_captured"`
+	FlightCompleteVectors bool  `json:"flight_complete_vectors"`
+}
+
+// runStreams builds the machine, runs the scenario to completion in
+// virtual time, and distills the engine snapshot into the report row.
+func runStreams(quick bool) *StreamsResult {
+	const (
+		pageBytes  = 4096
+		baselineNS = 20_000_000
+		numStreams = 4
+	)
+	perStream := int64(256) << 20 // 1 GB total across the four producers
+	if quick {
+		perStream = 32 << 20
+	}
+
+	m := machine.New(hw.KeyStoneII())
+	as := m.NewAddressSpace(pageBytes)
+	app := core.Open(m, as, core.DefaultOptions())
+	dev := core.Open(m, as, core.DefaultOptions())
+
+	eopts := streamrt.DefaultEngineOptions()
+	// Aggressive thresholds so ordinary fill jitter breaches: the gate
+	// is that the forensics pipeline captured complete vectors, not
+	// that slow fills are rare.
+	eopts.Flight = flight.Options{ThresholdFloorNs: 1, ThresholdMult: 1, Warmup: 8, RingDepth: 1024}
+
+	var (
+		bases      [numStreams]int64
+		direct     [numStreams]uint64
+		got        [numStreams]uint64
+		fgBase     int64
+		stormStart sim.Time
+		stormEnd   sim.Time
+		producers  int
+		stormDone  bool
+		baseHist   obs.Histogram
+		stormHist  obs.Histogram
+		res        = &StreamsResult{
+			Streams:        numStreams,
+			BytesPerStream: perStream,
+			TotalBytes:     numStreams * perStream,
+			RingBufs:       eopts.RingBufs,
+			BufBytes:       eopts.BufBytes,
+		}
+	)
+	kernels := [numStreams]wload.Kernel{wload.Triad, wload.Add, wload.PGain, wload.Copy}
+	classes := [numStreams]uapi.Class{uapi.ClassBackground, uapi.ClassBackground, uapi.ClassScavenger, uapi.ClassScavenger}
+
+	// fgOnce issues one paced foreground page move on the sibling
+	// device and records its submission-to-completion latency.
+	fgOnce := func(p *sim.Proc, dst hw.NodeID, h *obs.Histogram) bool {
+		r := app.AllocRequest(p)
+		if r == nil {
+			return false
+		}
+		r.Op = uapi.OpMigrate
+		r.SrcBase, r.Length, r.DstNode = fgBase, pageBytes, dst
+		r.Class = uapi.ClassForeground
+		if err := app.Submit(p, r); err != nil {
+			app.FreeRequest(p, r)
+			return false
+		}
+		for {
+			if got := app.RetrieveCompleted(p); got != nil {
+				ok := got.Status == uapi.StatusDone
+				if ok {
+					h.Observe(int64(got.Completed - got.Submitted))
+				}
+				app.FreeRequest(p, got)
+				return ok
+			}
+			app.Poll(p, 0)
+		}
+	}
+
+	m.Eng.Spawn("fg", func(p *sim.Proc) {
+		defer app.Close()
+		fgBase, _ = as.Mmap(p, pageBytes, hw.NodeSlow, "fg-probe")
+		if err := as.Write(p, fgBase, []byte{1}); err != nil {
+			panic(err)
+		}
+		dst := hw.NodeFast
+		flip := func(ok bool) {
+			if !ok {
+				return
+			}
+			if dst == hw.NodeFast {
+				dst = hw.NodeSlow
+			} else {
+				dst = hw.NodeFast
+			}
+		}
+		start := p.Now()
+		for p.Now() < start+baselineNS {
+			flip(fgOnce(p, dst, &baseHist))
+			p.SleepNS(50_000)
+		}
+		stormStart = p.Now()
+		for !stormDone {
+			flip(fgOnce(p, dst, &stormHist))
+			p.SleepNS(50_000)
+		}
+	})
+
+	m.Eng.Spawn("ingest", func(p *sim.Proc) {
+		defer dev.Close()
+		// Fill each stream's range with a distinct pattern and take the
+		// ground-truth checksum with an independent direct pass before
+		// the engine ever sees the bytes.
+		cfg := streamrt.DefaultConfig()
+		cfg.BufBytes = eopts.BufBytes
+		for i := range bases {
+			b, err := as.Mmap(p, perStream, hw.NodeSlow, fmt.Sprintf("stream-%d", i))
+			if err != nil {
+				panic(err)
+			}
+			bases[i] = b
+			if _, err := wload.FillInput(p, as, b, perStream, uint64(i)+1); err != nil {
+				panic(err)
+			}
+			dr, err := streamrt.RunDirect(p, as, kernels[i], b, perStream, cfg)
+			if err != nil {
+				panic(err)
+			}
+			direct[i] = dr.Checksum
+		}
+
+		// Wait out the prober's uncontended baseline window, then storm.
+		for stormStart == 0 {
+			p.SleepNS(500_000)
+		}
+		e, err := streamrt.OpenEngine(p, dev, eopts)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < numStreams; i++ {
+			i := i
+			s, err := e.OpenStream(p, streamrt.StreamSpec{
+				Kernel:  kernels[i],
+				Base:    bases[i],
+				Length:  perStream,
+				Class:   classes[i],
+				Credits: 2,
+				Name:    fmt.Sprintf("producer-%d", i),
+			})
+			if err != nil {
+				panic(err)
+			}
+			producers++
+			m.Eng.Spawn(fmt.Sprintf("producer-%d", i), func(cp *sim.Proc) {
+				r, err := s.Run(cp)
+				if err != nil {
+					panic(err)
+				}
+				got[i] = r.Checksum
+				producers--
+			})
+		}
+		for producers > 0 {
+			p.SleepNS(500_000)
+		}
+		stormEnd = p.Now()
+		snap := e.Snapshot()
+		fsnap := e.FlightSnapshot()
+		e.Close(p)
+		stormDone = true
+		distillStreams(res, snap, fsnap)
+	})
+
+	m.Eng.Run()
+
+	res.VirtNs = int64(stormEnd)
+	if window := int64(stormEnd - stormStart); window > 0 {
+		res.ThroughputMBs = float64(res.TotalBytes) / 1e6 / (float64(window) / 1e9)
+	}
+	res.ChecksumsOK = true
+	for i := range direct {
+		if direct[i] != got[i] {
+			res.ChecksumsOK = false
+		}
+	}
+	base, storm := baseHist.Snapshot(), stormHist.Snapshot()
+	res.FgBaselineOps, res.FgStormOps = base.Count, storm.Count
+	res.FgP99BaselineNs, res.FgP99StormNs = base.Quantile(0.99), storm.Quantile(0.99)
+	return res
+}
+
+// distillStreams folds the quiescent engine and flight snapshots into
+// the report row (taken just before Close, while per-stream rows are
+// still registered).
+func distillStreams(res *StreamsResult, snap streamrt.EngineSnapshot, fsnap flight.Snapshot) {
+	res.BufMmaps = snap.BufMmaps
+	res.Fills = snap.Fills
+	res.FillBatches = snap.FillBatches
+	res.FastChunks = snap.FastChunks
+	res.SlowChunks = snap.SlowChunks
+	res.Stalls = snap.Stalls
+	res.FlightBreaches = fsnap.Breaches
+	res.FlightCaptured = fsnap.Captured
+	res.FlightCompleteVectors = len(fsnap.Outliers) > 0
+	for _, o := range fsnap.Outliers {
+		if o.Kind != flight.KindLatency {
+			continue
+		}
+		last := int64(0)
+		for _, ts := range o.TS {
+			if ts <= 0 || ts < last {
+				res.FlightCompleteVectors = false
+				break
+			}
+			last = ts
+		}
+	}
+}
+
+// validateStreams enforces the schema-v8 streaming invariants: data
+// integrity (checksums vs the direct pass), the never-stall design
+// (zero stalls), the pinned ring (mmaps == ring size), batched refills
+// (fills > batches), foreground isolation (one log2 bucket), and the
+// flight forensics (captured breaches with complete stage vectors).
+func validateStreams(rep Report) error {
+	s := rep.Streams
+	if s == nil {
+		return fmt.Errorf("version %d report has no streams section", rep.Version)
+	}
+	if s.Streams < 4 {
+		return fmt.Errorf("streams: %d producers, want >= 4", s.Streams)
+	}
+	if !s.ChecksumsOK {
+		return fmt.Errorf("streams: checksum mismatch against the direct pass — data corruption")
+	}
+	if s.Stalls != 0 {
+		return fmt.Errorf("streams: %d stalls — the never-stall fallback is broken", s.Stalls)
+	}
+	if s.BufMmaps != int64(s.RingBufs) {
+		return fmt.Errorf("streams: %d buffer mmaps for a %d-buffer ring — buffers are not being recycled",
+			s.BufMmaps, s.RingBufs)
+	}
+	if s.Fills <= s.FillBatches {
+		return fmt.Errorf("streams: %d fills in %d batches — refills are not coalescing", s.Fills, s.FillBatches)
+	}
+	if s.FastChunks <= 0 {
+		return fmt.Errorf("streams: no fast-path chunks — prefetch never engaged")
+	}
+	wantChunks := s.TotalBytes / s.BufBytes
+	if s.FastChunks+s.SlowChunks != wantChunks {
+		return fmt.Errorf("streams: %d+%d chunks consumed, want %d", s.FastChunks, s.SlowChunks, wantChunks)
+	}
+	if s.FgBaselineOps <= 0 || s.FgStormOps <= 0 {
+		return fmt.Errorf("streams: foreground probe recorded %d baseline / %d storm ops, want both > 0",
+			s.FgBaselineOps, s.FgStormOps)
+	}
+	if d := bucketDelta(s.FgP99StormNs, s.FgP99BaselineNs); d > 1 {
+		return fmt.Errorf("streams: foreground p99 under ingest (%dns) drifted %d log2 buckets from baseline (%dns)",
+			s.FgP99StormNs, d, s.FgP99BaselineNs)
+	}
+	if s.FlightBreaches <= 0 || s.FlightCaptured <= 0 {
+		return fmt.Errorf("streams: flight recorder captured nothing (breaches %d, captured %d)",
+			s.FlightBreaches, s.FlightCaptured)
+	}
+	if !s.FlightCompleteVectors {
+		return fmt.Errorf("streams: a captured slow fill is missing stage stamps — forensics incomplete")
+	}
+	return nil
+}
+
+// reportStreams prints the human summary line mirroring the tiering one.
+func reportStreams(s *StreamsResult) {
+	fmt.Fprintf(os.Stderr,
+		"membench: streams      %d x %dMB  %8.0f MB/s  %d fills/%d batches  %d fast %d slow  fg p99 %dns vs %dns  checksums %v\n",
+		s.Streams, s.BytesPerStream>>20, s.ThroughputMBs, s.Fills, s.FillBatches,
+		s.FastChunks, s.SlowChunks, s.FgP99StormNs, s.FgP99BaselineNs, s.ChecksumsOK)
+}

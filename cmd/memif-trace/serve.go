@@ -106,17 +106,19 @@ func runServe(addr string, serveFor time.Duration, reqs, bytesPer int) {
 	}
 	delayCopies.Store(false)
 
-	swSnap, stSnap := runSimScenario()
+	swSnap, stSnap, engSnap := runSimScenario()
 
 	h := obshttp.NewHandler()
 	h.Register(obshttp.RealtimeCollector("rt0", d))
 	h.Register(func() []obshttp.Metric { return obshttp.SwapdMetrics("swapd0", swSnap) })
 	h.Register(func() []obshttp.Metric { return obshttp.StreamMetrics("stream0", stSnap) })
+	h.Register(func() []obshttp.Metric { return obshttp.StreamEngineMetrics("eng0", engSnap) })
 	h.RegisterTrace("realtime", func() []lifecycle.Lifecycle {
 		return d.Stats().Lifecycle.Captured
 	})
 	h.RegisterOutliers("realtime", d.FlightSnapshot)
 	h.RegisterOutliers("swapd", func() flight.Snapshot { return swSnap.Flight })
+	h.RegisterOutliers("streams", func() flight.Snapshot { return engSnap.Flight })
 
 	srv := &http.Server{Addr: addr, Handler: h}
 	fmt.Fprintf(os.Stderr, "memif-trace: serving http://%s/{metrics,trace,debug/outliers,debug/pprof/}\n", addr)
@@ -136,9 +138,11 @@ func runServe(addr string, serveFor time.Duration, reqs, bytesPer int) {
 
 // runSimScenario exercises the simulated stack enough to populate the
 // swap daemon's and streaming runtime's stage histograms: an
-// over-committed working set forces evictions, then a Triad stream runs
-// through the prefetch pipeline.
-func runSimScenario() (swapd.MetricsSnapshot, streamrt.MetricsSnapshot) {
+// over-committed working set forces evictions, then a stream engine
+// runs Triad and Add concurrently through one prefetch ring, with its
+// flight recorder set aggressive so /debug/outliers has stream-fill
+// records to serve.
+func runSimScenario() (swapd.MetricsSnapshot, streamrt.MetricsSnapshot, streamrt.EngineSnapshot) {
 	const bufBytes = 1 << 20
 
 	// Swap-out pressure: 10 x 1 MB promoted into the 6 MB fast node.
@@ -187,24 +191,53 @@ func runSimScenario() (swapd.MetricsSnapshot, streamrt.MetricsSnapshot) {
 	})
 	m.Eng.Run()
 
-	// Streaming: one Triad pass through the prefetch buffers.
+	// Streaming: Triad and Add multiplexed over one engine's prefetch
+	// ring. The flight thresholds are floored at 1 ns so ordinary fills
+	// breach and the outlier ring fills with stream-fill forensics.
 	m2 := machine.New(hw.KeyStoneII())
 	as2 := m2.NewAddressSpace(hw.Page4K)
 	dev2 := core.Open(m2, as2, core.DefaultOptions())
-	cfg := streamrt.DefaultConfig()
-	cfg.Metrics = &streamrt.Metrics{}
+	eopts := streamrt.DefaultEngineOptions()
+	eopts.Metrics = &streamrt.Metrics{}
+	eopts.Flight = flight.Options{ThresholdFloorNs: 1, ThresholdMult: 1, Warmup: 4, RingDepth: 64}
+	var engSnap streamrt.EngineSnapshot
 	m2.Eng.Spawn("app", func(p *sim.Proc) {
 		defer dev2.Close()
-		length := int64(16) * cfg.BufBytes
-		base, err := as2.Mmap(p, length, hw.NodeSlow, "input")
+		eng, err := streamrt.OpenEngine(p, dev2, eopts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "memif-trace: mmap: %v\n", err)
+			fmt.Fprintf(os.Stderr, "memif-trace: open engine: %v\n", err)
 			return
 		}
-		workloads.FillInput(p, as2, base, length, 42)
-		if _, err := streamrt.Run(p, dev2, workloads.Triad, base, length, cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "memif-trace: streamrt: %v\n", err)
+		length := int64(16) * eopts.BufBytes
+		kernels := []workloads.Kernel{workloads.Triad, workloads.Add}
+		done := 0
+		for i, k := range kernels {
+			base, err := as2.Mmap(p, length, hw.NodeSlow, fmt.Sprintf("input%d", i))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memif-trace: mmap: %v\n", err)
+				return
+			}
+			workloads.FillInput(p, as2, base, length, uint64(i)+42)
+			s, err := eng.OpenStream(p, streamrt.StreamSpec{
+				Kernel: k, Base: base, Length: length,
+				Class: uapi.ClassBackground, Credits: 2, Name: k.Name,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memif-trace: open stream: %v\n", err)
+				return
+			}
+			m2.Eng.Spawn(k.Name, func(cp *sim.Proc) {
+				if _, err := s.Run(cp); err != nil {
+					fmt.Fprintf(os.Stderr, "memif-trace: stream %s: %v\n", k.Name, err)
+				}
+				done++
+			})
 		}
+		for done < len(kernels) {
+			p.SleepNS(500_000)
+		}
+		eng.Close(p)
+		engSnap = eng.Snapshot()
 	})
 	m2.Eng.Run()
 
@@ -212,7 +245,7 @@ func runSimScenario() (swapd.MetricsSnapshot, streamrt.MetricsSnapshot) {
 	if sw.Evictions == 0 {
 		fmt.Fprintln(os.Stderr, "memif-trace: warning: sim scenario produced no evictions")
 	}
-	return sw, cfg.Metrics.Snapshot()
+	return sw, eopts.Metrics.Snapshot(), engSnap
 }
 
 // stageFamilies are the per-subsystem stage-histogram families the

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"memif/internal/hw"
+	"memif/internal/sim"
+	"memif/internal/uapi"
+)
+
+// SubmitBatch stages the whole scatter/gather set, then flushes and
+// kicks once: data lands correctly and the batch costs exactly one
+// syscall, like the Section 6.4 burst.
+func TestSubmitBatchSingleKick(t *testing.T) {
+	m, d := newRig(t, DefaultOptions())
+	const reqs = 8
+	const n = int64(16 * 4096)
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		src, _ := d.AS.Mmap(p, reqs*n, hw.NodeSlow, "src")
+		dst, _ := d.AS.Mmap(p, reqs*n, hw.NodeFast, "dst")
+		for i := int64(0); i < reqs; i++ {
+			fill(t, d, p, src+i*n, n, byte(10+i))
+		}
+		var rs []*uapi.MovReq
+		for i := int64(0); i < reqs; i++ {
+			r := d.AllocRequest(p)
+			r.Op = uapi.OpReplicate
+			r.SrcBase, r.DstBase, r.Length = src+i*n, dst+i*n, n
+			rs = append(rs, r)
+		}
+		if err := d.SubmitBatch(p, rs); err != nil {
+			t.Fatalf("SubmitBatch: %v", err)
+		}
+		done := 0
+		for done < reqs {
+			d.Poll(p, 0)
+			for d.RetrieveCompleted(p) != nil {
+				done++
+			}
+		}
+		for i, r := range rs {
+			if r.Status != uapi.StatusDone {
+				t.Errorf("request %d: %v", i, r)
+			}
+			check(t, d, p, dst+int64(i)*n, n, byte(10+i))
+			d.FreeRequest(p, r)
+		}
+	})
+	m.Eng.Run()
+	if st := d.Stats(); st.Syscalls != 1 {
+		t.Errorf("Syscalls = %d, want 1 for the whole batch", st.Syscalls)
+	}
+}
+
+// An empty batch is a no-op, and a request in a non-submittable state
+// stops the batch there: the staged prefix still completes, the bad
+// request's error is surfaced, and later requests are left untouched.
+func TestSubmitBatchEmptyAndBadState(t *testing.T) {
+	m, d := newRig(t, DefaultOptions())
+	const n = int64(4096)
+	m.Eng.Spawn("app", func(p *sim.Proc) {
+		defer d.Close()
+		if err := d.SubmitBatch(p, nil); err != nil {
+			t.Fatalf("empty batch: %v", err)
+		}
+		src, _ := d.AS.Mmap(p, 3*n, hw.NodeSlow, "src")
+		dst, _ := d.AS.Mmap(p, 3*n, hw.NodeFast, "dst")
+		good := d.AllocRequest(p)
+		good.Op = uapi.OpReplicate
+		good.SrcBase, good.DstBase, good.Length = src, dst, n
+		bad := d.AllocRequest(p)
+		bad.Op = uapi.OpReplicate
+		bad.SrcBase, bad.DstBase, bad.Length = src+n, dst+n, n
+		bad.Status = uapi.StatusSubmitted // already in flight: not submittable
+		tail := d.AllocRequest(p)
+		tail.Op = uapi.OpReplicate
+		tail.SrcBase, tail.DstBase, tail.Length = src+2*n, dst+2*n, n
+
+		err := d.SubmitBatch(p, []*uapi.MovReq{good, bad, tail})
+		if err == nil {
+			t.Fatal("bad-state request accepted")
+		}
+		if tail.Status != uapi.StatusFree {
+			t.Errorf("request past the failure was staged: %v", tail)
+		}
+		// The staged prefix must still be served.
+		for good.Status != uapi.StatusDone {
+			d.Poll(p, 0)
+			d.RetrieveCompleted(p)
+		}
+	})
+	m.Eng.Run()
+}

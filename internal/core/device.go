@@ -120,19 +120,17 @@ func (d *Device) FreeRequest(p *sim.Proc, r *uapi.MovReq) {
 	d.Area.FreeReq(r)
 }
 
-// Submit implements SubmitRequest (Section 4.4): deposit the request in
-// the staging queue; if the enqueue observed blue, flush the staging
-// queue into the submission queue, recolor it red, and — if this thread
-// won the recoloring — issue the MOV_ONE kick-start syscall. Non-blocking
-// aside from the bounded syscall work.
-func (d *Device) Submit(p *sim.Proc, r *uapi.MovReq) error {
+// stage validates r and deposits it in the staging queue, returning the
+// queue color the enqueue observed. Blue means the caller is responsible
+// for flushing the staging queue.
+func (d *Device) stage(p *sim.Proc, r *uapi.MovReq) (rbq.Color, error) {
 	if d.closed {
-		return ErrClosed
+		return rbq.Red, ErrClosed
 	}
 	switch r.Status {
 	case uapi.StatusFree, uapi.StatusDone, uapi.StatusFailed:
 	default:
-		return fmt.Errorf("%w: %v", ErrBadState, r)
+		return rbq.Red, fmt.Errorf("%w: %v", ErrBadState, r)
 	}
 	r.Status = uapi.StatusStaged
 	r.Err = uapi.ErrNone
@@ -143,12 +141,16 @@ func (d *Device) Submit(p *sim.Proc, r *uapi.MovReq) error {
 	d.chargeUser(p, d.M.Plat.Cost.QueueOp)
 	color, ok := d.Area.Staging.Enqueue(r.Index())
 	if !ok {
-		return ErrQueueFull
+		return rbq.Red, ErrQueueFull
 	}
-	if color == rbq.Red {
-		// An active kernel worker will pick it up; done.
-		return nil
-	}
+	return color, nil
+}
+
+// flushStagingAndKick drains the staging queue into the submission
+// queue, recolors it red, and — if this thread won the recoloring —
+// issues the MOV_ONE kick-start syscall (operations 2–3 of the Section
+// 4.4 submit protocol).
+func (d *Device) flushStagingAndKick(p *sim.Proc) error {
 flush:
 	for {
 		idx, _, ok := d.Area.Staging.Dequeue()
@@ -176,6 +178,54 @@ flush:
 	}
 	d.ioctlMovOne(p)
 	return nil
+}
+
+// Submit implements SubmitRequest (Section 4.4): deposit the request in
+// the staging queue; if the enqueue observed blue, flush the staging
+// queue into the submission queue, recolor it red, and — if this thread
+// won the recoloring — issue the MOV_ONE kick-start syscall. Non-blocking
+// aside from the bounded syscall work.
+func (d *Device) Submit(p *sim.Proc, r *uapi.MovReq) error {
+	color, err := d.stage(p, r)
+	if err != nil {
+		return err
+	}
+	if color == rbq.Red {
+		// An active kernel worker will pick it up; done.
+		return nil
+	}
+	return d.flushStagingAndKick(p)
+}
+
+// SubmitBatch submits a scatter/gather batch: every request is staged
+// first, then the staging queue is flushed, recolored and kicked once
+// for the whole batch — one syscall-equivalent per batch instead of per
+// request, the same amortization the realtime device's SubmitBatch
+// performs. A staging failure part-way leaves the already-staged prefix
+// live (an active worker or the final flush still serves it) and
+// returns the error for the rest; requests past the failure are
+// untouched and remain submittable.
+func (d *Device) SubmitBatch(p *sim.Proc, reqs []*uapi.MovReq) error {
+	sawBlue := false
+	var staged int
+	var stageErr error
+	for _, r := range reqs {
+		color, err := d.stage(p, r)
+		if err != nil {
+			stageErr = err
+			break
+		}
+		staged++
+		if color == rbq.Blue {
+			sawBlue = true
+		}
+	}
+	if sawBlue && staged > 0 {
+		if err := d.flushStagingAndKick(p); err != nil {
+			return err
+		}
+	}
+	return stageErr
 }
 
 // ioctlMovOne is the single syscall of the interface: enter the kernel,

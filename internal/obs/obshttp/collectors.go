@@ -255,6 +255,65 @@ func StreamCollector(device string, m *streamrt.Metrics) Collector {
 	return func() []Metric { return StreamMetrics(device, m.Snapshot()) }
 }
 
+// StreamEngineMetrics maps a streamrt.EngineSnapshot onto the
+// memif_stream_engine_* (ring/engine totals) and per-stream
+// memif_stream_* {stream="..."} namespaces. Latencies are in virtual
+// (simulated) nanoseconds.
+func StreamEngineMetrics(device string, s streamrt.EngineSnapshot) []Metric {
+	lb := deviceLabel(device)
+	ms := []Metric{
+		gauge("memif_stream_engine_ring_buffers", "Pinned prefetch buffers in the engine's recycled ring.", lb, int64(s.RingBufs)),
+		gauge("memif_stream_engine_buf_bytes", "Size of each ring buffer (bytes).", lb, s.BufBytes),
+		gauge("memif_stream_engine_free_buffers", "Ring buffers currently unclaimed by any fill.", lb, int64(s.FreeBufs)),
+		counter("memif_stream_engine_buf_mmaps_total", "mmap calls ever made for the ring — O(ring size), never O(chunks).", lb, s.BufMmaps),
+		gauge("memif_stream_engine_open_streams", "Streams currently open on the engine.", lb, int64(s.OpenStreams)),
+		counter("memif_stream_engine_streams_opened_total", "Streams ever opened on the engine.", lb, s.StreamsOpened),
+		counter("memif_stream_engine_streams_closed_total", "Streams closed (explicitly or by completion).", lb, s.StreamsClosed),
+		counter("memif_stream_engine_fills_total", "Prefetch fill grants submitted across all streams.", lb, s.Fills),
+		counter("memif_stream_engine_fill_batches_total", "SubmitBatch flushes that carried the fills (fills > batches once coalescing works).", lb, s.FillBatches),
+		counter("memif_stream_engine_fast_chunks_total", "Chunks consumed zero-copy from ring buffers, all streams.", lb, s.FastChunks),
+		counter("memif_stream_engine_slow_chunks_total", "Chunks consumed via the never-stall fallback, all streams.", lb, s.SlowChunks),
+		counter("memif_stream_engine_bytes_prefetched_total", "Payload replicated into ring buffers, all streams.", lb, s.BytesPrefetched),
+		counter("memif_stream_engine_stalls_total", "Consume waits with no fill in flight (must stay 0).", lb, s.Stalls),
+	}
+	for i := range s.Streams {
+		st := &s.Streams[i]
+		slb := append(append([]Label(nil), lb...), Label{"stream", st.Name})
+		ms = append(ms,
+			gauge("memif_stream_credits", "Configured credit allowance (backpressure bound on granted fills).", slb, int64(st.Credits)),
+			gauge("memif_stream_credits_in_flight", "Credits currently spent on granted fills (in flight or awaiting consume).", slb, int64(st.CreditsInFlight)),
+			counter("memif_stream_credits_granted_total", "Cumulative credit grants (granted - returned = in flight).", slb, st.CreditsGranted),
+			counter("memif_stream_credits_returned_total", "Cumulative credit returns on consume/failure/close.", slb, st.CreditsReturned),
+			counter("memif_stream_fast_chunks_total", "Chunks consumed zero-copy out of ring buffers.", slb, st.FastChunks),
+			counter("memif_stream_slow_chunks_total", "Chunks consumed straight from the slow node.", slb, st.SlowChunks),
+			counter("memif_stream_bytes_prefetched_total", "Payload replicated into ring buffers for this stream.", slb, st.BytesPrefetched),
+			counter("memif_stream_fills_total", "Fill grants submitted for this stream.", slb, st.Fills),
+			counter("memif_stream_fill_failures_total", "Fills completing with an error.", slb, st.FillFailures),
+			counter("memif_stream_tail_waits_total", "Benign end-of-stream waits for in-flight fills.", slb, st.TailWaits),
+			counter("memif_stream_stalls_total", "Waits with no fill in flight (must stay 0).", slb, st.Stalls),
+			hist("memif_stream_fill_latency_ns", "Submit-to-completion latency of prefetch fills (virtual ns).", slb, st.FillLatency),
+		)
+		ms = append(ms, SpanMetrics("memif_stream_stage_latency_ns",
+			"Per-stage latency attribution of prefetch fills (virtual ns).", slb, st.Stages)...)
+	}
+	if s.Flight.Enabled {
+		streamName := func(t int) string {
+			if t >= 0 && t < len(s.StreamNames) {
+				return s.StreamNames[t]
+			}
+			return strconv.Itoa(t)
+		}
+		ms = append(ms, flightMetrics("memif_stream", lb, s.Flight, realtime.ClassName, streamName)...)
+	}
+	return ms
+}
+
+// StreamEngineCollector wraps a live engine's Snapshot method as a
+// Collector.
+func StreamEngineCollector(device string, e *streamrt.Engine) Collector {
+	return func() []Metric { return StreamEngineMetrics(device, e.Snapshot()) }
+}
+
 func deviceLabel(device string) []Label {
 	if device == "" {
 		return nil

@@ -265,6 +265,70 @@ func TestAllSubsystemConverters(t *testing.T) {
 	}
 }
 
+// TestStreamEngineConverter renders a stream-engine snapshot — engine
+// totals, two per-stream label sets, stage spans, and the flight
+// recorder — and validates the exposition plus the headline series.
+func TestStreamEngineConverter(t *testing.T) {
+	var spans lifecycle.SpanSet
+	for i := int64(1); i <= 8; i++ {
+		spans.Observe(lifecycle.SpanCopy, i*100)
+		spans.Observe(lifecycle.SpanTotal, i*150)
+	}
+	es := streamrt.EngineSnapshot{
+		RingBufs: 8, BufBytes: 512 << 10, FreeBufs: 3, BufMmaps: 8,
+		OpenStreams: 2, StreamsOpened: 5, StreamsClosed: 3,
+		Fills: 40, FillBatches: 12,
+		FastChunks: 36, SlowChunks: 4, BytesPrefetched: 36 << 19, Stalls: 0,
+		Streams: []streamrt.StreamStats{
+			{
+				ID: 0, Name: "ingest-a", Kernel: "triad", Class: 1,
+				Bytes: 20 << 19, Chunks: 20, Credits: 2, CreditsInFlight: 1,
+				CreditsGranted: 21, CreditsReturned: 20,
+				FastChunks: 18, SlowChunks: 2, BytesPrefetched: 18 << 19,
+				Fills: 21, FillFailures: 1, TailWaits: 2,
+				FillLatency: sampleHistogram(300, 600),
+				Stages:      spans.Snapshot(),
+			},
+			{ID: 1, Name: "ingest-b", Kernel: "add", Credits: 4, Fills: 19, FastChunks: 18, SlowChunks: 2},
+		},
+		StreamNames: []string{"ingest-a", "ingest-b"},
+		Flight: flight.Snapshot{
+			Enabled: true, RingDepth: 256, Breaches: 3, Captured: 3,
+			Thresholds: []flight.LaneThreshold{
+				{Class: 1, EWMANs: 900_000, ThresholdNs: 2_700_000, Count: 21},
+			},
+		},
+	}
+	h := NewHandler()
+	h.Register(func() []Metric { return StreamEngineMetrics("eng0", es) })
+	text := h.MetricsText()
+	if err := ParseExposition(text); err != nil {
+		t.Fatalf("stream-engine exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`memif_stream_engine_ring_buffers{device="eng0"} 8`,
+		`memif_stream_engine_buf_mmaps_total{device="eng0"} 8`,
+		`memif_stream_engine_open_streams{device="eng0"} 2`,
+		`memif_stream_engine_fills_total{device="eng0"} 40`,
+		`memif_stream_engine_fill_batches_total{device="eng0"} 12`,
+		`memif_stream_engine_stalls_total{device="eng0"} 0`,
+		`memif_stream_credits{device="eng0",stream="ingest-a"} 2`,
+		`memif_stream_credits_in_flight{device="eng0",stream="ingest-a"} 1`,
+		`memif_stream_credits_granted_total{device="eng0",stream="ingest-a"} 21`,
+		`memif_stream_fast_chunks_total{device="eng0",stream="ingest-a"} 18`,
+		`memif_stream_slow_chunks_total{device="eng0",stream="ingest-b"} 2`,
+		`memif_stream_fill_failures_total{device="eng0",stream="ingest-a"} 1`,
+		`memif_stream_fill_latency_ns_count{device="eng0",stream="ingest-a"} 2`,
+		`memif_stream_stage_latency_ns_count{device="eng0",stream="ingest-a",stage="copy"} 8`,
+		`memif_stream_flight_breaches_total{device="eng0"} 3`,
+		`memif_stream_flight_threshold_ns{device="eng0",class="background"} 2700000`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
 // TestScrapeWhileSubmitting hammers /metrics rendering concurrently
 // with live submitters — the scrape must stay valid and race-free
 // (run under -race) while the device is at full throttle.

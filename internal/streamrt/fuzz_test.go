@@ -1,0 +1,58 @@
+package streamrt
+
+import (
+	"errors"
+	"testing"
+
+	"memif/internal/uapi"
+	"memif/internal/workloads"
+)
+
+// FuzzStreamSpecValidate hammers the single admission gate of
+// OpenStream: Validate must never panic, and when it accepts a spec the
+// documented invariants must actually hold — the engine builds fill
+// addresses and flight lanes straight from these fields.
+func FuzzStreamSpecValidate(f *testing.F) {
+	f.Add(int64(0), int64(512<<10), uint8(0), 0, "", int64(512<<10))
+	f.Add(int64(4096), int64(1<<20), uint8(1), 8, "ingest-a", int64(512<<10))
+	f.Add(int64(-1), int64(512<<10), uint8(2), 1, "x", int64(512<<10))
+	f.Add(int64(1<<40), int64(3)<<19, uint8(3), MaxCredits+1, "no spaces", int64(512<<10))
+	f.Add(int64(0), int64(0), uint8(0), -5, "ütf8", int64(0))
+	f.Add(int64(1)<<62-4096, int64(4096), uint8(0), 2, "wrap", int64(4096))
+	f.Fuzz(func(t *testing.T, base, length int64, class uint8, credits int, name string, bufBytes int64) {
+		sp := StreamSpec{
+			Kernel:  workloads.Add,
+			Base:    base,
+			Length:  length,
+			Class:   uapi.Class(class),
+			Credits: credits,
+			Name:    name,
+		}
+		err := sp.Validate(bufBytes)
+		if err != nil {
+			if !errors.Is(err, ErrBadStream) {
+				t.Fatalf("rejection outside the error taxonomy: %v", err)
+			}
+			return
+		}
+		// Accepted: the invariants the engine relies on must hold.
+		if bufBytes <= 0 {
+			t.Fatalf("accepted with non-positive bufBytes %d", bufBytes)
+		}
+		if sp.Length <= 0 || sp.Length%bufBytes != 0 {
+			t.Fatalf("accepted length %d not a positive multiple of %d", sp.Length, bufBytes)
+		}
+		if sp.Base < 0 || sp.Base > (1<<62)-sp.Length {
+			t.Fatalf("accepted range [%d, +%d) out of bounds", sp.Base, sp.Length)
+		}
+		if sp.Class > uapi.ClassScavenger {
+			t.Fatalf("accepted unknown class %d", sp.Class)
+		}
+		if sp.Credits < 0 || sp.Credits > MaxCredits {
+			t.Fatalf("accepted credits %d", sp.Credits)
+		}
+		if !labelSafe(sp.Name) {
+			t.Fatalf("accepted unsafe name %q", sp.Name)
+		}
+	})
+}

@@ -1,27 +1,32 @@
-// Package streamrt is the mini runtime of the case study (Section 6.6):
-// it treats the fast memory as an array of prefetch buffers and manages
-// outstanding memif replications like asynchronous I/O requests.
+// Package streamrt is the streaming runtime grown out of the paper's
+// Section 6.6 case study: it treats the fast memory as a ring of pinned
+// prefetch buffers and manages outstanding memif replications like
+// asynchronous I/O requests.
 //
-// As soon as a run starts, the runtime fills all buffers by replicating
-// data from the slow node asynchronously. Whenever a buffer is ready it
-// invokes the workload's compute kernel on it; immediately after a buffer
-// is consumed it requests a refill with fresh data. If all prefetched
-// data is consumed while moves are still in flight, the kernel is invoked
-// directly on the slow memory — the runtime never stalls the computation
-// waiting for a transfer.
+// The original one-shot sketch (one kernel, one run, buffers carved and
+// torn down per call) survives as the deprecated Run/RunDirect
+// wrappers. The current shape is a long-lived orchestrator: an Engine
+// opened over a core.Device mmaps its buffer ring once and recycles it
+// across any number of concurrent Stream handles, each paced by
+// credit-based backpressure (OpenStream / Stream.Consume in engine.go
+// and stream.go; the credit protocol in credits.go).
 //
-// The paper implements this in ~400 SLoC on top of the memif user API;
-// the structure here is the same.
+// The paper's invariants are kept: as soon as a stream opens, the
+// engine fills buffers for it by replicating data from the slow node
+// asynchronously; whenever a buffer is ready the workload's compute
+// kernel runs zero-copy on the pinned buffer; a consumed buffer is
+// immediately re-offered for refill. If a stream's prefetched data runs
+// out while fills are still in flight, the kernel is invoked directly
+// on the slow memory — the runtime never stalls the computation waiting
+// for a transfer.
 package streamrt
 
 import (
-	"errors"
 	"fmt"
 
 	"memif/internal/core"
 	"memif/internal/hw"
-	"memif/internal/obs"
-	"memif/internal/obs/lifecycle"
+	"memif/internal/obs/flight"
 	"memif/internal/sim"
 	"memif/internal/stats"
 	"memif/internal/uapi"
@@ -29,7 +34,8 @@ import (
 	"memif/internal/workloads"
 )
 
-// Config sizes the prefetch-buffer array.
+// Config sizes the prefetch-buffer array of the deprecated one-shot
+// API. New code should build EngineOptions directly.
 type Config struct {
 	// BufBytes is the size of one prefetch buffer (a multiple of the
 	// page size).
@@ -42,45 +48,6 @@ type Config struct {
 	// Metrics, when non-nil, accumulates runtime observability across
 	// runs: fill latencies, prefetch bytes, fast/slow chunk counts.
 	Metrics *Metrics
-}
-
-// Metrics is the runtime's obs instrument set. One Metrics may be
-// shared by any number of runs (its primitives are lock-free).
-type Metrics struct {
-	// FillLatency is the submit-to-completion histogram of prefetch
-	// fills (virtual ns).
-	FillLatency obs.Histogram
-	// FastChunks / SlowChunks count chunks consumed from prefetch
-	// buffers vs. straight from the slow node.
-	FastChunks, SlowChunks obs.Counter
-	// BytesPrefetched totals the payload replicated into buffers.
-	BytesPrefetched obs.Counter
-	// Stages attributes fill latency per pipeline stage (staging wait,
-	// dispatch wait, copy, completion dwell) from each fill request's
-	// stage stamps, in virtual ns.
-	Stages lifecycle.SpanSet
-}
-
-// MetricsSnapshot is a point-in-time copy of Metrics.
-type MetricsSnapshot struct {
-	FillLatency            obs.HistogramSnapshot
-	FastChunks, SlowChunks int64
-	BytesPrefetched        int64
-	Stages                 lifecycle.SpanSnapshot
-}
-
-// Snapshot captures the metrics. Nil-safe (zero snapshot).
-func (m *Metrics) Snapshot() MetricsSnapshot {
-	if m == nil {
-		return MetricsSnapshot{}
-	}
-	return MetricsSnapshot{
-		FillLatency:     m.FillLatency.Snapshot(),
-		FastChunks:      m.FastChunks.Load(),
-		SlowChunks:      m.SlowChunks.Load(),
-		BytesPrefetched: m.BytesPrefetched.Load(),
-		Stages:          m.Stages.Snapshot(),
-	}
 }
 
 // DefaultConfig returns the configuration used for Table 4: eight 512 KB
@@ -108,12 +75,15 @@ type Result struct {
 }
 
 // ErrInput flags bad run parameters.
-var ErrInput = errors.New("streamrt: bad input")
+//
+// Deprecated: it is the same error as ErrBadStream, kept so existing
+// errors.Is checks keep working.
+var ErrInput = ErrBadStream
 
 // RunDirect streams the kernel over [base, base+length) in place — the
 // "Linux" rows of Table 4, where the data stays on the slow node.
 func RunDirect(p *sim.Proc, as *vm.AddressSpace, k workloads.Kernel, base, length int64, cfg Config) (Result, error) {
-	if length <= 0 || length%cfg.BufBytes != 0 {
+	if length <= 0 || cfg.BufBytes <= 0 || length%cfg.BufBytes != 0 {
 		return Result{}, fmt.Errorf("%w: length %d not a multiple of buffer size %d", ErrInput, length, cfg.BufBytes)
 	}
 	scratch := make([]byte, cfg.BufBytes)
@@ -139,126 +109,42 @@ func RunDirect(p *sim.Proc, as *vm.AddressSpace, k workloads.Kernel, base, lengt
 
 // Run streams the kernel over [base, base+length) through the memif
 // prefetch-buffer pipeline — the "Memif" rows of Table 4.
+//
+// Deprecated: Run opens a single-stream Engine per call, recreating the
+// one-shot behaviour (carve ring, stream, tear down). Long-lived code
+// should hold an Engine and OpenStream instead, which keeps the ring
+// pinned across runs and multiplexes streams.
 func Run(p *sim.Proc, d *core.Device, k workloads.Kernel, base, length int64, cfg Config) (Result, error) {
-	as := d.AS
-	if length <= 0 || length%cfg.BufBytes != 0 {
-		return Result{}, fmt.Errorf("%w: length %d not a multiple of buffer size %d", ErrInput, length, cfg.BufBytes)
-	}
-	if cfg.NumBufs < 1 || cfg.BufBytes%as.PageBytes != 0 {
+	if cfg.NumBufs < 1 || cfg.BufBytes <= 0 || cfg.BufBytes%d.AS.PageBytes != 0 {
 		return Result{}, fmt.Errorf("%w: config %+v", ErrInput, cfg)
 	}
-	chunks := length / cfg.BufBytes
-
-	// Carve the prefetch buffers out of the fast node.
-	bufs := make([]int64, cfg.NumBufs)
-	for i := range bufs {
-		b, err := as.Mmap(p, cfg.BufBytes, cfg.FastNode, fmt.Sprintf("prefetch-%d", i))
-		if err != nil {
-			return Result{}, fmt.Errorf("streamrt: carving buffer %d: %w", i, err)
-		}
-		bufs[i] = b
+	spec := StreamSpec{
+		Kernel:  k,
+		Base:    base,
+		Length:  length,
+		Class:   uapi.ClassBackground,
+		Credits: cfg.NumBufs,
+		Name:    "oneshot",
 	}
-	defer func() {
-		for _, b := range bufs {
-			_ = as.Munmap(p, b)
-		}
-	}()
-
-	res := Result{Kernel: k.Name, Bytes: length}
-	scratch := make([]byte, cfg.BufBytes)
-	var acc uint64
-
-	// nextFill is the next chunk not yet assigned anywhere; both
-	// prefetches and slow-path fallback consumption claim chunks from
-	// it, so no chunk is ever processed twice.
-	nextFill := int64(0)
-	consumed := int64(0)
-	outstanding := 0
-
-	fill := func(buf int) error {
-		r := d.AllocRequest(p)
-		if r == nil {
-			return errors.New("streamrt: out of mov_req slots")
-		}
-		r.Op = uapi.OpReplicate
-		r.SrcBase = base + nextFill*cfg.BufBytes
-		r.DstBase = bufs[buf]
-		r.Length = cfg.BufBytes
-		r.Cookie = uint64(buf)
-		nextFill++
-		outstanding++
-		return d.Submit(p, r)
+	if err := spec.Validate(cfg.BufBytes); err != nil {
+		return Result{}, err
 	}
-
-	start := p.Now()
-	// Prime every buffer.
-	for i := 0; i < cfg.NumBufs && nextFill < chunks; i++ {
-		if err := fill(i); err != nil {
-			return Result{}, err
-		}
+	e, err := OpenEngine(p, d, EngineOptions{
+		BufBytes:   cfg.BufBytes,
+		RingBufs:   cfg.NumBufs,
+		FastNode:   cfg.FastNode,
+		SlowNode:   cfg.SlowNode,
+		MaxStreams: 1,
+		Metrics:    cfg.Metrics,
+		Flight:     flight.Options{Disable: true},
+	})
+	if err != nil {
+		return Result{}, err
 	}
-
-	for consumed < chunks {
-		if r := d.RetrieveCompleted(p); r != nil {
-			buf := int(r.Cookie)
-			failed := r.Status != uapi.StatusDone
-			if cfg.Metrics != nil && !failed {
-				cfg.Metrics.FillLatency.Observe(int64(r.Completed - r.Submitted))
-				cfg.Metrics.BytesPrefetched.Add(r.Length)
-				ts := lifecycle.Stamps(int64(r.Submitted), int64(r.Flushed),
-					int64(r.Dispatched), int64(r.CopyStart), int64(r.Completed),
-					int64(r.Completed), int64(r.Retrieved))
-				cfg.Metrics.Stages.ObserveStamps(&ts)
-			}
-			d.FreeRequest(p, r)
-			outstanding--
-			if failed {
-				return Result{}, fmt.Errorf("streamrt: fill failed: %v", r.Err)
-			}
-			var err error
-			acc, err = k.Consume(p, as, bufs[buf], cfg.BufBytes, scratch, acc)
-			if err != nil {
-				return Result{}, err
-			}
-			consumed++
-			res.FastChunks++
-			if cfg.Metrics != nil {
-				cfg.Metrics.FastChunks.Inc()
-			}
-			// More input remains unassigned: refill this buffer.
-			if nextFill < chunks {
-				if err := fill(buf); err != nil {
-					return Result{}, err
-				}
-			}
-			continue
-		}
-		// No buffer ready. If unassigned input remains, consume the
-		// next unassigned chunk straight from the slow node rather than
-		// idling (the paper's fallback).
-		if nextFill < chunks {
-			addr := base + nextFill*cfg.BufBytes
-			nextFill++
-			var err error
-			acc, err = k.Consume(p, as, addr, cfg.BufBytes, scratch, acc)
-			if err != nil {
-				return Result{}, err
-			}
-			consumed++
-			res.SlowChunks++
-			if cfg.Metrics != nil {
-				cfg.Metrics.SlowChunks.Inc()
-			}
-			continue
-		}
-		// Everything is assigned; block for the in-flight fills.
-		if outstanding == 0 {
-			return Result{}, errors.New("streamrt: stuck with no outstanding fills")
-		}
-		d.Poll(p, 0)
+	defer e.Close(p)
+	s, err := e.OpenStream(p, spec)
+	if err != nil {
+		return Result{}, err
 	}
-	res.Elapsed = p.Now() - start
-	res.ThroughputMBs = stats.ThroughputMBs(length, res.Elapsed)
-	res.Checksum = acc
-	return res, nil
+	return s.Run(p)
 }

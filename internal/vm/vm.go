@@ -142,7 +142,12 @@ func (as *AddressSpace) Mmap(p *sim.Proc, length int64, node hw.NodeID, name str
 		return 0, fmt.Errorf("vm: mmap length %d", length)
 	}
 	length = (length + as.PageBytes - 1) &^ (as.PageBytes - 1)
+	// Reserve the address range before anything that can yield: frame
+	// allocation and cost charging both suspend the proc, and a
+	// concurrent Mmap reading the same nextAddr would hand out
+	// overlapping VMAs. A failed mmap leaves a hole, which is harmless.
 	base := as.nextAddr
+	as.nextAddr = base + length + as.PageBytes // guard page
 	pages := length / as.PageBytes
 	cost := &as.Plat.Cost
 
@@ -168,7 +173,6 @@ func (as *AddressSpace) Mmap(p *sim.Proc, length int64, node hw.NodeID, name str
 	charge(p, pages*(cost.PageAlloc+cost.PTEReplace))
 	vma := &VMA{Start: base, Length: length, Node: node, Name: name}
 	as.vmas = append(as.vmas, vma)
-	as.nextAddr = base + length + as.PageBytes // guard page
 	return base, nil
 }
 

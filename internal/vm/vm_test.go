@@ -126,6 +126,41 @@ func TestAccessUnmappedFails(t *testing.T) {
 	eng.Run()
 }
 
+// Two procs mmap'ing concurrently must get disjoint ranges: Mmap
+// charges allocation cost (which yields) between reading nextAddr and
+// registering the VMA, so the reservation has to happen before the
+// first yield or both callers read the same base and the address space
+// hands out overlapping VMAs (seen as phantom badreq fills when a
+// request's range resolved to the wrong, smaller VMA).
+func TestConcurrentMmapNoOverlap(t *testing.T) {
+	eng, as := setup(4096)
+	type region struct{ base, length int64 }
+	var got []region
+	for i := 0; i < 4; i++ {
+		i := i
+		eng.Spawn("mapper", func(p *sim.Proc) {
+			length := int64(4+i) * 4096
+			for j := 0; j < 8; j++ {
+				base, err := as.Mmap(p, length, hw.NodeSlow, "r")
+				if err != nil {
+					t.Errorf("Mmap: %v", err)
+					return
+				}
+				got = append(got, region{base, length})
+				p.SleepNS(10)
+			}
+		})
+	}
+	eng.Run()
+	for i, a := range got {
+		for _, b := range got[i+1:] {
+			if a.base < b.base+b.length && b.base < a.base+a.length {
+				t.Fatalf("overlapping mmaps: [%#x,+%#x) and [%#x,+%#x)", a.base, a.length, b.base, b.length)
+			}
+		}
+	}
+}
+
 func TestCheckRegion(t *testing.T) {
 	_, as := setup(4096)
 	base, _ := as.Mmap(nil, 8*4096, hw.NodeSlow, "b")

@@ -26,8 +26,12 @@
 //     concurrency, with QoS priority classes, admission control,
 //     adaptive completion, and weighted multi-tenant namespaces
 //     (RealtimeDevice.OpenTenant).
-//   - The streaming runtime — Stream, StreamDirect and the Stream*
-//     types replay the Section 6.6 double-buffered kernels.
+//   - The streaming runtime — OpenStreamEngine and the Stream* types
+//     multiplex long-lived, credit-backed ingest streams over one
+//     device through a pinned, recycled prefetch ring (the Section
+//     6.6 double-buffered kernels, grown into an orchestrator). The
+//     one-shot Stream/StreamDirect entry points survive as deprecated
+//     wrappers.
 //   - Observability — NewObsHandler and the Obs* helpers expose every
 //     subsystem's metrics and traces over HTTP, and the Flight* types
 //     configure the always-on flight recorder behind /debug/outliers:
@@ -385,11 +389,70 @@ var (
 )
 
 // ---------------------------------------------------------------------
-// The streaming runtime: Section 6.6's double-buffered kernels.
+// The streaming runtime: Section 6.6's double-buffered kernels, grown
+// into a long-lived multi-stream orchestrator.
 // ---------------------------------------------------------------------
 
-// StreamConfig sizes the mini streaming runtime's prefetch buffers
-// (Section 6.6).
+// StreamEngine is the long-lived streaming orchestrator: opened once
+// over a device, it owns a ring of pinned, recycled prefetch buffers
+// (mmap'd once — O(ring) mappings, not O(chunks)) and multiplexes any
+// number of StreamHandle instances over them with credit-based
+// backpressure, engine-level round-robin fair refill, and batched
+// red-blue submission (one flush/kick per grant pass).
+type StreamEngine = streamrt.Engine
+
+// StreamEngineOptions configures OpenStreamEngine: ring geometry
+// (BufBytes × RingBufs), placement nodes, the stream cap, optional
+// legacy Metrics accumulation, and the flight recorder.
+type StreamEngineOptions = streamrt.EngineOptions
+
+// DefaultStreamEngineOptions returns the Table 4 ring (eight 512 KB
+// buffers on the fast node) with the flight recorder armed.
+func DefaultStreamEngineOptions() StreamEngineOptions { return streamrt.DefaultEngineOptions() }
+
+// OpenStreamEngine opens a streaming engine over d, mapping the
+// prefetch ring up front. Close it to release the ring.
+func OpenStreamEngine(p *Proc, d *Device, opts StreamEngineOptions) (*StreamEngine, error) {
+	return streamrt.OpenEngine(p, d, opts)
+}
+
+// StreamSpec describes one stream to StreamEngine.OpenStream: the
+// kernel, the [Base, Base+Length) input (Length a multiple of the
+// engine's buffer size), the fill priority class, the credit allowance
+// (0 defaults to 2 — classic double buffering), and a label-safe name
+// for metrics.
+type StreamSpec = streamrt.StreamSpec
+
+// StreamHandle is one open stream: Consume/Run drive the kernel over
+// prefetched chunks zero-copy, Stats snapshots its counters, Close
+// releases its credits. (Named StreamHandle because memif.Stream is
+// the deprecated one-shot entry point.)
+type StreamHandle = streamrt.Stream
+
+// StreamStats is one stream's counter snapshot: credit ledger, fast
+// versus fallback chunks, fill latency histogram and per-stage spans.
+type StreamStats = streamrt.StreamStats
+
+// StreamEngineSnapshot is the engine-wide view (StreamEngine.Snapshot):
+// ring occupancy, per-stream StreamStats, and the flight recorder.
+type StreamEngineSnapshot = streamrt.EngineSnapshot
+
+// MaxStreamCredits caps a single stream's credit allowance.
+const MaxStreamCredits = streamrt.MaxCredits
+
+// Streaming error taxonomy, matched with errors.Is.
+var (
+	// ErrStreamClosed is returned by operations on a closed stream or
+	// a closed engine.
+	ErrStreamClosed = streamrt.ErrStreamClosed
+	// ErrBadStream flags a rejected StreamSpec or engine
+	// configuration.
+	ErrBadStream = streamrt.ErrBadStream
+)
+
+// StreamConfig sizes the one-shot runtime's prefetch buffers.
+//
+// Deprecated: use StreamEngineOptions with OpenStreamEngine.
 type StreamConfig = streamrt.Config
 
 // StreamResult reports one streaming run.
@@ -397,6 +460,8 @@ type StreamResult = streamrt.Result
 
 // DefaultStreamConfig returns the Table 4 configuration (eight 512 KB
 // buffers on the fast node).
+//
+// Deprecated: use DefaultStreamEngineOptions.
 func DefaultStreamConfig() StreamConfig { return streamrt.DefaultConfig() }
 
 // StreamKernel is a streaming compute kernel.
@@ -411,11 +476,19 @@ var (
 
 // Stream runs kernel k over [base, base+length) through memif prefetch
 // buffers.
+//
+// Deprecated: one-shot wrapper that opens and tears down a private
+// engine per call. Use OpenStreamEngine + StreamEngine.OpenStream; the
+// engine keeps its buffer ring pinned across runs and multiplexes
+// concurrent streams.
 func Stream(p *Proc, d *Device, k StreamKernel, base, length int64, cfg StreamConfig) (StreamResult, error) {
 	return streamrt.Run(p, d, k, base, length, cfg)
 }
 
 // StreamDirect runs the kernel in place (no memif) for comparison.
+//
+// Deprecated: kept as the baseline side of the deprecated Stream
+// entry point; new code should compare against StreamHandle.Run.
 func StreamDirect(p *Proc, as *AddressSpace, k StreamKernel, base, length int64, cfg StreamConfig) (StreamResult, error) {
 	return streamrt.RunDirect(p, as, k, base, length, cfg)
 }
@@ -488,6 +561,13 @@ func SwapObsMetrics(device string, s SwapMetricsSnapshot) []ObsMetric {
 // memif_stream_*.
 func StreamObsMetrics(device string, s StreamMetricsSnapshot) []ObsMetric {
 	return obshttp.StreamMetrics(device, s)
+}
+
+// StreamEngineObsMetrics maps a stream-engine snapshot onto the
+// memif_stream_engine_* namespace plus the per-stream memif_stream_*
+// {stream="..."} series and the memif_stream_flight_* recorder view.
+func StreamEngineObsMetrics(device string, s StreamEngineSnapshot) []ObsMetric {
+	return obshttp.StreamEngineMetrics(device, s)
 }
 
 // ParseExposition validates Prometheus text-format exposition — the

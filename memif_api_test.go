@@ -131,6 +131,9 @@ func TestFacadeSymbolCoverage(t *testing.T) {
 	if !ran {
 		t.Fatal("sim flow never ran")
 	}
+	if memif.MaxStreamCredits <= 0 {
+		t.Error("MaxStreamCredits not positive")
+	}
 
 	// Low-level block: the red-blue queue on its own.
 	var slab *memif.QueueSlab = memif.NewQueueSlab(8)
@@ -175,6 +178,114 @@ func TestFacadeSymbolCoverage(t *testing.T) {
 		if err == nil || err.Error() == "" {
 			t.Error("unified taxonomy exports a nil or empty error")
 		}
+	}
+}
+
+// TestStreamEngineFacade drives the redesigned streaming surface end to
+// end through the facade: engine lifecycle, spec validation through the
+// streaming error taxonomy, two concurrent streams over one pinned
+// ring, per-stream stats, the engine snapshot, and the Prometheus
+// export.
+func TestStreamEngineFacade(t *testing.T) {
+	m := memif.NewMachine(memif.KeyStoneII())
+	ran := false
+	m.Eng.Spawn("streams", func(p *memif.Proc) {
+		ran = true
+		as := m.NewAddressSpace(memif.Page4K)
+		dev := memif.Open(m, as, memif.DefaultOptions())
+		defer dev.Close()
+
+		var opts memif.StreamEngineOptions = memif.DefaultStreamEngineOptions()
+		opts.BufBytes = memif.Page4K * 4
+		opts.RingBufs = 4
+		var eng *memif.StreamEngine
+		eng, err := memif.OpenStreamEngine(p, dev, opts)
+		if err != nil {
+			t.Fatalf("OpenStreamEngine: %v", err)
+		}
+
+		const length = memif.Page4K * 32
+		base, err := as.Mmap(p, length*2, memif.NodeSlow, "ingest")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Rejections land in the streaming error taxonomy.
+		if _, err := eng.OpenStream(p, memif.StreamSpec{Kernel: memif.KernelAdd, Base: base, Length: length + 1}); !errors.Is(err, memif.ErrBadStream) {
+			t.Errorf("unaligned spec: %v, want ErrBadStream", err)
+		}
+
+		var sa, sb *memif.StreamHandle
+		sa, err = eng.OpenStream(p, memif.StreamSpec{
+			Kernel: memif.KernelAdd, Base: base, Length: length, Name: "ingest-a",
+		})
+		if err != nil {
+			t.Fatalf("OpenStream a: %v", err)
+		}
+		sb, err = eng.OpenStream(p, memif.StreamSpec{
+			Kernel: memif.KernelTriad, Base: base + length, Length: length,
+			Class: memif.MovScavenger, Credits: 3, Name: "ingest-b",
+		})
+		if err != nil {
+			t.Fatalf("OpenStream b: %v", err)
+		}
+
+		// Drive one by Run, the other chunk-at-a-time by Consume.
+		if _, err := sa.Run(p); err != nil {
+			t.Fatalf("stream a run: %v", err)
+		}
+		for {
+			done, err := sb.Consume(p)
+			if err != nil {
+				t.Fatalf("stream b consume: %v", err)
+			}
+			if done {
+				break
+			}
+		}
+		var st memif.StreamStats = sb.Stats()
+		if !st.Done || st.FastChunks+st.SlowChunks != st.Chunks || st.CreditsInFlight != 0 {
+			t.Errorf("stream b stats = %+v, want drained and credit-balanced", st)
+		}
+		if sa.Name() != "ingest-a" || sa.Err() != nil || !sa.Done() {
+			t.Errorf("stream a handle: name=%q done=%v err=%v", sa.Name(), sa.Done(), sa.Err())
+		}
+		if sa.Checksum() != sb.Checksum() {
+			t.Errorf("checksums diverged over zero-filled input: %#x vs %#x", sa.Checksum(), sb.Checksum())
+		}
+
+		// Snapshot before closing sb: closed-and-drained streams retire
+		// from the registry (their flight lanes and engine totals remain).
+		var snap memif.StreamEngineSnapshot = eng.Snapshot()
+		if snap.RingBufs != opts.RingBufs || snap.BufMmaps != int64(opts.RingBufs) {
+			t.Errorf("snapshot ring = %d mmaps = %d, want the pinned ring mapped once", snap.RingBufs, snap.BufMmaps)
+		}
+		if snap.StreamsOpened != 2 || snap.Stalls != 0 {
+			t.Errorf("snapshot = %+v, want 2 streams and zero stalls", snap)
+		}
+		ms := memif.StreamEngineObsMetrics("api", snap)
+		var sawEngine, sawStream bool
+		for _, mm := range ms {
+			switch mm.Name {
+			case "memif_stream_engine_fills_total":
+				sawEngine = true
+			case "memif_stream_fast_chunks_total":
+				sawStream = true
+			}
+		}
+		if !sawEngine || !sawStream {
+			t.Errorf("StreamEngineObsMetrics: engine series %v, per-stream series %v", sawEngine, sawStream)
+		}
+
+		sb.Close(p)
+		eng.Close(p)
+		if _, err := eng.OpenStream(p, memif.StreamSpec{Kernel: memif.KernelAdd, Base: base, Length: length}); !errors.Is(err, memif.ErrStreamClosed) {
+			t.Errorf("open on closed engine: %v, want ErrStreamClosed", err)
+		}
+	})
+	m.Eng.Run()
+	if !ran {
+		t.Fatal("stream flow never ran")
 	}
 }
 
